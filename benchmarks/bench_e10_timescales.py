@@ -1,0 +1,55 @@
+"""Bench E10: coupling/timescale churn and the damping ablation (§5)."""
+
+from repro.experiments import exp_e10_timescales
+
+
+def test_e10_partial_coupling_table(benchmark, table_sink):
+    result = benchmark.pedantic(
+        lambda: exp_e10_timescales.run_partial(
+            seed=0, te_periods=(15.0, 45.0, 120.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(result)
+
+    # A faster legacy TE loop flaps more (the coupling channel exists).
+    fast = result.row(te_period_s=15.0, damping="off")
+    slow = result.row(te_period_s=120.0, damping="off")
+    assert fast["te_switches"] > slow["te_switches"]
+    # Damping suppresses the AppP-side churn where churn exists.
+    undamped = result.row(te_period_s=45.0, damping="off")
+    damped = result.row(te_period_s=45.0, damping="on")
+    assert damped["cdn_switches"] < 0.5 * undamped["cdn_switches"]
+
+
+def test_e10_adaptive_te_damping(benchmark, table_sink):
+    result = benchmark.pedantic(
+        lambda: exp_e10_timescales.run_te_damping(seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(result)
+    undamped = result.row(te_damper="none")
+    damped = result.row(te_damper="adaptive")
+    # Detect-then-backoff cuts the flapping by several times, and in
+    # this world holding the big peering beats bouncing to the small
+    # one, so QoE improves too.
+    assert damped["te_switches"] < undamped["te_switches"] / 2
+    assert damped["suppressed_changes"] > 0
+    assert damped["engagement"] >= undamped["engagement"]
+
+
+def test_e10_full_eona_stability(benchmark, table_sink):
+    result = benchmark.pedantic(
+        lambda: exp_e10_timescales.run_full(
+            seed=0, te_periods=(10.0, 60.0, 180.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(result)
+    # Full EONA stays converged even at player-timescale TE.
+    for row in result.rows:
+        assert row["te_switches"] <= 3
+        assert row["cdn_switches"] == 0

@@ -1,0 +1,21 @@
+"""Bench E11: blinding vs. effectiveness frontier (paper §4)."""
+
+from repro.experiments import exp_e11_privacy
+
+
+def test_e11_privacy_table(benchmark, table_sink):
+    result = benchmark.pedantic(
+        lambda: exp_e11_privacy.run(seed=0, epsilons=(10.0, 1.0, 0.1, 0.02)),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(result)
+
+    light = result.row(epsilon=1.0)
+    heavy = result.row(epsilon=0.02)
+    # Light blinding preserves full EONA behaviour...
+    assert light["te_switches"] <= 3
+    assert light["on_green_path"]
+    # ...heavy blinding drowns the demand signal and churn returns.
+    assert heavy["te_switches"] > light["te_switches"]
+    assert heavy["buffering_ratio"] > light["buffering_ratio"]

@@ -1,0 +1,23 @@
+"""Bench E12: the client-ISP attribute in A2I (paper §3)."""
+
+from repro.experiments import exp_e12_attributes
+
+
+def test_e12_attributes_table(benchmark, table_sink):
+    result = benchmark.pedantic(
+        lambda: exp_e12_attributes.run(seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(result)
+
+    quo = result.row(config="status_quo")
+    unscoped = result.row(config="eona_unscoped")
+    scoped = result.row(config="eona_scoped")
+    # The congestion response fixes ISP1 either way...
+    assert scoped["isp1_buffering"] < quo["isp1_buffering"]
+    assert unscoped["isp1_buffering"] < quo["isp1_buffering"]
+    # ...but only the attribute-scoped variant spares ISP2's viewers.
+    assert unscoped["isp2_bitrate"] < 0.5 * quo["isp2_bitrate"]
+    assert scoped["isp2_bitrate"] == quo["isp2_bitrate"]
+    assert scoped["isp2_engagement"] > unscoped["isp2_engagement"]

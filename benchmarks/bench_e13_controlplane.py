@@ -1,0 +1,23 @@
+"""Bench E13: the coordinated control plane vs per-session reaction."""
+
+from repro.experiments import exp_e13_controlplane
+
+
+def test_e13_controlplane_table(benchmark, table_sink):
+    result = benchmark.pedantic(
+        lambda: exp_e13_controlplane.run(seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(result)
+
+    reactive = result.row(config="reactive")
+    coordinated = result.row(config="coordinated")
+    # Fleet steering evacuates the faulty CDN; per-session reaction
+    # leaves most sessions suffering on it.
+    assert coordinated["faulty_cdn_share_during_fault"] < 0.15
+    assert reactive["faulty_cdn_share_during_fault"] > 0.4
+    # And that shows up as delivered quality.
+    assert coordinated["mean_bitrate_mbps"] > reactive["mean_bitrate_mbps"]
+    assert coordinated["engagement"] > reactive["engagement"]
+    assert coordinated["migrations"] > 0

@@ -1,0 +1,23 @@
+"""Bench E14: traffic splits across peering points (§4's third knob)."""
+
+from repro.experiments import exp_e14_splits
+
+
+def test_e14_splits_table(benchmark, table_sink):
+    result = benchmark.pedantic(
+        lambda: exp_e14_splits.run(seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(result)
+
+    single = result.row(config="eona_single")
+    split = result.row(config="eona_split")
+    # No single peering fits the demand, so single-egress placement
+    # leaves ~half the capacity stranded; the split uses both.
+    assert split["split_active"]
+    assert split["mean_bitrate_mbps"] > 1.5 * single["mean_bitrate_mbps"]
+    assert split["peerB_util_loaded"] > 0.5
+    assert split["peerC_util_loaded"] > 0.5
+    assert single["peerB_util_loaded"] < 0.5 or single["peerC_util_loaded"] < 0.5
+    assert split["engagement"] > single["engagement"]

@@ -1,0 +1,36 @@
+"""Bench E1: the "coarse control" table (paper §2, scenario 1).
+
+Regenerates the status-quo vs. EONA comparison for a degraded server
+inside a warm CDN, and reports the run's wall-clock cost.
+"""
+
+from repro.baselines.modes import Mode
+from repro.experiments import exp_e1_coarse_control
+from repro.experiments.common import ExperimentResult
+
+
+def test_e1_coarse_control_table(benchmark, table_sink):
+    result = ExperimentResult(
+        name="E1-coarse-control",
+        notes="degraded server in warm CDN X; cold CDN Y behind narrow origin",
+    )
+
+    def run_both():
+        rows = [
+            exp_e1_coarse_control.run_mode(mode, seed=0)
+            for mode in (Mode.STATUS_QUO, Mode.EONA)
+        ]
+        return rows
+
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    for row in rows:
+        result.add_row(**row)
+    table_sink(result)
+
+    quo = result.row(mode="status_quo")
+    eona = result.row(mode="eona")
+    # The paper's claims, as assertions on the regenerated table:
+    assert eona["traffic_retained_by_x"] > quo["traffic_retained_by_x"]
+    assert eona["cdn_switches"] == 0
+    assert eona["origin_y_fetches"] == 0
+    assert eona["mean_bitrate_mbps"] > quo["mean_bitrate_mbps"]

@@ -1,0 +1,47 @@
+"""Bench E2: the flash-crowd table (paper §2, Figure 3)."""
+
+from repro.baselines.modes import Mode
+from repro.experiments import exp_e2_flash_crowd
+from repro.experiments.common import ExperimentResult
+
+
+def test_e2_flash_crowd_table(benchmark, table_sink):
+    result = ExperimentResult(
+        name="E2-flash-crowd",
+        notes="flash crowd behind a fixed access bottleneck (Figure 3)",
+    )
+
+    def run_all():
+        return [
+            exp_e2_flash_crowd.run_mode(mode, seed=0)
+            for mode in (Mode.STATUS_QUO, Mode.EONA, Mode.ORACLE)
+        ]
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for row in rows:
+        result.add_row(**row)
+    table_sink(result)
+
+    quo = result.row(mode="status_quo")
+    eona = result.row(mode="eona")
+    oracle = result.row(mode="oracle")
+    # Figure 3's lesson: trade bitrate for a large buffering cut.
+    assert eona["buffering_ratio"] < 0.6 * quo["buffering_ratio"]
+    assert eona["mean_bitrate_mbps"] <= quo["mean_bitrate_mbps"]
+    assert eona["cdn_switches"] == 0 and quo["cdn_switches"] > 0
+    # The narrow interface sits near the oracle.
+    assert eona["buffering_ratio"] < 1.5 * oracle["buffering_ratio"]
+
+
+def test_e2_abr_ablation(benchmark, table_sink):
+    result = benchmark.pedantic(
+        lambda: exp_e2_flash_crowd.run_abr_ablation(seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(result)
+    # The congestion signal operates above the ABR, so every algorithm
+    # benefits -- the design-decision ablation of DESIGN.md ✦2.
+    for row in result.rows:
+        assert row["eona_benefit"] > 0, row["abr"]
+        assert row["eona_engagement_gain"] > 0, row["abr"]

@@ -1,0 +1,35 @@
+"""Bench E3: QoE inference vs. direct A2I export (paper Figure 4)."""
+
+from repro.experiments import exp_e3_inference
+
+
+def test_e3_inference_table(benchmark, table_sink):
+    result = benchmark.pedantic(
+        lambda: exp_e3_inference.run(seed=0, n_clients=10, n_pages_per_client=25),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(result)
+
+    direct = result.row(method="a2i_direct")
+    inferred = result.row(method="network_inference")
+    assert direct["mae_s"] == 0.0 and direct["spearman"] == 1.0
+    assert inferred["mae_s"] > 0.05
+    assert inferred["relative_mae"] > 0.1
+    assert inferred["bad_session_detection_acc"] < 1.0
+
+
+def test_e3_volatility_sweep(benchmark, table_sink):
+    result = benchmark.pedantic(
+        lambda: exp_e3_inference.run_volatility_sweep(
+            seed=0, volatilities=(0.5, 1.0, 2.0),
+            n_clients=8, n_pages_per_client=20,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(result)
+    calm = result.row(radio_volatility=0.5)
+    churny = result.row(radio_volatility=2.0)
+    # Faster hidden-state dynamics degrade the proxy's usefulness.
+    assert churny["mae_s"] >= 0.5 * calm["mae_s"]

@@ -1,0 +1,37 @@
+"""Bench E4: the Figure 5 oscillation table and switch-growth series."""
+
+from repro.experiments import exp_e4_oscillation
+
+
+def test_e4_oscillation_table(benchmark, table_sink):
+    result = benchmark.pedantic(
+        lambda: exp_e4_oscillation.run(seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(result)
+
+    quo = result.row(mode="status_quo")
+    eona = result.row(mode="eona")
+    oracle = result.row(mode="oracle")
+    # Status quo oscillates indefinitely; EONA converges to the green path.
+    assert quo["te_switches"] >= 10
+    assert eona["te_switches"] <= 3
+    assert eona["on_green_path"]
+    assert eona["buffering_ratio"] < quo["buffering_ratio"]
+    assert oracle["te_switches"] <= 2
+
+
+def test_e4_switch_growth_series(benchmark, table_sink):
+    result = benchmark.pedantic(
+        lambda: exp_e4_oscillation.run_switch_growth(
+            seed=0, horizons=(400.0, 800.0, 1200.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(result)
+    first, _, last = result.rows
+    # Oscillation count grows with time for status quo, flat for EONA.
+    assert last["status_quo_te_switches"] >= 2 * first["status_quo_te_switches"]
+    assert last["eona_te_switches"] <= first["eona_te_switches"] + 1

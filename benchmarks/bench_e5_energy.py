@@ -1,0 +1,25 @@
+"""Bench E5: the energy/QoE frontier table (paper §2 config changes)."""
+
+from repro.experiments import exp_e5_energy
+
+
+def test_e5_energy_table(benchmark, table_sink):
+    result = benchmark.pedantic(
+        lambda: exp_e5_energy.run(seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(result)
+
+    conservative = result.row(policy="conservative")
+    schedule = result.row(policy="schedule")
+    eona = result.row(policy="eona")
+    # Blind policies sit inside the frontier: conservative wastes energy,
+    # the forecast-follower degrades QoE.
+    assert conservative["energy_saved_pct"] == 0.0
+    assert schedule["energy_saved_pct"] > 20.0
+    assert schedule["buffering_ratio"] > 5 * eona["buffering_ratio"]
+    # EONA: meaningful savings at near-conservative QoE.
+    assert eona["energy_saved_pct"] > 15.0
+    assert eona["buffering_ratio"] < 0.005
+    assert eona["abandoned"] <= schedule["abandoned"]

@@ -1,0 +1,37 @@
+"""Bench E6: the EONA-benefit-vs-staleness curves (paper §5)."""
+
+from repro.experiments import exp_e6_staleness
+
+
+def test_e6_staleness_curve(benchmark, table_sink):
+    result = benchmark.pedantic(
+        lambda: exp_e6_staleness.run(
+            seed=0, refresh_periods=(2.0, 10.0, 30.0, 90.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(result)
+
+    fresh = result.row(i2a_refresh_s=2.0)
+    stale = result.row(i2a_refresh_s=90.0)
+    # Near-live sharing delivers a large benefit; minute-stale snapshots
+    # erode it (possibly to nothing) -- the §5 staleness concern.
+    assert fresh["relative_benefit"] > 0.4
+    assert stale["relative_benefit"] < fresh["relative_benefit"]
+
+
+def test_e6_te_staleness(benchmark, table_sink):
+    result = benchmark.pedantic(
+        lambda: exp_e6_staleness.run_te_staleness(
+            seed=0, refresh_periods=(5.0, 30.0, 120.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(result)
+    # TE operates on minutes, so it tolerates much staler demand data:
+    # convergence to the green path survives across the sweep.
+    for row in result.rows:
+        assert row["te_switches"] <= 3
+        assert row["on_green_path"]

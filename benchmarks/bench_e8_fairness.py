@@ -1,0 +1,21 @@
+"""Bench E8: multi-AppP fairness table (paper §5 "fairness and trust")."""
+
+from repro.experiments import exp_e8_fairness
+
+
+def test_e8_fairness_table(benchmark, table_sink):
+    result = benchmark.pedantic(
+        lambda: exp_e8_fairness.run(seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(result)
+
+    quo = result.row(mode="status_quo")
+    eona = result.row(mode="eona")
+    # EONA lifts both AppPs (no starvation) and splits the peerings.
+    assert eona["heavy_engagement"] >= quo["heavy_engagement"]
+    assert eona["light_engagement"] >= quo["light_engagement"]
+    assert eona["jain_sessions"] >= 0.95
+    assert eona["split_across_peerings"]
+    assert eona["te_switches"] < quo["te_switches"]

@@ -1,0 +1,24 @@
+"""Bench E9: QoE vs. interface width against the oracle (paper §4)."""
+
+from repro.experiments import exp_e9_recipe
+
+
+def test_e9_interface_width_table(benchmark, table_sink):
+    result = benchmark.pedantic(
+        lambda: exp_e9_recipe.run(seed=0, budgets=(1, 2, 4, 7)),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(result)
+
+    quo = result.row(config="status_quo")
+    narrowest = result.row(config="narrow-1")
+    widest = result.row(config="narrow-7")
+    oracle = result.row(config="oracle")
+    # A handful of fields captures the benefit...
+    assert narrowest["buffering_ratio"] < 0.2 * quo["buffering_ratio"]
+    assert narrowest["te_switches"] <= 3 < quo["te_switches"]
+    # ...and widening adds essentially nothing.
+    assert widest["buffering_ratio"] <= narrowest["buffering_ratio"] * 1.5
+    # The narrow interface sits at (or here, within noise of) the oracle.
+    assert narrowest["engagement"] >= oracle["engagement"] - 0.05

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Figure 4 live: a cellular ISP guessing web QoE vs. just being told.
+
+Simulates browsing sessions over radio links with hidden Markov state,
+then fits the ISP's inference model (network-level features -> PLT) and
+compares its accuracy against the direct EONA-A2I export.
+
+Run:  python examples/cellular_web_inference.py
+"""
+
+from repro.experiments.exp_e3_inference import (
+    evaluate_inference,
+    generate_pageloads,
+)
+from repro.telemetry.inference import PAGELOAD_FEATURE_NAMES
+from repro.web.qoe import satisfaction_from_plt
+
+
+def main() -> None:
+    print("simulating cellular browsing sessions...")
+    records = generate_pageloads(seed=5, n_clients=12, n_pages_per_client=25)
+    print(f"  {len(records)} page loads collected\n")
+
+    plts = sorted(record.plt_s for record in records)
+    median = plts[len(plts) // 2]
+    p95 = plts[int(len(plts) * 0.95)]
+    print(f"ground truth (AppP-visible): median PLT {median:.2f}s, p95 {p95:.2f}s")
+    satisfied = sum(
+        1 for record in records if satisfaction_from_plt(record.plt_s) >= 0.5
+    )
+    print(f"  {satisfied}/{len(records)} sessions satisfied (PLT-based)\n")
+
+    print("the InfP's passive features:", ", ".join(PAGELOAD_FEATURE_NAMES))
+    report = evaluate_inference(records, seed=5)
+    print("\ninference (status quo, Figure 4) vs. direct A2I export:")
+    print(f"  {'':24}  inference   direct A2I")
+    print(f"  {'MAE (seconds)':24}  {report['mae_s']:9.3f}   {0.0:9.3f}")
+    print(f"  {'rank correlation':24}  {report['spearman']:9.3f}   {1.0:9.3f}")
+    print(
+        f"  {'bad-session detection':24}  "
+        f"{report['bad_session_detection_acc']:9.1%}   {1.0:9.1%}"
+    )
+    print(
+        f"\nthe model explains rank order well but carries "
+        f"{report['relative_mae']:.0%} of the PLT spread as irreducible\n"
+        "error -- the gap EONA-A2I closes by exporting the measurement itself."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""The energy-saving scenario: shutting servers down without hurting QoE.
+
+Runs one compressed "day" of diurnal demand under the three shutdown
+policies (never / blind forecast / EONA closed-loop) and prints the
+energy-vs-QoE frontier plus the EONA manager's power-action log.
+
+Run:  python examples/energy_saving.py
+"""
+
+from repro.experiments.exp_e5_energy import run_policy
+
+
+def main() -> None:
+    rows = []
+    logs = {}
+    for policy in ("conservative", "schedule", "eona"):
+        row = run_policy(policy, seed=2, day_s=1800.0)
+        rows.append(row)
+
+    print(f"{'policy':14} {'energy saved':>12} {'buffering':>10} "
+          f"{'abandoned':>10} {'engagement':>11}")
+    for row in rows:
+        print(
+            f"{row['policy']:14} {row['energy_saved_pct']:>11.1f}% "
+            f"{row['buffering_ratio']:>10.4f} {row['abandoned']:>10} "
+            f"{row['engagement']:>11.3f}"
+        )
+
+    print(
+        "\nconservative wastes the off-peak; the blind schedule saves more\n"
+        "but pays in stalls and abandons; the EONA loop -- sized by the A2I\n"
+        "demand estimate, guarded by the A2I QoE feed -- saves energy at\n"
+        "effectively unchanged experience. That is the paper's point about\n"
+        "configuration changes: without application feedback, operators are\n"
+        '"often too conservative or too aggressive."'
+    )
+
+
+if __name__ == "__main__":
+    main()

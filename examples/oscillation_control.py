@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Figure 5 live: watching the CDN/peering oscillator, then fixing it.
+
+Runs the paper's oscillation world under the status quo (greedy ISP TE
++ blackbox AppP) and prints the ISP's egress decision log -- the
+B -> C -> B -> ... ping-pong -- then runs the same world under EONA and
+shows the single decisive move to the green path (CDN X via peering C).
+
+Run:  python examples/oscillation_control.py
+"""
+
+from repro.core import EonaAppP, EonaInfP, StatusQuoAppP, StatusQuoInfP
+from repro.experiments.common import launch_video_sessions, qoe_of
+from repro.video.qoe import summarize
+from repro.workloads import build_oscillation_scenario
+
+
+def run_world(use_eona: bool):
+    scenario = build_oscillation_scenario(seed=1, n_clients=24)
+    sim = scenario.sim
+
+    if use_eona:
+        policy = EonaAppP(sim, scenario.cdns, name="appp")
+        a2i = policy.make_a2i(scenario.registry, refresh_period_s=10.0)
+        scenario.registry.grant("appp", "isp")
+        infp = EonaInfP(
+            sim,
+            scenario.network,
+            scenario.groups,
+            registry=scenario.registry,
+            appp_a2i=a2i,
+            te_period_s=60.0,
+            stats_period_s=5.0,
+        )
+        scenario.registry.grant("isp", "appp")
+        policy.isp_i2a = infp.i2a
+    else:
+        infp = StatusQuoInfP(
+            sim, scenario.network, scenario.groups, te_period_s=60.0,
+            stats_period_s=5.0,
+        )
+        policy = StatusQuoAppP(sim, scenario.cdns, name="appp")
+
+    players = launch_video_sessions(
+        sim,
+        scenario.network,
+        scenario.catalog,
+        policy,
+        scenario.client_nodes,
+        rng=sim.rng.get("arrivals"),
+        rate_per_s=24 / 180.0,
+        until=900.0,
+    )
+    sim.run(until=1100.0)
+    infp.stop()
+    return infp, summarize(qoe_of(players))
+
+
+def main() -> None:
+    for use_eona in (False, True):
+        label = "EONA" if use_eona else "status quo"
+        infp, summary = run_world(use_eona)
+        print(f"\n--- {label} ---")
+        print("  ISP egress decision log for CDN X:")
+        decisions = [d for d in infp.te.decisions if d.group == "cdnX"]
+        for decision in decisions[:12]:
+            print(
+                f"    t={decision.time:7.1f}s  {decision.old} -> {decision.new}"
+            )
+        if len(decisions) > 12:
+            print(f"    ... and {len(decisions) - 12} more re-selections")
+        print(f"  total TE switches : {infp.te.switch_count('cdnX')}")
+        print(f"  buffering ratio   : {summary['mean_buffering_ratio']:.5f}")
+        print(f"  CDN switches/sess : {summary['cdn_switches_per_session']:.2f}")
+        print(f"  engagement        : {summary['mean_engagement']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Baselines EONA is compared against.
+
+* **status quo** -- no information sharing; the blackbox AppP and the
+  network-metrics-only InfP (implemented in :mod:`repro.core.appp` /
+  :mod:`repro.core.infp` and selected here by mode).
+* **one-way sharing** -- the prior-work designs the paper contrasts
+  itself with: I2A-only (P4P/ALTO-style, infrastructure hints flow to
+  applications) and A2I-only (the application shares measurements but
+  gets nothing back).
+* **oracle** -- the hypothetical global controller of §4's recipe,
+  which reads every provider's ground truth directly and tunes every
+  knob; the upper bound the narrowed interface is measured against.
+"""
+
+from repro.baselines.modes import Mode
+from repro.baselines.oracle import OracleAppP, oracle_te_policy
+
+__all__ = ["Mode", "OracleAppP", "oracle_te_policy"]

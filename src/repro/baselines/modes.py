@@ -1,0 +1,34 @@
+"""Deployment modes: which interfaces exist in a given world."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Mode(enum.Enum):
+    """Information-sharing configuration of a scenario run.
+
+    Attributes:
+        STATUS_QUO: No EONA interfaces at all (today's world).
+        I2A_ONLY: Infrastructure exports hints to applications, nothing
+            flows back (P4P / ALTO lineage).
+        A2I_ONLY: Applications export measurements to infrastructure,
+            nothing flows back.
+        EONA: Both interfaces active (the paper's proposal).
+        ORACLE: A single global controller with every provider's ground
+            truth (recipe step 2's hypothetical).
+    """
+
+    STATUS_QUO = "status_quo"
+    I2A_ONLY = "i2a_only"
+    A2I_ONLY = "a2i_only"
+    EONA = "eona"
+    ORACLE = "oracle"
+
+    @property
+    def has_i2a(self) -> bool:
+        return self in (Mode.I2A_ONLY, Mode.EONA)
+
+    @property
+    def has_a2i(self) -> bool:
+        return self in (Mode.A2I_ONLY, Mode.EONA)

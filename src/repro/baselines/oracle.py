@@ -1,0 +1,169 @@
+"""The hypothetical global controller (recipe step 2).
+
+The oracle cheats by construction: it reads every provider's internal
+state directly -- true link loads, true server health, true demands --
+and tunes every knob (CDN, server, bitrate, peering).  It exists to
+upper-bound what any interface can achieve; E9 measures how close the
+narrowed EONA interface gets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.cdn.provider import Cdn
+from repro.core.appp import AppPController, _SessionState
+from repro.network.fluidsim import FluidNetwork
+from repro.sdn.te import EgressGroup, TrafficEngineeringApp
+from repro.video.player import AdaptivePlayer, ChunkRecord, SessionAssignment
+
+
+class OracleAppP(AppPController):
+    """Global-knowledge session control.
+
+    * Assignment: the least-loaded *healthy* server across every CDN.
+    * Reaction: reads the true access-link utilization; if the access
+      network is the bottleneck it caps the session at its fair share
+      of the access link; if the server is truly degraded it jumps to
+      the globally best healthy server.
+    """
+
+    def __init__(
+        self,
+        sim,
+        cdns: List[Cdn],
+        network: FluidNetwork,
+        access_links: Optional[List[str]] = None,
+        **kwargs,
+    ):
+        super().__init__(sim, cdns, **kwargs)
+        self.network = network
+        self.access_links = access_links or []
+
+    def assign(self, player: AdaptivePlayer) -> SessionAssignment:
+        self._sessions[player.session_id] = _SessionState()
+        self._active_players[player.session_id] = player
+        cdn, server_id = self._best_server_globally()
+        return SessionAssignment(cdn=cdn, server_id=server_id)
+
+    def _best_server_globally(self) -> Tuple[Cdn, Optional[str]]:
+        best: Tuple[float, Cdn, Optional[str]] = (math.inf, self.cdns[0], None)
+        for cdn in self.cdns:
+            for server in cdn.servers.values():
+                if not server.available or server.degraded:
+                    continue
+                if server.load < best[0]:
+                    best = (server.load, cdn, server.server_id)
+        return best[1], best[2]
+
+    def _access_truly_congested(self) -> Optional[str]:
+        for link_id in self.access_links:
+            if self.network.link_utilization(link_id) >= 0.95:
+                return link_id
+        return None
+
+    def rate_cap_mbps(self, player: AdaptivePlayer) -> float:
+        """Plan, don't react: cap every session at the highest ladder
+        rung the access capacity can sustain for the current population.
+
+        This is what a true global controller computes -- it needs the
+        exact capacity and the exact session count, neither of which any
+        single real provider has.
+        """
+        base = super().rate_cap_mbps(player)
+        if not self.access_links:
+            return base
+        capacity = min(
+            self.network.topology.link(link_id).capacity_mbps
+            for link_id in self.access_links
+        )
+        population = max(1, len(self._active_players))
+        sustainable = player.ladder.highest_at_most(0.95 * capacity / population)
+        return min(base, max(player.ladder.lowest, sustainable))
+
+    def _react(
+        self,
+        player: AdaptivePlayer,
+        record: ChunkRecord,
+        state: _SessionState,
+    ) -> bool:
+        congested_link = self._access_truly_congested()
+        if congested_link is not None:
+            # Cap at the session's fair share of the true capacity.
+            capacity = self.network.topology.link(congested_link).capacity_mbps
+            competitors = max(1, len(self._active_players))
+            fair_share = capacity / competitors
+            state.rate_cap_mbps = max(player.ladder.lowest, fair_share)
+            return True
+        server = player.cdn.server_of(player.session_id) if player.cdn else None
+        if server is not None and server.degraded:
+            cdn, server_id = self._best_server_globally()
+            if server_id is not None:
+                if cdn is player.cdn:
+                    return player.switch_server(server_id)
+                return player.switch_cdn(cdn, server_id=server_id)
+        return False
+
+    def on_chunk(self, player: AdaptivePlayer, record: ChunkRecord) -> None:
+        super().on_chunk(player, record)
+        state = self._sessions.get(player.session_id)
+        if (
+            state is not None
+            and math.isfinite(state.rate_cap_mbps)
+            and self._access_truly_congested() is None
+        ):
+            state.rate_cap_mbps = math.inf
+
+
+def oracle_te_policy(network: FluidNetwork, appp: Optional[AppPController] = None):
+    """Build a TE policy that places groups using *true* current demands.
+
+    With an ``appp`` reference the demand is read straight out of the
+    application's session state (ground truth no real ISP has); without
+    one it falls back to summing active flow rates.  Placement is the
+    same largest-first best-fit used by the EONA InfP, so E9 isolates
+    the value of the *information*, not the algorithm.
+    """
+
+    def policy(app: TrafficEngineeringApp, group: EgressGroup) -> str:
+        demands: Dict[str, float] = {}
+        if appp is not None:
+            demands = dict(appp.demand_estimate().demand_mbps)
+        for other in app.groups.values():
+            if other.name in demands:
+                continue
+            demands[other.name] = sum(
+                flow.demand_mbps if math.isfinite(flow.demand_mbps) else flow.rate_mbps
+                for flow in network.active_flows()
+                if flow.owner == other.name
+            )
+        remaining: Dict[str, float] = {}
+        for other in app.groups.values():
+            for candidate in other.candidates:
+                link_id = other.egress_links[candidate]
+                remaining.setdefault(
+                    link_id, network.topology.link(link_id).capacity_mbps
+                )
+        plan: Dict[str, str] = {}
+        ordered = sorted(
+            app.groups.values(), key=lambda g: demands.get(g.name, 0.0), reverse=True
+        )
+        for other in ordered:
+            demand = demands.get(other.name, 0.0)
+            current = other.selection
+            if (
+                current in other.candidates
+                and remaining[other.egress_links[current]] >= demand * 1.1
+            ):
+                choice = current
+            else:
+                choice = max(
+                    other.candidates,
+                    key=lambda candidate: remaining[other.egress_links[candidate]],
+                )
+            plan[other.name] = choice
+            remaining[other.egress_links[choice]] -= demand
+        return plan[group.name]
+
+    return policy

@@ -1,0 +1,31 @@
+"""CDN substrate: content, caches, servers, and request routing.
+
+CDNs sit "in the middle of the delivery infrastructure" (paper, §1);
+this package models them at the granularity EONA's scenarios need:
+server clusters with load and power state, per-server caches whose
+hit/miss behaviour determines whether a chunk is served edge-local or
+pulled through the origin, and a request-routing front end.  The
+information a CDN can export over EONA-I2A -- alternative server hints
+and server load -- comes straight from these objects.
+"""
+
+from repro.cdn.content import ContentCatalog, ContentItem
+from repro.cdn.cache import CacheStats, LfuCache, LruCache
+from repro.cdn.server import CdnServer
+from repro.cdn.provider import Cdn, ServedRequest
+from repro.cdn.origin import Origin
+from repro.cdn.transcoder import TranscodeJob, Transcoder
+
+__all__ = [
+    "CacheStats",
+    "Cdn",
+    "CdnServer",
+    "ContentCatalog",
+    "ContentItem",
+    "LfuCache",
+    "LruCache",
+    "Origin",
+    "ServedRequest",
+    "TranscodeJob",
+    "Transcoder",
+]

@@ -1,0 +1,155 @@
+"""Edge caches: LRU and LFU with byte-capacity accounting.
+
+Cache locality is why the paper's "coarse control" scenario hurts:
+switching a session to a different CDN lands it on cold caches.  The
+cache model tracks hit/miss counts and evicts by recency (LRU) or
+frequency (LFU); admission is on-miss (pull-through).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+
+class LruCache:
+    """Least-recently-used cache keyed by content id.
+
+    Args:
+        capacity_mbit: Total storage; items larger than this are never
+            admitted (served pull-through every time).
+    """
+
+    def __init__(self, capacity_mbit: float):
+        if capacity_mbit < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity_mbit!r}")
+        self.capacity_mbit = capacity_mbit
+        self.used_mbit = 0.0
+        self._items: "OrderedDict[str, float]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __contains__(self, content_id: str) -> bool:
+        return content_id in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def lookup(self, content_id: str) -> bool:
+        """Record a request; returns True on hit (and refreshes recency)."""
+        if content_id in self._items:
+            self._items.move_to_end(content_id)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def insert(self, content_id: str, size_mbit: float) -> bool:
+        """Admit an item after a miss; returns False if it cannot fit."""
+        if content_id in self._items:
+            self._items.move_to_end(content_id)
+            return True
+        if size_mbit > self.capacity_mbit:
+            return False
+        while self.used_mbit + size_mbit > self.capacity_mbit and self._items:
+            _, evicted_size = self._items.popitem(last=False)
+            self.used_mbit -= evicted_size
+            self.stats.evictions += 1
+        self._items[content_id] = size_mbit
+        self.used_mbit += size_mbit
+        self.stats.insertions += 1
+        return True
+
+    def warm(self, items: Dict[str, float]) -> None:
+        """Pre-populate (e.g. a CDN that already serves the catalog)."""
+        for content_id, size_mbit in items.items():
+            self.insert(content_id, size_mbit)
+
+    def clear(self) -> None:
+        self._items.clear()
+        self.used_mbit = 0.0
+
+
+class LfuCache:
+    """Least-frequently-used cache (ties broken by insertion order).
+
+    Uses a lazy-deletion heap of (frequency, seq, content_id); stale
+    heap entries are skipped at eviction time.
+    """
+
+    def __init__(self, capacity_mbit: float):
+        if capacity_mbit < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity_mbit!r}")
+        self.capacity_mbit = capacity_mbit
+        self.used_mbit = 0.0
+        self._sizes: Dict[str, float] = {}
+        self._freq: Dict[str, int] = {}
+        self._heap: list = []
+        self._counter = itertools.count()
+        self.stats = CacheStats()
+
+    def __contains__(self, content_id: str) -> bool:
+        return content_id in self._sizes
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def lookup(self, content_id: str) -> bool:
+        if content_id in self._sizes:
+            self._freq[content_id] += 1
+            heapq.heappush(
+                self._heap, (self._freq[content_id], next(self._counter), content_id)
+            )
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def insert(self, content_id: str, size_mbit: float) -> bool:
+        if content_id in self._sizes:
+            return True
+        if size_mbit > self.capacity_mbit:
+            return False
+        while self.used_mbit + size_mbit > self.capacity_mbit and self._sizes:
+            self._evict_one()
+        self._sizes[content_id] = size_mbit
+        self._freq[content_id] = 1
+        heapq.heappush(self._heap, (1, next(self._counter), content_id))
+        self.used_mbit += size_mbit
+        self.stats.insertions += 1
+        return True
+
+    def warm(self, items: Dict[str, float]) -> None:
+        for content_id, size_mbit in items.items():
+            self.insert(content_id, size_mbit)
+
+    def _evict_one(self) -> None:
+        while self._heap:
+            freq, _, content_id = heapq.heappop(self._heap)
+            current = self._freq.get(content_id)
+            if current is None or current != freq:
+                continue  # stale entry
+            self.used_mbit -= self._sizes.pop(content_id)
+            del self._freq[content_id]
+            self.stats.evictions += 1
+            return

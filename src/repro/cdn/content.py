@@ -1,0 +1,105 @@
+"""Content catalog with Zipf-distributed popularity.
+
+Video catalogs are heavily skewed: a small head of titles receives most
+requests (the flash-crowd scenario is the extreme case -- one title
+receives nearly all of them).  The catalog owns the popularity
+distribution so that workload generators and caches agree on item
+identities and sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class ContentItem:
+    """One piece of content.
+
+    Attributes:
+        content_id: Stable identifier, e.g. ``"video-0042"``.
+        size_mbit: Full size at the reference bitrate (cache accounting).
+        duration_s: Playback duration for video items; 0 for web objects.
+    """
+
+    content_id: str
+    size_mbit: float
+    duration_s: float = 0.0
+
+
+class ContentCatalog:
+    """A fixed set of items with Zipf(α) request popularity.
+
+    Args:
+        n_items: Catalog size.
+        zipf_alpha: Skew parameter; 0 = uniform, ~0.8-1.2 is typical for
+            VoD catalogs.
+        item_size_mbit: Size of each item (uniform for simplicity; the
+            cache experiments vary hit behaviour through skew, not size).
+        duration_s: Playback duration attached to every item.
+        prefix: Content id prefix.
+    """
+
+    def __init__(
+        self,
+        n_items: int,
+        zipf_alpha: float = 1.0,
+        item_size_mbit: float = 100.0,
+        duration_s: float = 120.0,
+        prefix: str = "video",
+    ):
+        if n_items <= 0:
+            raise ValueError(f"n_items must be positive, got {n_items!r}")
+        if zipf_alpha < 0:
+            raise ValueError(f"zipf_alpha must be >= 0, got {zipf_alpha!r}")
+        self.zipf_alpha = zipf_alpha
+        self._items: List[ContentItem] = [
+            ContentItem(
+                content_id=f"{prefix}-{index:05d}",
+                size_mbit=item_size_mbit,
+                duration_s=duration_s,
+            )
+            for index in range(n_items)
+        ]
+        weights = [1.0 / (rank + 1) ** zipf_alpha for rank in range(n_items)]
+        total = sum(weights)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cumulative.append(acc)
+        self._cumulative[-1] = 1.0  # guard against float drift
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def item(self, content_id: str) -> ContentItem:
+        index = int(content_id.rsplit("-", 1)[1])
+        return self._items[index]
+
+    def by_rank(self, rank: int) -> ContentItem:
+        """The ``rank``-th most popular item (0 = most popular)."""
+        return self._items[rank]
+
+    def sample(self, rng: random.Random) -> ContentItem:
+        """Draw one item according to the Zipf popularity."""
+        u = rng.random()
+        lo, hi = 0, len(self._cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._items[lo]
+
+    def popularity(self, rank: int) -> float:
+        """Request probability of the item at ``rank``."""
+        if rank == 0:
+            return self._cumulative[0]
+        return self._cumulative[rank] - self._cumulative[rank - 1]

@@ -1,0 +1,31 @@
+"""The content provider's origin: the authoritative copy of the catalog.
+
+On an edge-cache miss, content is pulled through the origin, so the
+delivered flow traverses origin → edge → client and pays the (longer,
+possibly narrower) origin path.  That extra cost is what makes the
+"coarse control" scenario's cold-CDN switch expensive.
+"""
+
+from __future__ import annotations
+
+
+class Origin:
+    """Origin server attached to a topology node.
+
+    Attributes:
+        node_id: Topology node holding the origin.
+        fetches: Count of pull-through fetches (cache misses served).
+        mbit_served: Volume pulled from the origin.
+    """
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+        self.fetches = 0
+        self.mbit_served = 0.0
+
+    def record_fetch(self, size_mbit: float) -> None:
+        self.fetches += 1
+        self.mbit_served += size_mbit
+
+    def __repr__(self) -> str:
+        return f"Origin({self.node_id}, fetches={self.fetches})"

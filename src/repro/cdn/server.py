@@ -1,0 +1,101 @@
+"""A CDN edge server (cluster) with capacity, load, and power state.
+
+Server load and health are the quantities a CDN can export over
+EONA-I2A ("hints on alternative servers", "server load information"),
+and the power state is the knob in the energy-saving scenario: the InfP
+turns clusters off during off-peak hours and needs A2I feedback to know
+whether it went too far.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.cdn.cache import LruCache
+
+
+class ServerOverloadedError(Exception):
+    """Raised when a session is assigned to a server beyond capacity."""
+
+
+class CdnServer:
+    """One edge cluster attached to a topology node.
+
+    Args:
+        server_id: Unique name, e.g. ``"cdnX.edge1"``.
+        node_id: Topology node the cluster is attached to.
+        capacity_sessions: Maximum concurrent sessions served.
+        cache_mbit: Edge cache size.
+        degraded_rate_mbps: When set, per-session throughput from this
+            server is capped at this rate -- the paper's "issue with a
+            particular server within a CDN" in the coarse-control
+            scenario.
+    """
+
+    def __init__(
+        self,
+        server_id: str,
+        node_id: str,
+        capacity_sessions: int,
+        cache_mbit: float = 10_000.0,
+        degraded_rate_mbps: Optional[float] = None,
+    ):
+        if capacity_sessions <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_sessions!r}")
+        self.server_id = server_id
+        self.node_id = node_id
+        self.capacity_sessions = capacity_sessions
+        self.cache = LruCache(cache_mbit)
+        self.degraded_rate_mbps = degraded_rate_mbps
+        self.powered_on = True
+        self._sessions: Set[str] = set()
+        self.total_assigned = 0
+        self.rejected = 0
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def load(self) -> float:
+        """Fractional load in [0, 1]."""
+        return len(self._sessions) / self.capacity_sessions
+
+    @property
+    def available(self) -> bool:
+        return self.powered_on and len(self._sessions) < self.capacity_sessions
+
+    @property
+    def degraded(self) -> bool:
+        return self.degraded_rate_mbps is not None
+
+    def assign(self, session_id: str) -> None:
+        """Attach a session; raises if the server cannot take it."""
+        if not self.powered_on:
+            self.rejected += 1
+            raise ServerOverloadedError(f"{self.server_id} is powered off")
+        if len(self._sessions) >= self.capacity_sessions:
+            self.rejected += 1
+            raise ServerOverloadedError(f"{self.server_id} is at capacity")
+        self._sessions.add(session_id)
+        self.total_assigned += 1
+
+    def release(self, session_id: str) -> None:
+        """Detach a session.  Idempotent."""
+        self._sessions.discard(session_id)
+
+    def power_off(self) -> Set[str]:
+        """Turn the cluster off; returns sessions that must be re-homed."""
+        self.powered_on = False
+        displaced, self._sessions = self._sessions, set()
+        return displaced
+
+    def power_on(self) -> None:
+        self.powered_on = True
+
+    def __repr__(self) -> str:
+        state = "on" if self.powered_on else "off"
+        return (
+            f"CdnServer({self.server_id}@{self.node_id}, "
+            f"{self.active_sessions}/{self.capacity_sessions}, {state})"
+        )

@@ -1,0 +1,84 @@
+"""Edge transcoders (Figure 1(b) of the paper).
+
+The video delivery chain the paper draws includes transcoders between
+the origin and the CDN.  Modelled here as an edge-side capability: when
+a chunk is requested at a rung the cache does not hold, but a *higher*
+rung of the same chunk is cached, the edge can derive the lower rung
+locally -- paying bounded compute latency and a job slot -- instead of
+pulling through the origin.  This keeps traffic on the edge exactly the
+way the coarse-control scenario wants, at a compute cost the operator
+can size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class TranscodeStats:
+    jobs_started: int = 0
+    jobs_rejected: int = 0
+    seconds_of_media: float = 0.0
+
+
+class Transcoder:
+    """A fixed pool of transcode slots at one edge site.
+
+    Args:
+        node_id: Topology node the transcoder sits at.
+        slots: Concurrent jobs supported.
+        speed: Realtime multiple -- transcoding `d` seconds of media
+            takes ``d / speed`` seconds of wall clock.
+
+    Slot accounting is coarse (a job occupies a slot for its full
+    latency); callers release slots via the handle returned by
+    :meth:`try_start`.
+    """
+
+    def __init__(self, node_id: str, slots: int = 4, speed: float = 8.0):
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots!r}")
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed!r}")
+        self.node_id = node_id
+        self.slots = slots
+        self.speed = speed
+        self.active_jobs = 0
+        self.stats = TranscodeStats()
+
+    @property
+    def available(self) -> bool:
+        return self.active_jobs < self.slots
+
+    def latency_s(self, media_duration_s: float) -> float:
+        """Wall-clock time to derive one chunk of this duration."""
+        return media_duration_s / self.speed
+
+    def try_start(self, media_duration_s: float) -> Optional["TranscodeJob"]:
+        """Claim a slot; returns a job handle or ``None`` if saturated."""
+        if not self.available:
+            self.stats.jobs_rejected += 1
+            return None
+        self.active_jobs += 1
+        self.stats.jobs_started += 1
+        self.stats.seconds_of_media += media_duration_s
+        return TranscodeJob(self, self.latency_s(media_duration_s))
+
+
+class TranscodeJob:
+    """One in-flight transcode; release the slot when done."""
+
+    __slots__ = ("transcoder", "latency_s", "_released")
+
+    def __init__(self, transcoder: Transcoder, latency_s: float):
+        self.transcoder = transcoder
+        self.latency_s = latency_s
+        self._released = False
+
+    def release(self) -> None:
+        """Free the slot.  Idempotent."""
+        if not self._released:
+            self._released = True
+            self.transcoder.active_jobs -= 1

@@ -1,0 +1,177 @@
+"""Command-line entry point: run any experiment and print its table.
+
+Examples::
+
+    eona list
+    eona run e4
+    eona run e2 --seed 3
+    eona run all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    exp_e1_coarse_control,
+    exp_e2_flash_crowd,
+    exp_e3_inference,
+    exp_e4_oscillation,
+    exp_e5_energy,
+    exp_e6_staleness,
+    exp_e7_scalability,
+    exp_e8_fairness,
+    exp_e9_recipe,
+    exp_e10_timescales,
+    exp_e11_privacy,
+    exp_e12_attributes,
+    exp_e13_controlplane,
+    exp_e14_splits,
+)
+from repro.experiments.common import ExperimentResult
+
+#: Experiment id -> (description, runner).  Runners take only ``seed``.
+EXPERIMENTS: Dict[str, tuple] = {
+    "e1": (
+        "coarse control: bad server, intra-CDN switch vs CDN switch (§2)",
+        lambda seed: [exp_e1_coarse_control.run(seed=seed)],
+    ),
+    "e2": (
+        "flash crowd behind congested access ISP (Figure 3)",
+        lambda seed: [
+            exp_e2_flash_crowd.run(seed=seed),
+            exp_e2_flash_crowd.run_abr_ablation(seed=seed),
+        ],
+    ),
+    "e3": (
+        "inferring web QoE from network features vs direct A2I (Figure 4)",
+        lambda seed: [
+            exp_e3_inference.run(seed=seed),
+            exp_e3_inference.run_volatility_sweep(seed=seed),
+        ],
+    ),
+    "e4": (
+        "CDN/peering control-loop oscillation (Figure 5)",
+        lambda seed: [
+            exp_e4_oscillation.run(seed=seed),
+            exp_e4_oscillation.run_switch_growth(seed=seed),
+        ],
+    ),
+    "e5": (
+        "server energy saving with/without A2I feedback (§2, §5)",
+        lambda seed: [exp_e5_energy.run(seed=seed)],
+    ),
+    "e6": (
+        "EONA benefit vs interface staleness (§5)",
+        lambda seed: [
+            exp_e6_staleness.run(seed=seed),
+            exp_e6_staleness.run_te_staleness(seed=seed),
+        ],
+    ),
+    "e7": (
+        "A2I analytics and allocator scalability (§5)",
+        lambda seed: [exp_e7_scalability.run()],
+    ),
+    "e8": (
+        "fairness across multiple AppPs (§5)",
+        lambda seed: [exp_e8_fairness.run(seed=seed)],
+    ),
+    "e9": (
+        "interface narrowing recipe vs the oracle (§4)",
+        lambda seed: [exp_e9_recipe.run(seed=seed)],
+    ),
+    "e10": (
+        "timescale coupling and damping ablation (§5)",
+        lambda seed: [
+            exp_e10_timescales.run_partial(seed=seed),
+            exp_e10_timescales.run_full(seed=seed),
+            exp_e10_timescales.run_te_damping(seed=seed),
+        ],
+    ),
+    "e11": (
+        "privacy blinding (Laplace noise on A2I demand) vs effectiveness (§4)",
+        lambda seed: [exp_e11_privacy.run(seed=seed)],
+    ),
+    "e12": (
+        "why A2I carries the client-ISP attribute: scoped congestion response (§3)",
+        lambda seed: [exp_e12_attributes.run(seed=seed)],
+    ),
+    "e13": (
+        "coordinated control plane (C3-style) vs per-session reaction (§1 trend 3)",
+        lambda seed: [exp_e13_controlplane.run(seed=seed)],
+    ),
+    "e14": (
+        "traffic splits across peering points when no single egress fits (§4)",
+        lambda seed: [exp_e14_splits.run(seed=seed)],
+    ),
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(key) for key in EXPERIMENTS)
+    for key, (description, _runner) in EXPERIMENTS.items():
+        print(f"  {key.ljust(width)}  {description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    keys: List[str]
+    if args.experiment == "all":
+        keys = list(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        keys = [args.experiment]
+    else:
+        print(f"unknown experiment {args.experiment!r}; try 'eona list'",
+              file=sys.stderr)
+        return 2
+    for key in keys:
+        description, runner = EXPERIMENTS[key]
+        print(f"\n### {key}: {description}")
+        started = time.perf_counter()
+        results: List[ExperimentResult] = runner(args.seed)
+        elapsed = time.perf_counter() - started
+        for result in results:
+            print()
+            print(result.table_str())
+            if args.out:
+                result.save(args.out, fmt=args.format)
+        print(f"\n({key} took {elapsed:.1f}s wall clock)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="eona",
+        description=(
+            "EONA (HotNets 2014) reproduction: run the per-figure "
+            "experiments and print the tables they regenerate."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list experiments")
+    list_parser.set_defaults(fn=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="e1..e10, or 'all'")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--out", help="directory to save tables into")
+    run_parser.add_argument(
+        "--format", choices=("txt", "csv", "json"), default="txt",
+        help="file format for --out (default: txt)",
+    )
+    run_parser.set_defaults(fn=_cmd_run)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

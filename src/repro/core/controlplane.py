@@ -1,0 +1,208 @@
+"""A C3-style coordinated video control plane for the AppP.
+
+The paper's third enabling trend (§1): "many individual subsystems have
+already built or [are] starting to build their own control plane
+platforms", citing the coordinated Internet video control plane (Liu et
+al., SIGCOMM'12).  This module implements that subsystem: instead of
+each player discovering CDN quality alone by trial and error, the AppP
+aggregates every client's chunk telemetry into per-CDN quality scores
+and steers sessions *globally* -- ε-greedy assignment for new sessions,
+plus a periodic re-optimization that drains sessions off an
+underperforming CDN at a bounded rate.
+
+EONA composes with, rather than replaces, this control plane: the
+coordinated AppP is the natural consumer of I2A hints (it already has
+the fleet view), which is how the paper's AppP control logic should be
+read.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cdn.provider import Cdn
+from repro.core.appp import AppPController, _SessionState
+from repro.simkernel.kernel import Simulator
+from repro.simkernel.processes import PeriodicProcess
+from repro.video.player import AdaptivePlayer, ChunkRecord, SessionAssignment
+
+
+@dataclass
+class CdnQuality:
+    """EWMA quality estimate for one CDN, fed by chunk beacons."""
+
+    ewma_throughput_mbps: float = 0.0
+    ewma_stall_rate: float = 0.0  # stall seconds per chunk
+    chunks_observed: int = 0
+    last_update: float = 0.0
+
+    def observe(self, throughput_mbps: float, stall_s: float, alpha: float, now: float) -> None:
+        if self.chunks_observed == 0:
+            self.ewma_throughput_mbps = throughput_mbps
+            self.ewma_stall_rate = stall_s
+        else:
+            self.ewma_throughput_mbps = (
+                alpha * throughput_mbps + (1 - alpha) * self.ewma_throughput_mbps
+            )
+            self.ewma_stall_rate = (
+                alpha * stall_s + (1 - alpha) * self.ewma_stall_rate
+            )
+        self.chunks_observed += 1
+        self.last_update = now
+
+    def score(self, stall_weight: float = 10.0) -> float:
+        """Higher is better: throughput minus a stall penalty."""
+        return self.ewma_throughput_mbps - stall_weight * self.ewma_stall_rate
+
+
+class CoordinatedAppP(AppPController):
+    """Fleet-level CDN selection from aggregated client telemetry.
+
+    Args:
+        sim: Simulator.
+        cdns: Candidate CDNs.
+        control_period_s: Re-optimization period (C3 runs on seconds).
+        exploration: Fraction of new sessions assigned to a random
+            non-best CDN so quality estimates never go stale.
+        move_budget: Max sessions migrated per control round -- the
+            damping that prevents the control plane from thundering.
+        score_margin_mbps: Required score gap before migrating.
+        ewma_alpha: Smoothing factor of the quality estimators.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cdns: List[Cdn],
+        control_period_s: float = 10.0,
+        exploration: float = 0.05,
+        move_budget: int = 4,
+        score_margin_mbps: float = 1.0,
+        ewma_alpha: float = 0.2,
+        **kwargs,
+    ):
+        if not 0 <= exploration < 1:
+            raise ValueError(f"exploration out of range: {exploration!r}")
+        if move_budget < 0:
+            raise ValueError(f"move_budget must be >= 0, got {move_budget!r}")
+        super().__init__(sim, cdns, **kwargs)
+        self.exploration = exploration
+        self.move_budget = move_budget
+        self.score_margin_mbps = score_margin_mbps
+        self.ewma_alpha = ewma_alpha
+        self.quality: Dict[str, CdnQuality] = {
+            cdn.name: CdnQuality() for cdn in cdns
+        }
+        self.migrations = 0
+        self._last_stall: Dict[str, float] = {}
+        self._rng = sim.rng.get(f"controlplane:{self.name}")
+        self._process = PeriodicProcess(
+            sim, control_period_s, self._control_step, name="controlplane"
+        )
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    # ------------------------------------------------------------------
+    # telemetry ingestion
+    # ------------------------------------------------------------------
+    def on_chunk(self, player: AdaptivePlayer, record: ChunkRecord) -> None:
+        previous_stall = self._last_stall.get(player.session_id, 0.0)
+        stall_delta = max(0.0, record.rebuffer_time_s - previous_stall)
+        self._last_stall[player.session_id] = record.rebuffer_time_s
+        quality = self.quality.get(record.cdn_name)
+        if quality is not None:
+            quality.observe(
+                record.throughput_mbps, stall_delta, self.ewma_alpha, self.sim.now
+            )
+        super().on_chunk(player, record)
+
+    def on_session_end(self, player: AdaptivePlayer) -> None:
+        self._last_stall.pop(player.session_id, None)
+        super().on_session_end(player)
+
+    # ------------------------------------------------------------------
+    # assignment & reaction
+    # ------------------------------------------------------------------
+    def best_cdn(self) -> Cdn:
+        """The highest-scoring CDN with capacity (first CDN on a tie)."""
+        candidates = [cdn for cdn in self.cdns if cdn.has_capacity()]
+        if not candidates:
+            return self.cdns[0]
+        return max(candidates, key=lambda cdn: self.quality[cdn.name].score())
+
+    def assign(self, player: AdaptivePlayer) -> SessionAssignment:
+        self._sessions[player.session_id] = _SessionState()
+        self._active_players[player.session_id] = player
+        others = [cdn for cdn in self.cdns if cdn.has_capacity()]
+        if (
+            len(others) > 1
+            and self._rng.random() < self.exploration
+        ):
+            choice = self._rng.choice(others)
+        else:
+            choice = self.best_cdn()
+        return SessionAssignment(cdn=choice)
+
+    def _react(
+        self,
+        player: AdaptivePlayer,
+        record: ChunkRecord,
+        state: _SessionState,
+    ) -> bool:
+        """Per-session fallback between control rounds: move a suffering
+        session to the fleet's best CDN if it is measurably better."""
+        assert player.cdn is not None
+        best = self.best_cdn()
+        if best.name == player.cdn.name:
+            return False
+        gap = (
+            self.quality[best.name].score()
+            - self.quality[player.cdn.name].score()
+        )
+        if gap < self.score_margin_mbps:
+            return False
+        return player.switch_cdn(best)
+
+    # ------------------------------------------------------------------
+    # the periodic global step
+    # ------------------------------------------------------------------
+    def _control_step(self) -> None:
+        """Migrate up to ``move_budget`` sessions off the worst CDN."""
+        if len(self.cdns) < 2:
+            return
+        best = self.best_cdn()
+        scored = sorted(
+            self.cdns, key=lambda cdn: self.quality[cdn.name].score()
+        )
+        worst = scored[0]
+        if worst.name == best.name:
+            return
+        gap = self.quality[best.name].score() - self.quality[worst.name].score()
+        if gap < self.score_margin_mbps:
+            return
+        moved = 0
+        for player in list(self._active_players.values()):
+            if moved >= self.move_budget:
+                break
+            if player.cdn is None or player.cdn.name != worst.name:
+                continue
+            if not best.has_capacity():
+                break
+            if player.switch_cdn(best):
+                moved += 1
+                self.migrations += 1
+
+    def quality_report(self) -> Dict[str, Dict[str, float]]:
+        """Fleet view for dashboards/tests: per-CDN quality estimates."""
+        return {
+            name: {
+                "throughput_mbps": quality.ewma_throughput_mbps,
+                "stall_rate": quality.ewma_stall_rate,
+                "score": quality.score(),
+                "chunks": float(quality.chunks_observed),
+            }
+            for name, quality in self.quality.items()
+        }

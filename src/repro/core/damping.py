@@ -1,0 +1,142 @@
+"""Damping and backoff for coupled control loops (§5 "Oscillations").
+
+The paper speculates "some sort of dampening or backoff algorithms can
+help" with the new oscillation risks EONA's tighter coupling creates.
+Two standard mechanisms are implemented and ablated in E4/E10:
+
+* :class:`HysteresisGate` -- a knob change is allowed only if (a) the
+  candidate is better by a margin and (b) a minimum dwell time has
+  passed since the last change of that knob;
+* :class:`ExponentialBackoff` -- each successive change of the same
+  knob within a window doubles the required wait before the next one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.simkernel.kernel import Simulator
+
+
+class HysteresisGate:
+    """Dwell-time + improvement-margin gate on knob changes.
+
+    Args:
+        sim: Simulator providing the clock.
+        min_dwell_s: Minimum time between changes of one knob.
+        improvement_margin: Required relative improvement of the
+            candidate's score over the current one (scores are
+            "higher is better").
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        min_dwell_s: float = 30.0,
+        improvement_margin: float = 0.1,
+    ):
+        if min_dwell_s < 0 or improvement_margin < 0:
+            raise ValueError("dwell and margin must be non-negative")
+        self.sim = sim
+        self.min_dwell_s = min_dwell_s
+        self.improvement_margin = improvement_margin
+        self._last_change: Dict[str, float] = {}
+
+    def allow(
+        self,
+        knob: str,
+        current_score: float,
+        candidate_score: float,
+    ) -> bool:
+        """Whether changing ``knob`` is permitted now.
+
+        Callers must pair every permitted change with
+        :meth:`record_change`.
+        """
+        last = self._last_change.get(knob)
+        if last is not None and self.sim.now - last < self.min_dwell_s:
+            return False
+        required = current_score * (1.0 + self.improvement_margin)
+        if current_score < 0:
+            required = current_score * (1.0 - self.improvement_margin)
+        return candidate_score > required
+
+    def record_change(self, knob: str) -> None:
+        self._last_change[knob] = self.sim.now
+
+    def dwell_remaining(self, knob: str) -> float:
+        last = self._last_change.get(knob)
+        if last is None:
+            return 0.0
+        return max(0.0, self.min_dwell_s - (self.sim.now - last))
+
+
+class ExponentialBackoff:
+    """Per-knob exponential backoff on repeated changes.
+
+    Args:
+        sim: Simulator.
+        base_s: Wait required after the first change.
+        factor: Multiplier per successive change.
+        max_s: Backoff ceiling.
+        reset_after_s: A quiet period this long resets the backoff.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        base_s: float = 10.0,
+        factor: float = 2.0,
+        max_s: float = 600.0,
+        reset_after_s: float = 900.0,
+    ):
+        if base_s <= 0 or factor < 1 or max_s < base_s or reset_after_s <= 0:
+            raise ValueError("invalid backoff parameters")
+        self.sim = sim
+        self.base_s = base_s
+        self.factor = factor
+        self.max_s = max_s
+        self.reset_after_s = reset_after_s
+        self._state: Dict[str, "_BackoffState"] = {}
+
+    def ready(self, knob: str) -> bool:
+        """Whether ``knob`` may be changed now."""
+        state = self._state.get(knob)
+        if state is None:
+            return True
+        self._maybe_reset(knob, state)
+        state = self._state.get(knob)
+        if state is None:
+            return True
+        return self.sim.now >= state.next_allowed
+
+    def record_change(self, knob: str) -> None:
+        """Register a change; the next one must wait exponentially longer."""
+        state = self._state.get(knob)
+        if state is None or self.sim.now - state.last_change >= self.reset_after_s:
+            wait = self.base_s
+        else:
+            wait = min(self.max_s, state.current_wait * self.factor)
+        self._state[knob] = _BackoffState(
+            last_change=self.sim.now,
+            current_wait=wait,
+            next_allowed=self.sim.now + wait,
+        )
+
+    def wait_remaining(self, knob: str) -> float:
+        state = self._state.get(knob)
+        if state is None:
+            return 0.0
+        return max(0.0, state.next_allowed - self.sim.now)
+
+    def _maybe_reset(self, knob: str, state: "_BackoffState") -> None:
+        if self.sim.now - state.last_change >= self.reset_after_s:
+            del self._state[knob]
+
+
+@dataclass
+class _BackoffState:
+    last_change: float
+    current_wait: float
+    next_allowed: float

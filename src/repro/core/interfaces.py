@@ -1,0 +1,136 @@
+"""Looking-glass query servers: the concrete EONA-A2I / EONA-I2A.
+
+§3: "InfPs and AppPs can establish 'looking glass'-like servers that
+can be queried to implement the respective interfaces."  A
+:class:`LookingGlass` is owned by one provider, registers named query
+handlers, and on every query enforces, in order:
+
+1. **opt-in access control** -- the requester needs a grant;
+2. **staleness** -- handlers can be registered with a refresh period,
+   so queriers see periodic snapshots, not live state;
+3. **field narrowing** -- the grant's field list is applied to each
+   payload (schemas serialize to dicts for this).
+
+Both interfaces are instances of the same class; what differs is who
+owns them and which queries they register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.privacy import blind_fields
+from repro.core.registry import Grant, OptInRegistry
+from repro.core.staleness import StaleView
+from repro.simkernel.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Answer to one looking-glass query.
+
+    Attributes:
+        query: The query name.
+        payload: A dict, or list of dicts, with narrowing applied.
+        age_s: Staleness of the underlying snapshot.
+    """
+
+    query: str
+    payload: Any
+    age_s: float
+
+
+class UnknownQueryError(Exception):
+    """The looking glass exports no such query."""
+
+
+class LookingGlass:
+    """One provider's EONA query server.
+
+    Args:
+        sim: Simulator (needed for staleness snapshots).
+        owner: Provider name; grants are checked against it.
+        registry: The shared opt-in registry.
+    """
+
+    def __init__(self, sim: Simulator, owner: str, registry: OptInRegistry):
+        self.sim = sim
+        self.owner = owner
+        self.registry = registry
+        self._handlers: Dict[str, Callable[..., Any]] = {}
+        self._views: Dict[str, StaleView] = {}
+        self.queries_served = 0
+        self.queries_denied = 0
+
+    def register(
+        self,
+        query: str,
+        handler: Callable[..., Any],
+        refresh_period_s: float = 0.0,
+        publish_delay_s: float = 0.0,
+    ) -> None:
+        """Export ``query``; with a refresh period, answers are snapshots.
+
+        Snapshot handlers must be zero-argument (parameters cannot be
+        baked into a shared snapshot); live handlers may take keyword
+        parameters passed through from the query.
+        """
+        if refresh_period_s > 0:
+            self._views[query] = StaleView(
+                self.sim, handler, refresh_period_s, publish_delay_s
+            )
+        self._handlers[query] = handler
+
+    def set_refresh_period(self, query: str, refresh_period_s: float) -> None:
+        """Re-pace a snapshot query (the staleness-sweep knob)."""
+        if query not in self._handlers:
+            raise UnknownQueryError(query)
+        view = self._views.pop(query, None)
+        if view is not None:
+            view.stop()
+        if refresh_period_s > 0:
+            self._views[query] = StaleView(
+                self.sim, self._handlers[query], refresh_period_s
+            )
+
+    def exported_queries(self) -> List[str]:
+        return sorted(self._handlers)
+
+    def query(self, requester: str, query: str, **params: Any) -> QueryResult:
+        """Run a query as ``requester``, enforcing grants and narrowing."""
+        if query not in self._handlers:
+            raise UnknownQueryError(f"{self.owner!r} does not export {query!r}")
+        try:
+            grant = self.registry.check(self.owner, requester, query)
+        except Exception:
+            self.queries_denied += 1
+            raise
+        view = self._views.get(query)
+        if view is not None:
+            raw, age = view.get()
+        else:
+            raw, age = self._handlers[query](**params), 0.0
+        self.queries_served += 1
+        return QueryResult(query=query, payload=self._narrow(raw, grant), age_s=age)
+
+    # ------------------------------------------------------------------
+    def _narrow(self, raw: Any, grant: Grant) -> Any:
+        if grant.all_fields:
+            return self._serialize(raw)
+        serialized = self._serialize(raw)
+        if isinstance(serialized, list):
+            return [blind_fields(item, grant.fields) for item in serialized]
+        if isinstance(serialized, Mapping):
+            return blind_fields(serialized, grant.fields)
+        return serialized
+
+    @staticmethod
+    def _serialize(raw: Any) -> Any:
+        if hasattr(raw, "to_dict"):
+            return raw.to_dict()
+        if isinstance(raw, list):
+            return [
+                item.to_dict() if hasattr(item, "to_dict") else item for item in raw
+            ]
+        return raw

@@ -1,0 +1,101 @@
+"""Oscillation detection and adaptive damping (§5, open challenges).
+
+"An interesting direction for future work is to formally understand if
+and how EONA can exacerbate control instabilities. We speculate that
+some sort of dampening or backoff algorithms can help here."
+
+Static damping (a fixed dwell time) pays its responsiveness cost even
+when the system is calm.  The adaptive damper here only engages when a
+knob's decision history actually *looks* oscillatory -- it revisits
+recently-held values rather than progressing -- and then applies
+exponential backoff until the flapping stops.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Hashable, Optional, Tuple
+
+from repro.core.damping import ExponentialBackoff
+from repro.simkernel.kernel import Simulator
+
+
+class OscillationDetector:
+    """Flags knobs whose recent decisions revisit previous values.
+
+    A change is a *flip* when the new value appeared earlier within the
+    last ``window`` decisions (A→B→A is the canonical oscillation);
+    monotone progress (A→B→C) is not.  A knob is oscillating while its
+    flip count within the window reaches ``flip_threshold``.
+
+    Args:
+        window: Decisions remembered per knob.
+        flip_threshold: Flips within the window that trigger detection.
+    """
+
+    def __init__(self, window: int = 6, flip_threshold: int = 2):
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window!r}")
+        if flip_threshold < 1:
+            raise ValueError(f"flip_threshold must be >= 1, got {flip_threshold!r}")
+        self.window = window
+        self.flip_threshold = flip_threshold
+        self._history: Dict[str, Deque[Hashable]] = {}
+        self._flips: Dict[str, Deque[bool]] = {}
+
+    def record(self, knob: str, value: Hashable) -> None:
+        """Register one decided value for ``knob``."""
+        history = self._history.setdefault(knob, deque(maxlen=self.window))
+        flips = self._flips.setdefault(knob, deque(maxlen=self.window))
+        is_flip = bool(history) and history[-1] != value and value in history
+        if not history or history[-1] != value:
+            history.append(value)
+            flips.append(is_flip)
+
+    def flip_count(self, knob: str) -> int:
+        return sum(self._flips.get(knob, ()))
+
+    def is_oscillating(self, knob: str) -> bool:
+        return self.flip_count(knob) >= self.flip_threshold
+
+    def reset(self, knob: str) -> None:
+        self._history.pop(knob, None)
+        self._flips.pop(knob, None)
+
+
+class AdaptiveDamper:
+    """Backoff that engages only on detected oscillation.
+
+    Wire it into a control loop by asking :meth:`allow` before applying
+    a knob change and calling :meth:`record` after applying one.  While
+    a knob is calm every change is allowed immediately; once the
+    detector flags it, changes must respect exponential backoff until
+    the flapping subsides.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        detector: Optional[OscillationDetector] = None,
+        backoff: Optional[ExponentialBackoff] = None,
+    ):
+        self.sim = sim
+        self.detector = detector or OscillationDetector()
+        self.backoff = backoff or ExponentialBackoff(sim, base_s=30.0)
+        self.suppressed = 0
+
+    def allow(self, knob: str, new_value: Hashable) -> bool:
+        """Whether setting ``knob`` to ``new_value`` is permitted now."""
+        if not self.detector.is_oscillating(knob):
+            return True
+        if self.backoff.ready(knob):
+            return True
+        self.suppressed += 1
+        return False
+
+    def record(self, knob: str, new_value: Hashable) -> None:
+        """Register an applied change (feeds detection and backoff)."""
+        self.detector.record(knob, new_value)
+        if self.detector.is_oscillating(knob):
+            self.backoff.record_change(knob)

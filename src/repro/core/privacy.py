@@ -1,0 +1,114 @@
+"""Privacy filters applied at the EONA export boundary.
+
+§4's "balancing effectiveness vs. minimality": providers must be able
+to share what helps without exposing users, topology, or strategy.
+Three standard techniques are provided -- k-anonymous suppression of
+small aggregates, field blinding, and Laplace noise (the differential-
+privacy mechanism the paper cites via McSherry & Mahajan).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, List, Mapping, Sequence, TypeVar
+
+RowT = TypeVar("RowT")
+
+
+def k_suppress(rows: Sequence[RowT], k: int, count_of=None) -> List[RowT]:
+    """Drop aggregate rows built from fewer than ``k`` underlying sessions.
+
+    Args:
+        rows: Aggregate rows.
+        k: Minimum group size to release.
+        count_of: Accessor returning a row's session count; defaults to
+            the ``count`` attribute (matching
+            :class:`~repro.telemetry.aggregate.AggregateRow` and
+            the ``sessions`` field of QoE aggregates).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k!r}")
+
+    def default_count(row):
+        if hasattr(row, "count"):
+            return row.count
+        if hasattr(row, "sessions"):
+            return row.sessions
+        raise TypeError(f"cannot determine group size of {row!r}")
+
+    accessor = count_of or default_count
+    return [row for row in rows if accessor(row) >= k]
+
+
+def blind_fields(payload: Mapping[str, object], allowed: Iterable[str]) -> Dict[str, object]:
+    """Return only the allowed fields of a payload dict.
+
+    ``"*"`` in ``allowed`` passes everything through unchanged.
+    """
+    allowed_set = set(allowed)
+    if "*" in allowed_set:
+        return dict(payload)
+    return {key: value for key, value in payload.items() if key in allowed_set}
+
+
+def noise_numeric_fields(
+    payload,
+    epsilon: float,
+    sensitivity: float,
+    rng: random.Random,
+    fields: Iterable[str] = (),
+):
+    """Apply Laplace noise to numeric fields of a serialized payload.
+
+    Walks a payload as the looking glass produces it -- a dict, a list
+    of dicts, or a dict containing nested numeric dicts -- and replaces
+    each selected numeric value with a noised copy.  A field name in
+    ``fields`` selects that leaf *and* every numeric leaf nested under a
+    container with that name (so ``("demand_mbps",)`` noises all the
+    per-CDN values inside the demand dict).  With ``fields`` empty,
+    every numeric leaf is noised.
+
+    Returns a new structure; the input is not mutated.
+    """
+    selected = set(fields)
+
+    def walk(node, key: str = "", inherited: bool = False):
+        chosen = inherited or not selected or key in selected
+        if isinstance(node, dict):
+            return {
+                child_key: walk(child, child_key, inherited or key in selected)
+                for child_key, child in node.items()
+            }
+        if isinstance(node, list):
+            return [walk(item, key, inherited) for item in node]
+        if isinstance(node, bool):
+            return node
+        if isinstance(node, (int, float)) and chosen:
+            return laplace_noise(float(node), epsilon, sensitivity, rng)
+        return node
+
+    return walk(payload)
+
+
+def laplace_noise(
+    value: float,
+    epsilon: float,
+    sensitivity: float,
+    rng: random.Random,
+) -> float:
+    """Add Laplace(sensitivity/epsilon) noise to a released statistic.
+
+    Args:
+        value: True statistic.
+        epsilon: Privacy budget; smaller = noisier.
+        sensitivity: Max influence of one session on the statistic.
+        rng: Random stream (named, for reproducibility).
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon!r}")
+    if sensitivity < 0:
+        raise ValueError(f"sensitivity must be non-negative, got {sensitivity!r}")
+    scale = sensitivity / epsilon
+    u = rng.random() - 0.5
+    return value - scale * math.copysign(1.0, u) * math.log(1 - 2 * abs(u))

@@ -1,0 +1,93 @@
+"""Opt-in access control for EONA interfaces.
+
+Participation in EONA is optional and pairwise (§3): a provider opts in
+per collaborator, per query, per field.  The registry stores grants and
+the looking glass enforces them; a query with no grant raises
+:class:`AccessDeniedError`, and a grant with a field list narrows the
+returned payload (the mechanism behind §4's wide-vs-narrow interface
+experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+
+class AccessDeniedError(Exception):
+    """The requester has no grant for this query."""
+
+
+#: Sentinel meaning "all fields of the payload".
+ALL_FIELDS = "*"
+
+
+@dataclass(frozen=True)
+class Grant:
+    """Permission for one (owner → requester, query) edge.
+
+    Attributes:
+        owner: Provider exporting the interface.
+        requester: Provider allowed to query.
+        query: Query name (e.g. ``"congestion"``) or ``"*"`` for all.
+        fields: Payload fields the requester may see; ``frozenset({"*"})``
+            means all fields.
+    """
+
+    owner: str
+    requester: str
+    query: str
+    fields: FrozenSet[str] = frozenset({ALL_FIELDS})
+
+    @property
+    def all_fields(self) -> bool:
+        return ALL_FIELDS in self.fields
+
+
+class OptInRegistry:
+    """Pairwise grant store shared by every looking glass in a deployment."""
+
+    def __init__(self) -> None:
+        self._grants: Dict[Tuple[str, str, str], Grant] = {}
+
+    def grant(
+        self,
+        owner: str,
+        requester: str,
+        query: str = "*",
+        fields: Iterable[str] = (ALL_FIELDS,),
+    ) -> Grant:
+        """Record (or overwrite) a grant and return it."""
+        grant = Grant(
+            owner=owner,
+            requester=requester,
+            query=query,
+            fields=frozenset(fields),
+        )
+        self._grants[(owner, requester, query)] = grant
+        return grant
+
+    def revoke(self, owner: str, requester: str, query: str = "*") -> bool:
+        """Remove a grant; returns whether one existed."""
+        return self._grants.pop((owner, requester, query), None) is not None
+
+    def lookup(self, owner: str, requester: str, query: str) -> Optional[Grant]:
+        """The applicable grant (query-specific beats wildcard), or None."""
+        specific = self._grants.get((owner, requester, query))
+        if specific is not None:
+            return specific
+        return self._grants.get((owner, requester, "*"))
+
+    def check(self, owner: str, requester: str, query: str) -> Grant:
+        """The applicable grant, or raise :class:`AccessDeniedError`."""
+        grant = self.lookup(owner, requester, query)
+        if grant is None:
+            raise AccessDeniedError(
+                f"{requester!r} has no grant for {query!r} on {owner!r}"
+            )
+        return grant
+
+    def collaborators_of(self, owner: str) -> FrozenSet[str]:
+        return frozenset(
+            requester for (o, requester, _), _g in self._grants.items() if o == owner
+        )

@@ -1,0 +1,134 @@
+"""Message schemas carried over the EONA interfaces.
+
+These are the concrete payloads the paper's §4 example derives:
+
+A2I (application → infrastructure):
+  * :class:`QoeAggregate` -- client-measured experience per
+    (CDN, ISP, ...) group, aggregated, never per-user;
+  * :class:`DemandEstimate` -- expected traffic volume toward each CDN,
+    so the InfP can plan peering splits.
+
+I2A (infrastructure → application):
+  * :class:`PeeringPointInfo` -- the ISP's peering points for a CDN with
+    capacity and congestion level;
+  * :class:`PeeringDecision` -- which peering the ISP currently uses for
+    a CDN's traffic (decision values, not the TE strategy itself);
+  * :class:`CongestionSignal` -- explicit congestion attribution
+    ("your bottleneck is my access network", Figure 3);
+  * :class:`ServerHintInfo` -- a CDN's alternative-server hints.
+
+Every schema serializes with :meth:`to_dict` so the looking glass can
+apply field-level narrowing (§4's "narrow interface") uniformly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class _Schema:
+    """Mixin: dict serialization used by the looking-glass field filter."""
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def field_names(cls) -> Tuple[str, ...]:
+        return tuple(f.name for f in dataclasses.fields(cls))
+
+
+# ----------------------------------------------------------------------
+# A2I payloads
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QoeAggregate(_Schema):
+    """Aggregated client-side experience for one group.
+
+    Attributes:
+        window_start: Start of the aggregation window.
+        window_s: Window length.
+        cdn: CDN the sessions used.
+        isp: Client ISP (the access network).
+        sessions: Number of sessions aggregated (k-anonymity basis).
+        buffering_ratio: Mean buffering ratio.
+        mean_bitrate_mbps: Mean delivered bitrate.
+        join_time_s: Mean join time.
+        abandonment_rate: Fraction of sessions abandoned.
+    """
+
+    window_start: float
+    window_s: float
+    cdn: str
+    isp: str
+    sessions: int
+    buffering_ratio: float
+    mean_bitrate_mbps: float
+    join_time_s: float
+    abandonment_rate: float = 0.0
+
+
+@dataclass(frozen=True)
+class DemandEstimate(_Schema):
+    """AppP's expected traffic toward each CDN (Mbit/s), for TE planning."""
+
+    time: float
+    demand_mbps: Dict[str, float] = field(default_factory=dict)
+
+    def for_cdn(self, cdn: str) -> float:
+        return self.demand_mbps.get(cdn, 0.0)
+
+
+# ----------------------------------------------------------------------
+# I2A payloads
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PeeringPointInfo(_Schema):
+    """One peering point the ISP exchanges a CDN's traffic at."""
+
+    peering_node: str
+    cdn: str
+    capacity_mbps: float
+    load_mbps: float
+    congested: bool
+
+    @property
+    def headroom_mbps(self) -> float:
+        return max(0.0, self.capacity_mbps - self.load_mbps)
+
+
+@dataclass(frozen=True)
+class PeeringDecision(_Schema):
+    """The ISP's current egress selection for one CDN's traffic group."""
+
+    time: float
+    cdn: str
+    selected_peering: str
+
+
+@dataclass(frozen=True)
+class CongestionSignal(_Schema):
+    """Explicit congestion attribution from the InfP.
+
+    ``scope`` names the network segment: ``"access"`` (the last mile,
+    Figure 3's case), ``"peering"``, or ``"core"``.  ``severity`` is the
+    smoothed utilization of the worst link in that segment.
+    """
+
+    time: float
+    scope: str
+    congested: bool
+    severity: float
+    bottleneck_link: str = ""
+
+
+@dataclass(frozen=True)
+class ServerHintInfo(_Schema):
+    """A CDN's alternative-server hint (per the coarse-control scenario)."""
+
+    cdn: str
+    server_id: str
+    node_id: str
+    load: float
+    degraded: bool

@@ -1,0 +1,11 @@
+"""Experiment harness: one module per figure/scenario of the paper.
+
+Every experiment exposes ``run(...)`` returning an
+:class:`~repro.experiments.common.ExperimentResult` whose rows are the
+table the corresponding benchmark prints.  The index of experiments and
+their paper sources lives in DESIGN.md.
+"""
+
+from repro.experiments.common import ExperimentResult, launch_video_sessions
+
+__all__ = ["ExperimentResult", "launch_video_sessions"]

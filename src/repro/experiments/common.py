@@ -1,0 +1,209 @@
+"""Shared experiment machinery: result tables and session launching."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cdn.content import ContentCatalog, ContentItem
+from repro.network.fluidsim import FluidNetwork
+from repro.simkernel.kernel import Simulator
+from repro.video.abr import AbrAlgorithm, RateBasedAbr
+from repro.video.ladder import DEFAULT_LADDER, BitrateLadder
+from repro.video.player import AdaptivePlayer, PlayerPolicy
+from repro.workloads.arrivals import NonHomogeneousArrivals, PoissonArrivals, RateFn
+
+
+@dataclass
+class ExperimentResult:
+    """A small table: named rows of metric values.
+
+    Attributes:
+        name: Experiment id, e.g. ``"E4-oscillation"``.
+        rows: One dict per configuration (mode, sweep point, ...).
+        notes: Free-form provenance (seeds, durations).
+    """
+
+    name: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(dict(values))
+
+    def row(self, **match: object) -> Dict[str, object]:
+        """The first row whose items include all of ``match``."""
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in match.items()):
+                return row
+        raise KeyError(f"no row matching {match!r} in {self.name}")
+
+    def column(self, key: str) -> List[object]:
+        return [row.get(key) for row in self.rows]
+
+    def table_str(self) -> str:
+        """Render rows as an aligned text table (the bench output)."""
+        if not self.rows:
+            return f"== {self.name} ==\n(no rows)"
+        columns: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        rendered = [
+            [self._fmt(row.get(column, "")) for column in columns]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(column), *(len(line[i]) for line in rendered))
+            for i, column in enumerate(columns)
+        ]
+        header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+        separator = "  ".join("-" * width for width in widths)
+        body = "\n".join(
+            "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+            for line in rendered
+        )
+        title = f"== {self.name} =="
+        parts = [title, header, separator, body]
+        if self.notes:
+            parts.append(f"({self.notes})")
+        return "\n".join(parts)
+
+    @staticmethod
+    def _fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    # ------------------------------------------------------------------
+    # machine-readable exports
+    # ------------------------------------------------------------------
+    def _columns(self) -> List[str]:
+        columns: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        return columns
+
+    def to_csv(self) -> str:
+        """The table as CSV (header row + one line per row)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        columns = self._columns()
+        writer = csv.DictWriter(buffer, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({key: row.get(key, "") for key in columns})
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """The full result (name, notes, rows) as a JSON document."""
+        import json
+
+        return json.dumps(
+            {"name": self.name, "notes": self.notes, "rows": self.rows},
+            indent=2,
+            default=str,
+        )
+
+    def save(self, directory: str, fmt: str = "txt") -> str:
+        """Write the table under ``directory``; returns the file path."""
+        import os
+
+        renderers = {
+            "txt": (self.table_str, ".txt"),
+            "csv": (self.to_csv, ".csv"),
+            "json": (self.to_json, ".json"),
+        }
+        if fmt not in renderers:
+            raise ValueError(f"unknown format {fmt!r} (txt/csv/json)")
+        render, extension = renderers[fmt]
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.name}{extension}")
+        with open(path, "w") as handle:
+            handle.write(render())
+            if fmt == "txt":
+                handle.write("\n")
+        return path
+
+
+def launch_video_sessions(
+    sim: Simulator,
+    network: FluidNetwork,
+    catalog: ContentCatalog,
+    policy: PlayerPolicy,
+    client_nodes: Sequence[str],
+    rng: random.Random,
+    rate_per_s: float = 0.5,
+    max_sessions: Optional[int] = None,
+    rate_fn: Optional[RateFn] = None,
+    max_rate_per_s: Optional[float] = None,
+    until: Optional[float] = None,
+    ladder: BitrateLadder = DEFAULT_LADDER,
+    abr_factory: Callable[[], AbrAlgorithm] = RateBasedAbr,
+    content_picker: Optional[Callable[[int], ContentItem]] = None,
+    session_prefix: str = "s",
+    abandon_rebuffer_s: Optional[float] = 120.0,
+    on_end: Optional[Callable[[AdaptivePlayer], None]] = None,
+) -> List[AdaptivePlayer]:
+    """Drive a population of video sessions from an arrival process.
+
+    Returns the (growing) list of players; read their ``qoe()`` after
+    the run.  With ``rate_fn`` set, arrivals are non-homogeneous
+    (flash crowds, diurnal curves); otherwise homogeneous Poisson at
+    ``rate_per_s``.
+    """
+    players: List[AdaptivePlayer] = []
+
+    def start(index: int) -> None:
+        client = client_nodes[index % len(client_nodes)]
+        content = (
+            content_picker(index) if content_picker else catalog.sample(rng)
+        )
+        player = AdaptivePlayer(
+            sim,
+            network,
+            session_id=f"{session_prefix}{index}",
+            client_node=client,
+            content=content,
+            ladder=ladder,
+            abr=abr_factory(),
+            policy=policy,
+            abandon_rebuffer_s=abandon_rebuffer_s,
+            on_end=on_end,
+        )
+        players.append(player)
+        player.start()
+
+    if rate_fn is not None:
+        envelope = max_rate_per_s or rate_per_s
+        NonHomogeneousArrivals(
+            sim, rate_fn, envelope, start, rng, until=until, max_sessions=max_sessions
+        )
+    else:
+        PoissonArrivals(
+            sim, rate_per_s, start, rng, until=until, max_sessions=max_sessions
+        )
+    return players
+
+
+def qoe_of(players: Sequence[AdaptivePlayer]) -> list:
+    """QoE metrics of every player that actually started."""
+    return [player.qoe() for player in players]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index in (0, 1]; 1 = perfectly equal."""
+    values = [v for v in values]
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)

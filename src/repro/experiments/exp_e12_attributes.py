@@ -1,0 +1,133 @@
+"""E12 -- Why A2I carries attributes (paper §3).
+
+"We envision AppPs exporting critical application-centric experience
+measures collected from client-side measurements **together with
+relevant attributes (e.g., the client ISP...)**."  This experiment
+makes the case quantitatively: one AppP serves viewers on two ISPs, a
+flash crowd congests only ISP1's access segment, and the AppP's
+congestion response is either
+
+* **scoped** -- per-ISP bitrate caps keyed on the client-ISP attribute
+  (each ISP publishes its own I2A congestion signal), or
+* **unscoped** -- the same signals with the attribute discarded: any
+  congestion caps the whole fleet.
+
+Expected shape: both fix ISP1's buffering, but the unscoped response
+needlessly drags ISP2's viewers down the ladder; scoping preserves
+ISP2's bitrate at no cost to ISP1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines.modes import Mode
+from repro.core.appp import MultiIspEonaAppP, StatusQuoAppP
+from repro.core.infp import EonaInfP, StatusQuoInfP
+from repro.experiments.common import ExperimentResult, launch_video_sessions
+from repro.video.qoe import summarize
+from repro.workloads.arrivals import flash_crowd_rate
+from repro.workloads.scenarios import build_two_isp_scenario
+
+
+def run_config(
+    config: str,
+    seed: int = 0,
+    n_clients_per_isp: int = 15,
+    horizon_s: float = 500.0,
+) -> Dict[str, object]:
+    """One run; ``config`` is 'status_quo', 'eona_unscoped', or 'eona_scoped'."""
+    scenario = build_two_isp_scenario(seed=seed, n_clients_per_isp=n_clients_per_isp)
+    sim = scenario.sim
+    registry = scenario.registry
+
+    infps = []
+    if config == "status_quo":
+        policy = StatusQuoAppP(sim, scenario.cdns, name="appp")
+        infps.append(StatusQuoInfP(sim, scenario.network, [], stats_period_s=2.0))
+    elif config in ("eona_scoped", "eona_unscoped"):
+        glasses = {}
+        for isp, access_link in (
+            ("isp1", scenario.access_link_isp1),
+            ("isp2", scenario.access_link_isp2),
+        ):
+            infp = EonaInfP(
+                sim,
+                scenario.network,
+                [],
+                registry=registry,
+                access_links=[access_link],
+                owner=isp,
+                stats_period_s=2.0,
+                i2a_refresh_s=5.0,
+            )
+            registry.grant(isp, "appp")
+            glasses[isp] = infp.i2a
+            infps.append(infp)
+        policy = MultiIspEonaAppP(
+            sim,
+            scenario.cdns,
+            isp_i2a_map=glasses,
+            isp_of=lambda player: scenario.isp_of_client(player.client_node),
+            scoped=(config == "eona_scoped"),
+            name="appp",
+        )
+    else:
+        raise ValueError(f"unknown config {config!r}")
+
+    # Background viewers on both ISPs, plus a flash crowd that lands
+    # only on ISP1's clients.
+    players_isp1 = launch_video_sessions(
+        sim,
+        scenario.network,
+        scenario.catalog,
+        policy,
+        scenario.clients_isp1,
+        rng=sim.rng.get("arrivals-isp1"),
+        rate_fn=flash_crowd_rate(
+            base_per_s=0.05, peak_per_s=0.8, onset_s=30.0, ramp_s=30.0,
+            duration_s=60.0,
+        ),
+        max_rate_per_s=0.8,
+        until=horizon_s * 0.6,
+        content_picker=lambda index: scenario.catalog.by_rank(0),
+        session_prefix="i1-",
+    )
+    players_isp2 = launch_video_sessions(
+        sim,
+        scenario.network,
+        scenario.catalog,
+        policy,
+        scenario.clients_isp2,
+        rng=sim.rng.get("arrivals-isp2"),
+        rate_per_s=0.1,
+        until=horizon_s * 0.6,
+        session_prefix="i2-",
+    )
+    sim.run(until=horizon_s)
+    for infp in infps:
+        infp.stop()
+    if hasattr(policy, "stop"):
+        policy.stop()
+
+    summary_isp1 = summarize([p.qoe() for p in players_isp1])
+    summary_isp2 = summarize([p.qoe() for p in players_isp2])
+    return {
+        "config": config,
+        "isp1_buffering": summary_isp1["mean_buffering_ratio"],
+        "isp1_bitrate": summary_isp1["mean_bitrate_mbps"],
+        "isp2_buffering": summary_isp2["mean_buffering_ratio"],
+        "isp2_bitrate": summary_isp2["mean_bitrate_mbps"],
+        "isp1_engagement": summary_isp1["mean_engagement"],
+        "isp2_engagement": summary_isp2["mean_engagement"],
+    }
+
+
+def run(seed: int = 0, **kwargs) -> ExperimentResult:
+    result = ExperimentResult(
+        name="E12-attributes",
+        notes="flash crowd on ISP1 only; response scoped by client-ISP or not",
+    )
+    for config in ("status_quo", "eona_unscoped", "eona_scoped"):
+        result.add_row(**run_config(config, seed=seed, **kwargs))
+    return result

@@ -1,0 +1,111 @@
+"""E13 -- The coordinated control plane (paper §1, trend 3; cite [36]).
+
+The paper leans on the existence of AppP-side "control plane platforms"
+(the C3 / coordinated-video-control-plane line of work) as an enabler:
+EONA's A2I is only as good as the AppP's ability to aggregate and act
+on its own telemetry.  This experiment quantifies that subsystem: a CDN
+suffers a mid-run capacity fault, and we compare
+
+* **reactive** -- today's per-session trial-and-error (each player
+  independently suffers, then switches);
+* **coordinated** -- the fleet-level control plane: shared per-CDN
+  quality estimates steer new sessions instantly and migrate existing
+  ones at a bounded rate.
+
+Expected shape: the coordinated plane cuts fault-window buffering by a
+large factor and steers new arrivals away from the faulty CDN almost
+immediately; after recovery, exploration drifts traffic back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.appp import StatusQuoAppP
+from repro.core.controlplane import CoordinatedAppP
+from repro.experiments.common import ExperimentResult, launch_video_sessions
+from repro.telemetry.timeline import TimelineProbe
+from repro.video.qoe import summarize
+from repro.workloads.scenarios import build_cdn_fault_scenario
+
+
+def run_config(
+    config: str,
+    seed: int = 0,
+    n_clients: int = 25,
+    horizon_s: float = 700.0,
+    degraded_mbps: float = 10.0,
+) -> Dict[str, object]:
+    scenario = build_cdn_fault_scenario(seed=seed, n_clients=n_clients)
+    sim = scenario.sim
+
+    if config == "reactive":
+        policy = StatusQuoAppP(sim, scenario.cdns, name="appp")
+    elif config == "coordinated":
+        policy = CoordinatedAppP(
+            sim, scenario.cdns, control_period_s=10.0, name="appp"
+        )
+    else:
+        raise ValueError(f"unknown config {config!r}")
+
+    scenario.schedule_fault(degraded_mbps=degraded_mbps)
+
+    players = launch_video_sessions(
+        sim,
+        scenario.network,
+        scenario.catalog,
+        policy,
+        scenario.client_nodes,
+        rng=sim.rng.get("arrivals"),
+        rate_per_s=0.25,
+        until=horizon_s - 150.0,
+    )
+    probe = TimelineProbe(
+        sim,
+        {
+            "cdn1_sessions": lambda: float(scenario.cdns[0].active_sessions),
+            "cdn2_sessions": lambda: float(scenario.cdns[1].active_sessions),
+        },
+        period_s=10.0,
+    )
+    sim.run(until=horizon_s)
+    probe.stop()
+    if hasattr(policy, "stop"):
+        policy.stop()
+
+    # QoE restricted to sessions that overlapped the fault window.
+    fault_window = (scenario.fault_at_s, scenario.recover_at_s)
+    affected = [
+        player.qoe()
+        for player in players
+        if player.started_at is not None and player.started_at < fault_window[1]
+    ]
+    summary = summarize(affected)
+    share_on_faulty_during = probe.window_mean(
+        "cdn1_sessions", fault_window[0] + 60.0, fault_window[1]
+    )
+    total_during = share_on_faulty_during + probe.window_mean(
+        "cdn2_sessions", fault_window[0] + 60.0, fault_window[1]
+    )
+    return {
+        "config": config,
+        "buffering_ratio": summary["mean_buffering_ratio"],
+        "mean_bitrate_mbps": summary["mean_bitrate_mbps"],
+        "cdn_switches": summary["cdn_switches_per_session"],
+        "engagement": summary["mean_engagement"],
+        "abandoned": sum(1 for q in affected if q.abandoned),
+        "faulty_cdn_share_during_fault": (
+            share_on_faulty_during / total_during if total_during > 0 else 0.0
+        ),
+        "migrations": getattr(policy, "migrations", 0),
+    }
+
+
+def run(seed: int = 0, **kwargs) -> ExperimentResult:
+    result = ExperimentResult(
+        name="E13-controlplane",
+        notes="CDN 1 uplink collapses mid-run; per-session vs fleet steering",
+    )
+    for config in ("reactive", "coordinated"):
+        result.add_row(**run_config(config, seed=seed, **kwargs))
+    return result

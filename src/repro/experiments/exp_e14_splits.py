@@ -1,0 +1,115 @@
+"""E14 -- Traffic splits across peering points (§4's third knob).
+
+The recipe's hypothetical global controller tunes "the traffic splits
+across the peering points for each CDN".  This experiment sizes the
+Figure 5 world so that *no single peering* fits CDN X's demand
+(B = 50, C = 55, demand ≈ 90 Mbit/s): any single-egress policy must
+congest whichever peering it picks, and only a split can deliver the
+full demand.
+
+Expected shape: single-egress EONA placement saturates one peering and
+players adapt bitrate down; split-capable EONA spreads the load,
+keeping both peerings below saturation and bitrate high.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.appp import EonaAppP, StatusQuoAppP
+from repro.core.infp import EonaInfP, StatusQuoInfP
+from repro.experiments.common import ExperimentResult, launch_video_sessions, qoe_of
+from repro.video.qoe import summarize
+from repro.workloads.scenarios import build_oscillation_scenario
+
+
+def run_config(
+    config: str,
+    seed: int = 0,
+    n_clients: int = 30,
+    peering_b_mbps: float = 50.0,
+    peering_c_mbps: float = 55.0,
+    horizon_s: float = 900.0,
+) -> Dict[str, object]:
+    """``config``: 'status_quo', 'eona_single', or 'eona_split'."""
+    scenario = build_oscillation_scenario(
+        seed=seed,
+        n_clients=n_clients,
+        peering_b_mbps=peering_b_mbps,
+        peering_c_mbps=peering_c_mbps,
+        cdn_y_uplink_mbps=10.0,  # Y is a non-option; this is about X's split
+    )
+    sim = scenario.sim
+    registry = scenario.registry
+
+    if config == "status_quo":
+        infp = StatusQuoInfP(
+            sim, scenario.network, scenario.groups, te_period_s=45.0,
+            stats_period_s=5.0,
+        )
+        policy = StatusQuoAppP(sim, scenario.cdns, name="appp")
+    elif config in ("eona_single", "eona_split"):
+        policy = EonaAppP(sim, scenario.cdns, name="appp")
+        a2i = policy.make_a2i(registry, refresh_period_s=10.0)
+        registry.grant("appp", "isp")
+        infp = EonaInfP(
+            sim,
+            scenario.network,
+            scenario.groups,
+            registry=registry,
+            appp_a2i=a2i,
+            te_period_s=45.0,
+            stats_period_s=5.0,
+            use_splits=(config == "eona_split"),
+        )
+        registry.grant("isp", "appp")
+        policy.isp_i2a = infp.i2a
+    else:
+        raise ValueError(f"unknown config {config!r}")
+
+    players = launch_video_sessions(
+        sim,
+        scenario.network,
+        scenario.catalog,
+        policy,
+        scenario.client_nodes,
+        rng=sim.rng.get("arrivals"),
+        rate_per_s=n_clients / 180.0,
+        until=horizon_s - 200.0,
+    )
+    probe: Dict[str, object] = {}
+
+    def take_probe() -> None:
+        scenario.network.sync()
+        probe["b_util"] = scenario.network.link_utilization(scenario.peering_b_link)
+        probe["c_util"] = scenario.network.link_utilization(scenario.peering_c_link)
+        probe["split_active"] = (
+            scenario.network.split_policy("cdnX") is not None
+        )
+
+    sim.schedule_at(horizon_s * 0.6, take_probe)
+    sim.run(until=horizon_s)
+    infp.stop()
+    if hasattr(policy, "stop"):
+        policy.stop()
+
+    summary = summarize(qoe_of(players))
+    return {
+        "config": config,
+        "buffering_ratio": summary["mean_buffering_ratio"],
+        "mean_bitrate_mbps": summary["mean_bitrate_mbps"],
+        "peerB_util_loaded": probe.get("b_util", 0.0),
+        "peerC_util_loaded": probe.get("c_util", 0.0),
+        "split_active": bool(probe.get("split_active", False)),
+        "engagement": summary["mean_engagement"],
+    }
+
+
+def run(seed: int = 0, **kwargs) -> ExperimentResult:
+    result = ExperimentResult(
+        name="E14-splits",
+        notes="demand exceeds every single peering; only a split fits",
+    )
+    for config in ("status_quo", "eona_single", "eona_split"):
+        result.add_row(**run_config(config, seed=seed, **kwargs))
+    return result

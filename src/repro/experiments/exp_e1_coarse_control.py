@@ -1,0 +1,95 @@
+"""E1 -- "Coarse control" (paper §2, first bullet; Figure 1(b)).
+
+A server inside CDN X degrades.  The status-quo player's only recourse
+is a whole-CDN switch to cold-cache CDN Y, whose every chunk then pulls
+through a narrow origin uplink.  With EONA-I2A server hints, the player
+switches to CDN X's healthy sibling server and keeps hitting warm
+caches.
+
+Expected shape: EONA keeps the cache hit rate near the warm level,
+cuts rebuffering for the affected sessions by a clear factor, and CDN X
+retains (nearly) all the traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines.modes import Mode
+from repro.core.appp import EonaAppP, StatusQuoAppP
+from repro.core.infp import make_cdn_i2a
+from repro.experiments.common import ExperimentResult, launch_video_sessions, qoe_of
+from repro.video.qoe import summarize
+from repro.workloads.scenarios import build_coarse_control_scenario
+
+
+def run_mode(
+    mode: Mode,
+    seed: int = 0,
+    n_clients: int = 20,
+    n_sessions: int = 30,
+    horizon_s: float = 700.0,
+) -> Dict[str, object]:
+    """Run one world under ``mode`` and return its metric row."""
+    scenario = build_coarse_control_scenario(seed=seed, n_clients=n_clients)
+    sim = scenario.sim
+    registry = scenario.registry
+
+    if mode is Mode.EONA:
+        cdn_i2a = {
+            scenario.cdn_x.name: make_cdn_i2a(sim, scenario.cdn_x, registry),
+            scenario.cdn_y.name: make_cdn_i2a(sim, scenario.cdn_y, registry),
+        }
+        policy = EonaAppP(
+            sim, scenario.cdns, cdn_i2a=cdn_i2a, name="appp", isp="isp"
+        )
+        registry.grant(scenario.cdn_x.name, "appp")
+        registry.grant(scenario.cdn_y.name, "appp")
+    elif mode is Mode.STATUS_QUO:
+        policy = StatusQuoAppP(sim, scenario.cdns, name="appp", isp="isp")
+    else:
+        raise ValueError(f"E1 compares STATUS_QUO and EONA, not {mode}")
+
+    players = launch_video_sessions(
+        sim,
+        scenario.network,
+        scenario.catalog,
+        policy,
+        scenario.client_nodes,
+        rng=sim.rng.get("arrivals"),
+        rate_per_s=0.4,
+        max_sessions=n_sessions,
+    )
+    sim.run(until=horizon_s)
+
+    qoes = qoe_of(players)
+    summary = summarize(qoes)
+    ended_on_x = sum(
+        1
+        for player in players
+        if player.cdn is not None and player.cdn.name == scenario.cdn_x.name
+    )
+    return {
+        "mode": mode.value,
+        "sessions": len(players),
+        "buffering_ratio": summary["mean_buffering_ratio"],
+        "mean_bitrate_mbps": summary["mean_bitrate_mbps"],
+        "rebuffer_events": summary["rebuffer_events_per_session"],
+        "cdn_switches": summary["cdn_switches_per_session"],
+        "server_switches": sum(q.server_switches for q in qoes) / max(1, len(qoes)),
+        "cache_hit_rate_x": scenario.cdn_x.cache_hit_rate(),
+        "traffic_retained_by_x": ended_on_x / max(1, len(players)),
+        "origin_y_fetches": scenario.cdn_y.origin.fetches,
+        "engagement": summary["mean_engagement"],
+    }
+
+
+def run(seed: int = 0, **kwargs) -> ExperimentResult:
+    """Compare status quo vs. EONA in the coarse-control world."""
+    result = ExperimentResult(
+        name="E1-coarse-control",
+        notes="degraded server in warm CDN X; cold CDN Y behind narrow origin",
+    )
+    for mode in (Mode.STATUS_QUO, Mode.EONA):
+        result.add_row(**run_mode(mode, seed=seed, **kwargs))
+    return result

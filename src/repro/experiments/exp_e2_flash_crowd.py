@@ -1,0 +1,234 @@
+"""E2 -- "Lack of visibility" (paper §2, Figure 3).
+
+A flash crowd over-subscribes the access ISP.  Status-quo players see
+bad throughput, blame the CDN, and thrash across CDNs -- which cannot
+help, because the bottleneck is behind the peering.  With EONA, the
+ISP's I2A congestion signal attributes the bottleneck to the access
+segment and the AppP responds by stepping bitrate down instead.
+
+Expected shape: EONA trades bitrate for a several-fold reduction in
+buffering ratio and eliminates futile CDN switching; the access link
+stays fully utilized either way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.modes import Mode
+from repro.baselines.oracle import OracleAppP
+from repro.core.appp import EonaAppP, StatusQuoAppP
+from repro.core.infp import EonaInfP, StatusQuoInfP
+from repro.experiments.common import ExperimentResult, launch_video_sessions, qoe_of
+from repro.video.qoe import summarize
+from repro.workloads.arrivals import flash_crowd_rate
+from repro.workloads.scenarios import build_flash_crowd_scenario
+
+
+def run_mode(
+    mode: Mode,
+    seed: int = 0,
+    n_clients: int = 30,
+    access_capacity_mbps: float = 45.0,
+    peak_rate_per_s: float = 1.5,
+    horizon_s: float = 600.0,
+    i2a_refresh_s: float = 10.0,
+) -> Dict[str, object]:
+    scenario = build_flash_crowd_scenario(
+        seed=seed, n_clients=n_clients, access_capacity_mbps=access_capacity_mbps
+    )
+    sim = scenario.sim
+    registry = scenario.registry
+
+    infp = None
+    if mode is Mode.EONA or mode is Mode.I2A_ONLY:
+        infp = EonaInfP(
+            sim,
+            scenario.network,
+            groups=[],
+            registry=registry,
+            access_links=[scenario.access_link],
+            i2a_refresh_s=i2a_refresh_s,
+            stats_period_s=2.0,
+        )
+        registry.grant("isp", "appp")
+        policy = EonaAppP(sim, scenario.cdns, isp_i2a=infp.i2a, name="appp")
+    elif mode is Mode.A2I_ONLY:
+        # Measurements flow to the ISP -- but the Figure 3 fix needs the
+        # *application's* bitrate knob, which A2I-only cannot reach.
+        policy = StatusQuoAppP(sim, scenario.cdns, name="appp")
+        a2i = policy.make_a2i(registry, refresh_period_s=i2a_refresh_s)
+        registry.grant("appp", "isp")
+        infp = EonaInfP(
+            sim, scenario.network, groups=[], registry=registry,
+            appp_a2i=a2i, access_links=[scenario.access_link],
+            stats_period_s=2.0, i2a_refresh_s=i2a_refresh_s,
+        )
+    elif mode is Mode.STATUS_QUO:
+        infp = StatusQuoInfP(sim, scenario.network, groups=[], stats_period_s=2.0)
+        policy = StatusQuoAppP(sim, scenario.cdns, name="appp")
+    elif mode is Mode.ORACLE:
+        policy = OracleAppP(
+            sim,
+            scenario.cdns,
+            network=scenario.network,
+            access_links=[scenario.access_link],
+            name="appp",
+        )
+    else:
+        raise ValueError(f"E2 does not support {mode}")
+
+    rate_fn = flash_crowd_rate(
+        base_per_s=0.05,
+        peak_per_s=peak_rate_per_s,
+        onset_s=30.0,
+        ramp_s=30.0,
+        duration_s=60.0,
+    )
+    players = launch_video_sessions(
+        sim,
+        scenario.network,
+        scenario.catalog,
+        policy,
+        scenario.client_nodes,
+        rng=sim.rng.get("arrivals"),
+        rate_fn=rate_fn,
+        max_rate_per_s=peak_rate_per_s,
+        until=horizon_s * 0.6,
+        content_picker=lambda index: scenario.catalog.by_rank(0),
+    )
+    sim.run(until=horizon_s)
+    if infp is not None:
+        infp.stop()
+
+    qoes = qoe_of(players)
+    summary = summarize(qoes)
+    scenario.network.sync()
+    access_stats = scenario.network.link_stats[scenario.access_link]
+    return {
+        "mode": mode.value,
+        "sessions": len(players),
+        "buffering_ratio": summary["mean_buffering_ratio"],
+        "mean_bitrate_mbps": summary["mean_bitrate_mbps"],
+        "rebuffer_events": summary["rebuffer_events_per_session"],
+        "cdn_switches": summary["cdn_switches_per_session"],
+        "abandoned": sum(1 for q in qoes if q.abandoned),
+        "access_utilization": access_stats.mean_utilization,
+        "engagement": summary["mean_engagement"],
+    }
+
+
+def run_abr_ablation(
+    seed: int = 0,
+    horizon_s: float = 500.0,
+    n_clients: int = 20,
+    peak_rate_per_s: float = 1.0,
+    access_capacity_mbps: float = 30.0,
+) -> ExperimentResult:
+    """Does the EONA benefit depend on the client's ABR algorithm?
+
+    Sweeps four ABR designs (throughput-chasing, pure buffer-feedback,
+    FESTIVE-stabilized, BOLA) through the flash-crowd world under status
+    quo and EONA.  The congestion signal operates above the ABR (a
+    rate *cap*), so the benefit should survive across all of them --
+    the ablation behind DESIGN.md decision ✦2.
+    """
+    from repro.video.abr import BolaAbr, BufferBasedAbr, FestiveAbr, RateBasedAbr
+
+    abrs = {
+        "rate_based": RateBasedAbr,
+        "buffer_based": BufferBasedAbr,
+        "festive": FestiveAbr,
+        "bola": BolaAbr,
+    }
+    result = ExperimentResult(
+        name="E2-abr-ablation",
+        notes="flash-crowd benefit across ABR algorithms",
+    )
+    for abr_name, abr_factory in abrs.items():
+        per_mode = {}
+        for mode in (Mode.STATUS_QUO, Mode.EONA):
+            scenario = build_flash_crowd_scenario(
+                seed=seed,
+                n_clients=n_clients,
+                access_capacity_mbps=access_capacity_mbps,
+            )
+            sim = scenario.sim
+            registry = scenario.registry
+            infp = None
+            if mode is Mode.EONA:
+                infp = EonaInfP(
+                    sim, scenario.network, groups=[], registry=registry,
+                    access_links=[scenario.access_link],
+                    i2a_refresh_s=5.0, stats_period_s=2.0,
+                )
+                registry.grant("isp", "appp")
+                policy = EonaAppP(sim, scenario.cdns, isp_i2a=infp.i2a, name="appp")
+            else:
+                policy = StatusQuoAppP(sim, scenario.cdns, name="appp")
+            players = launch_video_sessions(
+                sim,
+                scenario.network,
+                scenario.catalog,
+                policy,
+                scenario.client_nodes,
+                rng=sim.rng.get("arrivals"),
+                rate_fn=flash_crowd_rate(
+                    base_per_s=0.05, peak_per_s=peak_rate_per_s,
+                    onset_s=30.0, ramp_s=30.0, duration_s=60.0,
+                ),
+                max_rate_per_s=peak_rate_per_s,
+                until=horizon_s * 0.6,
+                abr_factory=abr_factory,
+                content_picker=lambda index: scenario.catalog.by_rank(0),
+            )
+            sim.run(until=horizon_s)
+            if infp is not None:
+                infp.stop()
+            if hasattr(policy, "stop"):
+                policy.stop()
+            per_mode[mode] = summarize(qoe_of(players))
+        quo, eona = per_mode[Mode.STATUS_QUO], per_mode[Mode.EONA]
+        result.add_row(
+            abr=abr_name,
+            status_quo_buffering=quo["mean_buffering_ratio"],
+            eona_buffering=eona["mean_buffering_ratio"],
+            status_quo_bitrate=quo["mean_bitrate_mbps"],
+            eona_bitrate=eona["mean_bitrate_mbps"],
+            eona_benefit=(
+                quo["mean_buffering_ratio"] - eona["mean_buffering_ratio"]
+            ),
+            eona_engagement_gain=(
+                eona["mean_engagement"] - quo["mean_engagement"]
+            ),
+        )
+    return result
+
+
+def run(
+    seed: int = 0,
+    include_oracle: bool = True,
+    include_oneway: bool = False,
+    **kwargs,
+) -> ExperimentResult:
+    """Compare status quo, (optionally the one-way designs,) EONA, oracle.
+
+    With ``include_oneway``, the table shows which sharing *direction*
+    Figure 3 actually needs: I2A-only matches full EONA (the fix is the
+    application's bitrate knob, informed by the ISP), while A2I-only
+    cannot help (the ISP has no knob that relieves its own access
+    bottleneck) -- the complement of Figure 5's split (see E4).
+    """
+    result = ExperimentResult(
+        name="E2-flash-crowd",
+        notes="flash crowd behind a fixed access bottleneck (Figure 3)",
+    )
+    modes = [Mode.STATUS_QUO]
+    if include_oneway:
+        modes += [Mode.A2I_ONLY, Mode.I2A_ONLY]
+    modes.append(Mode.EONA)
+    if include_oracle:
+        modes.append(Mode.ORACLE)
+    for mode in modes:
+        result.add_row(**run_mode(mode, seed=seed, **kwargs))
+    return result

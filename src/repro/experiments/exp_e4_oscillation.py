@@ -1,0 +1,203 @@
+"""E4 -- Control-loop oscillation (paper §2 "interactions", Figure 5).
+
+CDN X peers with the ISP at B (cheap, preferred, small) and C (big);
+CDN Y only at C, with a thin uplink.  Under status quo the ISP's greedy
+TE flees congestion at B, returns when B looks clear, and the AppP
+simultaneously flips sessions X→Y→X -- the infinite oscillation of
+Figure 5.  Under EONA the ISP places X's traffic at C using the A2I
+demand estimate, publishes the decision over I2A, and the AppP holds.
+
+Expected shape: status-quo switch counts grow linearly with time;
+EONA converges in a bounded number of decisions to the green path
+(CDN X via peering C) and stays, with lower buffering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.baselines.modes import Mode
+from repro.baselines.oracle import OracleAppP, oracle_te_policy
+from repro.core.appp import EonaAppP, StatusQuoAppP
+from repro.core.damping import HysteresisGate
+from repro.core.infp import EonaInfP, StatusQuoInfP
+from repro.experiments.common import ExperimentResult, launch_video_sessions, qoe_of
+from repro.sdn.te import TrafficEngineeringApp
+from repro.video.qoe import summarize
+from repro.workloads.scenarios import build_oscillation_scenario
+
+
+def run_mode(
+    mode: Mode,
+    seed: int = 0,
+    n_clients: int = 24,
+    horizon_s: float = 1200.0,
+    te_period_s: float = 60.0,
+    with_damping: bool = True,
+    i2a_refresh_s: float = 10.0,
+) -> Dict[str, object]:
+    scenario = build_oscillation_scenario(seed=seed, n_clients=n_clients)
+    sim = scenario.sim
+    registry = scenario.registry
+    network = scenario.network
+
+    if mode is Mode.STATUS_QUO:
+        infp = StatusQuoInfP(
+            sim, network, scenario.groups, te_period_s=te_period_s, stats_period_s=5.0
+        )
+        policy = StatusQuoAppP(sim, scenario.cdns, name="appp")
+    elif mode is Mode.A2I_ONLY:
+        # P4P-mirror: measurements flow to the ISP, nothing flows back.
+        policy = StatusQuoAppP(sim, scenario.cdns, name="appp")
+        a2i = policy.make_a2i(registry, refresh_period_s=i2a_refresh_s)
+        registry.grant("appp", "isp")
+        infp = EonaInfP(
+            sim, network, scenario.groups, registry=registry, appp_a2i=a2i,
+            te_period_s=te_period_s, stats_period_s=5.0,
+            i2a_refresh_s=i2a_refresh_s,
+        )
+    elif mode is Mode.I2A_ONLY:
+        # P4P/ALTO lineage: the ISP publishes hints, receives nothing;
+        # its own TE stays the legacy greedy loop.
+        from repro.sdn.te import greedy_reactive_policy
+
+        infp = EonaInfP(
+            sim, network, scenario.groups, registry=registry,
+            te_period_s=te_period_s, stats_period_s=5.0,
+            i2a_refresh_s=i2a_refresh_s,
+        )
+        infp.te.policy = greedy_reactive_policy
+        registry.grant("isp", "appp")
+        damper = (
+            HysteresisGate(sim, min_dwell_s=120.0, improvement_margin=0.1)
+            if with_damping
+            else None
+        )
+        policy = EonaAppP(
+            sim, scenario.cdns, isp_i2a=infp.i2a, name="appp", damper=damper
+        )
+    elif mode is Mode.EONA:
+        damper = (
+            HysteresisGate(sim, min_dwell_s=120.0, improvement_margin=0.1)
+            if with_damping
+            else None
+        )
+        policy = EonaAppP(sim, scenario.cdns, name="appp", damper=damper)
+        a2i = policy.make_a2i(registry, refresh_period_s=i2a_refresh_s)
+        registry.grant("appp", "isp")
+        infp = EonaInfP(
+            sim,
+            network,
+            scenario.groups,
+            registry=registry,
+            appp_a2i=a2i,
+            te_period_s=te_period_s,
+            stats_period_s=5.0,
+            i2a_refresh_s=i2a_refresh_s,
+        )
+        registry.grant("isp", "appp")
+        policy.isp_i2a = infp.i2a
+    elif mode is Mode.ORACLE:
+        infp = StatusQuoInfP(
+            sim, network, scenario.groups, te_period_s=te_period_s, stats_period_s=5.0
+        )
+        policy = OracleAppP(sim, scenario.cdns, network=network, name="appp")
+        infp.te.policy = oracle_te_policy(network, appp=policy)
+    else:
+        raise ValueError(f"E4 does not support {mode}")
+
+    # Steady offered load: sessions arrive continuously so aggregate
+    # demand stays near n_clients x ~3 Mbit/s for the whole horizon.
+    players = launch_video_sessions(
+        sim,
+        network,
+        scenario.catalog,
+        policy,
+        scenario.client_nodes,
+        rng=sim.rng.get("arrivals"),
+        rate_per_s=n_clients / 180.0,
+        until=horizon_s - 200.0,
+        content_picker=lambda index: scenario.catalog.by_rank(index % 5),
+    )
+    # Probe the egress choice while the system is under full load (the
+    # end-of-run selection legitimately drifts back to the cheap peering
+    # once the offered load drains).
+    loaded_selection: Dict[str, Optional[str]] = {}
+    sim.schedule_at(
+        horizon_s * 0.7,
+        lambda: loaded_selection.__setitem__("cdnX", infp.te.selection("cdnX")),
+    )
+    sim.run(until=horizon_s)
+    infp.stop()
+    if hasattr(policy, "stop"):
+        policy.stop()
+
+    qoes = qoe_of(players)
+    summary = summarize(qoes)
+    network.sync()
+    b_stats = network.link_stats[scenario.peering_b_link]
+    probed = loaded_selection.get("cdnX")
+    return {
+        "mode": mode.value + ("" if with_damping else "-nodamp"),
+        "sessions": len(players),
+        "te_switches": infp.te.switch_count("cdnX"),
+        "cdn_switches": summary["cdn_switches_per_session"],
+        "buffering_ratio": summary["mean_buffering_ratio"],
+        "mean_bitrate_mbps": summary["mean_bitrate_mbps"],
+        "peerB_congested_frac": b_stats.congested_fraction,
+        "loaded_egress": probed or "",
+        "on_green_path": probed == "peerC",
+        "engagement": summary["mean_engagement"],
+    }
+
+
+def run(
+    seed: int = 0,
+    include_oracle: bool = True,
+    include_oneway: bool = False,
+    **kwargs,
+) -> ExperimentResult:
+    """The Figure 5 comparison.
+
+    ``include_oneway`` adds the prior-work one-way designs the paper
+    differentiates itself from (§1: "EONA envisions a two-way interface
+    as opposed to prior work"): A2I-only fixes the ISP's loop but not
+    the AppP's; I2A-only the reverse; only bidirectional EONA stills
+    both halves of the oscillator.
+    """
+    result = ExperimentResult(
+        name="E4-oscillation",
+        notes="Figure 5 world: X via B(small, preferred)/C(big); Y via C only",
+    )
+    modes = [Mode.STATUS_QUO]
+    if include_oneway:
+        modes += [Mode.A2I_ONLY, Mode.I2A_ONLY]
+    modes.append(Mode.EONA)
+    if include_oracle:
+        modes.append(Mode.ORACLE)
+    for mode in modes:
+        result.add_row(**run_mode(mode, seed=seed, **kwargs))
+    return result
+
+
+def run_switch_growth(
+    seed: int = 0,
+    horizons=(300.0, 600.0, 1200.0),
+    **kwargs,
+) -> ExperimentResult:
+    """Oscillation count vs. time: linear for status quo, flat for EONA."""
+    result = ExperimentResult(
+        name="E4-switch-growth",
+        notes="TE re-selections of cdnX's egress vs. simulated horizon",
+    )
+    for horizon in horizons:
+        quo = run_mode(Mode.STATUS_QUO, seed=seed, horizon_s=horizon, **kwargs)
+        eona = run_mode(Mode.EONA, seed=seed, horizon_s=horizon, **kwargs)
+        result.add_row(
+            horizon_s=horizon,
+            status_quo_te_switches=quo["te_switches"],
+            eona_te_switches=eona["te_switches"],
+            status_quo_cdn_switches=quo["cdn_switches"],
+            eona_cdn_switches=eona["cdn_switches"],
+        )
+    return result

@@ -1,0 +1,77 @@
+"""E6 -- Dealing with staleness (paper §5, open challenges).
+
+EONA's interfaces export periodic snapshots, not live state.  This
+experiment re-runs the flash-crowd world (E2) with the I2A refresh
+period swept from near-live to minutes, measuring how much of EONA's
+buffering-ratio benefit survives, and the same sweep for the
+oscillation world's TE loop.
+
+Expected shape: the benefit decays monotonically with staleness and
+crosses into "no better than status quo" somewhere beyond the control
+loops' natural timescale; damping widens the usable staleness range.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.baselines.modes import Mode
+from repro.experiments import exp_e2_flash_crowd, exp_e4_oscillation
+from repro.experiments.common import ExperimentResult
+
+
+def run(
+    seed: int = 0,
+    refresh_periods: Tuple[float, ...] = (2.0, 10.0, 30.0, 90.0),
+    **kwargs,
+) -> ExperimentResult:
+    """Flash-crowd benefit vs. I2A refresh period."""
+    result = ExperimentResult(
+        name="E6-staleness",
+        notes="EONA benefit in the Figure 3 world as I2A snapshots age",
+    )
+    baseline = exp_e2_flash_crowd.run_mode(Mode.STATUS_QUO, seed=seed, **kwargs)
+    for period in refresh_periods:
+        eona = exp_e2_flash_crowd.run_mode(
+            Mode.EONA, seed=seed, i2a_refresh_s=period, **kwargs
+        )
+        benefit = (
+            float(baseline["buffering_ratio"]) - float(eona["buffering_ratio"])
+        )
+        result.add_row(
+            i2a_refresh_s=period,
+            status_quo_buffering=baseline["buffering_ratio"],
+            eona_buffering=eona["buffering_ratio"],
+            buffering_benefit=benefit,
+            relative_benefit=(
+                benefit / float(baseline["buffering_ratio"])
+                if float(baseline["buffering_ratio"]) > 0
+                else 0.0
+            ),
+            eona_bitrate=eona["mean_bitrate_mbps"],
+        )
+    return result
+
+
+def run_te_staleness(
+    seed: int = 0,
+    refresh_periods: Tuple[float, ...] = (5.0, 30.0, 120.0),
+    **kwargs,
+) -> ExperimentResult:
+    """Oscillation-world convergence vs. A2I/I2A refresh period."""
+    result = ExperimentResult(
+        name="E6-te-staleness",
+        notes="Figure 5 world: do stale demand estimates still converge?",
+    )
+    for period in refresh_periods:
+        eona = exp_e4_oscillation.run_mode(
+            Mode.EONA, seed=seed, i2a_refresh_s=period, **kwargs
+        )
+        result.add_row(
+            refresh_s=period,
+            te_switches=eona["te_switches"],
+            cdn_switches=eona["cdn_switches"],
+            buffering_ratio=eona["buffering_ratio"],
+            on_green_path=eona["on_green_path"],
+        )
+    return result

@@ -1,0 +1,176 @@
+"""E8 -- Fairness across AppPs (paper §5, "fairness and trust").
+
+One ISP serves two application providers with unequal demand, each
+delivered by its own CDN; both CDNs can egress at peering B (small) or
+C (medium), and the two together only fit if they are *split* across
+the peerings.  The concern the paper raises: does an InfP optimizing
+with EONA information starve one AppP?
+
+Expected shape: greedy TE herds both groups onto the same peering and
+both suffer (heavy one worst); EONA's demand-aware placement separates
+them, lifting both AppPs' QoE and pushing the Jain index toward 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines.modes import Mode
+from repro.cdn.content import ContentCatalog
+from repro.cdn.provider import Cdn
+from repro.cdn.server import CdnServer
+from repro.core.appp import EonaAppP, StatusQuoAppP
+from repro.core.infp import EonaInfP, StatusQuoInfP
+from repro.core.registry import OptInRegistry
+from repro.experiments.common import (
+    ExperimentResult,
+    jain_index,
+    launch_video_sessions,
+    qoe_of,
+)
+from repro.network.fluidsim import FluidNetwork
+from repro.network.topology import NodeKind, Topology
+from repro.sdn.te import EgressGroup
+from repro.simkernel.kernel import Simulator
+from repro.video.qoe import engagement_score, summarize
+
+
+def _build_world(seed: int, n_heavy: int, n_light: int):
+    sim = Simulator(seed=seed)
+    topo = Topology("fairness")
+    topo.add_node("cdnA", NodeKind.SERVER, owner="cdnA")
+    topo.add_node("cdnB", NodeKind.SERVER, owner="cdnB")
+    topo.add_node("peerB", NodeKind.PEERING, owner="isp")
+    topo.add_node("peerC", NodeKind.PEERING, owner="isp")
+    topo.add_node("core", NodeKind.ROUTER, owner="isp")
+    topo.add_node("agg", NodeKind.ROUTER, owner="isp")
+    topo.add_link("cdnA", "peerB", 10_000.0, delay_ms=2, owner="cdnA")
+    topo.add_link("cdnA", "peerC", 10_000.0, delay_ms=6, owner="cdnA")
+    topo.add_link("cdnB", "peerB", 10_000.0, delay_ms=2, owner="cdnB")
+    topo.add_link("cdnB", "peerC", 10_000.0, delay_ms=6, owner="cdnB")
+    link_b = topo.add_link("peerB", "core", 40.0, delay_ms=1, owner="isp", tags=("peering",))
+    link_c = topo.add_link("peerC", "core", 70.0, delay_ms=1, owner="isp", tags=("peering",))
+    topo.add_link("core", "agg", 10_000.0, delay_ms=2, owner="isp")
+    clients = []
+    for index in range(n_heavy + n_light):
+        node = f"client{index}"
+        topo.add_node(node, NodeKind.CLIENT, owner="isp")
+        topo.add_link("agg", node, 100.0, delay_ms=5, owner="isp")
+        clients.append(node)
+    network = FluidNetwork(sim, topo)
+    catalog = ContentCatalog(n_items=10, duration_s=180.0)
+    cdn_a = Cdn("cdnA", [CdnServer("cdnA.s1", "cdnA", capacity_sessions=10_000)])
+    cdn_b = Cdn("cdnB", [CdnServer("cdnB.s1", "cdnB", capacity_sessions=10_000)])
+    groups = [
+        EgressGroup(
+            name="cdnA",
+            remote="cdnA",
+            candidates=["peerB", "peerC"],
+            egress_links={"peerB": link_b.link_id, "peerC": link_c.link_id},
+            preferred="peerB",
+        ),
+        EgressGroup(
+            name="cdnB",
+            remote="cdnB",
+            candidates=["peerB", "peerC"],
+            egress_links={"peerB": link_b.link_id, "peerC": link_c.link_id},
+            preferred="peerB",
+        ),
+    ]
+    return sim, network, catalog, cdn_a, cdn_b, groups, clients
+
+
+def run_mode(
+    mode: Mode,
+    seed: int = 0,
+    n_heavy: int = 16,
+    n_light: int = 8,
+    horizon_s: float = 900.0,
+    te_period_s: float = 45.0,
+) -> Dict[str, object]:
+    sim, network, catalog, cdn_a, cdn_b, groups, clients = _build_world(
+        seed, n_heavy, n_light
+    )
+    registry = OptInRegistry()
+    heavy_clients = clients[:n_heavy]
+    light_clients = clients[n_heavy:]
+
+    if mode is Mode.EONA:
+        appp_heavy = EonaAppP(sim, [cdn_a], name="appp-heavy")
+        appp_light = EonaAppP(sim, [cdn_b], name="appp-light")
+        glasses = [
+            appp_heavy.make_a2i(registry),
+            appp_light.make_a2i(registry),
+        ]
+        registry.grant("appp-heavy", "isp")
+        registry.grant("appp-light", "isp")
+        infp = EonaInfP(
+            sim,
+            network,
+            groups,
+            registry=registry,
+            appp_a2i=glasses,
+            te_period_s=te_period_s,
+        )
+        registry.grant("isp", "appp-heavy")
+        registry.grant("isp", "appp-light")
+        appp_heavy.isp_i2a = infp.i2a
+        appp_light.isp_i2a = infp.i2a
+    elif mode is Mode.STATUS_QUO:
+        appp_heavy = StatusQuoAppP(sim, [cdn_a], name="appp-heavy")
+        appp_light = StatusQuoAppP(sim, [cdn_b], name="appp-light")
+        infp = StatusQuoInfP(sim, network, groups, te_period_s=te_period_s)
+    else:
+        raise ValueError(f"E8 does not support {mode}")
+
+    heavy_players = launch_video_sessions(
+        sim, network, catalog, appp_heavy, heavy_clients,
+        rng=sim.rng.get("arrivals-heavy"),
+        rate_per_s=n_heavy / 180.0,
+        until=horizon_s - 200.0,
+        session_prefix="h",
+    )
+    light_players = launch_video_sessions(
+        sim, network, catalog, appp_light, light_clients,
+        rng=sim.rng.get("arrivals-light"),
+        rate_per_s=n_light / 180.0,
+        until=horizon_s - 200.0,
+        session_prefix="l",
+    )
+    probe: Dict[str, object] = {}
+
+    def take_probe() -> None:
+        probe["split"] = infp.te.selection("cdnA") != infp.te.selection("cdnB")
+
+    sim.schedule_at(horizon_s * 0.7, take_probe)
+    sim.run(until=horizon_s)
+    infp.stop()
+
+    heavy_qoe = qoe_of(heavy_players)
+    light_qoe = qoe_of(light_players)
+    heavy_summary = summarize(heavy_qoe)
+    light_summary = summarize(light_qoe)
+    fairness = jain_index(
+        [engagement_score(q) for q in heavy_qoe]
+        + [engagement_score(q) for q in light_qoe]
+    )
+    return {
+        "mode": mode.value,
+        "heavy_buffering": heavy_summary["mean_buffering_ratio"],
+        "light_buffering": light_summary["mean_buffering_ratio"],
+        "heavy_engagement": heavy_summary["mean_engagement"],
+        "light_engagement": light_summary["mean_engagement"],
+        "jain_sessions": fairness,
+        "te_switches": infp.te.switch_count(),
+        "split_across_peerings": bool(probe.get("split", False)),
+    }
+
+
+def run(seed: int = 0, **kwargs) -> ExperimentResult:
+    result = ExperimentResult(
+        name="E8-fairness",
+        notes="two AppPs, shared peerings; does EONA TE starve one?",
+    )
+    for mode in (Mode.STATUS_QUO, Mode.EONA):
+        result.add_row(**run_mode(mode, seed=seed, **kwargs))
+    return result

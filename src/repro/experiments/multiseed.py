@@ -1,0 +1,82 @@
+"""Multi-seed experiment aggregation.
+
+Every experiment's ``run_mode``/``run_config`` entry point takes a
+``seed``; this module re-runs one across seeds and reduces the numeric
+columns to mean ± stddev, so claims like "EONA cuts buffering 2.3×" can
+be checked for seed-robustness rather than read off a single run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments.common import ExperimentResult
+
+RowFn = Callable[..., Dict[str, object]]
+
+
+def run_seeds(
+    row_fn: RowFn,
+    seeds: Sequence[int],
+    **kwargs,
+) -> List[Dict[str, object]]:
+    """Run ``row_fn(seed=s, **kwargs)`` for every seed; returns raw rows."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return [row_fn(seed=seed, **kwargs) for seed in seeds]
+
+
+def aggregate_rows(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Reduce rows to per-column mean and stddev.
+
+    Numeric columns become ``<name>_mean`` / ``<name>_std``; boolean
+    columns become the fraction true (``<name>_frac``); non-numeric
+    columns keep their value when it agrees across seeds, else the
+    sorted set of observed values joined with ``|`` (a run-dependent
+    label such as which egress a probe caught is data, not an error).
+    """
+    if not rows:
+        raise ValueError("need at least one row")
+    aggregated: Dict[str, object] = {"n_seeds": len(rows)}
+    for key in rows[0]:
+        values = [row.get(key) for row in rows]
+        if all(isinstance(v, bool) for v in values):
+            aggregated[f"{key}_frac"] = sum(values) / len(values)
+        elif all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in values):
+            mean = sum(values) / len(values)
+            variance = sum((v - mean) ** 2 for v in values) / len(values)
+            aggregated[f"{key}_mean"] = mean
+            aggregated[f"{key}_std"] = math.sqrt(variance)
+        else:
+            distinct = sorted({str(v) for v in values})
+            aggregated[key] = values[0] if len(distinct) == 1 else "|".join(distinct)
+    return aggregated
+
+
+def multiseed_result(
+    name: str,
+    row_fn: RowFn,
+    configs: Sequence[Dict[str, object]],
+    seeds: Sequence[int],
+    config_key: str = "mode",
+    notes: str = "",
+) -> ExperimentResult:
+    """Build a mean±std table over ``configs`` × ``seeds``.
+
+    Args:
+        name: Result table name.
+        row_fn: The experiment's per-run entry point.
+        configs: One kwargs dict per table row (e.g. ``{"mode": Mode.EONA}``).
+        seeds: Seeds to aggregate over.
+        config_key: Informational only; named in the notes.
+        notes: Extra provenance appended to the table notes.
+    """
+    result = ExperimentResult(
+        name=name,
+        notes=(f"mean±std over seeds {list(seeds)}; " + notes).strip("; "),
+    )
+    for config in configs:
+        rows = run_seeds(row_fn, seeds, **config)
+        result.add_row(**aggregate_rows(rows))
+    return result

@@ -1,0 +1,414 @@
+"""The fluid flow-level network simulator.
+
+:class:`FluidNetwork` binds a topology to a simulator.  Transfers and
+persistent streams become :class:`~repro.network.flows.Flow` objects;
+whenever the flow set, a demand, or a link capacity changes the network
+re-runs max-min allocation, updates link statistics, and reschedules
+the next completion event.  Between changes all flows progress fluidly
+at constant rates, so the simulation cost scales with the number of
+*changes*, not with transferred bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Dict, List, Optional
+
+from repro.network.flows import Flow, FlowState
+from repro.network.linkstats import LinkStats
+from repro.network.maxmin import max_min_allocation
+from repro.network.routing import Router
+from repro.network.topology import Link, Topology
+from repro.simkernel.kernel import Simulator
+
+_EPS = 1e-9
+
+
+class Transfer:
+    """User-facing handle for a flow started on a :class:`FluidNetwork`."""
+
+    __slots__ = ("flow", "on_complete", "network")
+
+    def __init__(
+        self,
+        flow: Flow,
+        network: "FluidNetwork",
+        on_complete: Optional[Callable[["Transfer"], None]],
+    ):
+        self.flow = flow
+        self.network = network
+        self.on_complete = on_complete
+
+    @property
+    def done(self) -> bool:
+        return self.flow.done
+
+    @property
+    def rate_mbps(self) -> float:
+        return self.flow.rate_mbps
+
+    @property
+    def remaining_mbit(self) -> float:
+        return self.flow.remaining_mbit
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.flow.finished_at is None:
+            return None
+        return self.flow.finished_at - self.flow.started_at
+
+    def mean_throughput_mbps(self) -> Optional[float]:
+        """Size over duration for completed finite transfers."""
+        duration = self.duration
+        if duration is None or self.flow.size_mbit is None:
+            return None
+        if duration <= 0:
+            return math.inf
+        return self.flow.size_mbit / duration
+
+    def __repr__(self) -> str:
+        return f"Transfer({self.flow!r})"
+
+
+class _SplitState:
+    """Deterministic weighted assignment of flows to via nodes."""
+
+    __slots__ = ("weights", "assigned")
+
+    def __init__(self, weights: Dict[str, float]):
+        self.weights = weights
+        self.assigned: Dict[str, int] = {via: 0 for via in weights}
+
+    def next_via(self) -> str:
+        """The via with the largest weight deficit gets the next flow."""
+        total = sum(self.assigned.values()) + 1
+        deficits = {
+            via: self.weights[via] * total - self.assigned[via]
+            for via in self.weights
+        }
+        choice = max(sorted(deficits), key=lambda via: deficits[via])
+        self.assigned[choice] += 1
+        return choice
+
+
+class FluidNetwork:
+    """Flow-level network simulation over a topology.
+
+    Args:
+        sim: Simulator providing the clock and event queue.
+        topology: The (mutable-capacity) topology.
+        max_rate_mbps: Cap applied to any single flow, standing in for
+            end-host NIC limits and keeping rates finite.
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology, max_rate_mbps: float = 1e5):
+        self.sim = sim
+        self.topology = topology
+        self.router = Router(topology)
+        self.max_rate_mbps = max_rate_mbps
+        self._flows: Dict[str, Flow] = {}
+        self._transfers: Dict[str, Transfer] = {}
+        self._via_policy: Dict[str, str] = {}
+        self._split_policy: Dict[str, _SplitState] = {}
+        self._flow_counter = itertools.count()
+        self._epoch = 0
+        self._completion_scheduled = False
+        self.link_stats: Dict[str, LinkStats] = {
+            link.link_id: LinkStats(link.link_id, link.capacity_mbps)
+            for link in topology.links()
+        }
+        self.completed_transfers = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def start_transfer(
+        self,
+        src: str,
+        dst: str,
+        size_mbit: float,
+        on_complete: Optional[Callable[[Transfer], None]] = None,
+        demand_mbps: float = math.inf,
+        via: Optional[str] = None,
+        path: Optional[List[str]] = None,
+        owner: str = "",
+    ) -> Transfer:
+        """Start a finite transfer of ``size_mbit`` from ``src`` to ``dst``.
+
+        Routing: an explicit node ``path`` wins; otherwise the shortest
+        path (optionally constrained through ``via``) is used.
+        ``on_complete`` fires, at the completion instant, with the
+        transfer handle.
+        """
+        return self._start(src, dst, size_mbit, on_complete, demand_mbps, via, path, owner)
+
+    def start_stream(
+        self,
+        src: str,
+        dst: str,
+        demand_mbps: float,
+        via: Optional[str] = None,
+        path: Optional[List[str]] = None,
+        owner: str = "",
+    ) -> Transfer:
+        """Start a persistent stream that runs until :meth:`abort`."""
+        return self._start(src, dst, None, None, demand_mbps, via, path, owner)
+
+    def abort(self, transfer: Transfer) -> None:
+        """Stop a flow without completing it.  Idempotent."""
+        flow = transfer.flow
+        if flow.done:
+            return
+        self._sync_to_now()
+        flow.state = FlowState.ABORTED
+        flow.finished_at = self.sim.now
+        self._flows.pop(flow.flow_id, None)
+        self._transfers.pop(flow.flow_id, None)
+        self._reallocate()
+
+    def set_demand(self, transfer: Transfer, demand_mbps: float) -> None:
+        """Change a flow's rate cap (e.g. a player switching bitrate)."""
+        if demand_mbps <= 0:
+            raise ValueError(f"demand must be positive, got {demand_mbps!r}")
+        if transfer.flow.done:
+            return
+        self._sync_to_now()
+        transfer.flow.demand_mbps = demand_mbps
+        self._reallocate()
+
+    def reroute(
+        self,
+        transfer: Transfer,
+        via: Optional[str] = None,
+        path: Optional[List[str]] = None,
+    ) -> None:
+        """Move an active flow onto a new path (the InfP's path knob)."""
+        flow = transfer.flow
+        if flow.done:
+            return
+        self._sync_to_now()
+        flow.path = self._resolve_path(flow.src, flow.dst, via, path)
+        self._reallocate()
+
+    def set_link_capacity(self, link_id: str, capacity_mbps: float) -> None:
+        """Change a link's capacity and reallocate (failures, energy saving)."""
+        if capacity_mbps <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_mbps!r}")
+        self._sync_to_now()
+        self.topology.link(link_id).capacity_mbps = capacity_mbps
+        self.link_stats[link_id].capacity_mbps = capacity_mbps
+        self._reallocate()
+
+    def set_via_policy(self, owner: str, via: Optional[str]) -> None:
+        """Route all traffic of ``owner`` through node ``via``.
+
+        This is the hook the InfP's traffic-engineering app programs:
+        future flows tagged with ``owner`` resolve their path through
+        ``via``, and currently active flows are rerouted immediately.
+        Passing ``None`` clears the policy (shortest-path routing).
+        """
+        self._split_policy.pop(owner, None)
+        if via is None:
+            self._via_policy.pop(owner, None)
+        else:
+            self._via_policy[owner] = via
+        rerouted = False
+        self._sync_to_now()
+        for flow in self._flows.values():
+            if flow.owner == owner:
+                flow.path = self._resolve_path(flow.src, flow.dst, via, None)
+                rerouted = True
+        if rerouted:
+            self._reallocate()
+
+    def set_split_policy(self, owner: str, weights: Dict[str, float]) -> None:
+        """Split ``owner`` traffic across several via nodes by weight.
+
+        The §4 global controller's third knob: "the traffic splits
+        across the peering points for each CDN".  New flows are
+        assigned a via so that the realized flow counts track the
+        weights (deterministic largest-deficit assignment, so runs stay
+        reproducible); active flows are re-balanced immediately.
+        """
+        if not weights:
+            raise ValueError("weights must not be empty")
+        total = sum(weights.values())
+        if total <= 0 or any(w < 0 for w in weights.values()):
+            raise ValueError(f"weights must be non-negative and sum > 0: {weights!r}")
+        normalized = {via: w / total for via, w in weights.items() if w > 0}
+        self._via_policy.pop(owner, None)
+        self._split_policy[owner] = _SplitState(weights=normalized)
+        self._sync_to_now()
+        flows = [flow for flow in self._flows.values() if flow.owner == owner]
+        if flows:
+            state = self._split_policy[owner]
+            state.assigned = {via: 0 for via in normalized}
+            for flow in flows:
+                via = state.next_via()
+                flow.path = self._resolve_path(flow.src, flow.dst, via, None)
+            self._reallocate()
+
+    def via_policy(self, owner: str) -> Optional[str]:
+        """The via-node currently programmed for ``owner`` traffic."""
+        return self._via_policy.get(owner)
+
+    def split_policy(self, owner: str) -> Optional[Dict[str, float]]:
+        """The split weights programmed for ``owner``, if any."""
+        state = self._split_policy.get(owner)
+        return dict(state.weights) if state else None
+
+    def transfers_by_owner(self, owner: str) -> List[Transfer]:
+        """Active transfers tagged with ``owner``."""
+        return [
+            transfer
+            for transfer in self._transfers.values()
+            if transfer.flow.owner == owner
+        ]
+
+    def active_flows(self) -> List[Flow]:
+        return list(self._flows.values())
+
+    def sync(self) -> None:
+        """Bring flow progress and link-time integrals up to ``sim.now``.
+
+        Rates only change at flow events, so the simulator does not
+        advance these integrals during idle stretches; call this before
+        reading time-averaged link statistics.
+        """
+        self._sync_to_now()
+
+    def link_load_mbps(self, link_id: str) -> float:
+        self._sync_to_now()
+        return self.link_stats[link_id].current_load_mbps
+
+    def link_utilization(self, link_id: str) -> float:
+        self._sync_to_now()
+        return self.link_stats[link_id].utilization
+
+    def path_rtt_ms(self, src: str, dst: str, via: Optional[str] = None) -> float:
+        """Round-trip propagation delay along the (possibly via-) path."""
+        if via is None:
+            forward = self.router.shortest_path(src, dst)
+            backward = self.router.shortest_path(dst, src)
+        else:
+            forward = self.router.path_via(src, dst, via)
+            backward = self.router.path_via(dst, src, via)
+        return self.topology.path_delay_ms(forward) + self.topology.path_delay_ms(backward)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _start(
+        self,
+        src: str,
+        dst: str,
+        size_mbit: Optional[float],
+        on_complete: Optional[Callable[[Transfer], None]],
+        demand_mbps: float,
+        via: Optional[str],
+        path: Optional[List[str]],
+        owner: str,
+    ) -> Transfer:
+        if via is None and path is None:
+            split = self._split_policy.get(owner)
+            if split is not None:
+                via = split.next_via()
+            else:
+                via = self._via_policy.get(owner)
+        links = self._resolve_path(src, dst, via, path)
+        flow_id = f"f{next(self._flow_counter)}"
+        flow = Flow(
+            flow_id=flow_id,
+            src=src,
+            dst=dst,
+            path=links,
+            demand_mbps=demand_mbps,
+            size_mbit=size_mbit,
+            owner=owner,
+        )
+        flow.started_at = self.sim.now
+        flow.last_progress_at = self.sim.now
+        transfer = Transfer(flow, self, on_complete)
+        self._sync_to_now()
+        self._flows[flow_id] = flow
+        self._transfers[flow_id] = transfer
+        if size_mbit is not None and size_mbit <= _EPS:
+            # Zero-size transfers complete immediately.
+            self._complete(transfer)
+        self._reallocate()
+        return transfer
+
+    def _resolve_path(
+        self,
+        src: str,
+        dst: str,
+        via: Optional[str],
+        path: Optional[List[str]],
+    ) -> List[Link]:
+        if path is not None:
+            node_path = path
+        elif via is not None:
+            node_path = self.router.path_via(src, dst, via)
+        else:
+            node_path = self.router.shortest_path(src, dst)
+        return self.topology.path_links(node_path)
+
+    def _sync_to_now(self) -> None:
+        """Progress all flows and link integrals to the current instant."""
+        now = self.sim.now
+        for stats in self.link_stats.values():
+            stats.advance(now)
+        for flow in self._flows.values():
+            flow.progress(now)
+
+    def _reallocate(self) -> None:
+        """Recompute rates and reschedule the next completion event.
+
+        Callers must have already called :meth:`_sync_to_now`.
+        """
+        rates = max_min_allocation(self._flows.values())
+        loads: Dict[str, float] = {link_id: 0.0 for link_id in self.link_stats}
+        for flow in self._flows.values():
+            rate = min(rates.get(flow.flow_id, 0.0), self.max_rate_mbps)
+            flow.rate_mbps = rate
+            for link in flow.path:
+                loads[link.link_id] += rate
+        for link_id, load in loads.items():
+            self.link_stats[link_id].set_load(load)
+        self._schedule_next_completion()
+
+    def _schedule_next_completion(self) -> None:
+        self._epoch += 1
+        next_eta = math.inf
+        for flow in self._flows.values():
+            next_eta = min(next_eta, flow.eta(self.sim.now))
+        if math.isfinite(next_eta):
+            delay = max(0.0, next_eta - self.sim.now)
+            self.sim.schedule(delay, self._on_completion_event, self._epoch)
+
+    def _on_completion_event(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # superseded by a later reallocation
+        self._sync_to_now()
+        finished = [
+            self._transfers[flow.flow_id]
+            for flow in self._flows.values()
+            if flow.is_finite and flow.remaining_mbit <= _EPS
+        ]
+        for transfer in finished:
+            self._complete(transfer)
+        self._reallocate()
+
+    def _complete(self, transfer: Transfer) -> None:
+        flow = transfer.flow
+        flow.state = FlowState.COMPLETED
+        flow.finished_at = self.sim.now
+        flow.remaining_mbit = 0.0
+        self._flows.pop(flow.flow_id, None)
+        self._transfers.pop(flow.flow_id, None)
+        self.completed_transfers += 1
+        if transfer.on_complete is not None:
+            # Fire via the event queue so completion callbacks observe a
+            # consistent network state (rates already reallocated).
+            self.sim.call_soon(transfer.on_complete, transfer)

@@ -1,0 +1,106 @@
+"""Per-link load accounting and congestion detection.
+
+These statistics are the InfP's *internal* view of its network: they
+feed the SDN stats service, the traffic-engineering app, and -- when
+the InfP opts in -- the EONA-I2A congestion hints.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class LinkStats:
+    """Time-weighted load statistics for one link.
+
+    The fluid simulator calls :meth:`advance` at every reallocation
+    boundary with the load that has been flowing since the previous
+    boundary, so the utilization integral is exact (loads are piecewise
+    constant between boundaries).
+    """
+
+    def __init__(self, link_id: str, capacity_mbps: float):
+        self.link_id = link_id
+        self.capacity_mbps = capacity_mbps
+        self.current_load_mbps = 0.0
+        self.mbit_carried = 0.0
+        self.busy_seconds = 0.0  # seconds with load > 95% of capacity
+        self.observed_seconds = 0.0
+        self._last_time = 0.0
+
+    def advance(self, now: float) -> None:
+        """Integrate the current load up to ``now``."""
+        elapsed = now - self._last_time
+        if elapsed < 0:
+            raise ValueError(f"link {self.link_id}: time moved backwards")
+        if elapsed > 0:
+            self.mbit_carried += self.current_load_mbps * elapsed
+            self.observed_seconds += elapsed
+            if self.current_load_mbps >= 0.95 * self.capacity_mbps:
+                self.busy_seconds += elapsed
+            self._last_time = now
+
+    def set_load(self, load_mbps: float) -> None:
+        """Record the new piecewise-constant load (after ``advance``)."""
+        self.current_load_mbps = load_mbps
+
+    @property
+    def utilization(self) -> float:
+        """Instantaneous utilization in [0, 1+]."""
+        if self.capacity_mbps <= 0:
+            return 0.0
+        return self.current_load_mbps / self.capacity_mbps
+
+    @property
+    def mean_utilization(self) -> float:
+        """Time-averaged utilization since the start of the run."""
+        if self.observed_seconds <= 0 or self.capacity_mbps <= 0:
+            return 0.0
+        return self.mbit_carried / (self.capacity_mbps * self.observed_seconds)
+
+    @property
+    def congested_fraction(self) -> float:
+        """Fraction of observed time the link spent near saturation."""
+        if self.observed_seconds <= 0:
+            return 0.0
+        return self.busy_seconds / self.observed_seconds
+
+
+class CongestionDetector:
+    """EWMA-smoothed congestion signal for one link.
+
+    The detector declares congestion when the smoothed utilization
+    exceeds ``threshold``; hysteresis (``clear_threshold``) prevents the
+    signal from flapping right at the boundary -- flapping signals are
+    exactly what re-introduces oscillation in coupled control loops.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.9,
+        clear_threshold: Optional[float] = None,
+        alpha: float = 0.3,
+    ):
+        if not 0 < threshold <= 1.5:
+            raise ValueError(f"threshold out of range: {threshold!r}")
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha out of range: {alpha!r}")
+        self.threshold = threshold
+        self.clear_threshold = (
+            clear_threshold if clear_threshold is not None else 0.8 * threshold
+        )
+        if self.clear_threshold > self.threshold:
+            raise ValueError("clear_threshold must not exceed threshold")
+        self.alpha = alpha
+        self.smoothed = 0.0
+        self.congested = False
+
+    def observe(self, utilization: float) -> bool:
+        """Feed one utilization sample; returns the congestion state."""
+        self.smoothed = self.alpha * utilization + (1 - self.alpha) * self.smoothed
+        if self.congested:
+            if self.smoothed < self.clear_threshold:
+                self.congested = False
+        elif self.smoothed >= self.threshold:
+            self.congested = True
+        return self.congested

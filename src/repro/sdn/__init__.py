@@ -1,0 +1,33 @@
+"""SDN-style control plane for the infrastructure provider.
+
+The paper positions SDN as one of the technology "pushes" that makes
+EONA deployable: the InfP's knobs (paths, peering points, traffic
+splits) become programmable.  This package provides an OpenFlow-flavour
+substrate -- switches with prioritized flow tables, a controller that
+installs path rules, a periodic statistics service -- and a traffic
+engineering application whose egress-selection knob is exactly the one
+that oscillates in Figure 5.
+"""
+
+from repro.sdn.messages import FlowMod, FlowRemoved, Match, PortStats, StatsReply
+from repro.sdn.flowtable import FlowTable, TableEntry
+from repro.sdn.switch import Switch
+from repro.sdn.controller import SdnController
+from repro.sdn.stats import LinkObservation, StatsService
+from repro.sdn.te import EgressGroup, TrafficEngineeringApp
+
+__all__ = [
+    "EgressGroup",
+    "FlowMod",
+    "FlowRemoved",
+    "FlowTable",
+    "LinkObservation",
+    "Match",
+    "PortStats",
+    "SdnController",
+    "StatsReply",
+    "StatsService",
+    "Switch",
+    "TableEntry",
+    "TrafficEngineeringApp",
+]

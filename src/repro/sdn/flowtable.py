@@ -1,0 +1,65 @@
+"""Prioritized flow table used by each switch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sdn.messages import Match
+
+
+@dataclass
+class TableEntry:
+    """One forwarding rule: match → next hop."""
+
+    match: Match
+    next_hop: str
+    priority: int = 0
+    cookie: str = ""
+    hit_count: int = 0
+
+    def sort_key(self):
+        # Highest specificity first, then highest priority, so an exact
+        # (src, dst, group) rule beats a group-wide default.
+        return (-self.match.specificity, -self.priority)
+
+
+class FlowTable:
+    """An ordered rule set with longest-match-wins semantics."""
+
+    def __init__(self) -> None:
+        self._entries: List[TableEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[TableEntry]:
+        return list(self._entries)
+
+    def install(self, entry: TableEntry) -> None:
+        """Add or replace the rule with the same match."""
+        self.remove(entry.match)
+        self._entries.append(entry)
+        self._entries.sort(key=TableEntry.sort_key)
+
+    def remove(self, match: Match) -> bool:
+        """Delete the rule with exactly this match; returns whether one existed."""
+        for index, entry in enumerate(self._entries):
+            if entry.match == match:
+                del self._entries[index]
+                return True
+        return False
+
+    def remove_by_cookie(self, cookie: str) -> int:
+        """Delete all rules carrying ``cookie``; returns how many were removed."""
+        before = len(self._entries)
+        self._entries = [entry for entry in self._entries if entry.cookie != cookie]
+        return before - len(self._entries)
+
+    def lookup(self, src: str, dst: str, group: str) -> Optional[TableEntry]:
+        """Best-matching entry for the given traffic, or ``None``."""
+        for entry in self._entries:
+            if entry.match.matches(src, dst, group):
+                entry.hit_count += 1
+                return entry
+        return None

@@ -1,0 +1,103 @@
+"""Control-channel message types (OpenFlow-flavoured, simplified).
+
+The match model is intentionally small: traffic in this reproduction is
+identified by source node, destination node, and a *traffic group*
+label (e.g. ``"cdnX"``) rather than full IP 5-tuples, because that is
+the granularity at which the paper's InfP knobs operate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+_WILDCARD = None
+
+
+@dataclass(frozen=True)
+class Match:
+    """Wildcard-able match over (src, dst, group).
+
+    ``None`` in a field matches anything.  Specificity is the number of
+    concrete fields; the flow table prefers higher specificity, then
+    higher explicit priority.
+    """
+
+    src: Optional[str] = _WILDCARD
+    dst: Optional[str] = _WILDCARD
+    group: Optional[str] = _WILDCARD
+
+    def matches(self, src: str, dst: str, group: str) -> bool:
+        return (
+            (self.src is None or self.src == src)
+            and (self.dst is None or self.dst == dst)
+            and (self.group is None or self.group == group)
+        )
+
+    @property
+    def specificity(self) -> int:
+        return sum(value is not None for value in (self.src, self.dst, self.group))
+
+
+class FlowModCommand(enum.Enum):
+    ADD = "add"
+    MODIFY = "modify"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class FlowMod:
+    """Install/modify/delete a forwarding rule on a switch.
+
+    ``next_hop`` is the action: forward matching traffic toward that
+    neighbour.  A path installation is a sequence of FlowMods, one per
+    switch on the path.
+    """
+
+    command: FlowModCommand
+    match: Match
+    next_hop: Optional[str] = None
+    priority: int = 0
+    cookie: str = ""
+
+
+@dataclass(frozen=True)
+class FlowRemoved:
+    """Notification sent to the controller when a rule is deleted."""
+
+    match: Match
+    cookie: str
+    switch_id: str
+
+
+@dataclass(frozen=True)
+class PortStats:
+    """Per-link counters as a switch reports them."""
+
+    link_id: str
+    load_mbps: float
+    capacity_mbps: float
+    mbit_carried: float
+
+    @property
+    def utilization(self) -> float:
+        if self.capacity_mbps <= 0:
+            return 0.0
+        return self.load_mbps / self.capacity_mbps
+
+
+@dataclass(frozen=True)
+class StatsReply:
+    """A switch's answer to a stats request."""
+
+    switch_id: str
+    time: float
+    ports: Tuple[PortStats, ...] = ()
+
+    def port(self, link_id: str) -> Optional[PortStats]:
+        for stats in self.ports:
+            if stats.link_id == link_id:
+                return stats
+        return None

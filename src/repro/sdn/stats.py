@@ -1,0 +1,118 @@
+"""Periodic statistics collection (the controller's measurement loop).
+
+The stats service polls every switch at a fixed period, keeps a bounded
+history of per-link observations, and maintains an EWMA congestion
+detector per link.  This is the *network-level* visibility the paper
+says InfPs are limited to today; the EONA-I2A congestion hints are
+published from exactly this state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro.network.linkstats import CongestionDetector
+from repro.sdn.controller import SdnController
+from repro.simkernel.kernel import Simulator
+from repro.simkernel.processes import PeriodicProcess
+
+
+@dataclass(frozen=True)
+class LinkObservation:
+    """One polled sample of a link."""
+
+    time: float
+    link_id: str
+    load_mbps: float
+    capacity_mbps: float
+    utilization: float
+
+
+class StatsService:
+    """Polls switches periodically and exposes recent link state.
+
+    Args:
+        sim: Simulator.
+        controller: The controller whose switches to poll.
+        period: Poll interval in seconds.
+        history: Number of samples retained per link.
+        congestion_threshold: EWMA utilization at which a link is
+            declared congested.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller: SdnController,
+        period: float = 5.0,
+        history: int = 120,
+        congestion_threshold: float = 0.9,
+    ):
+        self.sim = sim
+        self.controller = controller
+        self.period = period
+        self.history = history
+        self.congestion_threshold = congestion_threshold
+        self._samples: Dict[str, Deque[LinkObservation]] = {}
+        self._detectors: Dict[str, CongestionDetector] = {}
+        self.polls = 0
+        self._process = PeriodicProcess(sim, period, self.poll_once, name="stats")
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    def poll_once(self) -> None:
+        """Collect one sample from every switch (also runs periodically)."""
+        self.polls += 1
+        now = self.sim.now
+        for switch in self.controller.switches.values():
+            reply = switch.stats_reply(now)
+            for port in reply.ports:
+                observation = LinkObservation(
+                    time=now,
+                    link_id=port.link_id,
+                    load_mbps=port.load_mbps,
+                    capacity_mbps=port.capacity_mbps,
+                    utilization=port.utilization,
+                )
+                samples = self._samples.setdefault(
+                    port.link_id, deque(maxlen=self.history)
+                )
+                samples.append(observation)
+                detector = self._detectors.get(port.link_id)
+                if detector is None:
+                    detector = CongestionDetector(threshold=self.congestion_threshold)
+                    self._detectors[port.link_id] = detector
+                detector.observe(port.utilization)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def latest(self, link_id: str) -> Optional[LinkObservation]:
+        samples = self._samples.get(link_id)
+        return samples[-1] if samples else None
+
+    def samples_for(self, link_id: str) -> List[LinkObservation]:
+        return list(self._samples.get(link_id, ()))
+
+    def utilization(self, link_id: str) -> float:
+        """Most recent polled utilization (0 if never observed)."""
+        latest = self.latest(link_id)
+        return latest.utilization if latest else 0.0
+
+    def smoothed_utilization(self, link_id: str) -> float:
+        detector = self._detectors.get(link_id)
+        return detector.smoothed if detector else 0.0
+
+    def is_congested(self, link_id: str) -> bool:
+        detector = self._detectors.get(link_id)
+        return detector.congested if detector else False
+
+    def congested_links(self) -> List[str]:
+        return [
+            link_id
+            for link_id, detector in self._detectors.items()
+            if detector.congested
+        ]

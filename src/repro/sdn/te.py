@@ -1,0 +1,256 @@
+"""Traffic engineering: the InfP's egress/peering-selection knob.
+
+An :class:`EgressGroup` describes one aggregate the ISP steers -- e.g.
+"all traffic exchanged with CDN X" -- together with its candidate
+peering points and, per candidate, the link whose load reflects that
+choice.  The :class:`TrafficEngineeringApp` runs periodically, asks a
+pluggable *policy* where each group should egress, and programs the
+decision into the network (flow rules + rerouting of live flows).
+
+Two policies matter for the reproduction:
+
+* the **greedy reactive** policy (default): move a group away from its
+  current peering as soon as that peering link looks congested, to the
+  currently least-loaded alternative.  Combined with an AppP that
+  switches CDNs on bad QoE, this is exactly the Figure 5 oscillator.
+* the **EONA-informed** policy lives in :mod:`repro.core.infp`: it uses
+  A2I demand estimates to place groups so that no peering link is
+  overloaded, and publishes its decision over I2A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.network.fluidsim import FluidNetwork
+from repro.sdn.controller import SdnController
+from repro.sdn.messages import Match
+from repro.sdn.stats import StatsService
+from repro.simkernel.kernel import Simulator
+from repro.simkernel.processes import PeriodicProcess
+
+
+@dataclass
+class EgressGroup:
+    """One steerable traffic aggregate.
+
+    Attributes:
+        name: Group label; flows tagged with this owner are steered.
+        remote: The far-end node (e.g. the CDN's entry node).
+        candidates: Peering node ids the group may egress through.
+        egress_links: For each candidate, the link id whose utilization
+            represents choosing it (normally the peering link in the
+            content-to-client direction).
+        selection: Current choice; ``None`` until the first decision.
+        preferred: Economically preferred candidate (e.g. the cheap
+            local peering point B in Figure 5); the greedy policy
+            returns to it whenever it looks uncongested, which is one
+            half of the oscillation.
+    """
+
+    name: str
+    remote: str
+    candidates: List[str]
+    egress_links: Dict[str, str]
+    selection: Optional[str] = None
+    preferred: Optional[str] = None
+    #: When the policy splits the group across peerings (§4's third
+    #: knob), the current normalized weights; ``None`` = single egress.
+    split: Optional[Dict[str, float]] = None
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise ValueError(f"group {self.name}: needs at least one candidate")
+        missing = [c for c in self.candidates if c not in self.egress_links]
+        if missing:
+            raise ValueError(f"group {self.name}: no egress link for {missing}")
+
+
+@dataclass(frozen=True)
+class TeDecision:
+    """One logged re-selection event."""
+
+    time: float
+    group: str
+    old: Optional[str]
+    new: str
+
+
+PolicyFn = Callable[["TrafficEngineeringApp", EgressGroup], str]
+
+
+def greedy_reactive_policy(app: "TrafficEngineeringApp", group: EgressGroup) -> str:
+    """Status-quo policy: flee congestion, chase the emptiest link.
+
+    Uses only the InfP's own polled link stats -- no application
+    visibility, no memory.  This is the behaviour that oscillates in
+    Figure 5.
+    """
+    current = group.selection or group.candidates[0]
+    current_util = app.stats.utilization(group.egress_links[current])
+    if current_util >= app.congestion_threshold:
+        return min(
+            group.candidates,
+            key=lambda candidate: app.stats.utilization(group.egress_links[candidate]),
+        )
+    if group.preferred is not None and group.preferred != current:
+        preferred_util = app.stats.utilization(group.egress_links[group.preferred])
+        if preferred_util < app.congestion_threshold:
+            return group.preferred
+    return current
+
+
+class TrafficEngineeringApp:
+    """Periodic egress selection over a set of groups.
+
+    Args:
+        sim: Simulator.
+        network: Fluid network whose via-policy the app programs.
+        controller: SDN controller used to mirror decisions into flow
+            tables (so the data plane state is inspectable over I2A).
+        stats: The stats service supplying link utilization.
+        groups: Groups to manage.
+        period: Control period in seconds (ISP TE runs on minutes).
+        policy: Decision function; defaults to the greedy reactive one.
+        congestion_threshold: Utilization treated as congested.
+        damper: Optional adaptive damper
+            (:class:`repro.core.oscillation.AdaptiveDamper`); when a
+            group's egress decision starts flapping, further changes
+            must respect its backoff.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: FluidNetwork,
+        controller: SdnController,
+        stats: StatsService,
+        groups: List[EgressGroup],
+        period: float = 60.0,
+        policy: Optional[PolicyFn] = None,
+        congestion_threshold: float = 0.9,
+        damper=None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.controller = controller
+        self.stats = stats
+        self.groups = {group.name: group for group in groups}
+        self.policy: PolicyFn = policy or greedy_reactive_policy
+        self.congestion_threshold = congestion_threshold
+        self.damper = damper
+        self.decisions: List[TeDecision] = []
+        self._process = PeriodicProcess(sim, period, self.control_step, name="te")
+        # Apply initial selections immediately so traffic has a policy
+        # from t=0 (candidates[0] unless the group pre-sets one).
+        for group in groups:
+            self._apply(group, group.selection or group.candidates[0], log=False)
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    @property
+    def period(self) -> float:
+        return self._process.period
+
+    def set_period(self, period: float) -> None:
+        self._process.set_period(period)
+
+    def control_step(self) -> None:
+        """One TE round: poll stats implicitly, re-decide every group.
+
+        A policy may answer with a single candidate (egress selection)
+        or a ``{candidate: weight}`` dict (a traffic split across the
+        peering points, §4's third knob).
+        """
+        for group in self.groups.values():
+            choice = self.policy(self, group)
+            if isinstance(choice, dict):
+                unknown = [c for c in choice if c not in group.candidates]
+                if unknown:
+                    raise ValueError(
+                        f"policy split uses non-candidates {unknown!r} "
+                        f"for {group.name!r}"
+                    )
+                if choice != group.split:
+                    key = tuple(sorted(choice.items()))
+                    if self._damper_allows(group.name, key):
+                        self._apply_split(group, choice)
+                        self._damper_record(group.name, key)
+                continue
+            if choice not in group.candidates:
+                raise ValueError(
+                    f"policy chose {choice!r}, not a candidate of {group.name!r}"
+                )
+            if choice != group.selection or group.split is not None:
+                if self._damper_allows(group.name, choice):
+                    self._apply(group, choice, log=True)
+                    self._damper_record(group.name, choice)
+
+    def _damper_allows(self, group_name: str, value) -> bool:
+        if self.damper is None:
+            return True
+        return self.damper.allow(f"te:{group_name}", value)
+
+    def _damper_record(self, group_name: str, value) -> None:
+        if self.damper is not None:
+            self.damper.record(f"te:{group_name}", value)
+
+    def selection(self, group_name: str) -> Optional[str]:
+        return self.groups[group_name].selection
+
+    def switch_count(self, group_name: Optional[str] = None) -> int:
+        """Number of logged re-selections (the oscillation metric)."""
+        if group_name is None:
+            return len(self.decisions)
+        return sum(1 for d in self.decisions if d.group == group_name)
+
+    def egress_utilization(self, group_name: str) -> Dict[str, float]:
+        """Current polled utilization of each candidate's egress link."""
+        group = self.groups[group_name]
+        return {
+            candidate: self.stats.utilization(group.egress_links[candidate])
+            for candidate in group.candidates
+        }
+
+    def _apply_split(self, group: EgressGroup, weights: Dict[str, float]) -> None:
+        """Program a weighted split across the group's peering points."""
+        self.decisions.append(
+            TeDecision(
+                time=self.sim.now,
+                group=group.name,
+                old=group.selection,
+                new="split:" + ",".join(
+                    f"{via}={weight:.2f}" for via, weight in sorted(weights.items())
+                ),
+            )
+        )
+        group.split = dict(weights)
+        group.selection = max(weights, key=lambda via: weights[via])
+        self.network.set_split_policy(group.name, weights)
+
+    def _apply(self, group: EgressGroup, choice: str, log: bool) -> None:
+        if log:
+            self.decisions.append(
+                TeDecision(
+                    time=self.sim.now, group=group.name, old=group.selection, new=choice
+                )
+            )
+        group.selection = choice
+        group.split = None
+        # Program the data plane: via-policy steers fluid flows; the
+        # mirrored flow rules make the decision visible via the
+        # controller (and hence exportable over I2A).
+        self.network.set_via_policy(group.name, choice)
+        try:
+            node_path = self.network.router.shortest_path(group.remote, choice)
+        except Exception:
+            node_path = [group.remote, choice]
+        self.controller.remove_by_cookie(f"te:{group.name}")
+        self.controller.install_path(
+            node_path,
+            Match(group=group.name),
+            priority=10,
+            cookie=f"te:{group.name}",
+        )

@@ -1,0 +1,23 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: a simulated clock, a priority queue of
+events, cancellable event handles, periodic processes, and named,
+reproducible random-number streams.  Every other subsystem (network,
+CDN, video players, controllers) is built as callbacks scheduled on a
+:class:`~repro.simkernel.kernel.Simulator`.
+"""
+
+from repro.simkernel.events import Event, EventHandle, EventQueue
+from repro.simkernel.kernel import SimError, Simulator
+from repro.simkernel.processes import PeriodicProcess
+from repro.simkernel.rngstreams import RngStreams
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "EventQueue",
+    "PeriodicProcess",
+    "RngStreams",
+    "SimError",
+    "Simulator",
+]

@@ -1,0 +1,102 @@
+"""Event objects and the time-ordered event queue.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence
+number breaks ties deterministically, so two runs with the same seed
+schedule identical histories -- a property the reproduction experiments
+rely on and the test suite checks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: Simulated time at which the event fires.
+        priority: Lower fires first among events at the same time.
+        seq: Monotone tie-breaker assigned by the queue.
+        fn: Callback invoked as ``fn(*args)`` when the event fires.
+        args: Positional arguments for ``fn``.
+        cancelled: Set by :meth:`EventHandle.cancel`; cancelled events
+            are skipped (and discarded) when popped.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    fn: Callable[..., Any] = field(compare=False)
+    args: Tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Simulated time the event will fire (or would have)."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True
+
+
+class EventQueue:
+    """A heap of events ordered by (time, priority, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` at ``time`` and return a handle."""
+        event = Event(time=time, priority=priority, seq=next(self._counter), fn=fn, args=args)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

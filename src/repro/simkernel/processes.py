@@ -1,0 +1,85 @@
+"""Periodic processes built on the simulator.
+
+Control loops in EONA run periodically on very different timescales
+(players every few seconds, ISP traffic engineering every tens of
+minutes).  :class:`PeriodicProcess` captures that pattern: a callback
+fired every ``period`` seconds with optional start jitter, which can be
+stopped, restarted, or re-paced at runtime (the timescale experiments
+sweep the period).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simkernel.events import EventHandle
+from repro.simkernel.kernel import Simulator
+
+
+class PeriodicProcess:
+    """Fires ``fn()`` every ``period`` simulated seconds.
+
+    Args:
+        sim: The simulator to schedule on.
+        period: Interval between firings, in seconds.  Must be positive.
+        fn: Zero-argument callback.
+        start_at: Absolute time of the first firing; defaults to
+            ``sim.now + period``.
+        name: Optional label used in ``repr`` and experiment logs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        fn: Callable[[], Any],
+        start_at: Optional[float] = None,
+        name: str = "",
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        self.sim = sim
+        self.period = float(period)
+        self.fn = fn
+        self.name = name
+        self.fire_count = 0
+        self._stopped = False
+        self._handle: Optional[EventHandle] = None
+        first = sim.now + self.period if start_at is None else start_at
+        self._handle = sim.schedule_at(first, self._fire)
+
+    def __repr__(self) -> str:
+        label = self.name or getattr(self.fn, "__name__", "fn")
+        return f"PeriodicProcess({label}, period={self.period})"
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def stop(self) -> None:
+        """Cancel the next firing; the process stops permanently unless restarted."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def restart(self, delay: float = 0.0) -> None:
+        """Resume firing, first after ``delay`` then every ``period``."""
+        self.stop()
+        self._stopped = False
+        self._handle = self.sim.schedule(delay, self._fire)
+
+    def set_period(self, period: float) -> None:
+        """Change the interval; takes effect from the next firing."""
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        self.period = float(period)
+
+    def _fire(self) -> None:
+        self._handle = None
+        self.fire_count += 1
+        self.fn()
+        # ``fn`` may have stopped or restarted the process; reschedule only
+        # when it did neither.
+        if not self._stopped and self._handle is None:
+            self._handle = self.sim.schedule(self.period, self._fire)

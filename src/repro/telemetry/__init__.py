@@ -1,0 +1,31 @@
+"""Client-side measurement collection and real-time analytics.
+
+This is the "big data platform" leg of the paper's enabling trends: the
+AppP's client instrumentation emits per-session records; a collector
+fans them into windowed group-by aggregation; a small stream store
+answers the queries the EONA-A2I interface serves.  The package also
+contains the *inference* model -- the status-quo alternative in Figure 4
+where an InfP predicts application QoE from network-level features
+instead of receiving it.
+"""
+
+from repro.telemetry.records import SessionRecord, record_from_qoe, record_from_pageload
+from repro.telemetry.collector import Collector
+from repro.telemetry.aggregate import AggregateRow, GroupByAggregator
+from repro.telemetry.streamdb import TimeSeriesStore
+from repro.telemetry.inference import QoeInferenceModel, pageload_features
+from repro.telemetry.timeline import TimelineProbe, TimelineSample
+
+__all__ = [
+    "AggregateRow",
+    "Collector",
+    "GroupByAggregator",
+    "QoeInferenceModel",
+    "SessionRecord",
+    "TimeSeriesStore",
+    "TimelineProbe",
+    "TimelineSample",
+    "pageload_features",
+    "record_from_pageload",
+    "record_from_qoe",
+]

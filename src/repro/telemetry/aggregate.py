@@ -1,0 +1,172 @@
+"""Windowed group-by aggregation: the analytics core of the A2I path.
+
+A2I exports *aggregates*, never raw sessions (that is the privacy
+boundary §4 insists on).  The aggregator buckets records into tumbling
+time windows, groups by a configurable attribute tuple, and maintains
+streaming statistics per (window, group).  Closed windows are emitted
+to a sink -- normally the :class:`~repro.telemetry.streamdb.TimeSeriesStore`
+the A2I looking-glass answers from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.telemetry.records import SessionRecord
+
+
+@dataclass
+class _Running:
+    """Streaming stats for one metric within one group-window."""
+
+    count: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        mean = self.mean
+        return max(0.0, self.total_sq / self.count - mean * mean)
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """One emitted aggregate: a (window, group) cell.
+
+    Attributes:
+        window_start: Start of the tumbling window.
+        window_s: Window length.
+        group: Group-key values, aligned with the aggregator's keys.
+        count: Records aggregated.
+        means: Per-metric means.
+        mins: Per-metric minima.
+        maxs: Per-metric maxima.
+        variances: Per-metric population variances.
+    """
+
+    window_start: float
+    window_s: float
+    group: Tuple[str, ...]
+    count: int
+    means: Dict[str, float]
+    mins: Dict[str, float]
+    maxs: Dict[str, float]
+    variances: Dict[str, float]
+
+    def mean(self, metric: str, default: float = 0.0) -> float:
+        return self.means.get(metric, default)
+
+
+Sink = Callable[[AggregateRow], None]
+
+
+class GroupByAggregator:
+    """Tumbling-window group-by over session records.
+
+    Args:
+        window_s: Window length in (simulated) seconds.
+        group_keys: Attribute names forming the group key.
+        metrics: Metric names to aggregate; records missing a metric
+            simply do not contribute to it.
+        sink: Callback for each closed window's rows.
+
+    Records are assumed *approximately* time-ordered (true for a
+    simulation-driven pipeline); a record older than the current window
+    is counted into the current window rather than reopening history,
+    mirroring how streaming platforms handle stragglers with a
+    zero-allowed-lateness policy.
+    """
+
+    def __init__(
+        self,
+        window_s: float,
+        group_keys: Tuple[str, ...],
+        metrics: Tuple[str, ...],
+        sink: Optional[Sink] = None,
+    ):
+        if window_s <= 0:
+            raise ValueError(f"window must be positive, got {window_s!r}")
+        self.window_s = window_s
+        self.group_keys = tuple(group_keys)
+        self.metrics = tuple(metrics)
+        self.sink = sink
+        self._window_start: Optional[float] = None
+        self._cells: Dict[Tuple[str, ...], Dict[str, _Running]] = {}
+        self._counts: Dict[Tuple[str, ...], int] = {}
+        self.rows_emitted = 0
+        self.records_processed = 0
+
+    @property
+    def open_groups(self) -> int:
+        """Cardinality of the currently open window (memory proxy)."""
+        return len(self._cells)
+
+    def add(self, record: SessionRecord) -> None:
+        """Ingest one record, closing the window first if it has passed."""
+        self.records_processed += 1
+        if self._window_start is None:
+            self._window_start = self._align(record.time)
+        elif record.time >= self._window_start + self.window_s:
+            self.flush(up_to=record.time)
+        group = tuple(record.attr(key) for key in self.group_keys)
+        cell = self._cells.get(group)
+        if cell is None:
+            cell = {metric: _Running() for metric in self.metrics}
+            self._cells[group] = cell
+            self._counts[group] = 0
+        self._counts[group] += 1
+        for metric in self.metrics:
+            if metric in record.metrics:
+                cell[metric].add(record.metrics[metric])
+
+    def flush(self, up_to: Optional[float] = None) -> List[AggregateRow]:
+        """Close the open window (and any empty gap up to ``up_to``).
+
+        Returns the emitted rows (also delivered to the sink).
+        """
+        if self._window_start is None:
+            return []
+        rows = [
+            AggregateRow(
+                window_start=self._window_start,
+                window_s=self.window_s,
+                group=group,
+                count=self._counts[group],
+                means={m: cell[m].mean for m in self.metrics},
+                mins={m: cell[m].minimum for m in self.metrics},
+                maxs={m: cell[m].maximum for m in self.metrics},
+                variances={m: cell[m].variance for m in self.metrics},
+            )
+            for group, cell in self._cells.items()
+        ]
+        self._cells.clear()
+        self._counts.clear()
+        self.rows_emitted += len(rows)
+        if up_to is not None:
+            self._window_start = self._align(up_to)
+        else:
+            self._window_start = None
+        if self.sink is not None:
+            for row in rows:
+                self.sink(row)
+        return rows
+
+    def _align(self, time: float) -> float:
+        return math.floor(time / self.window_s) * self.window_s

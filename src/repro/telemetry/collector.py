@@ -1,0 +1,51 @@
+"""The beacon collector: ingestion point of the AppP's telemetry plane."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterable, List
+
+from repro.telemetry.records import SessionRecord
+
+Subscriber = Callable[[SessionRecord], None]
+
+
+class Collector:
+    """Receives beacons and fans them out to subscribers.
+
+    Keeps a bounded buffer of the most recent records for ad-hoc
+    queries (the AppP's own dashboards); durable analytics subscribe.
+
+    Args:
+        retention: Number of recent records kept queryable.
+    """
+
+    def __init__(self, retention: int = 100_000):
+        if retention < 1:
+            raise ValueError(f"retention must be >= 1, got {retention!r}")
+        self._recent: Deque[SessionRecord] = deque(maxlen=retention)
+        self._subscribers: List[Subscriber] = []
+        self.ingested = 0
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        self._subscribers.append(subscriber)
+
+    def ingest(self, record: SessionRecord) -> None:
+        """Accept one beacon and fan it out."""
+        self.ingested += 1
+        self._recent.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)
+
+    def ingest_many(self, records: Iterable[SessionRecord]) -> None:
+        for record in records:
+            self.ingest(record)
+
+    def recent(
+        self,
+        limit: int = 1000,
+        where: Callable[[SessionRecord], bool] = lambda record: True,
+    ) -> List[SessionRecord]:
+        """Most recent matching records, newest last."""
+        matched = [record for record in self._recent if where(record)]
+        return matched[-limit:]

@@ -1,0 +1,147 @@
+"""Inferring application QoE from network-level features (Figure 4).
+
+The status quo the paper criticises: a cellular InfP cannot see
+page-load time, so it fits a model from passively observable features
+(radio-state occupancy, handovers, flow byte counts, early-response
+timing) to QoE, and uses predictions.  This module implements that
+pipeline -- ridge-regularized linear least squares over standardized
+features -- and the evaluation metrics the E3 experiment reports.
+
+The experiment's point is *not* that the model is bad at fitting; it is
+that even a reasonable model carries irreducible error that direct A2I
+export does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.web.browser import PageLoadRecord
+
+#: Feature names, in vector order, for interpretability in reports.
+PAGELOAD_FEATURE_NAMES: Tuple[str, ...] = (
+    "main_doc_s",
+    "total_mbit",
+    "object_count",
+    "frac_good",
+    "frac_fair",
+    "frac_poor",
+    "handovers",
+    "radio_transitions",
+)
+
+
+def pageload_features(record: PageLoadRecord) -> List[float]:
+    """The InfP-visible feature vector for one page load.
+
+    Deliberately excludes ``plt_s`` and ``mean_throughput_mbps`` (which
+    is derived from PLT): the InfP cannot observe application completion
+    times, only transport- and radio-level signals.
+    """
+    return [
+        record.main_doc_s,
+        record.total_mbit,
+        float(record.object_count),
+        record.frac_good,
+        record.frac_fair,
+        record.frac_poor,
+        float(record.handovers),
+        float(record.radio_transitions),
+    ]
+
+
+@dataclass
+class InferenceReport:
+    """Accuracy of predictions against ground truth."""
+
+    mae: float
+    rmse: float
+    spearman: float
+    n: int
+
+
+class QoeInferenceModel:
+    """Ridge regression from network features to a QoE target.
+
+    Args:
+        ridge: L2 regularization strength (on standardized features).
+    """
+
+    def __init__(self, ridge: float = 1e-3):
+        if ridge < 0:
+            raise ValueError(f"ridge must be non-negative, got {ridge!r}")
+        self.ridge = ridge
+        self._weights: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._weights is not None
+
+    def fit(self, features: Sequence[Sequence[float]], targets: Sequence[float]) -> None:
+        """Fit on a training set; raises on empty or mismatched input."""
+        x = np.asarray(features, dtype=float)
+        y = np.asarray(targets, dtype=float)
+        if x.ndim != 2 or len(x) == 0:
+            raise ValueError("features must be a non-empty 2-D array")
+        if len(x) != len(y):
+            raise ValueError(f"{len(x)} feature rows vs {len(y)} targets")
+        self._mean = x.mean(axis=0)
+        self._std = x.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        z = (x - self._mean) / self._std
+        z = np.hstack([z, np.ones((len(z), 1))])  # intercept column
+        regularizer = self.ridge * np.eye(z.shape[1])
+        regularizer[-1, -1] = 0.0  # do not penalize the intercept
+        gram = z.T @ z + len(z) * regularizer
+        self._weights = np.linalg.solve(gram, z.T @ y)
+
+    def predict(self, features: Sequence[Sequence[float]]) -> np.ndarray:
+        if not self.fitted:
+            raise RuntimeError("model is not fitted")
+        x = np.asarray(features, dtype=float)
+        z = (x - self._mean) / self._std
+        z = np.hstack([z, np.ones((len(z), 1))])
+        return z @ self._weights
+
+    def evaluate(
+        self,
+        features: Sequence[Sequence[float]],
+        targets: Sequence[float],
+    ) -> InferenceReport:
+        """MAE, RMSE, and Spearman rank correlation on a held-out set."""
+        predictions = self.predict(features)
+        y = np.asarray(targets, dtype=float)
+        errors = predictions - y
+        return InferenceReport(
+            mae=float(np.mean(np.abs(errors))),
+            rmse=float(np.sqrt(np.mean(errors**2))),
+            spearman=spearman_correlation(predictions, y),
+            n=len(y),
+        )
+
+
+def spearman_correlation(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman rank correlation (average ranks for ties)."""
+    x = _ranks(np.asarray(a, dtype=float))
+    y = _ranks(np.asarray(b, dtype=float))
+    if x.std() == 0 or y.std() == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=float)
+    ranks[order] = np.arange(len(values), dtype=float)
+    # Average ranks over ties so constant inputs rank identically.
+    unique, inverse, counts = np.unique(values, return_inverse=True, return_counts=True)
+    if len(unique) != len(values):
+        sums = np.zeros(len(unique))
+        np.add.at(sums, inverse, ranks)
+        ranks = sums[inverse] / counts[inverse]
+    return ranks

@@ -1,0 +1,85 @@
+"""Measurement records: the unit of client-side instrumentation.
+
+A record is a timestamp, a set of categorical *attributes* (client ISP,
+CDN, server, city -- the dimensions A2I aggregates group by) and a set
+of numeric *metrics* (buffering ratio, bitrate, PLT...).  Keeping both
+as plain dicts keeps the pipeline generic across video and web.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.video.qoe import QoeMetrics
+from repro.web.browser import PageLoadRecord
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """One beacon from a client.
+
+    Attributes:
+        time: Emission time (simulated seconds).
+        attrs: Categorical dimensions, e.g. ``{"cdn": "cdnX", "isp": "isp1"}``.
+        metrics: Numeric measurements, e.g. ``{"buffering_ratio": 0.02}``.
+    """
+
+    time: float
+    attrs: Mapping[str, str] = field(default_factory=dict)
+    metrics: Mapping[str, float] = field(default_factory=dict)
+
+    def attr(self, key: str, default: str = "") -> str:
+        return self.attrs.get(key, default)
+
+    def metric(self, key: str, default: float = 0.0) -> float:
+        return self.metrics.get(key, default)
+
+
+def record_from_qoe(
+    time: float,
+    qoe: QoeMetrics,
+    cdn: str,
+    isp: str = "",
+    server: str = "",
+    extra_attrs: Mapping[str, str] = (),
+) -> SessionRecord:
+    """Build the A2I video beacon for a finished session."""
+    attrs: Dict[str, str] = {"cdn": cdn, "isp": isp, "server": server, "app": "video"}
+    attrs.update(dict(extra_attrs))
+    return SessionRecord(
+        time=time,
+        attrs=attrs,
+        metrics={
+            "buffering_ratio": qoe.buffering_ratio,
+            "rebuffer_time_s": qoe.rebuffer_time_s,
+            "mean_bitrate_mbps": qoe.mean_bitrate_mbps,
+            "join_time_s": qoe.join_time_s if qoe.join_time_s is not None else -1.0,
+            "play_time_s": qoe.play_time_s,
+            "abandoned": 1.0 if qoe.abandoned else 0.0,
+        },
+    )
+
+
+def record_from_pageload(
+    record: PageLoadRecord,
+    isp: str = "",
+    extra_attrs: Mapping[str, str] = (),
+) -> SessionRecord:
+    """Build the A2I web beacon for a finished page load."""
+    attrs: Dict[str, str] = {
+        "client": record.client_node,
+        "isp": isp,
+        "app": "web",
+    }
+    attrs.update(dict(extra_attrs))
+    return SessionRecord(
+        time=record.started_at + record.plt_s,
+        attrs=attrs,
+        metrics={
+            "plt_s": record.plt_s,
+            "main_doc_s": record.main_doc_s,
+            "total_mbit": record.total_mbit,
+            "mean_throughput_mbps": record.mean_throughput_mbps,
+        },
+    )

@@ -1,0 +1,81 @@
+"""A small time-series store for aggregate rows.
+
+The EONA-A2I looking glass answers queries from this store: "mean
+buffering ratio for (cdn=X, isp=I) over the last N windows".  Retention
+is bounded per group so a long simulation cannot grow without limit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.telemetry.aggregate import AggregateRow
+
+
+class TimeSeriesStore:
+    """Append-only store of :class:`AggregateRow`, indexed by group.
+
+    Args:
+        retention_rows: Windows retained per group.
+    """
+
+    def __init__(self, retention_rows: int = 720):
+        if retention_rows < 1:
+            raise ValueError(f"retention must be >= 1, got {retention_rows!r}")
+        self.retention_rows = retention_rows
+        self._by_group: Dict[Tuple[str, ...], Deque[AggregateRow]] = {}
+        self.rows_stored = 0
+
+    def append(self, row: AggregateRow) -> None:
+        series = self._by_group.get(row.group)
+        if series is None:
+            series = deque(maxlen=self.retention_rows)
+            self._by_group[row.group] = series
+        series.append(row)
+        self.rows_stored += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def groups(self) -> List[Tuple[str, ...]]:
+        return list(self._by_group.keys())
+
+    def latest(self, group: Tuple[str, ...]) -> Optional[AggregateRow]:
+        series = self._by_group.get(group)
+        return series[-1] if series else None
+
+    def series(
+        self,
+        group: Tuple[str, ...],
+        since: Optional[float] = None,
+    ) -> List[AggregateRow]:
+        rows = list(self._by_group.get(group, ()))
+        if since is not None:
+            rows = [row for row in rows if row.window_start >= since]
+        return rows
+
+    def mean_over(
+        self,
+        group: Tuple[str, ...],
+        metric: str,
+        last_n: int = 1,
+    ) -> Optional[float]:
+        """Count-weighted mean of ``metric`` over the last ``last_n`` windows."""
+        rows = self.series(group)[-last_n:]
+        total_count = sum(row.count for row in rows)
+        if total_count == 0:
+            return None
+        weighted = sum(row.mean(metric) * row.count for row in rows)
+        return weighted / total_count
+
+    def scan(
+        self,
+        where: Callable[[Tuple[str, ...]], bool],
+    ) -> List[AggregateRow]:
+        """Latest row of every group matching the predicate."""
+        result = []
+        for group, series in self._by_group.items():
+            if where(group) and series:
+                result.append(series[-1])
+        return result

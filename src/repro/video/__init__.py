@@ -1,0 +1,40 @@
+"""HTTP adaptive video streaming substrate.
+
+Implements the client-side machinery the paper's video scenarios are
+built around: a bitrate ladder, playback-buffer dynamics with exact
+stall accounting, pluggable ABR algorithms (rate-based, buffer-based,
+and a FESTIVE-style stabilized variant), and an adaptive player whose
+CDN/server/bitrate knobs are delegated to a policy object -- the AppP
+control logic, which is where status quo and EONA differ.
+"""
+
+from repro.video.ladder import DEFAULT_LADDER, BitrateLadder
+from repro.video.buffer import PlaybackBuffer
+from repro.video.abr import (
+    AbrAlgorithm,
+    AbrContext,
+    BolaAbr,
+    BufferBasedAbr,
+    FestiveAbr,
+    RateBasedAbr,
+)
+from repro.video.qoe import QoeMetrics, engagement_score
+from repro.video.player import AdaptivePlayer, ChunkRecord, PlayerPolicy, SessionAssignment
+
+__all__ = [
+    "AbrAlgorithm",
+    "AbrContext",
+    "AdaptivePlayer",
+    "BitrateLadder",
+    "BolaAbr",
+    "BufferBasedAbr",
+    "ChunkRecord",
+    "DEFAULT_LADDER",
+    "FestiveAbr",
+    "PlaybackBuffer",
+    "PlayerPolicy",
+    "QoeMetrics",
+    "RateBasedAbr",
+    "SessionAssignment",
+    "engagement_score",
+]

@@ -1,0 +1,95 @@
+"""Playback-buffer dynamics with exact stall accounting.
+
+The buffer holds downloaded-but-unplayed media, measured in seconds of
+content.  Between events it drains linearly while playing, so stall
+time can be computed exactly at each :meth:`advance` call: if the
+elapsed wall time exceeds the buffered media, the difference is a
+stall.  Startup (join) and resume-after-stall thresholds follow common
+player practice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class PlaybackBuffer:
+    """Buffer state machine for one playback session.
+
+    States: *joining* (never played yet) → *playing* ↔ *stalled*.
+
+    Args:
+        startup_threshold_s: Buffered media required to start playback.
+        resume_threshold_s: Buffered media required to resume after a
+            stall (usually ≥ the startup threshold to avoid flapping).
+    """
+
+    def __init__(
+        self,
+        startup_threshold_s: float = 4.0,
+        resume_threshold_s: float = 4.0,
+    ):
+        if startup_threshold_s <= 0 or resume_threshold_s <= 0:
+            raise ValueError("thresholds must be positive")
+        self.startup_threshold_s = startup_threshold_s
+        self.resume_threshold_s = resume_threshold_s
+        self.level_s = 0.0
+        self.started = False
+        self.stalled = False
+        self.play_time_s = 0.0
+        self.rebuffer_time_s = 0.0
+        self.rebuffer_events = 0
+        self.join_time_s: Optional[float] = None
+        self._created_at = 0.0
+        self._last_update = 0.0
+
+    def bind_clock(self, now: float) -> None:
+        """Set the session start instant (call once, before any update)."""
+        self._created_at = now
+        self._last_update = now
+
+    def advance(self, now: float) -> None:
+        """Account for wall time elapsed since the last update."""
+        elapsed = now - self._last_update
+        if elapsed < 0:
+            raise ValueError("time moved backwards")
+        self._last_update = now
+        if elapsed == 0:
+            return
+        if not self.started or self.stalled:
+            # Waiting for media: all elapsed time is join or rebuffer.
+            if self.started:
+                self.rebuffer_time_s += elapsed
+            return
+        drained = min(self.level_s, elapsed)
+        self.level_s -= drained
+        self.play_time_s += drained
+        stall = elapsed - drained
+        if stall > 0:
+            self.stalled = True
+            self.rebuffer_events += 1
+            self.rebuffer_time_s += stall
+
+    def add_chunk(self, duration_s: float, now: float) -> None:
+        """Credit one downloaded chunk; may trigger start or resume."""
+        self.advance(now)
+        self.level_s += duration_s
+        if not self.started:
+            if self.level_s >= self.startup_threshold_s:
+                self.started = True
+                self.join_time_s = now - self._created_at
+        elif self.stalled and self.level_s >= self.resume_threshold_s:
+            self.stalled = False
+
+    @property
+    def buffering_ratio(self) -> float:
+        """Rebuffer time over (play + rebuffer) time -- the headline QoE metric."""
+        denominator = self.play_time_s + self.rebuffer_time_s
+        if denominator <= 0:
+            return 0.0
+        return self.rebuffer_time_s / denominator
+
+    def drain_remaining(self, now: float) -> float:
+        """Seconds until the buffer would empty if no more chunks arrive."""
+        self.advance(now)
+        return self.level_s if self.started and not self.stalled else 0.0

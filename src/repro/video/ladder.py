@@ -1,0 +1,72 @@
+"""Bitrate ladders: the encodings a title is available at."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class BitrateLadder:
+    """An ascending list of encoded bitrates plus the chunk duration.
+
+    Attributes:
+        bitrates_mbps: Available encodings, strictly ascending, Mbit/s.
+        chunk_duration_s: Segment length; every encoding is segmented at
+            the same boundaries (as in DASH/HLS).
+    """
+
+    bitrates_mbps: Tuple[float, ...]
+    chunk_duration_s: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not self.bitrates_mbps:
+            raise ValueError("ladder needs at least one bitrate")
+        if any(b <= 0 for b in self.bitrates_mbps):
+            raise ValueError("bitrates must be positive")
+        if list(self.bitrates_mbps) != sorted(set(self.bitrates_mbps)):
+            raise ValueError("bitrates must be strictly ascending")
+        if self.chunk_duration_s <= 0:
+            raise ValueError("chunk duration must be positive")
+
+    @property
+    def lowest(self) -> float:
+        return self.bitrates_mbps[0]
+
+    @property
+    def highest(self) -> float:
+        return self.bitrates_mbps[-1]
+
+    def __len__(self) -> int:
+        return len(self.bitrates_mbps)
+
+    def __contains__(self, bitrate: float) -> bool:
+        return bitrate in self.bitrates_mbps
+
+    def index_of(self, bitrate: float) -> int:
+        return self.bitrates_mbps.index(bitrate)
+
+    def chunk_size_mbit(self, bitrate: float) -> float:
+        """Size of one chunk at ``bitrate``."""
+        return bitrate * self.chunk_duration_s
+
+    def highest_at_most(self, cap_mbps: float) -> float:
+        """Highest encoding not exceeding ``cap_mbps`` (lowest if none fit)."""
+        eligible = [b for b in self.bitrates_mbps if b <= cap_mbps]
+        return eligible[-1] if eligible else self.lowest
+
+    def step_down(self, bitrate: float) -> float:
+        """One rung down (saturates at the lowest)."""
+        index = self.index_of(bitrate)
+        return self.bitrates_mbps[max(0, index - 1)]
+
+    def step_up(self, bitrate: float) -> float:
+        """One rung up (saturates at the highest)."""
+        index = self.index_of(bitrate)
+        return self.bitrates_mbps[min(len(self.bitrates_mbps) - 1, index + 1)]
+
+
+#: A typical premium-VoD ladder (240p ... 1080p-high).
+DEFAULT_LADDER = BitrateLadder(
+    bitrates_mbps=(0.4, 0.75, 1.5, 3.0, 6.0), chunk_duration_s=4.0
+)

@@ -1,0 +1,406 @@
+"""The HTTP adaptive player: mechanics of one video session.
+
+The player owns the download loop, the playback buffer, and the ABR
+invocation.  Every *policy* decision -- which CDN, which server, whether
+to cap bitrate, when to switch -- is delegated to a
+:class:`PlayerPolicy`, because that is precisely where the status-quo
+and EONA-enhanced AppP control logics differ.  The player is the same
+in both worlds; only the policy changes (paper, §3: EONA does not
+change the data plane).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.cdn.content import ContentItem
+from repro.cdn.provider import Cdn, NoServerAvailableError
+from repro.network.fluidsim import FluidNetwork, Transfer
+from repro.simkernel.kernel import Simulator
+from repro.video.abr import AbrAlgorithm, AbrContext
+from repro.video.buffer import PlaybackBuffer
+from repro.video.ladder import BitrateLadder
+from repro.video.qoe import QoeMetrics
+
+
+@dataclass(frozen=True)
+class SessionAssignment:
+    """Initial CDN (and optionally server) for a session."""
+
+    cdn: Cdn
+    server_id: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """Telemetry for one downloaded chunk (a client-side beacon)."""
+
+    session_id: str
+    index: int
+    started_at: float
+    finished_at: float
+    bitrate_mbps: float
+    size_mbit: float
+    throughput_mbps: float
+    cache_hit: bool
+    cdn_name: str
+    server_id: str
+    buffer_level_s: float
+    rebuffer_time_s: float
+
+
+class PlayerPolicy(abc.ABC):
+    """The AppP's per-player control logic."""
+
+    @abc.abstractmethod
+    def assign(self, player: "AdaptivePlayer") -> SessionAssignment:
+        """Choose the initial CDN/server for a starting session."""
+
+    def on_chunk(self, player: "AdaptivePlayer", record: ChunkRecord) -> None:
+        """Observe a completed chunk; may switch CDN/server on the player."""
+
+    def rate_cap_mbps(self, player: "AdaptivePlayer") -> float:
+        """Current bitrate guidance (``inf`` = no guidance)."""
+        return math.inf
+
+    def on_session_end(self, player: "AdaptivePlayer") -> None:
+        """Observe a finished/abandoned session."""
+
+
+class AdaptivePlayer:
+    """Downloads chunks sequentially, maintains the buffer, reports QoE.
+
+    Args:
+        sim: Simulator.
+        network: Fluid network chunks are fetched over.
+        session_id: Unique session key.
+        client_node: Topology node of the viewer's device.
+        content: The title being played (duration defines chunk count).
+        ladder: Encoding ladder.
+        abr: ABR algorithm instance (per-player; some are stateful).
+        policy: The AppP control logic.
+        max_buffer_s: Buffer target; downloads pause above it.
+        throughput_history: Number of chunk samples fed to the ABR.
+        abandon_rebuffer_s: Total stall after which the viewer quits
+            (``None`` disables abandonment).
+        on_end: Callback fired once when the session finishes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: FluidNetwork,
+        session_id: str,
+        client_node: str,
+        content: ContentItem,
+        ladder: BitrateLadder,
+        abr: AbrAlgorithm,
+        policy: PlayerPolicy,
+        max_buffer_s: float = 20.0,
+        throughput_history: int = 5,
+        abandon_rebuffer_s: Optional[float] = 120.0,
+        on_end: Optional[Callable[["AdaptivePlayer"], None]] = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.session_id = session_id
+        self.client_node = client_node
+        self.content = content
+        self.ladder = ladder
+        self.abr = abr
+        self.policy = policy
+        self.max_buffer_s = max_buffer_s
+        self.throughput_history = throughput_history
+        self.abandon_rebuffer_s = abandon_rebuffer_s
+        self.on_end = on_end
+        self.retry_delay_s = 2.0
+        #: Reconnect penalties: a whole-CDN switch re-resolves and
+        #: re-handshakes (new manifest, new connection pool); an
+        #: intra-CDN server switch reuses the manifest and only pays a
+        #: connection setup.  Applied before the next chunk fetch.
+        self.cdn_switch_penalty_s = 1.0
+        self.server_switch_penalty_s = 0.25
+        self._pending_penalty_s = 0.0
+
+        self.buffer = PlaybackBuffer()
+        self.n_chunks = max(1, math.ceil(content.duration_s / ladder.chunk_duration_s))
+        self.next_chunk = 0
+        self.cdn: Optional[Cdn] = None
+        self.chunk_records: List[ChunkRecord] = []
+        self.bitrates_played: List[float] = []
+        self._throughputs: List[float] = []
+        self._last_bitrate: Optional[float] = None
+        self._bitrate_switches = 0
+        self._cdn_switches = 0
+        self._server_switches = 0
+        self._abandoned = False
+        self._ended = False
+        self._current_transfer: Optional[Transfer] = None
+        self.started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the session: ask the policy for a CDN, fetch chunk 0."""
+        if self.started_at is not None:
+            raise RuntimeError(f"session {self.session_id} already started")
+        self.started_at = self.sim.now
+        self.buffer.bind_clock(self.sim.now)
+        assignment = self.policy.assign(self)
+        self.cdn = assignment.cdn
+        try:
+            self.cdn.attach(self.session_id, server_id=assignment.server_id)
+        except NoServerAvailableError:
+            self._finish(abandoned=True)
+            return
+        self._fetch_next()
+
+    def switch_server(self, server_id: Optional[str] = None) -> bool:
+        """Intra-CDN server switch (the fine-grained EONA knob)."""
+        assert self.cdn is not None
+        current = self.cdn.server_of(self.session_id)
+        exclude = [current.server_id] if current and server_id is None else []
+        try:
+            self.cdn.attach(self.session_id, exclude=exclude, server_id=server_id)
+        except (NoServerAvailableError, KeyError):
+            return False
+        self._server_switches += 1
+        self._pending_penalty_s += self.server_switch_penalty_s
+        return True
+
+    def switch_cdn(self, new_cdn: Cdn, server_id: Optional[str] = None) -> bool:
+        """Whole-CDN switch (the coarse status-quo knob)."""
+        assert self.cdn is not None
+        old = self.cdn
+        try:
+            new_cdn.attach(self.session_id, server_id=server_id)
+        except NoServerAvailableError:
+            return False
+        old.detach(self.session_id)
+        self.cdn = new_cdn
+        self._cdn_switches += 1
+        self._pending_penalty_s += self.cdn_switch_penalty_s
+        return True
+
+    # ------------------------------------------------------------------
+    # download loop
+    # ------------------------------------------------------------------
+    def _fetch_next(self) -> None:
+        if self._ended:
+            return
+        if self.next_chunk >= self.n_chunks:
+            self._schedule_end_of_playback()
+            return
+        assert self.cdn is not None
+        cap = self.policy.rate_cap_mbps(self)
+        ctx = AbrContext(
+            ladder=self.ladder,
+            buffer_level_s=self._buffer_level(),
+            throughput_samples_mbps=list(self._throughputs),
+            last_bitrate_mbps=self._last_bitrate,
+            rate_cap_mbps=cap,
+        )
+        bitrate = self.abr.choose(ctx)
+        if bitrate not in self.ladder:
+            raise ValueError(f"ABR returned off-ladder bitrate {bitrate!r}")
+        try:
+            served = self._serve_chunk(bitrate)
+        except KeyError:
+            # Our server was taken away (powered off / re-homed); find a
+            # new one, or wait and retry while the buffer drains.
+            try:
+                self.cdn.attach(self.session_id)
+                self._server_switches += 1
+            except NoServerAvailableError:
+                if (
+                    self.abandon_rebuffer_s is not None
+                    and self.buffer.rebuffer_time_s >= self.abandon_rebuffer_s
+                ):
+                    self._finish(abandoned=True)
+                else:
+                    self.sim.schedule(self.retry_delay_s, self._fetch_next)
+                return
+            served = self._serve_chunk(bitrate)
+        size = self.ladder.chunk_size_mbit(bitrate)
+        index = self.next_chunk
+        self.next_chunk += 1
+        started_at = self.sim.now
+        if served.transcode_job is not None:
+            # The edge is deriving the rung; download begins once the
+            # job completes (its slot is released at that instant).
+            job = served.transcode_job
+
+            def begin() -> None:
+                job.release()
+                self._start_chunk_transfer(
+                    served, index, bitrate, size, started_at
+                )
+
+            self.sim.schedule(job.latency_s, begin)
+        else:
+            self._start_chunk_transfer(served, index, bitrate, size, started_at)
+
+    def _start_chunk_transfer(
+        self,
+        served,
+        index: int,
+        bitrate: float,
+        size: float,
+        started_at: float,
+    ) -> None:
+        if self._ended:
+            return
+        assert self.cdn is not None
+        self._current_transfer = self.network.start_transfer(
+            served.src_node,
+            self.client_node,
+            size_mbit=size,
+            on_complete=lambda transfer: self._chunk_done(
+                transfer, index, bitrate, size, started_at, served.cache_hit,
+                served.server_id,
+            ),
+            demand_mbps=served.rate_cap_mbps,
+            via=served.via_node,
+            owner=self.cdn.name,
+        )
+
+    def _chunk_done(
+        self,
+        transfer: Transfer,
+        index: int,
+        bitrate: float,
+        size: float,
+        started_at: float,
+        cache_hit: bool,
+        server_id: str,
+    ) -> None:
+        if self._ended:
+            return
+        now = self.sim.now
+        self._current_transfer = None
+        duration = max(1e-9, now - started_at)
+        throughput = size / duration
+        self._throughputs.append(throughput)
+        if len(self._throughputs) > self.throughput_history:
+            self._throughputs.pop(0)
+        if self._last_bitrate is not None and bitrate != self._last_bitrate:
+            self._bitrate_switches += 1
+        self._last_bitrate = bitrate
+        self.bitrates_played.append(bitrate)
+        self.buffer.add_chunk(self.ladder.chunk_duration_s, now)
+        record = ChunkRecord(
+            session_id=self.session_id,
+            index=index,
+            started_at=started_at,
+            finished_at=now,
+            bitrate_mbps=bitrate,
+            size_mbit=size,
+            throughput_mbps=throughput,
+            cache_hit=cache_hit,
+            cdn_name=self.cdn.name if self.cdn else "",
+            server_id=server_id,
+            buffer_level_s=self.buffer.level_s,
+            rebuffer_time_s=self.buffer.rebuffer_time_s,
+        )
+        self.chunk_records.append(record)
+        self.policy.on_chunk(self, record)
+        if self._ended:
+            return
+        if (
+            self.abandon_rebuffer_s is not None
+            and self.buffer.rebuffer_time_s >= self.abandon_rebuffer_s
+        ):
+            self._finish(abandoned=True)
+            return
+        overflow = self.buffer.level_s + self.ladder.chunk_duration_s - self.max_buffer_s
+        delay = max(0.0, overflow) + self._pending_penalty_s
+        self._pending_penalty_s = 0.0
+        if delay > 0:
+            self.sim.schedule(delay, self._fetch_next)
+        else:
+            self._fetch_next()
+
+    def _serve_chunk(self, bitrate: float):
+        assert self.cdn is not None
+        base_key = f"{self.content.content_id}#{self.next_chunk}"
+        if self.cdn.transcoder is None:
+            # Bitrate-agnostic caching: one entry covers all rungs.
+            return self.cdn.serve_chunk(
+                self.session_id,
+                self.content,
+                chunk_key=base_key,
+                chunk_mbit=self.content.size_mbit / self.n_chunks,
+            )
+        # Transcoding CDN: rungs are cached separately, and any cached
+        # higher rung (best first) can be derived down at the edge.
+        fallbacks = [
+            f"{base_key}@{rung}"
+            for rung in sorted(self.ladder.bitrates_mbps, reverse=True)
+            if rung > bitrate
+        ]
+        return self.cdn.serve_chunk(
+            self.session_id,
+            self.content,
+            chunk_key=f"{base_key}@{bitrate}",
+            chunk_mbit=self.ladder.chunk_size_mbit(bitrate),
+            fallback_keys=fallbacks,
+            media_duration_s=self.ladder.chunk_duration_s,
+        )
+
+    def _schedule_end_of_playback(self) -> None:
+        remaining = self.buffer.drain_remaining(self.sim.now)
+        self.sim.schedule(remaining, self._finish, False)
+
+    def _finish(self, abandoned: bool) -> None:
+        if self._ended:
+            return
+        self._ended = True
+        self._abandoned = abandoned
+        self.buffer.advance(self.sim.now)
+        if self._current_transfer is not None and not self._current_transfer.done:
+            self.network.abort(self._current_transfer)
+            self._current_transfer = None
+        if self.cdn is not None:
+            self.cdn.detach(self.session_id)
+        self.policy.on_session_end(self)
+        if self.on_end is not None:
+            self.on_end(self)
+
+    def abort(self) -> None:
+        """Externally terminate the session (e.g. viewer closes the tab)."""
+        self._finish(abandoned=True)
+
+    # ------------------------------------------------------------------
+    # state & results
+    # ------------------------------------------------------------------
+    @property
+    def ended(self) -> bool:
+        return self._ended
+
+    def _buffer_level(self) -> float:
+        self.buffer.advance(self.sim.now)
+        return self.buffer.level_s
+
+    def qoe(self) -> QoeMetrics:
+        """Session QoE snapshot (final once the session has ended)."""
+        mean_bitrate = (
+            sum(self.bitrates_played) / len(self.bitrates_played)
+            if self.bitrates_played
+            else 0.0
+        )
+        return QoeMetrics(
+            session_id=self.session_id,
+            join_time_s=self.buffer.join_time_s,
+            play_time_s=self.buffer.play_time_s,
+            rebuffer_time_s=self.buffer.rebuffer_time_s,
+            rebuffer_events=self.buffer.rebuffer_events,
+            mean_bitrate_mbps=mean_bitrate,
+            bitrate_switches=self._bitrate_switches,
+            cdn_switches=self._cdn_switches,
+            server_switches=self._server_switches,
+            abandoned=self._abandoned,
+        )

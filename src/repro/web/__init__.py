@@ -1,0 +1,29 @@
+"""Web-over-cellular substrate (Figure 1(a) / Figure 4 of the paper).
+
+A Markov radio model modulates each client's access-link capacity and
+produces the *network-level* observables (state occupancy, handovers)
+that a cellular InfP can see.  A browser model loads multi-object pages
+over the fluid network and produces the *application-level* observable
+(page-load time) that only the AppP can see.  The gap between inferring
+the latter from the former and exporting it directly over EONA-A2I is
+experiment E3.
+"""
+
+from repro.web.radio import RadioModel, RadioState, RadioStats
+from repro.web.page import WebPage, make_page, make_shared_pool
+from repro.web.browser import Browser, PageLoadRecord
+from repro.web.proxy import WebProxy
+from repro.web.qoe import satisfaction_from_plt
+
+__all__ = [
+    "Browser",
+    "PageLoadRecord",
+    "RadioModel",
+    "RadioState",
+    "RadioStats",
+    "WebPage",
+    "WebProxy",
+    "make_page",
+    "make_shared_pool",
+    "satisfaction_from_plt",
+]

@@ -1,0 +1,187 @@
+"""Browser model: page loads with bounded connection parallelism.
+
+The browser fetches the main document first (its completion stands in
+for time-to-first-byte-ish early signals), then the embedded objects
+over at most ``parallelism`` concurrent connections.  Page-load time is
+when the last object lands.  Each load also captures the radio
+observables accumulated during the load, because those -- not the PLT --
+are what the InfP gets to see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.network.fluidsim import FluidNetwork, Transfer
+from repro.simkernel.kernel import Simulator
+from repro.web.page import WebPage
+from repro.web.radio import RadioModel, RadioState, RadioStats
+
+
+@dataclass(frozen=True)
+class PageLoadRecord:
+    """Outcome and observables of one page load.
+
+    Application-level truth (AppP-visible): ``plt_s``.
+    Network-level features (InfP-visible): everything else.
+    """
+
+    page_id: str
+    client_node: str
+    started_at: float
+    plt_s: float
+    main_doc_s: float          # completion time of the main document
+    total_mbit: float
+    object_count: int
+    mean_throughput_mbps: float
+    frac_good: float
+    frac_fair: float
+    frac_poor: float
+    handovers: int
+    radio_transitions: int
+    proxy_hits: int = 0
+
+
+class Browser:
+    """Loads pages for one client over the fluid network.
+
+    Args:
+        sim: Simulator.
+        network: Fluid network.
+        client_node: The client's topology node.
+        server_node: Web server / proxy node pages are fetched from.
+        radio: Optional radio model whose stats are attached to records.
+        parallelism: Max concurrent object fetches (classic 6).
+        proxy: Optional in-path caching proxy (Figure 1(a)); keyed
+            objects it holds are served from the proxy's node.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: FluidNetwork,
+        client_node: str,
+        server_node: str,
+        radio: Optional[RadioModel] = None,
+        parallelism: int = 6,
+        proxy: Optional["WebProxy"] = None,
+    ):
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism!r}")
+        self.sim = sim
+        self.network = network
+        self.client_node = client_node
+        self.server_node = server_node
+        self.radio = radio
+        self.parallelism = parallelism
+        self.proxy = proxy
+        self.records: List[PageLoadRecord] = []
+
+    def load_page(
+        self,
+        page: WebPage,
+        on_done: Optional[Callable[[PageLoadRecord], None]] = None,
+    ) -> None:
+        """Start loading ``page``; ``on_done`` fires with the record."""
+        state = _LoadState(
+            page=page,
+            started_at=self.sim.now,
+            radio_before=self.radio.stats.snapshot() if self.radio else None,
+            on_done=on_done,
+        )
+        self.network.start_transfer(
+            self.server_node,
+            self.client_node,
+            size_mbit=page.main_mbit,
+            on_complete=lambda transfer: self._main_done(state),
+            owner="web",
+        )
+
+    # ------------------------------------------------------------------
+    def _main_done(self, state: "_LoadState") -> None:
+        state.main_doc_s = self.sim.now - state.started_at
+        page = state.page
+        state.pending = [
+            (size, page.key_of(index))
+            for index, size in enumerate(page.object_sizes_mbit)
+        ]
+        if not state.pending:
+            self._finish(state)
+            return
+        for _ in range(min(self.parallelism, len(state.pending))):
+            self._fetch_next_object(state)
+
+    def _fetch_next_object(self, state: "_LoadState") -> None:
+        if not state.pending:
+            return
+        size, key = state.pending.pop()
+        state.in_flight += 1
+        src = self.server_node
+        if self.proxy is not None:
+            hit, proxy_node = self.proxy.resolve(key, size)
+            if hit:
+                state.proxy_hits += 1
+                src = proxy_node
+        self.network.start_transfer(
+            src,
+            self.client_node,
+            size_mbit=size,
+            on_complete=lambda transfer: self._object_done(state),
+            owner="web",
+        )
+
+    def _object_done(self, state: "_LoadState") -> None:
+        state.in_flight -= 1
+        if state.pending:
+            self._fetch_next_object(state)
+        elif state.in_flight == 0:
+            self._finish(state)
+
+    def _finish(self, state: "_LoadState") -> None:
+        now = self.sim.now
+        plt = now - state.started_at
+        radio_during = (
+            self.radio.stats.snapshot().diff(state.radio_before)
+            if self.radio and state.radio_before is not None
+            else RadioStats()
+        )
+        total = state.page.total_mbit
+        record = PageLoadRecord(
+            page_id=state.page.page_id,
+            client_node=self.client_node,
+            started_at=state.started_at,
+            plt_s=plt,
+            main_doc_s=state.main_doc_s,
+            total_mbit=total,
+            object_count=state.page.object_count,
+            mean_throughput_mbps=total / plt if plt > 0 else 0.0,
+            frac_good=radio_during.fraction(RadioState.GOOD),
+            frac_fair=radio_during.fraction(RadioState.FAIR),
+            frac_poor=radio_during.fraction(RadioState.POOR),
+            handovers=radio_during.handovers,
+            radio_transitions=radio_during.transitions,
+            proxy_hits=state.proxy_hits,
+        )
+        self.records.append(record)
+        if state.on_done is not None:
+            state.on_done(record)
+
+
+class _LoadState:
+    """Mutable bookkeeping for one in-progress page load."""
+
+    __slots__ = (
+        "page", "started_at", "radio_before", "on_done",
+        "pending", "in_flight", "main_doc_s", "proxy_hits",
+    )
+
+    def __init__(self, page, started_at, radio_before, on_done):
+        self.page = page
+        self.started_at = started_at
+        self.radio_before = radio_before
+        self.on_done = on_done
+        self.pending: List[tuple] = []
+        self.in_flight = 0
+        self.main_doc_s = 0.0
+        self.proxy_hits = 0

@@ -1,0 +1,110 @@
+"""Web page model: a main document plus embedded objects."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class WebPage:
+    """A page as a download workload.
+
+    Attributes:
+        page_id: Identifier.
+        main_mbit: Size of the main HTML document.
+        object_sizes_mbit: Sizes of embedded objects fetched after the
+            main document (images, scripts, ...).
+        object_keys: Optional per-object cache keys, aligned with
+            ``object_sizes_mbit``.  A key shared across pages (a common
+            framework script, say) makes the object proxy-cacheable;
+            ``None`` marks dynamic, uncacheable content.
+    """
+
+    page_id: str
+    main_mbit: float
+    object_sizes_mbit: Tuple[float, ...]
+    object_keys: Tuple[Optional[str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.object_keys and len(self.object_keys) != len(self.object_sizes_mbit):
+            raise ValueError(
+                f"page {self.page_id}: {len(self.object_keys)} keys vs "
+                f"{len(self.object_sizes_mbit)} objects"
+            )
+
+    def key_of(self, index: int) -> Optional[str]:
+        if not self.object_keys:
+            return None
+        return self.object_keys[index]
+
+    @property
+    def total_mbit(self) -> float:
+        return self.main_mbit + sum(self.object_sizes_mbit)
+
+    @property
+    def object_count(self) -> int:
+        return 1 + len(self.object_sizes_mbit)
+
+
+def make_shared_pool(
+    rng: random.Random,
+    n_objects: int = 50,
+    object_mbit_range: Tuple[float, float] = (0.05, 1.0),
+) -> List[Tuple[str, float]]:
+    """A pool of (key, size) objects shared across pages (CDN-hosted
+    libraries, fonts, common images) -- what makes web proxies useful."""
+    if n_objects < 1:
+        raise ValueError(f"n_objects must be >= 1, got {n_objects!r}")
+    return [
+        (f"shared-{index:04d}", _log_uniform(rng, *object_mbit_range))
+        for index in range(n_objects)
+    ]
+
+
+def make_page(
+    rng: random.Random,
+    page_id: str,
+    n_objects_range: Tuple[int, int] = (8, 40),
+    object_mbit_range: Tuple[float, float] = (0.05, 1.0),
+    main_mbit_range: Tuple[float, float] = (0.1, 0.5),
+    shared_pool: Optional[Sequence[Tuple[str, float]]] = None,
+    shared_fraction: float = 0.4,
+) -> WebPage:
+    """Sample a realistic page: tens of objects, mostly small.
+
+    Object sizes are drawn log-uniformly, matching the heavy-tailed
+    size mix of real pages.  With a ``shared_pool``, roughly
+    ``shared_fraction`` of the objects are drawn from it (keyed, hence
+    proxy-cacheable); the rest are page-unique.
+    """
+    lo_n, hi_n = n_objects_range
+    if lo_n < 0 or hi_n < lo_n:
+        raise ValueError(f"bad object count range {n_objects_range!r}")
+    if not 0 <= shared_fraction <= 1:
+        raise ValueError(f"shared_fraction out of range: {shared_fraction!r}")
+    n_objects = rng.randint(lo_n, hi_n)
+    main = rng.uniform(*main_mbit_range)
+    sizes: List[float] = []
+    keys: List[Optional[str]] = []
+    for _ in range(n_objects):
+        if shared_pool and rng.random() < shared_fraction:
+            key, size = shared_pool[rng.randrange(len(shared_pool))]
+            keys.append(key)
+            sizes.append(size)
+        else:
+            keys.append(None)
+            sizes.append(_log_uniform(rng, *object_mbit_range))
+    return WebPage(
+        page_id=page_id,
+        main_mbit=main,
+        object_sizes_mbit=tuple(sizes),
+        object_keys=tuple(keys) if shared_pool else (),
+    )
+
+
+def _log_uniform(rng: random.Random, low: float, high: float) -> float:
+    import math
+
+    return math.exp(rng.uniform(math.log(low), math.log(high)))

@@ -1,0 +1,47 @@
+"""The caching web proxy of Figure 1(a).
+
+The paper's web-over-cellular delivery chain routes browser traffic
+through an operator web proxy.  Modelled as an in-path object cache:
+objects shared across pages (framework scripts, fonts, common images)
+hit the proxy and are served from the cellular core instead of
+traversing the full path to the origin server -- one more subsystem
+whose behaviour shapes the experience only the client can measure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cdn.cache import LruCache
+
+
+class WebProxy:
+    """An object cache at a topology node inside the InfP.
+
+    Args:
+        node_id: Node the proxy runs at (between clients and servers).
+        cache_mbit: Object-cache capacity.
+    """
+
+    def __init__(self, node_id: str, cache_mbit: float = 500.0):
+        self.node_id = node_id
+        self.cache = LruCache(cache_mbit)
+
+    def resolve(self, object_key: Optional[str], size_mbit: float) -> Tuple[bool, str]:
+        """Decide where one object is served from.
+
+        Returns ``(hit, src_node_hint)`` -- on a hit the object comes
+        from the proxy's node; on a miss it must be fetched upstream
+        (and is admitted for next time).  Objects without a stable key
+        (``None``) are uncacheable (dynamic content).
+        """
+        if object_key is None:
+            return False, self.node_id
+        if self.cache.lookup(object_key):
+            return True, self.node_id
+        self.cache.insert(object_key, size_mbit)
+        return False, self.node_id
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache.stats.hit_rate

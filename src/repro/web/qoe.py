@@ -1,0 +1,27 @@
+"""Web QoE: user satisfaction as a function of page-load time.
+
+The mapping is the standard logistic "tolerance" curve used in web-QoE
+studies: near-perfect satisfaction under ~2 s, a steep fall through the
+2-8 s range, and near-zero beyond ~15 s.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def satisfaction_from_plt(
+    plt_s: float,
+    midpoint_s: float = 5.0,
+    steepness: float = 0.8,
+) -> float:
+    """Satisfaction in [0, 1] for a page-load time.
+
+    Args:
+        plt_s: Page-load time in seconds.
+        midpoint_s: PLT at which satisfaction crosses 0.5.
+        steepness: Logistic slope; higher = sharper cliff.
+    """
+    if plt_s < 0:
+        raise ValueError(f"plt must be non-negative, got {plt_s!r}")
+    return 1.0 / (1.0 + math.exp(steepness * (plt_s - midpoint_s)))

@@ -1,0 +1,160 @@
+"""Markov radio-state model for one cellular client.
+
+The radio alternates between quality states (GOOD/FAIR/POOR) with an
+occasional IRAT-style HANDOVER during which the link is nearly dead.
+Each state maps to an access-link capacity; transitions happen on a
+fixed tick.  The model exposes exactly the two kinds of quantities the
+paper's Figure 4 contrasts:
+
+* network-level observables an InfP records passively (state occupancy
+  fractions, handover counts) -- the features its inference uses;
+* the actual link capacity process, whose effect on page-load time is
+  what the AppP measures directly at the client.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.network.fluidsim import FluidNetwork
+from repro.simkernel.kernel import Simulator
+from repro.simkernel.processes import PeriodicProcess
+
+
+class RadioState(enum.Enum):
+    GOOD = "good"
+    FAIR = "fair"
+    POOR = "poor"
+    HANDOVER = "handover"
+
+
+#: Access-link capacity by state (Mbit/s). HANDOVER is near-outage.
+STATE_CAPACITY_MBPS: Dict[RadioState, float] = {
+    RadioState.GOOD: 20.0,
+    RadioState.FAIR: 6.0,
+    RadioState.POOR: 1.2,
+    RadioState.HANDOVER: 0.1,
+}
+
+#: Row-stochastic transition matrix on the 1-second tick.
+DEFAULT_TRANSITIONS: Dict[RadioState, Dict[RadioState, float]] = {
+    RadioState.GOOD: {
+        RadioState.GOOD: 0.88, RadioState.FAIR: 0.09,
+        RadioState.POOR: 0.01, RadioState.HANDOVER: 0.02,
+    },
+    RadioState.FAIR: {
+        RadioState.GOOD: 0.15, RadioState.FAIR: 0.73,
+        RadioState.POOR: 0.10, RadioState.HANDOVER: 0.02,
+    },
+    RadioState.POOR: {
+        RadioState.GOOD: 0.03, RadioState.FAIR: 0.22,
+        RadioState.POOR: 0.72, RadioState.HANDOVER: 0.03,
+    },
+    RadioState.HANDOVER: {
+        RadioState.GOOD: 0.50, RadioState.FAIR: 0.35,
+        RadioState.POOR: 0.15, RadioState.HANDOVER: 0.00,
+    },
+}
+
+
+@dataclass
+class RadioStats:
+    """Network-level observables over an interval (the InfP's features)."""
+
+    seconds_in_state: Dict[str, float] = field(
+        default_factory=lambda: {state.value: 0.0 for state in RadioState}
+    )
+    handovers: int = 0
+    transitions: int = 0
+
+    def fraction(self, state: RadioState) -> float:
+        total = sum(self.seconds_in_state.values())
+        if total <= 0:
+            return 0.0
+        return self.seconds_in_state[state.value] / total
+
+    def snapshot(self) -> "RadioStats":
+        copy = RadioStats(
+            seconds_in_state=dict(self.seconds_in_state),
+            handovers=self.handovers,
+            transitions=self.transitions,
+        )
+        return copy
+
+    def diff(self, earlier: "RadioStats") -> "RadioStats":
+        """Observables accumulated since an earlier snapshot."""
+        return RadioStats(
+            seconds_in_state={
+                key: self.seconds_in_state[key] - earlier.seconds_in_state[key]
+                for key in self.seconds_in_state
+            },
+            handovers=self.handovers - earlier.handovers,
+            transitions=self.transitions - earlier.transitions,
+        )
+
+
+class RadioModel:
+    """Drives one client's access-link capacity from a radio Markov chain.
+
+    Args:
+        sim: Simulator.
+        network: Fluid network whose link capacity is modulated.
+        link_id: The (downstream) access link of this client.
+        rng: Random stream for transitions.
+        tick_s: Transition period.
+        transitions: Row-stochastic matrix; defaults to
+            :data:`DEFAULT_TRANSITIONS`.
+        capacities: State→capacity map; defaults to
+            :data:`STATE_CAPACITY_MBPS`.
+        initial: Starting state.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: FluidNetwork,
+        link_id: str,
+        rng: random.Random,
+        tick_s: float = 1.0,
+        transitions: Optional[Dict[RadioState, Dict[RadioState, float]]] = None,
+        capacities: Optional[Dict[RadioState, float]] = None,
+        initial: RadioState = RadioState.GOOD,
+    ):
+        self.sim = sim
+        self.network = network
+        self.link_id = link_id
+        self.rng = rng
+        self.tick_s = tick_s
+        self.transitions = transitions or DEFAULT_TRANSITIONS
+        self.capacities = capacities or STATE_CAPACITY_MBPS
+        self.state = initial
+        self.stats = RadioStats()
+        self._apply_state()
+        self._process = PeriodicProcess(sim, tick_s, self._tick, name=f"radio:{link_id}")
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    def _tick(self) -> None:
+        self.stats.seconds_in_state[self.state.value] += self.tick_s
+        row = self.transitions[self.state]
+        u = self.rng.random()
+        acc = 0.0
+        next_state = self.state
+        for state, probability in row.items():
+            acc += probability
+            if u < acc:
+                next_state = state
+                break
+        if next_state is not self.state:
+            self.stats.transitions += 1
+            if next_state is RadioState.HANDOVER:
+                self.stats.handovers += 1
+            self.state = next_state
+            self._apply_state()
+
+    def _apply_state(self) -> None:
+        self.network.set_link_capacity(self.link_id, self.capacities[self.state])

@@ -1,0 +1,51 @@
+"""Workload generation: session arrivals and prebuilt scenario worlds.
+
+Arrival processes (Poisson, non-homogeneous via thinning, flash-crowd
+and diurnal rate profiles) drive session starts; the scenario builders
+assemble the per-figure topologies, CDNs, and client populations the
+experiments run on.
+"""
+
+from repro.workloads.arrivals import (
+    NonHomogeneousArrivals,
+    PoissonArrivals,
+    diurnal_rate,
+    flash_crowd_rate,
+)
+from repro.workloads.scenarios import (
+    CdnFaultScenario,
+    CellularWebScenario,
+    CoarseControlScenario,
+    EnergyScenario,
+    FlashCrowdScenario,
+    OscillationScenario,
+    TwoIspScenario,
+    build_cdn_fault_scenario,
+    build_cellular_web_scenario,
+    build_coarse_control_scenario,
+    build_energy_scenario,
+    build_flash_crowd_scenario,
+    build_oscillation_scenario,
+    build_two_isp_scenario,
+)
+
+__all__ = [
+    "CdnFaultScenario",
+    "CellularWebScenario",
+    "CoarseControlScenario",
+    "EnergyScenario",
+    "FlashCrowdScenario",
+    "NonHomogeneousArrivals",
+    "OscillationScenario",
+    "PoissonArrivals",
+    "TwoIspScenario",
+    "build_cdn_fault_scenario",
+    "build_cellular_web_scenario",
+    "build_coarse_control_scenario",
+    "build_energy_scenario",
+    "build_flash_crowd_scenario",
+    "build_oscillation_scenario",
+    "build_two_isp_scenario",
+    "diurnal_rate",
+    "flash_crowd_rate",
+]

@@ -1,0 +1,182 @@
+"""Session arrival processes.
+
+:class:`PoissonArrivals` is the homogeneous base case;
+:class:`NonHomogeneousArrivals` implements Lewis-Shedler thinning
+against an arbitrary rate function, which is how the flash-crowd
+(Figure 3) and diurnal (energy-saving) profiles are driven.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Optional
+
+from repro.simkernel.kernel import Simulator
+
+StartFn = Callable[[int], None]
+RateFn = Callable[[float], float]
+
+
+class PoissonArrivals:
+    """Homogeneous Poisson session starts.
+
+    Args:
+        sim: Simulator.
+        rate_per_s: Mean arrivals per second.
+        start_fn: Called with a running session index at each arrival.
+        rng: Random stream.
+        until: Stop generating at this simulated time (``None`` = never).
+        max_sessions: Stop after this many arrivals.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_per_s: float,
+        start_fn: StartFn,
+        rng: random.Random,
+        until: Optional[float] = None,
+        max_sessions: Optional[int] = None,
+    ):
+        if rate_per_s <= 0:
+            raise ValueError(f"rate must be positive, got {rate_per_s!r}")
+        self.sim = sim
+        self.rate_per_s = rate_per_s
+        self.start_fn = start_fn
+        self.rng = rng
+        self.until = until
+        self.max_sessions = max_sessions
+        self.generated = 0
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = self.rng.expovariate(self.rate_per_s)
+        when = self.sim.now + gap
+        if self.until is not None and when > self.until:
+            return
+        if self.max_sessions is not None and self.generated >= self.max_sessions:
+            return
+        self.sim.schedule(gap, self._arrive)
+
+    def _arrive(self) -> None:
+        index = self.generated
+        self.generated += 1
+        self.start_fn(index)
+        self._schedule_next()
+
+
+class NonHomogeneousArrivals:
+    """Poisson arrivals with a time-varying rate, via thinning.
+
+    Args:
+        sim: Simulator.
+        rate_fn: Instantaneous rate λ(t), arrivals/second.
+        max_rate_per_s: An upper bound on λ(t) over the horizon
+            (thinning envelope); proposals above λ(t)/max are rejected.
+        start_fn: Called with a running session index at each arrival.
+        rng: Random stream.
+        until: Stop at this simulated time.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_fn: RateFn,
+        max_rate_per_s: float,
+        start_fn: StartFn,
+        rng: random.Random,
+        until: Optional[float] = None,
+        max_sessions: Optional[int] = None,
+    ):
+        if max_rate_per_s <= 0:
+            raise ValueError(f"max rate must be positive, got {max_rate_per_s!r}")
+        self.sim = sim
+        self.rate_fn = rate_fn
+        self.max_rate_per_s = max_rate_per_s
+        self.start_fn = start_fn
+        self.rng = rng
+        self.until = until
+        self.max_sessions = max_sessions
+        self.generated = 0
+        self._schedule_proposal()
+
+    def _schedule_proposal(self) -> None:
+        gap = self.rng.expovariate(self.max_rate_per_s)
+        when = self.sim.now + gap
+        if self.until is not None and when > self.until:
+            return
+        if self.max_sessions is not None and self.generated >= self.max_sessions:
+            return
+        self.sim.schedule(gap, self._propose)
+
+    def _propose(self) -> None:
+        rate = self.rate_fn(self.sim.now)
+        if rate > self.max_rate_per_s + 1e-9:
+            raise ValueError(
+                f"rate_fn({self.sim.now}) = {rate} exceeds envelope "
+                f"{self.max_rate_per_s}"
+            )
+        if self.rng.random() < rate / self.max_rate_per_s:
+            index = self.generated
+            self.generated += 1
+            self.start_fn(index)
+        self._schedule_proposal()
+
+
+def flash_crowd_rate(
+    base_per_s: float,
+    peak_per_s: float,
+    onset_s: float,
+    ramp_s: float,
+    duration_s: float,
+) -> RateFn:
+    """A flash-crowd profile: base → linear ramp to peak → decay to base.
+
+    Args:
+        base_per_s: Background arrival rate.
+        peak_per_s: Peak rate during the event.
+        onset_s: When the ramp begins.
+        ramp_s: Ramp-up length.
+        duration_s: Time spent at the peak before the exponential decay.
+    """
+    if peak_per_s < base_per_s:
+        raise ValueError("peak must be >= base")
+
+    def rate(t: float) -> float:
+        if t < onset_s:
+            return base_per_s
+        if t < onset_s + ramp_s:
+            fraction = (t - onset_s) / ramp_s
+            return base_per_s + fraction * (peak_per_s - base_per_s)
+        if t < onset_s + ramp_s + duration_s:
+            return peak_per_s
+        decay = math.exp(-(t - onset_s - ramp_s - duration_s) / max(ramp_s, 1.0))
+        return base_per_s + decay * (peak_per_s - base_per_s)
+
+    return rate
+
+
+def diurnal_rate(
+    mean_per_s: float,
+    amplitude: float = 0.8,
+    period_s: float = 86_400.0,
+    peak_at_s: float = 72_000.0,
+) -> RateFn:
+    """A sinusoidal day/night demand curve (peak in the evening).
+
+    Args:
+        mean_per_s: Mean rate over a day.
+        amplitude: Relative swing in [0, 1); rate spans
+            mean*(1±amplitude).
+        period_s: Day length.
+        peak_at_s: Time-of-day of the peak.
+    """
+    if not 0 <= amplitude < 1:
+        raise ValueError(f"amplitude out of range: {amplitude!r}")
+
+    def rate(t: float) -> float:
+        phase = 2 * math.pi * (t - peak_at_s) / period_s
+        return mean_per_s * (1 + amplitude * math.cos(phase))
+
+    return rate

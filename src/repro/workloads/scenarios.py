@@ -1,0 +1,562 @@
+"""Prebuilt scenario worlds, one per motivating figure of the paper.
+
+Each builder assembles a simulator, a topology, the providers, and the
+client population for one scenario, and returns them in a typed bundle.
+Experiments then attach the control logic under test (status quo, EONA,
+oracle, ...) -- the *world* is identical across modes by construction,
+which is what makes the comparisons meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cdn.content import ContentCatalog
+from repro.cdn.origin import Origin
+from repro.cdn.provider import Cdn
+from repro.cdn.server import CdnServer
+from repro.core.registry import OptInRegistry
+from repro.network.fluidsim import FluidNetwork
+from repro.network.topology import NodeKind, Topology
+from repro.sdn.te import EgressGroup
+from repro.simkernel.kernel import Simulator
+from repro.web.browser import Browser
+from repro.web.radio import RadioModel
+
+
+# ----------------------------------------------------------------------
+# Figure 3: flash crowd behind a congested access network
+# ----------------------------------------------------------------------
+@dataclass
+class FlashCrowdScenario:
+    """World for E2: two healthy CDNs, one narrow access segment."""
+
+    sim: Simulator
+    topology: Topology
+    network: FluidNetwork
+    cdns: List[Cdn]
+    catalog: ContentCatalog
+    client_nodes: List[str]
+    access_link: str
+    registry: OptInRegistry
+
+
+def build_flash_crowd_scenario(
+    seed: int = 0,
+    n_clients: int = 30,
+    access_capacity_mbps: float = 45.0,
+    client_link_mbps: float = 100.0,
+    catalog_items: int = 20,
+    content_duration_s: float = 120.0,
+) -> FlashCrowdScenario:
+    """Both CDNs are fine; the ISP's access aggregate is the bottleneck.
+
+    Switching CDNs cannot help (the congestion is after the peering);
+    only reducing the per-session bitrate can (Figure 3's lesson).
+    """
+    sim = Simulator(seed=seed)
+    topo = Topology("flash-crowd")
+    topo.add_node("cdn1", NodeKind.SERVER, owner="cdn1")
+    topo.add_node("cdn2", NodeKind.SERVER, owner="cdn2")
+    topo.add_node("core", NodeKind.ROUTER, owner="isp")
+    topo.add_node("agg", NodeKind.ROUTER, owner="isp")
+    topo.add_link("cdn1", "core", 10_000.0, delay_ms=10, owner="isp", tags=("peering",))
+    topo.add_link("cdn2", "core", 10_000.0, delay_ms=12, owner="isp", tags=("peering",))
+    access = topo.add_link(
+        "core", "agg", access_capacity_mbps, delay_ms=2, owner="isp", tags=("access",)
+    )
+    client_nodes = []
+    for index in range(n_clients):
+        node = f"client{index}"
+        topo.add_node(node, NodeKind.CLIENT, owner="isp")
+        topo.add_link("agg", node, client_link_mbps, delay_ms=5, owner="isp")
+        client_nodes.append(node)
+
+    network = FluidNetwork(sim, topo)
+    catalog = ContentCatalog(
+        n_items=catalog_items, duration_s=content_duration_s, zipf_alpha=1.1
+    )
+    cdns = [
+        Cdn("cdn1", [CdnServer("cdn1.s1", "cdn1", capacity_sessions=10_000)]),
+        Cdn("cdn2", [CdnServer("cdn2.s1", "cdn2", capacity_sessions=10_000)]),
+    ]
+    return FlashCrowdScenario(
+        sim=sim,
+        topology=topo,
+        network=network,
+        cdns=cdns,
+        catalog=catalog,
+        client_nodes=client_nodes,
+        access_link=access.link_id,
+        registry=OptInRegistry(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5: the CDN-switching / peering-selection oscillator
+# ----------------------------------------------------------------------
+@dataclass
+class OscillationScenario:
+    """World for E4: CDN X via peerings B or C; CDN Y via C only."""
+
+    sim: Simulator
+    topology: Topology
+    network: FluidNetwork
+    cdn_x: Cdn
+    cdn_y: Cdn
+    catalog: ContentCatalog
+    client_nodes: List[str]
+    groups: List[EgressGroup]
+    registry: OptInRegistry
+    peering_b_link: str
+    peering_c_link: str
+
+    @property
+    def cdns(self) -> List[Cdn]:
+        return [self.cdn_x, self.cdn_y]
+
+
+def build_oscillation_scenario(
+    seed: int = 0,
+    n_clients: int = 24,
+    peering_b_mbps: float = 60.0,
+    peering_c_mbps: float = 300.0,
+    cdn_y_uplink_mbps: float = 45.0,
+) -> OscillationScenario:
+    """Figure 5's world, sized so every arrow of the figure is live.
+
+    Total demand (~n_clients × 3 Mbit/s) exceeds peering B's capacity
+    and CDN Y's uplink, but fits comfortably through peering C -- the
+    "green path" only a coordinated choice discovers.
+    """
+    sim = Simulator(seed=seed)
+    topo = Topology("oscillation")
+    topo.add_node("cdnX", NodeKind.SERVER, owner="cdnX")
+    topo.add_node("cdnY", NodeKind.SERVER, owner="cdnY")
+    topo.add_node("peerB", NodeKind.PEERING, owner="isp")
+    topo.add_node("peerC", NodeKind.PEERING, owner="isp")
+    topo.add_node("core", NodeKind.ROUTER, owner="isp")
+    topo.add_node("agg", NodeKind.ROUTER, owner="isp")
+    # CDN attachment links are ample except CDN Y's limited uplink.
+    topo.add_link("cdnX", "peerB", 10_000.0, delay_ms=2, owner="cdnX")
+    topo.add_link("cdnX", "peerC", 10_000.0, delay_ms=8, owner="cdnX")
+    topo.add_link("cdnY", "peerC", cdn_y_uplink_mbps, delay_ms=8, owner="cdnY")
+    # The ISP-side peering facilities are the steerable bottlenecks.
+    link_b = topo.add_link(
+        "peerB", "core", peering_b_mbps, delay_ms=1, owner="isp", tags=("peering",)
+    )
+    link_c = topo.add_link(
+        "peerC", "core", peering_c_mbps, delay_ms=1, owner="isp", tags=("peering",)
+    )
+    topo.add_link("core", "agg", 10_000.0, delay_ms=2, owner="isp")
+    client_nodes = []
+    for index in range(n_clients):
+        node = f"client{index}"
+        topo.add_node(node, NodeKind.CLIENT, owner="isp")
+        topo.add_link("agg", node, 100.0, delay_ms=5, owner="isp")
+        client_nodes.append(node)
+
+    network = FluidNetwork(sim, topo)
+    catalog = ContentCatalog(n_items=10, duration_s=180.0)
+    cdn_x = Cdn("cdnX", [CdnServer("cdnX.s1", "cdnX", capacity_sessions=10_000)])
+    cdn_y = Cdn("cdnY", [CdnServer("cdnY.s1", "cdnY", capacity_sessions=10_000)])
+    groups = [
+        EgressGroup(
+            name="cdnX",
+            remote="cdnX",
+            candidates=["peerB", "peerC"],
+            egress_links={"peerB": link_b.link_id, "peerC": link_c.link_id},
+            preferred="peerB",
+        ),
+        EgressGroup(
+            name="cdnY",
+            remote="cdnY",
+            candidates=["peerC"],
+            egress_links={"peerC": link_c.link_id},
+        ),
+    ]
+    return OscillationScenario(
+        sim=sim,
+        topology=topo,
+        network=network,
+        cdn_x=cdn_x,
+        cdn_y=cdn_y,
+        catalog=catalog,
+        client_nodes=client_nodes,
+        groups=groups,
+        registry=OptInRegistry(),
+        peering_b_link=link_b.link_id,
+        peering_c_link=link_c.link_id,
+    )
+
+
+# ----------------------------------------------------------------------
+# §2 "coarse control": one bad server inside a warm CDN
+# ----------------------------------------------------------------------
+@dataclass
+class CoarseControlScenario:
+    """World for E1: warm CDN X with one degraded server, cold CDN Y."""
+
+    sim: Simulator
+    topology: Topology
+    network: FluidNetwork
+    cdn_x: Cdn
+    cdn_y: Cdn
+    catalog: ContentCatalog
+    client_nodes: List[str]
+    registry: OptInRegistry
+
+    @property
+    def cdns(self) -> List[Cdn]:
+        return [self.cdn_x, self.cdn_y]
+
+
+def build_coarse_control_scenario(
+    seed: int = 0,
+    n_clients: int = 20,
+    degraded_rate_mbps: float = 0.3,
+    origin_uplink_mbps: float = 25.0,
+    catalog_items: int = 40,
+) -> CoarseControlScenario:
+    """CDN X's server e1 is degraded; e2 is healthy and cache-warm.
+
+    CDN Y works but its caches are cold, so every chunk a switched
+    session fetches pulls through Y's narrow origin uplink.  The
+    EONA-I2A server hint makes the intra-CDN switch possible.
+    """
+    sim = Simulator(seed=seed)
+    topo = Topology("coarse-control")
+    topo.add_node("originX", NodeKind.ORIGIN, owner="cdnX")
+    topo.add_node("originY", NodeKind.ORIGIN, owner="cdnY")
+    topo.add_node("cdnX.e1", NodeKind.SERVER, owner="cdnX")
+    topo.add_node("cdnX.e2", NodeKind.SERVER, owner="cdnX")
+    topo.add_node("cdnY.e1", NodeKind.SERVER, owner="cdnY")
+    topo.add_node("core", NodeKind.ROUTER, owner="isp")
+    topo.add_node("agg", NodeKind.ROUTER, owner="isp")
+    topo.add_link("originX", "cdnX.e1", origin_uplink_mbps, delay_ms=40, owner="cdnX")
+    topo.add_link("originX", "cdnX.e2", origin_uplink_mbps, delay_ms=40, owner="cdnX")
+    topo.add_link("originY", "cdnY.e1", origin_uplink_mbps, delay_ms=40, owner="cdnY")
+    topo.add_link("cdnX.e1", "core", 10_000.0, delay_ms=5, owner="isp", tags=("peering",))
+    topo.add_link("cdnX.e2", "core", 10_000.0, delay_ms=5, owner="isp", tags=("peering",))
+    topo.add_link("cdnY.e1", "core", 10_000.0, delay_ms=5, owner="isp", tags=("peering",))
+    topo.add_link("core", "agg", 10_000.0, delay_ms=2, owner="isp")
+    client_nodes = []
+    for index in range(n_clients):
+        node = f"client{index}"
+        topo.add_node(node, NodeKind.CLIENT, owner="isp")
+        topo.add_link("agg", node, 100.0, delay_ms=5, owner="isp")
+        client_nodes.append(node)
+
+    network = FluidNetwork(sim, topo)
+    catalog = ContentCatalog(n_items=catalog_items, duration_s=120.0, zipf_alpha=0.9)
+    server_e1 = CdnServer(
+        "cdnX.e1", "cdnX.e1", capacity_sessions=10_000,
+        cache_mbit=1e7, degraded_rate_mbps=degraded_rate_mbps,
+    )
+    server_e2 = CdnServer("cdnX.e2", "cdnX.e2", capacity_sessions=10_000, cache_mbit=1e7)
+    cdn_x = Cdn("cdnX", [server_e1, server_e2], origin=Origin("originX"))
+    cdn_x.warm_caches(catalog, top_fraction=1.0)
+    server_y = CdnServer("cdnY.e1", "cdnY.e1", capacity_sessions=10_000, cache_mbit=1e7)
+    cdn_y = Cdn("cdnY", [server_y], origin=Origin("originY"))
+    return CoarseControlScenario(
+        sim=sim,
+        topology=topo,
+        network=network,
+        cdn_x=cdn_x,
+        cdn_y=cdn_y,
+        catalog=catalog,
+        client_nodes=client_nodes,
+        registry=OptInRegistry(),
+    )
+
+
+# ----------------------------------------------------------------------
+# §2 "configuration changes": server energy saving
+# ----------------------------------------------------------------------
+@dataclass
+class EnergyScenario:
+    """World for E5: one CDN with several clusters, diurnal demand."""
+
+    sim: Simulator
+    topology: Topology
+    network: FluidNetwork
+    cdn: Cdn
+    catalog: ContentCatalog
+    client_nodes: List[str]
+    registry: OptInRegistry
+    server_uplinks: Dict[str, str]
+
+
+def build_energy_scenario(
+    seed: int = 0,
+    n_servers: int = 6,
+    n_clients: int = 40,
+    server_uplink_mbps: float = 50.0,
+    server_capacity_sessions: int = 25,
+) -> EnergyScenario:
+    """Each cluster has a finite uplink; fewer powered servers means
+    less aggregate serving capacity, so overshooting the shutdown
+    degrades QoE in a way only client-side measurement reveals."""
+    sim = Simulator(seed=seed)
+    topo = Topology("energy")
+    topo.add_node("core", NodeKind.ROUTER, owner="isp")
+    topo.add_node("agg", NodeKind.ROUTER, owner="isp")
+    topo.add_link("core", "agg", 10_000.0, delay_ms=2, owner="isp")
+    servers = []
+    uplinks: Dict[str, str] = {}
+    for index in range(n_servers):
+        node = f"edge{index}"
+        topo.add_node(node, NodeKind.SERVER, owner="cdn")
+        link = topo.add_link(node, "core", server_uplink_mbps, delay_ms=5, owner="cdn")
+        server = CdnServer(
+            f"cdn.{node}", node, capacity_sessions=server_capacity_sessions
+        )
+        servers.append(server)
+        uplinks[server.server_id] = link.link_id
+    client_nodes = []
+    for index in range(n_clients):
+        node = f"client{index}"
+        topo.add_node(node, NodeKind.CLIENT, owner="isp")
+        topo.add_link("agg", node, 100.0, delay_ms=5, owner="isp")
+        client_nodes.append(node)
+
+    network = FluidNetwork(sim, topo)
+    catalog = ContentCatalog(n_items=15, duration_s=90.0)
+    cdn = Cdn("cdn", servers)
+    return EnergyScenario(
+        sim=sim,
+        topology=topo,
+        network=network,
+        cdn=cdn,
+        catalog=catalog,
+        client_nodes=client_nodes,
+        registry=OptInRegistry(),
+        server_uplinks=uplinks,
+    )
+
+
+# ----------------------------------------------------------------------
+# Control-plane scenario: a CDN degrades mid-run (C3-style steering)
+# ----------------------------------------------------------------------
+@dataclass
+class CdnFaultScenario:
+    """World for E13: two CDNs, one suffers a mid-run capacity fault."""
+
+    sim: Simulator
+    topology: Topology
+    network: FluidNetwork
+    cdns: List[Cdn]
+    catalog: ContentCatalog
+    client_nodes: List[str]
+    cdn1_uplink: str
+    registry: OptInRegistry
+    fault_at_s: float
+    recover_at_s: float
+
+    def schedule_fault(self, degraded_mbps: float = 10.0) -> None:
+        """Arm the capacity fault and recovery on CDN 1's uplink."""
+        healthy = self.topology.link(self.cdn1_uplink).capacity_mbps
+        self.sim.schedule_at(
+            self.fault_at_s,
+            lambda: self.network.set_link_capacity(self.cdn1_uplink, degraded_mbps),
+        )
+        self.sim.schedule_at(
+            self.recover_at_s,
+            lambda: self.network.set_link_capacity(self.cdn1_uplink, healthy),
+        )
+
+
+def build_cdn_fault_scenario(
+    seed: int = 0,
+    n_clients: int = 25,
+    cdn_uplink_mbps: float = 150.0,
+    fault_at_s: float = 200.0,
+    recover_at_s: float = 500.0,
+) -> CdnFaultScenario:
+    """Two equivalent CDNs behind one healthy ISP; CDN 1's uplink will
+    collapse mid-run.  How fast the AppP's control logic notices and
+    steers the fleet is the C3-vs-per-session-reaction question."""
+    sim = Simulator(seed=seed)
+    topo = Topology("cdn-fault")
+    topo.add_node("cdn1", NodeKind.SERVER, owner="cdn1")
+    topo.add_node("cdn2", NodeKind.SERVER, owner="cdn2")
+    topo.add_node("core", NodeKind.ROUTER, owner="isp")
+    topo.add_node("agg", NodeKind.ROUTER, owner="isp")
+    uplink1 = topo.add_link(
+        "cdn1", "core", cdn_uplink_mbps, delay_ms=8, owner="cdn1", tags=("peering",)
+    )
+    topo.add_link(
+        "cdn2", "core", cdn_uplink_mbps, delay_ms=10, owner="cdn2", tags=("peering",)
+    )
+    topo.add_link("core", "agg", 10_000.0, delay_ms=2, owner="isp")
+    client_nodes = []
+    for index in range(n_clients):
+        node = f"client{index}"
+        topo.add_node(node, NodeKind.CLIENT, owner="isp")
+        topo.add_link("agg", node, 100.0, delay_ms=5, owner="isp")
+        client_nodes.append(node)
+
+    network = FluidNetwork(sim, topo)
+    catalog = ContentCatalog(n_items=20, duration_s=120.0, zipf_alpha=1.0)
+    cdns = [
+        Cdn("cdn1", [CdnServer("cdn1.s1", "cdn1", capacity_sessions=10_000)]),
+        Cdn("cdn2", [CdnServer("cdn2.s1", "cdn2", capacity_sessions=10_000)]),
+    ]
+    return CdnFaultScenario(
+        sim=sim,
+        topology=topo,
+        network=network,
+        cdns=cdns,
+        catalog=catalog,
+        client_nodes=client_nodes,
+        cdn1_uplink=uplink1.link_id,
+        registry=OptInRegistry(),
+        fault_at_s=fault_at_s,
+        recover_at_s=recover_at_s,
+    )
+
+
+# ----------------------------------------------------------------------
+# §3 attributes: one AppP serving clients across two access ISPs
+# ----------------------------------------------------------------------
+@dataclass
+class TwoIspScenario:
+    """World for E12: identical CDNs, two ISPs, one congested."""
+
+    sim: Simulator
+    topology: Topology
+    network: FluidNetwork
+    cdns: List[Cdn]
+    catalog: ContentCatalog
+    clients_isp1: List[str]
+    clients_isp2: List[str]
+    access_link_isp1: str
+    access_link_isp2: str
+    registry: OptInRegistry
+
+    def isp_of_client(self, client_node: str) -> str:
+        return "isp1" if client_node in set(self.clients_isp1) else "isp2"
+
+
+def build_two_isp_scenario(
+    seed: int = 0,
+    n_clients_per_isp: int = 15,
+    isp1_access_mbps: float = 25.0,
+    isp2_access_mbps: float = 500.0,
+) -> TwoIspScenario:
+    """Two eyeball ISPs behind the same CDNs; only ISP1's access is
+    narrow.  The A2I attribute question (client ISP) decides whether a
+    congestion response can be scoped to the viewers it concerns."""
+    sim = Simulator(seed=seed)
+    topo = Topology("two-isp")
+    topo.add_node("cdn1", NodeKind.SERVER, owner="cdn1")
+    topo.add_node("cdn2", NodeKind.SERVER, owner="cdn2")
+    clients_isp1: List[str] = []
+    clients_isp2: List[str] = []
+    access_links: Dict[str, str] = {}
+    for isp, capacity, bucket in (
+        ("isp1", isp1_access_mbps, clients_isp1),
+        ("isp2", isp2_access_mbps, clients_isp2),
+    ):
+        core = f"{isp}.core"
+        agg = f"{isp}.agg"
+        topo.add_node(core, NodeKind.ROUTER, owner=isp)
+        topo.add_node(agg, NodeKind.ROUTER, owner=isp)
+        topo.add_link("cdn1", core, 10_000.0, delay_ms=8, owner=isp, tags=("peering",))
+        topo.add_link("cdn2", core, 10_000.0, delay_ms=10, owner=isp, tags=("peering",))
+        access = topo.add_link(
+            core, agg, capacity, delay_ms=2, owner=isp, tags=("access",)
+        )
+        access_links[isp] = access.link_id
+        for index in range(n_clients_per_isp):
+            node = f"{isp}.client{index}"
+            topo.add_node(node, NodeKind.CLIENT, owner=isp)
+            topo.add_link(agg, node, 100.0, delay_ms=5, owner=isp)
+            bucket.append(node)
+
+    network = FluidNetwork(sim, topo)
+    catalog = ContentCatalog(n_items=20, duration_s=120.0, zipf_alpha=1.1)
+    cdns = [
+        Cdn("cdn1", [CdnServer("cdn1.s1", "cdn1", capacity_sessions=10_000)]),
+        Cdn("cdn2", [CdnServer("cdn2.s1", "cdn2", capacity_sessions=10_000)]),
+    ]
+    return TwoIspScenario(
+        sim=sim,
+        topology=topo,
+        network=network,
+        cdns=cdns,
+        catalog=catalog,
+        clients_isp1=clients_isp1,
+        clients_isp2=clients_isp2,
+        access_link_isp1=access_links["isp1"],
+        access_link_isp2=access_links["isp2"],
+        registry=OptInRegistry(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4: web browsing over a cellular access network
+# ----------------------------------------------------------------------
+@dataclass
+class CellularWebScenario:
+    """World for E3: per-client radio-modulated access links."""
+
+    sim: Simulator
+    topology: Topology
+    network: FluidNetwork
+    client_nodes: List[str]
+    access_links: List[str]
+    radios: List[RadioModel]
+    browsers: List[Browser]
+    server_node: str
+    rng: random.Random
+
+
+def build_cellular_web_scenario(
+    seed: int = 0,
+    n_clients: int = 12,
+    radio_tick_s: float = 1.0,
+) -> CellularWebScenario:
+    """One web server, a cellular core, and clients with independent
+    radio processes driving their last-hop capacity."""
+    sim = Simulator(seed=seed)
+    topo = Topology("cellular-web")
+    topo.add_node("web", NodeKind.SERVER, owner="appp")
+    topo.add_node("cellcore", NodeKind.ROUTER, owner="isp")
+    topo.add_node("bs", NodeKind.BASE_STATION, owner="isp")
+    topo.add_link("web", "cellcore", 10_000.0, delay_ms=20, owner="isp")
+    topo.add_link("cellcore", "bs", 10_000.0, delay_ms=10, owner="isp")
+    client_nodes = []
+    access_links = []
+    for index in range(n_clients):
+        node = f"ue{index}"
+        topo.add_node(node, NodeKind.CLIENT, owner="isp")
+        link = topo.add_link(
+            "bs", node, 20.0, delay_ms=25, owner="isp", tags=("access", "radio")
+        )
+        client_nodes.append(node)
+        access_links.append(link.link_id)
+
+    network = FluidNetwork(sim, topo)
+    radios = []
+    browsers = []
+    for index, (node, link_id) in enumerate(zip(client_nodes, access_links)):
+        rng = sim.rng.get(f"radio:{index}")
+        radio = RadioModel(sim, network, link_id, rng, tick_s=radio_tick_s)
+        radios.append(radio)
+        browsers.append(
+            Browser(sim, network, client_node=node, server_node="web", radio=radio)
+        )
+    return CellularWebScenario(
+        sim=sim,
+        topology=topo,
+        network=network,
+        client_nodes=client_nodes,
+        access_links=access_links,
+        radios=radios,
+        browsers=browsers,
+        server_node="web",
+        rng=sim.rng.get("pages"),
+    )

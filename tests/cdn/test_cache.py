@@ -1,0 +1,118 @@
+"""LRU and LFU caches: eviction order, capacity, stats."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cdn.cache import LfuCache, LruCache
+
+
+class TestLru:
+    def test_hit_and_miss_counting(self):
+        cache = LruCache(100.0)
+        assert not cache.lookup("a")
+        cache.insert("a", 10.0)
+        assert cache.lookup("a")
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_evicts_least_recently_used(self):
+        cache = LruCache(20.0)
+        cache.insert("a", 10.0)
+        cache.insert("b", 10.0)
+        cache.lookup("a")          # refresh a
+        cache.insert("c", 10.0)    # must evict b
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_oversized_item_not_admitted(self):
+        cache = LruCache(5.0)
+        assert not cache.insert("big", 10.0)
+        assert len(cache) == 0
+
+    def test_reinsert_refreshes_without_duplicating(self):
+        cache = LruCache(20.0)
+        cache.insert("a", 10.0)
+        cache.insert("a", 10.0)
+        assert len(cache) == 1
+        assert cache.used_mbit == 10.0
+
+    def test_warm(self):
+        cache = LruCache(100.0)
+        cache.warm({"a": 10.0, "b": 20.0})
+        assert "a" in cache and "b" in cache
+
+    def test_clear(self):
+        cache = LruCache(100.0)
+        cache.insert("a", 10.0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.used_mbit == 0.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LruCache(-1.0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.floats(min_value=0.5, max_value=10.0),
+            ),
+            max_size=60,
+        )
+    )
+    def test_capacity_invariant(self, operations):
+        cache = LruCache(25.0)
+        for key, size in operations:
+            if not cache.lookup(f"k{key}"):
+                cache.insert(f"k{key}", size)
+            assert cache.used_mbit <= 25.0 + 1e-9
+            assert cache.used_mbit >= 0.0
+
+
+class TestLfu:
+    def test_evicts_least_frequent(self):
+        cache = LfuCache(20.0)
+        cache.insert("hot", 10.0)
+        cache.insert("cold", 10.0)
+        for _ in range(5):
+            cache.lookup("hot")
+        cache.insert("new", 10.0)
+        assert "hot" in cache
+        assert "cold" not in cache
+
+    def test_frequency_survives_heap_staleness(self):
+        cache = LfuCache(30.0)
+        cache.insert("a", 10.0)
+        cache.insert("b", 10.0)
+        cache.insert("c", 10.0)
+        for _ in range(3):
+            cache.lookup("a")
+        cache.lookup("b")
+        cache.insert("d", 10.0)  # evicts c (freq 1, oldest among lowest)
+        assert "c" not in cache
+        assert "a" in cache and "b" in cache
+
+    def test_oversized_rejected(self):
+        cache = LfuCache(5.0)
+        assert not cache.insert("big", 6.0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=15),
+                st.floats(min_value=0.5, max_value=8.0),
+            ),
+            max_size=60,
+        )
+    )
+    def test_capacity_invariant(self, operations):
+        cache = LfuCache(20.0)
+        for key, size in operations:
+            if not cache.lookup(f"k{key}"):
+                cache.insert(f"k{key}", size)
+            assert cache.used_mbit <= 20.0 + 1e-9

@@ -1,0 +1,71 @@
+"""Stateful model-based test: LruCache against a reference model."""
+
+from collections import OrderedDict
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.cdn.cache import LruCache
+
+CAPACITY = 30.0
+
+
+class LruModel(RuleBasedStateMachine):
+    """Drives LruCache and a textbook OrderedDict model in lockstep."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = LruCache(CAPACITY)
+        self.model: "OrderedDict[str, float]" = OrderedDict()
+
+    def _model_used(self) -> float:
+        return sum(self.model.values())
+
+    @rule(key=st.integers(min_value=0, max_value=12),
+          size=st.floats(min_value=1.0, max_value=12.0))
+    def lookup_then_insert(self, key, size):
+        name = f"k{key}"
+        cache_hit = self.cache.lookup(name)
+        model_hit = name in self.model
+        assert cache_hit == model_hit
+        if model_hit:
+            self.model.move_to_end(name)
+        else:
+            if size <= CAPACITY:
+                while self._model_used() + size > CAPACITY and self.model:
+                    self.model.popitem(last=False)
+                self.model[name] = size
+            self.cache.insert(name, size)
+
+    @rule(key=st.integers(min_value=0, max_value=12))
+    def lookup_only(self, key):
+        name = f"k{key}"
+        assert self.cache.lookup(name) == (name in self.model)
+        if name in self.model:
+            self.model.move_to_end(name)
+
+    @rule()
+    def clear(self):
+        self.cache.clear()
+        self.model.clear()
+
+    @invariant()
+    def same_contents(self):
+        assert set(self.model) == {
+            name for name in (f"k{i}" for i in range(13)) if name in self.cache
+        }
+
+    @invariant()
+    def same_used_bytes(self):
+        assert abs(self.cache.used_mbit - self._model_used()) < 1e-9
+
+    @invariant()
+    def capacity_respected(self):
+        assert self.cache.used_mbit <= CAPACITY + 1e-9
+
+
+TestLruAgainstModel = LruModel.TestCase
+TestLruAgainstModel.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,56 @@
+"""Catalog construction and Zipf sampling."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cdn.content import ContentCatalog
+
+
+class TestConstruction:
+    def test_size_and_ids(self):
+        catalog = ContentCatalog(n_items=5, prefix="vid")
+        assert len(catalog) == 5
+        assert catalog.by_rank(0).content_id == "vid-00000"
+        assert catalog.item("vid-00003") is catalog.by_rank(3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ContentCatalog(n_items=0)
+        with pytest.raises(ValueError):
+            ContentCatalog(n_items=5, zipf_alpha=-1.0)
+
+    def test_popularity_sums_to_one(self):
+        catalog = ContentCatalog(n_items=20, zipf_alpha=1.2)
+        total = sum(catalog.popularity(rank) for rank in range(20))
+        assert total == pytest.approx(1.0)
+
+    def test_popularity_monotone_decreasing(self):
+        catalog = ContentCatalog(n_items=50, zipf_alpha=0.8)
+        probabilities = [catalog.popularity(rank) for rank in range(50)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+
+class TestSampling:
+    def test_skew_prefers_head(self):
+        catalog = ContentCatalog(n_items=100, zipf_alpha=1.0)
+        rng = random.Random(1)
+        draws = [catalog.sample(rng) for _ in range(2000)]
+        head_fraction = sum(
+            1 for item in draws if item is catalog.by_rank(0)
+        ) / len(draws)
+        # rank-0 probability under Zipf(1) with N=100 is ~1/H_100 ~ 0.19
+        assert 0.12 < head_fraction < 0.28
+
+    def test_uniform_when_alpha_zero(self):
+        catalog = ContentCatalog(n_items=4, zipf_alpha=0.0)
+        assert catalog.popularity(0) == pytest.approx(0.25)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=200), st.integers())
+    def test_sample_always_in_catalog(self, n_items, seed):
+        catalog = ContentCatalog(n_items=n_items)
+        rng = random.Random(seed)
+        item = catalog.sample(rng)
+        assert catalog.item(item.content_id) is item

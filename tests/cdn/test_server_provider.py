@@ -1,0 +1,187 @@
+"""CDN servers and the provider's request routing."""
+
+import math
+
+import pytest
+
+from repro.cdn.content import ContentCatalog
+from repro.cdn.origin import Origin
+from repro.cdn.provider import Cdn, NoServerAvailableError
+from repro.cdn.server import CdnServer, ServerOverloadedError
+
+
+def _cdn(n_servers=2, capacity=3, origin=True, degraded_first=False):
+    servers = [
+        CdnServer(
+            f"s{i}",
+            f"node{i}",
+            capacity_sessions=capacity,
+            degraded_rate_mbps=0.3 if (degraded_first and i == 0) else None,
+        )
+        for i in range(n_servers)
+    ]
+    return Cdn("cdn", servers, origin=Origin("origin") if origin else None)
+
+
+class TestServer:
+    def test_assign_release(self):
+        server = CdnServer("s", "n", capacity_sessions=2)
+        server.assign("a")
+        server.assign("b")
+        assert server.load == 1.0
+        with pytest.raises(ServerOverloadedError):
+            server.assign("c")
+        server.release("a")
+        assert server.active_sessions == 1
+
+    def test_release_idempotent(self):
+        server = CdnServer("s", "n", capacity_sessions=1)
+        server.release("ghost")
+
+    def test_power_off_evicts(self):
+        server = CdnServer("s", "n", capacity_sessions=2)
+        server.assign("a")
+        displaced = server.power_off()
+        assert displaced == {"a"}
+        assert not server.available
+        with pytest.raises(ServerOverloadedError):
+            server.assign("b")
+
+    def test_degraded_flag(self):
+        server = CdnServer("s", "n", capacity_sessions=1, degraded_rate_mbps=0.5)
+        assert server.degraded
+
+
+class TestAttachment:
+    def test_least_loaded_selection(self):
+        cdn = _cdn()
+        cdn.attach("s1")
+        server_2 = cdn.attach("s2")
+        # Second session must land on the other (empty) server.
+        assert server_2.server_id != cdn.server_of("s1").server_id
+
+    def test_exclude(self):
+        cdn = _cdn()
+        first = cdn.attach("s1")
+        moved = cdn.attach("s1", exclude=[first.server_id])
+        assert moved.server_id != first.server_id
+
+    def test_pin_to_server(self):
+        cdn = _cdn()
+        server = cdn.attach("s1", server_id="s1")
+        assert server.server_id == "s1"
+
+    def test_no_server_available(self):
+        cdn = _cdn(n_servers=1, capacity=1)
+        cdn.attach("a")
+        with pytest.raises(NoServerAvailableError):
+            cdn.attach("b")
+
+    def test_detach_frees_capacity(self):
+        cdn = _cdn(n_servers=1, capacity=1)
+        cdn.attach("a")
+        cdn.detach("a")
+        cdn.attach("b")
+
+    def test_power_off_server_purges_assignments(self):
+        cdn = _cdn()
+        server = cdn.attach("a")
+        evicted = cdn.power_off_server(server.server_id)
+        assert evicted == 1
+        assert cdn.server_of("a") is None
+
+
+class TestServing:
+    def test_unattached_session_raises(self):
+        cdn = _cdn()
+        catalog = ContentCatalog(n_items=2)
+        with pytest.raises(KeyError):
+            cdn.serve_chunk("ghost", catalog.by_rank(0))
+
+    def test_miss_pulls_through_origin(self):
+        cdn = _cdn()
+        catalog = ContentCatalog(n_items=2)
+        cdn.attach("a")
+        served = cdn.serve_chunk("a", catalog.by_rank(0))
+        assert not served.cache_hit
+        assert served.src_node == "origin"
+        assert served.via_node is not None
+        assert cdn.origin.fetches == 1
+
+    def test_item_granularity_hit_after_miss(self):
+        cdn = _cdn()
+        catalog = ContentCatalog(n_items=2)
+        cdn.attach("a")
+        cdn.serve_chunk("a", catalog.by_rank(0))
+        second = cdn.serve_chunk("a", catalog.by_rank(0))
+        assert second.cache_hit
+        assert second.src_node != "origin"
+
+    def test_chunk_granularity_misses_per_chunk(self):
+        cdn = _cdn()
+        catalog = ContentCatalog(n_items=2)
+        cdn.attach("a")
+        item = catalog.by_rank(0)
+        first = cdn.serve_chunk("a", item, chunk_key="x#0", chunk_mbit=4.0)
+        second = cdn.serve_chunk("a", item, chunk_key="x#1", chunk_mbit=4.0)
+        assert not first.cache_hit and not second.cache_hit
+        repeat = cdn.serve_chunk("a", item, chunk_key="x#0", chunk_mbit=4.0)
+        assert repeat.cache_hit
+
+    def test_warm_caches_short_circuit_chunks(self):
+        cdn = _cdn()
+        catalog = ContentCatalog(n_items=4)
+        cdn.warm_caches(catalog, top_fraction=0.5)
+        cdn.attach("a")
+        warm = cdn.serve_chunk("a", catalog.by_rank(0), chunk_key="w#0")
+        assert warm.cache_hit
+        cold = cdn.serve_chunk("a", catalog.by_rank(3), chunk_key="c#0")
+        assert not cold.cache_hit
+
+    def test_degraded_server_caps_rate(self):
+        cdn = _cdn(degraded_first=True)
+        catalog = ContentCatalog(n_items=1)
+        cdn.attach("a", server_id="s0")
+        served = cdn.serve_chunk("a", catalog.by_rank(0))
+        assert served.rate_cap_mbps == 0.3
+
+    def test_healthy_server_uncapped(self):
+        cdn = _cdn()
+        catalog = ContentCatalog(n_items=1)
+        cdn.attach("a", server_id="s1")
+        served = cdn.serve_chunk("a", catalog.by_rank(0))
+        assert math.isinf(served.rate_cap_mbps)
+
+    def test_no_origin_serves_from_edge_on_miss(self):
+        cdn = _cdn(origin=False)
+        catalog = ContentCatalog(n_items=1)
+        cdn.attach("a")
+        served = cdn.serve_chunk("a", catalog.by_rank(0))
+        assert not served.cache_hit
+        assert served.src_node.startswith("node")
+
+
+class TestHints:
+    def test_hints_sorted_healthy_first(self):
+        cdn = _cdn(degraded_first=True)
+        hints = cdn.server_hints()
+        assert [h.server_id for h in hints] == ["s1", "s0"]
+        assert hints[1].degraded
+
+    def test_hints_respect_exclude(self):
+        cdn = _cdn()
+        hints = cdn.server_hints(exclude=["s0"])
+        assert [h.server_id for h in hints] == ["s1"]
+
+    def test_hints_skip_powered_off(self):
+        cdn = _cdn()
+        cdn.power_off_server("s0")
+        assert [h.server_id for h in cdn.server_hints()] == ["s1"]
+
+    def test_cache_hit_rate_aggregates(self):
+        cdn = _cdn()
+        catalog = ContentCatalog(n_items=1)
+        cdn.attach("a")
+        cdn.serve_chunk("a", catalog.by_rank(0))
+        cdn.serve_chunk("a", catalog.by_rank(0))
+        assert cdn.cache_hit_rate() == pytest.approx(0.5)

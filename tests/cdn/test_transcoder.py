@@ -1,0 +1,144 @@
+"""Edge transcoder: slots, latency, and CDN/player integration."""
+
+import pytest
+
+from repro.cdn.content import ContentCatalog
+from repro.cdn.origin import Origin
+from repro.cdn.provider import Cdn
+from repro.cdn.server import CdnServer
+from repro.cdn.transcoder import Transcoder
+from repro.network.fluidsim import FluidNetwork
+from repro.network.topology import NodeKind, Topology
+from repro.simkernel.kernel import Simulator
+from repro.video.abr import RateBasedAbr
+from repro.video.ladder import DEFAULT_LADDER
+from repro.video.player import AdaptivePlayer, PlayerPolicy, SessionAssignment
+
+
+class TestTranscoderUnit:
+    def test_latency_scales_with_speed(self):
+        transcoder = Transcoder("edge", slots=2, speed=8.0)
+        assert transcoder.latency_s(4.0) == pytest.approx(0.5)
+
+    def test_slots_bound_concurrency(self):
+        transcoder = Transcoder("edge", slots=1)
+        first = transcoder.try_start(4.0)
+        assert first is not None
+        assert transcoder.try_start(4.0) is None
+        assert transcoder.stats.jobs_rejected == 1
+        first.release()
+        assert transcoder.try_start(4.0) is not None
+
+    def test_release_idempotent(self):
+        transcoder = Transcoder("edge", slots=1)
+        job = transcoder.try_start(4.0)
+        job.release()
+        job.release()
+        assert transcoder.active_jobs == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Transcoder("e", slots=0)
+        with pytest.raises(ValueError):
+            Transcoder("e", speed=0.0)
+
+
+class TestCdnIntegration:
+    def _cdn(self, transcoder=None):
+        server = CdnServer("s", "edge", capacity_sessions=10)
+        return Cdn("cdn", [server], origin=Origin("origin"),
+                   transcoder=transcoder), server
+
+    def test_transcode_instead_of_origin(self):
+        cdn, server = self._cdn(Transcoder("edge"))
+        catalog = ContentCatalog(n_items=1)
+        cdn.attach("a")
+        item = catalog.by_rank(0)
+        # Seed the high rung of chunk 0 into the cache.
+        server.cache.insert("v#0@6.0", 24.0)
+        served = cdn.serve_chunk(
+            "a", item,
+            chunk_key="v#0@1.5",
+            chunk_mbit=6.0,
+            fallback_keys=["v#0@6.0", "v#0@3.0"],
+            media_duration_s=4.0,
+        )
+        assert served.transcode_job is not None
+        assert served.src_node == "edge"
+        assert cdn.origin.fetches == 0
+        # The derived rung is now cached.
+        assert "v#0@1.5" in server.cache
+        served.transcode_job.release()
+
+    def test_origin_when_no_higher_rung_cached(self):
+        cdn, server = self._cdn(Transcoder("edge"))
+        catalog = ContentCatalog(n_items=1)
+        cdn.attach("a")
+        served = cdn.serve_chunk(
+            "a", catalog.by_rank(0),
+            chunk_key="v#0@1.5",
+            chunk_mbit=6.0,
+            fallback_keys=["v#0@6.0"],
+            media_duration_s=4.0,
+        )
+        assert served.transcode_job is None
+        assert served.src_node == "origin"
+
+    def test_origin_when_slots_exhausted(self):
+        transcoder = Transcoder("edge", slots=1)
+        occupier = transcoder.try_start(4.0)
+        cdn, server = self._cdn(transcoder)
+        catalog = ContentCatalog(n_items=1)
+        cdn.attach("a")
+        server.cache.insert("v#0@6.0", 24.0)
+        served = cdn.serve_chunk(
+            "a", catalog.by_rank(0),
+            chunk_key="v#0@1.5",
+            chunk_mbit=6.0,
+            fallback_keys=["v#0@6.0"],
+            media_duration_s=4.0,
+        )
+        assert served.transcode_job is None
+        assert served.src_node == "origin"
+        occupier.release()
+
+
+class TestPlayerIntegration:
+    def test_session_over_transcoding_cdn_completes(self):
+        sim = Simulator(seed=6)
+        topo = Topology()
+        topo.add_node("origin", NodeKind.ORIGIN)
+        topo.add_node("edge", NodeKind.SERVER)
+        topo.add_node("client", NodeKind.CLIENT)
+        topo.add_link("origin", "edge", 2.0, delay_ms=40)  # painful origin
+        topo.add_link("edge", "client", 50.0, delay_ms=5)
+        net = FluidNetwork(sim, topo)
+        transcoder = Transcoder("edge", slots=4, speed=8.0)
+        server = CdnServer("s", "edge", capacity_sessions=10)
+        cdn = Cdn("cdn", [server], origin=Origin("origin"), transcoder=transcoder)
+        catalog = ContentCatalog(n_items=1, duration_s=40.0)
+        # Edge holds the top rung of every chunk (e.g. pre-positioned
+        # mezzanine); lower rungs are derived on demand.
+        item = catalog.by_rank(0)
+        n_chunks = int(40.0 / DEFAULT_LADDER.chunk_duration_s)
+        for index in range(n_chunks):
+            server.cache.insert(f"{item.content_id}#{index}@6.0", 24.0)
+
+        class Policy(PlayerPolicy):
+            def assign(self, player):
+                return SessionAssignment(cdn=cdn)
+
+            def rate_cap_mbps(self, player):
+                return 1.5  # force a below-top rung -> transcoding path
+
+        player = AdaptivePlayer(
+            sim, net, "s0", "client", item,
+            DEFAULT_LADDER, RateBasedAbr(), Policy(),
+        )
+        player.start()
+        sim.run(until=400.0)
+        assert player.ended
+        assert transcoder.stats.jobs_started > 0
+        assert cdn.origin.fetches == 0  # never had to touch the origin
+        assert transcoder.active_jobs == 0  # all slots released
+        assert player.qoe().buffering_ratio < 0.05

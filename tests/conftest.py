@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.fluidsim import FluidNetwork
+from repro.network.topology import NodeKind, Topology
+from repro.simkernel.kernel import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def line_topology() -> Topology:
+    """server -> r1 -> r2 -> client, 10/5/20 Mbit/s."""
+    topo = Topology("line")
+    topo.add_node("server", NodeKind.SERVER, owner="cdn")
+    topo.add_node("r1", NodeKind.ROUTER, owner="isp")
+    topo.add_node("r2", NodeKind.ROUTER, owner="isp")
+    topo.add_node("client", NodeKind.CLIENT, owner="isp")
+    topo.add_link("server", "r1", 10.0, delay_ms=5)
+    topo.add_link("r1", "r2", 5.0, delay_ms=2, tags=("access",))
+    topo.add_link("r2", "client", 20.0, delay_ms=1)
+    return topo
+
+
+@pytest.fixture
+def net(sim, line_topology) -> FluidNetwork:
+    return FluidNetwork(sim, line_topology)

@@ -1,0 +1,138 @@
+"""The coordinated control plane: quality estimation and steering."""
+
+import pytest
+
+from repro.cdn.content import ContentCatalog
+from repro.cdn.provider import Cdn
+from repro.cdn.server import CdnServer
+from repro.core.controlplane import CdnQuality, CoordinatedAppP
+from repro.network.fluidsim import FluidNetwork
+from repro.network.topology import NodeKind, Topology
+from repro.simkernel.kernel import Simulator
+from repro.video.abr import RateBasedAbr
+from repro.video.ladder import DEFAULT_LADDER
+from repro.video.player import AdaptivePlayer
+
+
+class TestCdnQuality:
+    def test_first_observation_initializes(self):
+        quality = CdnQuality()
+        quality.observe(5.0, 0.0, alpha=0.2, now=1.0)
+        assert quality.ewma_throughput_mbps == 5.0
+        assert quality.chunks_observed == 1
+
+    def test_ewma_converges_toward_new_level(self):
+        quality = CdnQuality()
+        quality.observe(10.0, 0.0, alpha=0.5, now=0.0)
+        for _ in range(10):
+            quality.observe(2.0, 0.0, alpha=0.5, now=0.0)
+        assert quality.ewma_throughput_mbps == pytest.approx(2.0, abs=0.1)
+
+    def test_stalls_penalize_score(self):
+        healthy = CdnQuality()
+        healthy.observe(5.0, 0.0, alpha=0.5, now=0.0)
+        stalling = CdnQuality()
+        stalling.observe(5.0, 2.0, alpha=0.5, now=0.0)
+        assert stalling.score() < healthy.score()
+
+
+def _world(cdn1_uplink=100.0, cdn2_uplink=100.0, seed=9):
+    sim = Simulator(seed=seed)
+    topo = Topology()
+    topo.add_node("cdn1", NodeKind.SERVER)
+    topo.add_node("cdn2", NodeKind.SERVER)
+    topo.add_node("core", NodeKind.ROUTER)
+    topo.add_node("client", NodeKind.CLIENT)
+    topo.add_link("cdn1", "core", cdn1_uplink)
+    topo.add_link("cdn2", "core", cdn2_uplink)
+    topo.add_link("core", "client", 1000.0)
+    net = FluidNetwork(sim, topo)
+    cdns = [
+        Cdn("cdn1", [CdnServer("cdn1.s", "cdn1", 100)]),
+        Cdn("cdn2", [CdnServer("cdn2.s", "cdn2", 100)]),
+    ]
+    catalog = ContentCatalog(n_items=3, duration_s=60.0)
+    return sim, net, cdns, catalog
+
+
+def _play(sim, net, policy, catalog, session_id, client="client"):
+    player = AdaptivePlayer(
+        sim, net, session_id, client, catalog.by_rank(0),
+        DEFAULT_LADDER, RateBasedAbr(), policy,
+    )
+    player.start()
+    return player
+
+
+class TestCoordinatedAppP:
+    def test_validation(self):
+        sim, net, cdns, catalog = _world()
+        with pytest.raises(ValueError):
+            CoordinatedAppP(sim, cdns, exploration=1.5)
+        with pytest.raises(ValueError):
+            CoordinatedAppP(sim, cdns, move_budget=-1)
+
+    def test_learns_quality_from_chunks(self):
+        sim, net, cdns, catalog = _world(cdn1_uplink=100.0, cdn2_uplink=1.0)
+        # Full exploration so both CDNs are certainly observed.
+        policy = CoordinatedAppP(
+            sim, cdns, exploration=0.99, score_margin_mbps=1000.0, name="appp"
+        )
+        for index in range(10):
+            _play(sim, net, policy, catalog, f"s{index}")
+        sim.run(until=300.0)
+        policy.stop()
+        report = policy.quality_report()
+        assert report["cdn1"]["score"] > report["cdn2"]["score"]
+        assert report["cdn1"]["chunks"] > 0 and report["cdn2"]["chunks"] > 0
+
+    def test_migrates_sessions_off_degraded_cdn(self):
+        sim, net, cdns, catalog = _world()
+        policy = CoordinatedAppP(
+            sim, cdns, control_period_s=5.0, exploration=0.3, name="appp"
+        )
+        players = [
+            _play(sim, net, policy, catalog, f"s{index}") for index in range(8)
+        ]
+        # Collapse cdn1's uplink after the fleet is spread over both.
+        sim.schedule(20.0, lambda: net.set_link_capacity("cdn1->core", 0.5))
+        sim.run(until=120.0)
+        policy.stop()
+        assert policy.migrations > 0
+        assert cdns[0].active_sessions <= 1
+
+    def test_move_budget_bounds_migration_rate(self):
+        sim, net, cdns, catalog = _world()
+        policy = CoordinatedAppP(
+            sim, cdns, control_period_s=1000.0, move_budget=2,
+            exploration=0.0, name="appp",
+        )
+        for index in range(6):
+            _play(sim, net, policy, catalog, f"s{index}")
+        # Force one control round with a huge artificial quality gap.
+        policy.quality["cdn1"].observe(0.1, 5.0, alpha=1.0, now=0.0)
+        policy.quality["cdn2"].observe(50.0, 0.0, alpha=1.0, now=0.0)
+        on_cdn1_before = cdns[0].active_sessions
+        policy._control_step()
+        moved = on_cdn1_before - cdns[0].active_sessions
+        assert moved <= 2
+
+    def test_no_migration_when_gap_small(self):
+        sim, net, cdns, catalog = _world()
+        policy = CoordinatedAppP(
+            sim, cdns, score_margin_mbps=100.0, exploration=0.0, name="appp"
+        )
+        for index in range(4):
+            _play(sim, net, policy, catalog, f"s{index}")
+        sim.run(until=120.0)
+        policy.stop()
+        assert policy.migrations == 0
+
+    def test_exploration_spreads_assignments(self):
+        sim, net, cdns, catalog = _world()
+        policy = CoordinatedAppP(sim, cdns, exploration=0.5, name="appp")
+        for index in range(30):
+            _play(sim, net, policy, catalog, f"s{index}")
+        assert cdns[0].active_sessions > 0
+        assert cdns[1].active_sessions > 0
+        policy.stop()

@@ -1,0 +1,101 @@
+"""Hysteresis and exponential backoff gates."""
+
+import pytest
+
+from repro.core.damping import ExponentialBackoff, HysteresisGate
+
+
+class TestHysteresis:
+    def test_requires_improvement_margin(self, sim):
+        gate = HysteresisGate(sim, min_dwell_s=0.0, improvement_margin=0.1)
+        assert not gate.allow("k", current_score=10.0, candidate_score=10.5)
+        assert gate.allow("k", current_score=10.0, candidate_score=11.5)
+
+    def test_margin_with_negative_scores(self, sim):
+        gate = HysteresisGate(sim, min_dwell_s=0.0, improvement_margin=0.1)
+        # current -10; required improvement above -9.
+        assert not gate.allow("k", current_score=-10.0, candidate_score=-9.5)
+        assert gate.allow("k", current_score=-10.0, candidate_score=-8.0)
+
+    def test_dwell_blocks_rapid_changes(self, sim):
+        gate = HysteresisGate(sim, min_dwell_s=30.0, improvement_margin=0.0)
+        assert gate.allow("k", 1.0, 2.0)
+        gate.record_change("k")
+        blocked = []
+        sim.schedule(10.0, lambda: blocked.append(gate.allow("k", 1.0, 2.0)))
+        sim.schedule(31.0, lambda: blocked.append(gate.allow("k", 1.0, 2.0)))
+        sim.run(until=40.0)
+        assert blocked == [False, True]
+
+    def test_knobs_independent(self, sim):
+        gate = HysteresisGate(sim, min_dwell_s=30.0, improvement_margin=0.0)
+        gate.record_change("a")
+        assert gate.allow("b", 1.0, 2.0)
+
+    def test_dwell_remaining(self, sim):
+        gate = HysteresisGate(sim, min_dwell_s=30.0)
+        assert gate.dwell_remaining("k") == 0.0
+        gate.record_change("k")
+        assert gate.dwell_remaining("k") == pytest.approx(30.0)
+
+    def test_invalid_params(self, sim):
+        with pytest.raises(ValueError):
+            HysteresisGate(sim, min_dwell_s=-1.0)
+
+
+class TestBackoff:
+    def test_first_change_free(self, sim):
+        backoff = ExponentialBackoff(sim, base_s=10.0)
+        assert backoff.ready("k")
+
+    def test_wait_doubles(self, sim):
+        backoff = ExponentialBackoff(sim, base_s=10.0, factor=2.0, max_s=100.0,
+                                     reset_after_s=1000.0)
+        backoff.record_change("k")
+        assert backoff.wait_remaining("k") == pytest.approx(10.0)
+        results = []
+
+        def change_again():
+            results.append(backoff.ready("k"))
+            backoff.record_change("k")
+            results.append(backoff.wait_remaining("k"))
+
+        sim.schedule(11.0, change_again)
+        sim.run(until=12.0)
+        assert results[0] is True
+        assert results[1] == pytest.approx(20.0)
+
+    def test_not_ready_inside_wait(self, sim):
+        backoff = ExponentialBackoff(sim, base_s=10.0)
+        backoff.record_change("k")
+        checked = []
+        sim.schedule(5.0, lambda: checked.append(backoff.ready("k")))
+        sim.run(until=6.0)
+        assert checked == [False]
+
+    def test_ceiling(self, sim):
+        backoff = ExponentialBackoff(sim, base_s=10.0, factor=10.0, max_s=50.0,
+                                     reset_after_s=10_000.0)
+        for _ in range(5):
+            backoff.record_change("k")
+        assert backoff.wait_remaining("k") <= 50.0
+
+    def test_reset_after_quiet_period(self, sim):
+        backoff = ExponentialBackoff(sim, base_s=10.0, factor=2.0,
+                                     reset_after_s=100.0, max_s=500.0)
+        backoff.record_change("k")
+        results = []
+
+        def later():
+            backoff.record_change("k")  # after the quiet period: base again
+            results.append(backoff.wait_remaining("k"))
+
+        sim.schedule(200.0, later)
+        sim.run(until=201.0)
+        assert results == [pytest.approx(10.0)]
+
+    def test_invalid_params(self, sim):
+        with pytest.raises(ValueError):
+            ExponentialBackoff(sim, base_s=0.0)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(sim, base_s=10.0, max_s=5.0)

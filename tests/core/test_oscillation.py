@@ -1,0 +1,126 @@
+"""Oscillation detection and the adaptive damper."""
+
+import pytest
+
+from repro.core.damping import ExponentialBackoff
+from repro.core.oscillation import AdaptiveDamper, OscillationDetector
+
+
+class TestDetector:
+    def test_monotone_progress_is_not_oscillation(self):
+        detector = OscillationDetector()
+        for value in ("A", "B", "C", "D"):
+            detector.record("k", value)
+        assert not detector.is_oscillating("k")
+        assert detector.flip_count("k") == 0
+
+    def test_aba_flapping_detected(self):
+        detector = OscillationDetector(flip_threshold=2)
+        for value in ("A", "B", "A", "B"):
+            detector.record("k", value)
+        assert detector.is_oscillating("k")
+
+    def test_repeated_same_value_ignored(self):
+        detector = OscillationDetector()
+        for value in ("A", "A", "A"):
+            detector.record("k", value)
+        assert detector.flip_count("k") == 0
+
+    def test_window_forgets_old_flips(self):
+        detector = OscillationDetector(window=3, flip_threshold=2)
+        for value in ("A", "B", "A"):  # one flip
+            detector.record("k", value)
+        for value in ("C", "D", "E"):  # pushes the flip out of the window
+            detector.record("k", value)
+        assert not detector.is_oscillating("k")
+
+    def test_knobs_independent(self):
+        detector = OscillationDetector(flip_threshold=1)
+        detector.record("a", "X")
+        detector.record("a", "Y")
+        detector.record("a", "X")
+        assert detector.is_oscillating("a")
+        assert not detector.is_oscillating("b")
+
+    def test_reset(self):
+        detector = OscillationDetector(flip_threshold=1)
+        for value in ("A", "B", "A"):
+            detector.record("k", value)
+        detector.reset("k")
+        assert not detector.is_oscillating("k")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OscillationDetector(window=1)
+        with pytest.raises(ValueError):
+            OscillationDetector(flip_threshold=0)
+
+
+class TestAdaptiveDamper:
+    def test_calm_knob_unrestricted(self, sim):
+        damper = AdaptiveDamper(sim)
+        for value in ("A", "B", "C"):
+            assert damper.allow("k", value)
+            damper.record("k", value)
+        assert damper.suppressed == 0
+
+    def test_backoff_engages_on_flapping(self, sim):
+        damper = AdaptiveDamper(
+            sim,
+            detector=OscillationDetector(flip_threshold=2),
+            backoff=ExponentialBackoff(sim, base_s=100.0),
+        )
+        for value in ("A", "B", "A", "B"):
+            damper.record("k", value)
+        # Oscillating and inside the backoff window: change suppressed.
+        assert not damper.allow("k", "A")
+        assert damper.suppressed == 1
+
+    def test_backoff_expiry_allows_again(self, sim):
+        damper = AdaptiveDamper(
+            sim,
+            detector=OscillationDetector(flip_threshold=2),
+            backoff=ExponentialBackoff(sim, base_s=10.0, reset_after_s=10_000.0),
+        )
+        for value in ("A", "B", "A", "B"):
+            damper.record("k", value)
+        outcomes = []
+        sim.schedule(5.0, lambda: outcomes.append(damper.allow("k", "A")))
+        sim.schedule(11.0, lambda: outcomes.append(damper.allow("k", "A")))
+        sim.run(until=12.0)
+        assert outcomes == [False, True]
+
+
+class TestTeIntegration:
+    def test_damped_te_flaps_less(self):
+        """The Figure 5 greedy oscillator with/without adaptive damping."""
+        from repro.core.infp import StatusQuoInfP
+        from repro.workloads.scenarios import build_oscillation_scenario
+
+        def run(with_damper):
+            scenario = build_oscillation_scenario(seed=2, n_clients=4)
+            sim = scenario.sim
+            infp = StatusQuoInfP(
+                sim, scenario.network, scenario.groups,
+                te_period_s=20.0, stats_period_s=5.0,
+            )
+            if with_damper:
+                infp.te.damper = AdaptiveDamper(
+                    sim,
+                    detector=OscillationDetector(flip_threshold=2),
+                    backoff=ExponentialBackoff(
+                        sim, base_s=120.0, reset_after_s=10_000.0
+                    ),
+                )
+            # A persistent stream that congests peering B.
+            scenario.network.start_stream(
+                "cdnX", "client0", demand_mbps=100.0, owner="cdnX"
+            )
+            sim.run(until=900.0)
+            infp.stop()
+            return infp.te.switch_count("cdnX")
+
+        undamped = run(with_damper=False)
+        damped = run(with_damper=True)
+        assert undamped >= 8
+        assert damped < undamped / 2

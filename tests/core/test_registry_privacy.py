@@ -1,0 +1,116 @@
+"""Opt-in grants and privacy filters."""
+
+import random
+
+import pytest
+
+from repro.core.privacy import blind_fields, k_suppress, laplace_noise
+from repro.core.registry import AccessDeniedError, OptInRegistry
+
+
+class TestRegistry:
+    def test_no_grant_denied(self):
+        registry = OptInRegistry()
+        with pytest.raises(AccessDeniedError):
+            registry.check("isp", "appp", "congestion")
+
+    def test_wildcard_grant_covers_all_queries(self):
+        registry = OptInRegistry()
+        registry.grant("isp", "appp")
+        assert registry.check("isp", "appp", "anything").all_fields
+
+    def test_specific_grant_beats_wildcard(self):
+        registry = OptInRegistry()
+        registry.grant("isp", "appp")
+        registry.grant("isp", "appp", "congestion", fields=["scope"])
+        grant = registry.check("isp", "appp", "congestion")
+        assert grant.fields == frozenset({"scope"})
+        assert registry.check("isp", "appp", "other").all_fields
+
+    def test_grants_are_directional(self):
+        registry = OptInRegistry()
+        registry.grant("isp", "appp")
+        with pytest.raises(AccessDeniedError):
+            registry.check("appp", "isp", "qoe")
+
+    def test_revoke(self):
+        registry = OptInRegistry()
+        registry.grant("isp", "appp", "congestion")
+        assert registry.revoke("isp", "appp", "congestion")
+        assert not registry.revoke("isp", "appp", "congestion")
+        with pytest.raises(AccessDeniedError):
+            registry.check("isp", "appp", "congestion")
+
+    def test_collaborators(self):
+        registry = OptInRegistry()
+        registry.grant("isp", "appp1")
+        registry.grant("isp", "appp2")
+        assert registry.collaborators_of("isp") == {"appp1", "appp2"}
+
+
+class _Row:
+    def __init__(self, count):
+        self.count = count
+
+
+class TestKSuppress:
+    def test_small_groups_dropped(self):
+        rows = [_Row(3), _Row(10), _Row(5)]
+        kept = k_suppress(rows, k=5)
+        assert [r.count for r in kept] == [10, 5]
+
+    def test_k_one_keeps_everything(self):
+        rows = [_Row(1)]
+        assert k_suppress(rows, k=1) == rows
+
+    def test_sessions_attribute_supported(self):
+        class Aggregate:
+            sessions = 2
+
+        assert k_suppress([Aggregate()], k=3) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            k_suppress([], k=0)
+
+    def test_unknown_row_type(self):
+        with pytest.raises(TypeError):
+            k_suppress([object()], k=1)
+
+
+class TestBlinding:
+    def test_subset_kept(self):
+        payload = {"a": 1, "b": 2, "c": 3}
+        assert blind_fields(payload, ["a", "c"]) == {"a": 1, "c": 3}
+
+    def test_star_passes_all(self):
+        payload = {"a": 1}
+        assert blind_fields(payload, ["*"]) == payload
+
+    def test_unknown_fields_ignored(self):
+        assert blind_fields({"a": 1}, ["z"]) == {}
+
+
+class TestLaplace:
+    def test_unbiased_on_average(self):
+        rng = random.Random(0)
+        noised = [
+            laplace_noise(10.0, epsilon=1.0, sensitivity=1.0, rng=rng)
+            for _ in range(5000)
+        ]
+        assert abs(sum(noised) / len(noised) - 10.0) < 0.15
+
+    def test_smaller_epsilon_noisier(self):
+        rng = random.Random(1)
+        tight = [abs(laplace_noise(0.0, 10.0, 1.0, rng) ) for _ in range(2000)]
+        rng = random.Random(1)
+        loose = [abs(laplace_noise(0.0, 0.1, 1.0, rng)) for _ in range(2000)]
+        assert sum(loose) / len(loose) > sum(tight) / len(tight) * 10
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            laplace_noise(1.0, epsilon=0.0, sensitivity=1.0, rng=random.Random(0))
+
+    def test_negative_sensitivity_rejected(self):
+        with pytest.raises(ValueError):
+            laplace_noise(1.0, epsilon=1.0, sensitivity=-1.0, rng=random.Random(0))

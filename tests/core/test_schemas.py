@@ -1,0 +1,53 @@
+"""Schema serialization used by the looking-glass narrowing."""
+
+import pytest
+
+from repro.core.schemas import (
+    CongestionSignal,
+    DemandEstimate,
+    PeeringDecision,
+    PeeringPointInfo,
+    QoeAggregate,
+    ServerHintInfo,
+)
+
+
+class TestSerialization:
+    def test_every_schema_round_trips_to_dict(self):
+        samples = [
+            QoeAggregate(
+                window_start=0.0, window_s=10.0, cdn="x", isp="i",
+                sessions=3, buffering_ratio=0.01, mean_bitrate_mbps=3.0,
+                join_time_s=1.0,
+            ),
+            DemandEstimate(time=1.0, demand_mbps={"x": 10.0}),
+            PeeringPointInfo(
+                peering_node="B", cdn="x", capacity_mbps=10.0,
+                load_mbps=5.0, congested=False,
+            ),
+            PeeringDecision(time=1.0, cdn="x", selected_peering="B"),
+            CongestionSignal(time=1.0, scope="access", congested=True, severity=0.9),
+            ServerHintInfo(cdn="x", server_id="s", node_id="n", load=0.5,
+                           degraded=False),
+        ]
+        for sample in samples:
+            payload = sample.to_dict()
+            assert isinstance(payload, dict)
+            assert set(payload) == set(type(sample).field_names())
+
+    def test_demand_estimate_lookup(self):
+        estimate = DemandEstimate(time=0.0, demand_mbps={"x": 5.0})
+        assert estimate.for_cdn("x") == 5.0
+        assert estimate.for_cdn("missing") == 0.0
+
+    def test_peering_headroom(self):
+        info = PeeringPointInfo(
+            peering_node="B", cdn="x", capacity_mbps=10.0,
+            load_mbps=4.0, congested=False,
+        )
+        assert info.headroom_mbps == pytest.approx(6.0)
+        overloaded = PeeringPointInfo(
+            peering_node="B", cdn="x", capacity_mbps=10.0,
+            load_mbps=14.0, congested=True,
+        )
+        assert overloaded.headroom_mbps == 0.0

@@ -1,0 +1,129 @@
+"""Staleness snapshots and the looking-glass query path."""
+
+import pytest
+
+from repro.core.interfaces import LookingGlass, UnknownQueryError
+from repro.core.registry import AccessDeniedError, OptInRegistry
+from repro.core.schemas import CongestionSignal
+from repro.core.staleness import StaleView
+
+
+class TestStaleView:
+    def test_live_view_always_fresh(self, sim):
+        counter = [0]
+
+        def fetch():
+            counter[0] += 1
+            return counter[0]
+
+        view = StaleView(sim, fetch, refresh_period_s=0.0)
+        assert view.get() == (1, 0.0)
+        assert view.get() == (2, 0.0)
+
+    def test_snapshot_ages_between_refreshes(self, sim):
+        values = []
+        view = StaleView(sim, lambda: sim.now, refresh_period_s=10.0)
+
+        def probe():
+            values.append(view.get())
+
+        sim.schedule(4.0, probe)    # snapshot from t=0, age 4
+        sim.schedule(12.0, probe)   # snapshot from t=10, age 2
+        sim.run(until=15.0)
+        assert values[0] == (0.0, 4.0)
+        assert values[1] == (10.0, 2.0)
+
+    def test_publish_delay(self, sim):
+        view = StaleView(sim, lambda: sim.now, refresh_period_s=10.0,
+                         publish_delay_s=3.0)
+        seen = []
+        sim.schedule(11.0, lambda: seen.append(view.value()))  # t=10 snap not yet visible
+        sim.schedule(14.0, lambda: seen.append(view.value()))  # now visible
+        sim.run(until=20.0)
+        assert seen == [0.0, 10.0]
+
+    def test_stop_freezes_snapshot(self, sim):
+        view = StaleView(sim, lambda: sim.now, refresh_period_s=5.0)
+        sim.schedule(6.0, view.stop)
+        sim.run(until=30.0)
+        value, age = view.get()
+        assert value == 5.0
+        assert age == pytest.approx(25.0)
+
+    def test_invalid_periods(self, sim):
+        with pytest.raises(ValueError):
+            StaleView(sim, lambda: 1, refresh_period_s=-1.0)
+
+
+class TestLookingGlass:
+    def _glass(self, sim):
+        registry = OptInRegistry()
+        glass = LookingGlass(sim, owner="isp", registry=registry)
+        glass.register(
+            "congestion",
+            lambda: [
+                CongestionSignal(
+                    time=sim.now, scope="access", congested=True, severity=0.97,
+                    bottleneck_link="core->agg",
+                )
+            ],
+        )
+        return glass, registry
+
+    def test_query_requires_grant(self, sim):
+        glass, registry = self._glass(sim)
+        with pytest.raises(AccessDeniedError):
+            glass.query("appp", "congestion")
+        assert glass.queries_denied == 1
+
+    def test_granted_query_serializes_schema(self, sim):
+        glass, registry = self._glass(sim)
+        registry.grant("isp", "appp", "congestion")
+        result = glass.query("appp", "congestion")
+        assert result.payload[0]["scope"] == "access"
+        assert result.payload[0]["congested"] is True
+        assert glass.queries_served == 1
+
+    def test_field_narrowing_applied(self, sim):
+        glass, registry = self._glass(sim)
+        registry.grant("isp", "appp", "congestion", fields=["scope", "congested"])
+        result = glass.query("appp", "congestion")
+        assert set(result.payload[0]) == {"scope", "congested"}
+
+    def test_unknown_query(self, sim):
+        glass, registry = self._glass(sim)
+        with pytest.raises(UnknownQueryError):
+            glass.query("appp", "nope")
+
+    def test_snapshot_query_reports_age(self, sim):
+        registry = OptInRegistry()
+        registry.grant("isp", "appp")
+        glass = LookingGlass(sim, "isp", registry)
+        glass.register("clock", lambda: {"t": sim.now}, refresh_period_s=10.0)
+        results = []
+        sim.schedule(13.0, lambda: results.append(glass.query("appp", "clock")))
+        sim.run(until=15.0)
+        assert results[0].payload == {"t": 10.0}
+        assert results[0].age_s == pytest.approx(3.0)
+
+    def test_set_refresh_period_repaces(self, sim):
+        registry = OptInRegistry()
+        registry.grant("isp", "appp")
+        glass = LookingGlass(sim, "isp", registry)
+        glass.register("clock", lambda: sim.now, refresh_period_s=60.0)
+        glass.set_refresh_period("clock", 1.0)
+        results = []
+        sim.schedule(5.5, lambda: results.append(glass.query("appp", "clock")))
+        sim.run(until=6.0)
+        assert results[0].age_s <= 1.0
+
+    def test_live_handler_accepts_params(self, sim):
+        registry = OptInRegistry()
+        registry.grant("isp", "appp")
+        glass = LookingGlass(sim, "isp", registry)
+        glass.register("echo", lambda tag: {"tag": tag})
+        assert glass.query("appp", "echo", tag="hello").payload == {"tag": "hello"}
+
+    def test_exported_queries_listed(self, sim):
+        glass, _ = self._glass(sim)
+        assert glass.exported_queries() == ["congestion"]

@@ -1,0 +1,81 @@
+"""Experiment result tables and helpers."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, jain_index
+
+
+class TestResultTable:
+    def test_add_and_match_rows(self):
+        result = ExperimentResult(name="X")
+        result.add_row(mode="a", value=1.0)
+        result.add_row(mode="b", value=2.0)
+        assert result.row(mode="b")["value"] == 2.0
+        with pytest.raises(KeyError):
+            result.row(mode="missing")
+
+    def test_column(self):
+        result = ExperimentResult(name="X")
+        result.add_row(v=1)
+        result.add_row(v=2)
+        assert result.column("v") == [1, 2]
+
+    def test_table_renders_all_columns(self):
+        result = ExperimentResult(name="X", notes="note")
+        result.add_row(a=1, b=2.34567)
+        result.add_row(a=3, c="z")
+        text = result.table_str()
+        assert "== X ==" in text
+        for fragment in ("a", "b", "c", "2.346", "z", "(note)"):
+            assert fragment in text
+
+    def test_empty_table(self):
+        assert "(no rows)" in ExperimentResult(name="E").table_str()
+
+
+class TestExports:
+    def _result(self):
+        result = ExperimentResult(name="X", notes="n")
+        result.add_row(mode="a", value=1.5)
+        result.add_row(mode="b", value=2.0, extra="z")
+        return result
+
+    def test_csv_round_trips(self):
+        import csv
+        import io
+
+        text = self._result().to_csv()
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0]["mode"] == "a"
+        assert rows[1]["extra"] == "z"
+        assert rows[0]["extra"] == ""
+
+    def test_json_round_trips(self):
+        import json
+
+        doc = json.loads(self._result().to_json())
+        assert doc["name"] == "X"
+        assert doc["rows"][1]["value"] == 2.0
+
+    def test_save_formats(self, tmp_path):
+        result = self._result()
+        for fmt, suffix in (("txt", ".txt"), ("csv", ".csv"), ("json", ".json")):
+            path = result.save(str(tmp_path), fmt=fmt)
+            assert path.endswith(suffix)
+            assert (tmp_path / f"X{suffix}").read_text()
+
+    def test_save_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError):
+            self._result().save(str(tmp_path), fmt="xml")
+
+
+class TestJain:
+    def test_equal_is_one(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_winner_is_one_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0

@@ -1,0 +1,61 @@
+"""Multi-seed aggregation, including a real cross-seed robustness check."""
+
+import pytest
+
+from repro.baselines.modes import Mode
+from repro.experiments.multiseed import aggregate_rows, multiseed_result, run_seeds
+
+
+class TestAggregation:
+    def test_numeric_mean_std(self):
+        rows = [{"x": 1.0}, {"x": 3.0}]
+        out = aggregate_rows(rows)
+        assert out["x_mean"] == 2.0
+        assert out["x_std"] == 1.0
+        assert out["n_seeds"] == 2
+
+    def test_bool_fraction(self):
+        rows = [{"ok": True}, {"ok": False}, {"ok": True}]
+        assert aggregate_rows(rows)["ok_frac"] == pytest.approx(2 / 3)
+
+    def test_labels_preserved(self):
+        rows = [{"mode": "eona", "x": 1.0}, {"mode": "eona", "x": 2.0}]
+        assert aggregate_rows(rows)["mode"] == "eona"
+
+    def test_mismatched_labels_joined(self):
+        out = aggregate_rows([{"egress": "B"}, {"egress": "C"}])
+        assert out["egress"] == "B|C"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_rows([])
+        with pytest.raises(ValueError):
+            run_seeds(lambda seed: {}, [])
+
+
+class TestCrossSeedRobustness:
+    def test_e1_shape_holds_across_seeds(self):
+        """The E1 headline (EONA retains traffic, no origin-Y cost)
+        is a property of the mechanism, not of one seed."""
+        from repro.experiments.exp_e1_coarse_control import run_mode
+
+        result = multiseed_result(
+            name="E1-multiseed",
+            row_fn=run_mode,
+            configs=[
+                {"mode": Mode.STATUS_QUO, "n_clients": 8, "n_sessions": 10,
+                 "horizon_s": 400.0},
+                {"mode": Mode.EONA, "n_clients": 8, "n_sessions": 10,
+                 "horizon_s": 400.0},
+            ],
+            seeds=[1, 2, 3],
+        )
+        quo = result.row(mode="status_quo")
+        eona = result.row(mode="eona")
+        assert eona["traffic_retained_by_x_mean"] == 1.0
+        assert eona["traffic_retained_by_x_std"] == 0.0
+        assert quo["traffic_retained_by_x_mean"] < 1.0
+        assert eona["origin_y_fetches_mean"] == 0.0
+        assert (
+            eona["mean_bitrate_mbps_mean"] > quo["mean_bitrate_mbps_mean"]
+        )

@@ -1,0 +1,89 @@
+"""E11 privacy ablation (small config) and the CLI surface."""
+
+import random
+
+import pytest
+
+from repro.core.privacy import noise_numeric_fields
+from repro.experiments import exp_e11_privacy
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestNoiseNumericFields:
+    def test_nested_selected_container(self):
+        payload = {"time": 5.0, "demand_mbps": {"x": 70.0, "y": 2.0}}
+        out = noise_numeric_fields(
+            payload, epsilon=0.5, sensitivity=3.0,
+            rng=random.Random(0), fields=("demand_mbps",),
+        )
+        assert out["time"] == 5.0
+        assert out["demand_mbps"]["x"] != 70.0
+
+    def test_empty_fields_noises_everything(self):
+        payload = {"a": 1.0, "b": {"c": 2.0}}
+        out = noise_numeric_fields(
+            payload, epsilon=0.5, sensitivity=1.0, rng=random.Random(1)
+        )
+        assert out["a"] != 1.0
+        assert out["b"]["c"] != 2.0
+
+    def test_booleans_and_strings_untouched(self):
+        payload = {"flag": True, "name": "x", "v": 1.0}
+        out = noise_numeric_fields(
+            payload, epsilon=0.5, sensitivity=1.0, rng=random.Random(2)
+        )
+        assert out["flag"] is True
+        assert out["name"] == "x"
+
+    def test_lists_of_dicts(self):
+        payload = [{"v": 1.0}, {"v": 2.0}]
+        out = noise_numeric_fields(
+            payload, epsilon=0.5, sensitivity=1.0, rng=random.Random(3)
+        )
+        assert out[0]["v"] != 1.0
+
+    def test_input_not_mutated(self):
+        payload = {"v": 1.0}
+        noise_numeric_fields(payload, 0.5, 1.0, random.Random(4))
+        assert payload["v"] == 1.0
+
+
+class TestE11Shape:
+    def test_light_noise_preserves_convergence(self):
+        row = exp_e11_privacy.run_epsilon(
+            epsilon=10.0, seed=1, n_clients=16, horizon_s=700.0
+        )
+        assert row["te_switches"] <= 3
+        assert row["on_green_path"]
+
+    def test_heavy_noise_degrades(self):
+        light = exp_e11_privacy.run_epsilon(
+            epsilon=10.0, seed=1, n_clients=16, horizon_s=700.0
+        )
+        heavy = exp_e11_privacy.run_epsilon(
+            epsilon=0.02, seed=1, n_clients=16, horizon_s=700.0
+        )
+        assert heavy["te_switches"] >= light["te_switches"]
+
+
+class TestCli:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 15)}
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "e4" in out and "oscillation" in out.lower()
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["run", "e99"]) == 2
+
+    def test_run_writes_tables(self, tmp_path, capsys):
+        assert main(["run", "e1", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "E1-coarse-control" in out
+        assert (tmp_path / "E1-coarse-control.txt").exists()
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,199 @@
+"""Fluid network end-to-end: transfers, sharing, rerouting, policies."""
+
+import math
+
+import pytest
+
+from repro.network.fluidsim import FluidNetwork
+from repro.network.topology import NodeKind, Topology
+
+
+class TestSingleTransfer:
+    def test_completion_time_is_size_over_bottleneck(self, sim, net):
+        done = []
+        net.start_transfer(
+            "server", "client", size_mbit=10.0,
+            on_complete=lambda t: done.append(sim.now),
+        )
+        sim.run()
+        assert done == [pytest.approx(2.0)]  # bottleneck r1->r2 = 5 Mbps
+
+    def test_zero_size_completes_immediately(self, sim, net):
+        done = []
+        net.start_transfer(
+            "server", "client", size_mbit=0.0,
+            on_complete=lambda t: done.append(sim.now),
+        )
+        sim.run()
+        assert done == [0.0]
+
+    def test_demand_cap_slows_transfer(self, sim, net):
+        done = []
+        net.start_transfer(
+            "server", "client", size_mbit=10.0, demand_mbps=1.0,
+            on_complete=lambda t: done.append(sim.now),
+        )
+        sim.run()
+        assert done == [pytest.approx(10.0)]
+
+    def test_mean_throughput(self, sim, net):
+        transfers = []
+        net.start_transfer(
+            "server", "client", size_mbit=10.0,
+            on_complete=transfers.append,
+        )
+        sim.run()
+        assert transfers[0].mean_throughput_mbps() == pytest.approx(5.0)
+
+
+class TestSharing:
+    def test_two_transfers_share_fairly(self, sim, net):
+        done = []
+        for name in ("a", "b"):
+            net.start_transfer(
+                "server", "client", size_mbit=5.0,
+                on_complete=lambda t, n=name: done.append((n, sim.now)),
+            )
+        sim.run()
+        # Each gets 2.5 Mbps; both finish at t=2.
+        assert [t for _, t in done] == [pytest.approx(2.0)] * 2
+
+    def test_rates_rebalance_when_flow_completes(self, sim, net):
+        done = []
+        net.start_transfer(
+            "server", "client", size_mbit=2.5,
+            on_complete=lambda t: done.append(("small", sim.now)),
+        )
+        net.start_transfer(
+            "server", "client", size_mbit=7.5,
+            on_complete=lambda t: done.append(("big", sim.now)),
+        )
+        sim.run()
+        # Shared until t=1 (2.5 each); big then gets 5 Mbps for 5 Mbit.
+        assert done[0] == ("small", pytest.approx(1.0))
+        assert done[1] == ("big", pytest.approx(2.0))
+
+    def test_later_arrival_steals_bandwidth(self, sim, net):
+        done = []
+        net.start_transfer(
+            "server", "client", size_mbit=10.0,
+            on_complete=lambda t: done.append(sim.now),
+        )
+        sim.schedule(1.0, lambda: net.start_transfer("server", "client", 100.0))
+        sim.run(until=10.0)
+        # First flow: 5 Mbit in the first second, then 2.5 Mbps.
+        assert done == [pytest.approx(3.0)]
+
+
+class TestControls:
+    def test_abort_stops_flow(self, sim, net):
+        done = []
+        transfer = net.start_transfer(
+            "server", "client", size_mbit=10.0,
+            on_complete=lambda t: done.append(sim.now),
+        )
+        sim.schedule(0.5, lambda: net.abort(transfer))
+        sim.run(until=10.0)
+        assert done == []
+        assert transfer.done
+
+    def test_abort_idempotent(self, sim, net):
+        transfer = net.start_transfer("server", "client", size_mbit=1.0)
+        net.abort(transfer)
+        net.abort(transfer)
+        assert transfer.done
+
+    def test_set_demand_midflight(self, sim, net):
+        done = []
+        transfer = net.start_transfer(
+            "server", "client", size_mbit=10.0,
+            on_complete=lambda t: done.append(sim.now),
+        )
+        sim.schedule(1.0, lambda: net.set_demand(transfer, 1.0))
+        sim.run()
+        # 5 Mbit in first second, remaining 5 Mbit at 1 Mbps.
+        assert done == [pytest.approx(6.0)]
+
+    def test_capacity_change_reallocates(self, sim, net):
+        done = []
+        net.start_transfer(
+            "server", "client", size_mbit=10.0,
+            on_complete=lambda t: done.append(sim.now),
+        )
+        sim.schedule(1.0, lambda: net.set_link_capacity("r1->r2", 1.0))
+        sim.run()
+        assert done == [pytest.approx(6.0)]
+
+    def test_invalid_capacity_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.set_link_capacity("r1->r2", 0.0)
+
+
+class TestViaPolicy:
+    def _dual_path_net(self, sim):
+        topo = Topology()
+        topo.add_node("src", NodeKind.SERVER)
+        topo.add_node("p1", NodeKind.PEERING)
+        topo.add_node("p2", NodeKind.PEERING)
+        topo.add_node("dst", NodeKind.CLIENT)
+        topo.add_link("src", "p1", 10.0, delay_ms=1.0)
+        topo.add_link("src", "p2", 10.0, delay_ms=9.0)
+        topo.add_link("p1", "dst", 10.0, delay_ms=1.0)
+        topo.add_link("p2", "dst", 10.0, delay_ms=9.0)
+        return FluidNetwork(sim, topo)
+
+    def test_policy_steers_new_flows(self, sim):
+        net = self._dual_path_net(sim)
+        net.set_via_policy("groupA", "p2")
+        transfer = net.start_transfer("src", "dst", 10.0, owner="groupA")
+        assert any(link.src == "p2" for link in transfer.flow.path)
+
+    def test_policy_reroutes_active_flows(self, sim):
+        net = self._dual_path_net(sim)
+        transfer = net.start_transfer("src", "dst", 10.0, owner="groupA")
+        assert any(link.src == "p1" for link in transfer.flow.path)
+        net.set_via_policy("groupA", "p2")
+        assert any(link.src == "p2" for link in transfer.flow.path)
+
+    def test_explicit_via_wins_over_policy(self, sim):
+        net = self._dual_path_net(sim)
+        net.set_via_policy("groupA", "p2")
+        transfer = net.start_transfer("src", "dst", 10.0, owner="groupA", via="p1")
+        assert any(link.src == "p1" for link in transfer.flow.path)
+
+    def test_clear_policy(self, sim):
+        net = self._dual_path_net(sim)
+        net.set_via_policy("groupA", "p2")
+        net.set_via_policy("groupA", None)
+        transfer = net.start_transfer("src", "dst", 10.0, owner="groupA")
+        assert any(link.src == "p1" for link in transfer.flow.path)
+
+    def test_transfers_by_owner(self, sim):
+        net = self._dual_path_net(sim)
+        net.start_transfer("src", "dst", 10.0, owner="groupA")
+        net.start_transfer("src", "dst", 10.0, owner="groupB")
+        assert len(net.transfers_by_owner("groupA")) == 1
+
+
+class TestAccounting:
+    def test_link_utilization_integral(self, sim, net):
+        net.start_transfer("server", "client", size_mbit=10.0)
+        sim.run(until=4.0)
+        net.sync()
+        stats = net.link_stats["r1->r2"]
+        # Link ran at 5/5 = 100% for 2 s out of 4 s observed.
+        assert stats.mean_utilization == pytest.approx(0.5)
+
+    def test_completed_counter(self, sim, net):
+        for _ in range(3):
+            net.start_transfer("server", "client", size_mbit=1.0)
+        sim.run()
+        assert net.completed_transfers == 3
+
+    def test_rtt_helper(self, net):
+        # No reverse links in the line topology: rtt requires both ways.
+        import pytest as _pytest
+        from repro.network.routing import NoRouteError
+
+        with _pytest.raises(NoRouteError):
+            net.path_rtt_ms("server", "client")

@@ -1,0 +1,172 @@
+"""Max-min fairness: exact cases plus property-based invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.flows import Flow
+from repro.network.maxmin import max_min_allocation
+from repro.network.topology import Link
+
+EPS = 1e-6
+
+
+def _link(link_id, capacity):
+    return Link(link_id=link_id, src="a", dst="b", capacity_mbps=capacity)
+
+
+def _flow(flow_id, path, demand=math.inf):
+    return Flow(flow_id=flow_id, src="a", dst="b", path=path, demand_mbps=demand)
+
+
+class TestExactCases:
+    def test_equal_split_on_single_link(self):
+        link = _link("l", 9.0)
+        flows = [_flow(f"f{i}", [link]) for i in range(3)]
+        rates = max_min_allocation(flows)
+        assert all(abs(rates[f.flow_id] - 3.0) < EPS for f in flows)
+
+    def test_demand_limited_flow_releases_share(self):
+        link = _link("l", 10.0)
+        small = _flow("small", [link], demand=1.0)
+        big = _flow("big", [link])
+        rates = max_min_allocation([small, big])
+        assert abs(rates["small"] - 1.0) < EPS
+        assert abs(rates["big"] - 9.0) < EPS
+
+    def test_two_bottlenecks(self):
+        # f1 on l1 only; f2 crosses l1 and l2; l2 is the tighter link.
+        l1 = _link("l1", 10.0)
+        l2 = _link("l2", 2.0)
+        f1 = _flow("f1", [l1])
+        f2 = _flow("f2", [l1, l2])
+        rates = max_min_allocation([f1, f2])
+        assert abs(rates["f2"] - 2.0) < EPS
+        assert abs(rates["f1"] - 8.0) < EPS
+
+    def test_classic_parking_lot(self):
+        # One long flow across both links, one short flow per link.
+        l1 = _link("l1", 10.0)
+        l2 = _link("l2", 10.0)
+        long = _flow("long", [l1, l2])
+        s1 = _flow("s1", [l1])
+        s2 = _flow("s2", [l2])
+        rates = max_min_allocation([long, s1, s2])
+        assert abs(rates["long"] - 5.0) < EPS
+        assert abs(rates["s1"] - 5.0) < EPS
+        assert abs(rates["s2"] - 5.0) < EPS
+
+    def test_empty_path_gets_demand(self):
+        flow = _flow("free", [], demand=7.0)
+        assert max_min_allocation([flow])["free"] == 7.0
+
+    def test_completed_flows_ignored(self):
+        link = _link("l", 10.0)
+        done = _flow("done", [link])
+        from repro.network.flows import FlowState
+
+        done.state = FlowState.COMPLETED
+        active = _flow("active", [link])
+        rates = max_min_allocation([done, active])
+        assert "done" not in rates
+        assert abs(rates["active"] - 10.0) < EPS
+
+    def test_no_flows(self):
+        assert max_min_allocation([]) == {}
+
+
+# ----------------------------------------------------------------------
+# property-based invariants
+# ----------------------------------------------------------------------
+@st.composite
+def _random_network(draw):
+    n_links = draw(st.integers(min_value=1, max_value=6))
+    links = [
+        _link(f"l{i}", draw(st.floats(min_value=0.5, max_value=100.0)))
+        for i in range(n_links)
+    ]
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    flows = []
+    for i in range(n_flows):
+        path_indices = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_links - 1),
+                min_size=1,
+                max_size=n_links,
+                unique=True,
+            )
+        )
+        demand = draw(
+            st.one_of(
+                st.just(math.inf), st.floats(min_value=0.1, max_value=50.0)
+            )
+        )
+        flows.append(_flow(f"f{i}", [links[j] for j in path_indices], demand))
+    return links, flows
+
+
+@settings(max_examples=150, deadline=None)
+@given(_random_network())
+def test_feasibility_no_link_overloaded(network):
+    links, flows = network
+    rates = max_min_allocation(flows)
+    for link in links:
+        load = sum(
+            rates[f.flow_id] for f in flows if link in f.path
+        )
+        assert load <= link.capacity_mbps + 1e-6
+
+
+@settings(max_examples=150, deadline=None)
+@given(_random_network())
+def test_demand_caps_respected(network):
+    _, flows = network
+    rates = max_min_allocation(flows)
+    for flow in flows:
+        assert rates[flow.flow_id] <= flow.demand_mbps + 1e-6
+
+
+@settings(max_examples=150, deadline=None)
+@given(_random_network())
+def test_rates_non_negative(network):
+    _, flows = network
+    rates = max_min_allocation(flows)
+    assert all(rate >= 0 for rate in rates.values())
+
+
+@settings(max_examples=150, deadline=None)
+@given(_random_network())
+def test_maxmin_bottleneck_condition(network):
+    """Every flow below demand sits on a saturated link where it has a
+    (weakly) maximal rate -- the defining property of max-min fairness."""
+    links, flows = network
+    rates = max_min_allocation(flows)
+    loads = {
+        link.link_id: sum(rates[f.flow_id] for f in flows if link in f.path)
+        for link in links
+    }
+    for flow in flows:
+        rate = rates[flow.flow_id]
+        if rate >= flow.demand_mbps - 1e-6:
+            continue  # demand-limited, fine
+        bottlenecked = False
+        for link in flow.path:
+            saturated = loads[link.link_id] >= link.capacity_mbps - 1e-5
+            if not saturated:
+                continue
+            max_on_link = max(
+                rates[other.flow_id] for other in flows if link in other.path
+            )
+            if rate >= max_on_link - 1e-5:
+                bottlenecked = True
+                break
+        assert bottlenecked, (
+            f"{flow.flow_id} rate={rate} has no saturated bottleneck"
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(_random_network())
+def test_allocation_deterministic(network):
+    _, flows = network
+    assert max_min_allocation(flows) == max_min_allocation(flows)

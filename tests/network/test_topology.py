@@ -1,0 +1,86 @@
+"""Topology construction, validation, and queries."""
+
+import pytest
+
+from repro.network.topology import Link, NodeKind, Topology
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(ValueError):
+            topo.add_node("a")
+
+    def test_link_to_unknown_node_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(KeyError):
+            topo.add_link("a", "ghost", 10.0)
+
+    def test_non_positive_capacity_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        with pytest.raises(ValueError):
+            topo.add_link("a", "b", 0.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Link("l", "a", "b", capacity_mbps=1.0, delay_ms=-1.0)
+
+    def test_auto_link_ids_unique(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        first = topo.add_link("a", "b", 1.0)
+        second = topo.add_link("a", "b", 1.0)
+        assert first.link_id != second.link_id
+
+    def test_duplex_adds_both_directions(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        forward, backward = topo.add_duplex_link("a", "b", 10.0)
+        assert (forward.src, forward.dst) == ("a", "b")
+        assert (backward.src, backward.dst) == ("b", "a")
+
+
+class TestQueries(object):
+    def _topo(self):
+        topo = Topology()
+        topo.add_node("s", NodeKind.SERVER, owner="cdn")
+        topo.add_node("r", NodeKind.ROUTER, owner="isp")
+        topo.add_node("c", NodeKind.CLIENT, owner="isp")
+        topo.add_link("s", "r", 10.0, delay_ms=5.0, tags=("peering",))
+        topo.add_link("r", "c", 5.0, delay_ms=2.0, tags=("access",), owner="isp")
+        return topo
+
+    def test_filter_nodes_by_kind(self):
+        topo = self._topo()
+        assert [n.node_id for n in topo.nodes(kind=NodeKind.CLIENT)] == ["c"]
+
+    def test_filter_nodes_by_owner(self):
+        topo = self._topo()
+        assert {n.node_id for n in topo.nodes(owner="isp")} == {"r", "c"}
+
+    def test_filter_links_by_tag(self):
+        topo = self._topo()
+        assert [l.link_id for l in topo.links(tag="access")] == ["r->c"]
+
+    def test_link_between(self):
+        topo = self._topo()
+        assert topo.link_between("s", "r").capacity_mbps == 10.0
+        with pytest.raises(KeyError):
+            topo.link_between("c", "s")
+
+    def test_path_links_and_delay(self):
+        topo = self._topo()
+        links = topo.path_links(["s", "r", "c"])
+        assert [l.link_id for l in links] == ["s->r", "r->c"]
+        assert topo.path_delay_ms(["s", "r", "c"]) == 7.0
+
+    def test_len_and_iter(self):
+        topo = self._topo()
+        assert len(topo) == 3
+        assert {n.node_id for n in topo} == {"s", "r", "c"}

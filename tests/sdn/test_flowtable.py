@@ -1,0 +1,76 @@
+"""Flow table match semantics: specificity, priority, cookies."""
+
+from repro.sdn.flowtable import FlowTable, TableEntry
+from repro.sdn.messages import Match
+
+
+def _entry(match, next_hop, priority=0, cookie=""):
+    return TableEntry(match=match, next_hop=next_hop, priority=priority, cookie=cookie)
+
+
+class TestLookup:
+    def test_exact_beats_wildcard(self):
+        table = FlowTable()
+        table.install(_entry(Match(group="g"), "wide"))
+        table.install(_entry(Match(src="s", dst="d", group="g"), "narrow"))
+        entry = table.lookup("s", "d", "g")
+        assert entry.next_hop == "narrow"
+
+    def test_priority_breaks_specificity_ties(self):
+        table = FlowTable()
+        table.install(_entry(Match(group="g"), "low", priority=1))
+        table.install(_entry(Match(src="s"), "high", priority=9))
+        assert table.lookup("s", "d", "g").next_hop == "high"
+
+    def test_no_match_returns_none(self):
+        table = FlowTable()
+        table.install(_entry(Match(group="other"), "x"))
+        assert table.lookup("s", "d", "g") is None
+
+    def test_full_wildcard_matches_everything(self):
+        table = FlowTable()
+        table.install(_entry(Match(), "default"))
+        assert table.lookup("anything", "anywhere", "any").next_hop == "default"
+
+    def test_hit_count_increments(self):
+        table = FlowTable()
+        table.install(_entry(Match(), "d"))
+        table.lookup("a", "b", "c")
+        table.lookup("a", "b", "c")
+        assert table.entries()[0].hit_count == 2
+
+
+class TestMutation:
+    def test_install_replaces_same_match(self):
+        table = FlowTable()
+        table.install(_entry(Match(group="g"), "old"))
+        table.install(_entry(Match(group="g"), "new"))
+        assert len(table) == 1
+        assert table.lookup("s", "d", "g").next_hop == "new"
+
+    def test_remove_by_match(self):
+        table = FlowTable()
+        table.install(_entry(Match(group="g"), "x"))
+        assert table.remove(Match(group="g"))
+        assert not table.remove(Match(group="g"))
+        assert len(table) == 0
+
+    def test_remove_by_cookie(self):
+        table = FlowTable()
+        table.install(_entry(Match(group="a"), "x", cookie="te:1"))
+        table.install(_entry(Match(group="b"), "y", cookie="te:1"))
+        table.install(_entry(Match(group="c"), "z", cookie="other"))
+        assert table.remove_by_cookie("te:1") == 2
+        assert len(table) == 1
+
+
+class TestMatch:
+    def test_specificity(self):
+        assert Match().specificity == 0
+        assert Match(src="s").specificity == 1
+        assert Match(src="s", dst="d", group="g").specificity == 3
+
+    def test_matches_partial(self):
+        match = Match(dst="d")
+        assert match.matches("anything", "d", "g")
+        assert not match.matches("anything", "other", "g")

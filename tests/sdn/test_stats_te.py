@@ -1,0 +1,137 @@
+"""Stats service polling and TE app decisions (greedy oscillation)."""
+
+import pytest
+
+from repro.network.fluidsim import FluidNetwork
+from repro.network.topology import NodeKind, Topology
+from repro.sdn.controller import SdnController
+from repro.sdn.stats import StatsService
+from repro.sdn.te import EgressGroup, TrafficEngineeringApp
+from repro.simkernel.kernel import Simulator
+
+
+@pytest.fixture
+def world():
+    """Figure 5 in miniature: cdn -> (B small | C big) -> core -> client."""
+    sim = Simulator(seed=0)
+    topo = Topology()
+    topo.add_node("cdn", NodeKind.SERVER, owner="cdn")
+    topo.add_node("B", NodeKind.PEERING, owner="isp")
+    topo.add_node("C", NodeKind.PEERING, owner="isp")
+    topo.add_node("core", NodeKind.ROUTER, owner="isp")
+    topo.add_node("client", NodeKind.CLIENT, owner="isp")
+    topo.add_link("cdn", "B", 1000.0, delay_ms=1.0)
+    topo.add_link("cdn", "C", 1000.0, delay_ms=5.0)
+    topo.add_link("B", "core", 10.0, delay_ms=1.0, tags=("peering",))
+    topo.add_link("C", "core", 100.0, delay_ms=1.0, tags=("peering",))
+    topo.add_link("core", "client", 1000.0, delay_ms=1.0)
+    network = FluidNetwork(sim, topo)
+    controller = SdnController(network, owner="isp")
+    stats = StatsService(sim, controller, period=1.0)
+    group = EgressGroup(
+        name="cdn",
+        remote="cdn",
+        candidates=["B", "C"],
+        egress_links={"B": "B->core", "C": "C->core"},
+        preferred="B",
+    )
+    return sim, network, controller, stats, group
+
+
+class TestStatsService:
+    def test_polls_periodically(self, world):
+        sim, network, controller, stats, _ = world
+        sim.run(until=5.5)
+        assert stats.polls == 5
+
+    def test_latest_observation(self, world):
+        sim, network, controller, stats, _ = world
+        network.start_stream("cdn", "client", demand_mbps=8.0, via="B")
+        sim.run(until=2.5)
+        assert stats.utilization("B->core") == pytest.approx(0.8)
+
+    def test_congestion_flag_after_sustained_load(self, world):
+        sim, network, controller, stats, _ = world
+        network.start_stream("cdn", "client", demand_mbps=20.0, via="B")
+        sim.run(until=20.0)
+        assert stats.is_congested("B->core")
+        assert "B->core" in stats.congested_links()
+
+    def test_unknown_link_defaults(self, world):
+        _, _, _, stats, _ = world
+        assert stats.utilization("nope") == 0.0
+        assert not stats.is_congested("nope")
+
+
+class TestTrafficEngineering:
+    def test_initial_selection_applied(self, world):
+        sim, network, controller, stats, group = world
+        te = TrafficEngineeringApp(
+            sim, network, controller, stats, [group], period=10.0
+        )
+        assert te.selection("cdn") == "B"
+        assert network.via_policy("cdn") == "B"
+
+    def test_greedy_flees_congestion(self, world):
+        sim, network, controller, stats, group = world
+        te = TrafficEngineeringApp(
+            sim, network, controller, stats, [group], period=10.0
+        )
+        network.start_stream("cdn", "client", demand_mbps=30.0, owner="cdn")
+        sim.run(until=35.0)
+        assert te.selection("cdn") == "C"
+        assert te.switch_count("cdn") >= 1
+
+    def test_greedy_returns_to_preferred_and_oscillates(self, world):
+        sim, network, controller, stats, group = world
+        te = TrafficEngineeringApp(
+            sim, network, controller, stats, [group], period=10.0
+        )
+        network.start_stream("cdn", "client", demand_mbps=30.0, owner="cdn")
+        sim.run(until=300.0)
+        # It keeps bouncing B <-> C: at least 4 re-selections.
+        assert te.switch_count("cdn") >= 4
+
+    def test_rerouting_moves_live_flows(self, world):
+        sim, network, controller, stats, group = world
+        te = TrafficEngineeringApp(
+            sim, network, controller, stats, [group], period=10.0
+        )
+        transfer = network.start_stream("cdn", "client", demand_mbps=30.0, owner="cdn")
+        sim.run(until=35.0)
+        assert any(link.src == "C" for link in transfer.flow.path)
+
+    def test_policy_must_return_candidate(self, world):
+        sim, network, controller, stats, group = world
+
+        def bad_policy(app, g):
+            return "nonsense"
+
+        te = TrafficEngineeringApp(
+            sim, network, controller, stats, [group], period=10.0, policy=bad_policy
+        )
+        with pytest.raises(ValueError):
+            sim.run(until=15.0)
+
+    def test_egress_utilization_report(self, world):
+        sim, network, controller, stats, group = world
+        te = TrafficEngineeringApp(
+            sim, network, controller, stats, [group], period=10.0
+        )
+        network.start_stream("cdn", "client", demand_mbps=5.0, owner="cdn")
+        sim.run(until=3.0)
+        report = te.egress_utilization("cdn")
+        assert report["B"] == pytest.approx(0.5)
+        assert report["C"] == 0.0
+
+
+class TestEgressGroupValidation:
+    def test_needs_candidates(self):
+        with pytest.raises(ValueError):
+            EgressGroup(name="g", remote="r", candidates=[], egress_links={})
+
+    def test_needs_link_per_candidate(self):
+        with pytest.raises(ValueError):
+            EgressGroup(
+                name="g", remote="r", candidates=["B"], egress_links={}
+            )

@@ -1,0 +1,88 @@
+"""Event queue ordering, cancellation, and tie-breaking."""
+
+from repro.simkernel.events import EventQueue
+
+
+def _collect(queue):
+    fired = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            return fired
+        event.fn(*event.args)
+        fired.append(event.time)
+    return fired
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        out = []
+        queue.push(3.0, out.append, ("c",))
+        queue.push(1.0, out.append, ("a",))
+        queue.push(2.0, out.append, ("b",))
+        _collect(queue)
+        assert out == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        queue = EventQueue()
+        out = []
+        for label in "abcde":
+            queue.push(1.0, out.append, (label,))
+        _collect(queue)
+        assert out == list("abcde")
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        out = []
+        queue.push(1.0, out.append, ("low",), priority=5)
+        queue.push(1.0, out.append, ("high",), priority=-5)
+        _collect(queue)
+        assert out == ["high", "low"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        queue = EventQueue()
+        out = []
+        handle = queue.push(1.0, out.append, ("x",))
+        queue.push(2.0, out.append, ("y",))
+        handle.cancel()
+        _collect(queue)
+        assert out == ["y"]
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        handle.cancel()
+        assert len(queue) == 1
+
+    def test_peek_skips_cancelled_head(self):
+        queue = EventQueue()
+        head = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        head.cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_bool_on_all_cancelled(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        handle.cancel()
+        assert not queue
+
+
+class TestEmpty:
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None

@@ -1,0 +1,70 @@
+"""Periodic process lifecycle: firing, stopping, re-pacing."""
+
+import pytest
+
+from repro.simkernel.processes import PeriodicProcess
+
+
+class TestFiring:
+    def test_fires_every_period(self, sim):
+        times = []
+        PeriodicProcess(sim, 10.0, lambda: times.append(sim.now))
+        sim.run(until=35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_start_at_overrides_first_firing(self, sim):
+        times = []
+        PeriodicProcess(sim, 10.0, lambda: times.append(sim.now), start_at=3.0)
+        sim.run(until=25.0)
+        assert times == [3.0, 13.0, 23.0]
+
+    def test_fire_count(self, sim):
+        process = PeriodicProcess(sim, 1.0, lambda: None)
+        sim.run(until=5.5)
+        assert process.fire_count == 5
+
+    def test_invalid_period_rejected(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicProcess(sim, 0.0, lambda: None)
+
+
+class TestStopRestart:
+    def test_stop_halts_firing(self, sim):
+        times = []
+        process = PeriodicProcess(sim, 10.0, lambda: times.append(sim.now))
+        sim.schedule(25.0, process.stop)
+        sim.run(until=100.0)
+        assert times == [10.0, 20.0]
+        assert not process.running
+
+    def test_stop_from_within_callback(self, sim):
+        process = PeriodicProcess(sim, 1.0, lambda: None)
+
+        def stopper():
+            if process.fire_count >= 3:
+                process.stop()
+
+        # Wrap: stop after the third firing.
+        process.fn = stopper
+        sim.run(until=100.0)
+        assert process.fire_count == 3
+
+    def test_restart_resumes(self, sim):
+        times = []
+        process = PeriodicProcess(sim, 10.0, lambda: times.append(sim.now))
+        sim.schedule(15.0, process.stop)
+        sim.schedule(50.0, process.restart)
+        sim.run(until=75.0)
+        assert times == [10.0, 50.0, 60.0, 70.0]
+
+    def test_set_period_takes_effect_next_cycle(self, sim):
+        times = []
+        process = PeriodicProcess(sim, 10.0, lambda: times.append(sim.now))
+        sim.schedule(10.5, lambda: process.set_period(5.0))
+        sim.run(until=31.0)
+        assert times == [10.0, 20.0, 25.0, 30.0]
+
+    def test_set_period_invalid(self, sim):
+        process = PeriodicProcess(sim, 1.0, lambda: None)
+        with pytest.raises(ValueError):
+            process.set_period(-1.0)

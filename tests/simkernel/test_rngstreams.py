@@ -1,0 +1,57 @@
+"""Named RNG stream independence and reproducibility."""
+
+from hypothesis import given, strategies as st
+
+from repro.simkernel.rngstreams import RngStreams
+
+
+class TestReproducibility:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(1).get("arrivals").random()
+        b = RngStreams(1).get("arrivals").random()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).get("arrivals").random()
+        b = RngStreams(2).get("arrivals").random()
+        assert a != b
+
+    def test_different_names_differ(self):
+        streams = RngStreams(1)
+        assert streams.get("a").random() != streams.get("b").random()
+
+    def test_request_order_independent(self):
+        first = RngStreams(9)
+        first.get("x")
+        value_y_first = RngStreams(9)
+        value_y_first.get("y")
+        assert first.get("y").random() == value_y_first.get("y").random()
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(0)
+        assert streams.get("s") is streams.get("s")
+
+    def test_spawn_derives_independent_registry(self):
+        parent = RngStreams(5)
+        child_a = parent.spawn("provider-a")
+        child_b = parent.spawn("provider-b")
+        assert child_a.get("x").random() != child_b.get("x").random()
+
+    def test_spawn_reproducible(self):
+        a = RngStreams(5).spawn("child").get("x").random()
+        b = RngStreams(5).spawn("child").get("x").random()
+        assert a == b
+
+
+class TestProperties:
+    @given(st.integers(), st.text(min_size=1, max_size=20))
+    def test_any_seed_name_reproducible(self, seed, name):
+        assert (
+            RngStreams(seed).get(name).random()
+            == RngStreams(seed).get(name).random()
+        )
+
+    @given(st.integers())
+    def test_values_in_unit_interval(self, seed):
+        value = RngStreams(seed).get("u").random()
+        assert 0.0 <= value < 1.0

@@ -1,0 +1,116 @@
+"""Windowed group-by aggregation: correctness and streaming stats."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.aggregate import GroupByAggregator
+from repro.telemetry.records import SessionRecord
+
+
+def _record(time, cdn="x", value=1.0):
+    return SessionRecord(
+        time=time, attrs={"cdn": cdn}, metrics={"m": value}
+    )
+
+
+def _aggregator(window=10.0, sink=None):
+    return GroupByAggregator(
+        window_s=window, group_keys=("cdn",), metrics=("m",), sink=sink
+    )
+
+
+class TestWindowing:
+    def test_window_closes_on_boundary_crossing(self):
+        rows = []
+        agg = _aggregator(sink=rows.append)
+        agg.add(_record(1.0, value=2.0))
+        agg.add(_record(5.0, value=4.0))
+        assert rows == []
+        agg.add(_record(11.0, value=9.0))
+        assert len(rows) == 1
+        assert rows[0].count == 2
+        assert rows[0].mean("m") == pytest.approx(3.0)
+        assert rows[0].window_start == 0.0
+
+    def test_explicit_flush(self):
+        agg = _aggregator()
+        agg.add(_record(1.0))
+        rows = agg.flush()
+        assert len(rows) == 1
+        assert agg.flush() == []
+
+    def test_groups_separate(self):
+        agg = _aggregator()
+        agg.add(_record(1.0, cdn="x", value=1.0))
+        agg.add(_record(2.0, cdn="y", value=3.0))
+        rows = {row.group: row for row in agg.flush()}
+        assert rows[("x",)].mean("m") == 1.0
+        assert rows[("y",)].mean("m") == 3.0
+
+    def test_straggler_lands_in_current_window(self):
+        rows = []
+        agg = _aggregator(sink=rows.append)
+        agg.add(_record(15.0))
+        agg.add(_record(3.0))  # older than the open window: kept anyway
+        agg.flush()
+        assert rows[0].count == 2
+
+    def test_missing_metric_skipped(self):
+        agg = _aggregator()
+        agg.add(SessionRecord(time=1.0, attrs={"cdn": "x"}, metrics={}))
+        agg.add(_record(2.0, value=4.0))
+        row = agg.flush()[0]
+        assert row.count == 2
+        assert row.mean("m") == pytest.approx(4.0)  # only one contributed
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            _aggregator(window=0.0)
+
+
+class TestStatistics:
+    def test_min_max_variance(self):
+        agg = _aggregator()
+        for value in (2.0, 4.0, 6.0):
+            agg.add(_record(1.0, value=value))
+        row = agg.flush()[0]
+        assert row.mins["m"] == 2.0
+        assert row.maxs["m"] == 6.0
+        assert row.variances["m"] == pytest.approx(8.0 / 3.0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e4, max_value=1e4), min_size=1, max_size=40))
+    def test_streaming_mean_matches_batch(self, values):
+        agg = _aggregator()
+        for value in values:
+            agg.add(_record(1.0, value=value))
+        row = agg.flush()[0]
+        assert row.mean("m") == pytest.approx(sum(values) / len(values), rel=1e-6, abs=1e-6)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.floats(min_value=-100.0, max_value=100.0), min_size=2, max_size=40))
+    def test_variance_non_negative(self, values):
+        agg = _aggregator()
+        for value in values:
+            agg.add(_record(1.0, value=value))
+        assert agg.flush()[0].variances["m"] >= 0.0
+
+
+class TestCounters:
+    def test_records_and_rows_counted(self):
+        agg = _aggregator()
+        for t in (1.0, 2.0, 12.0):
+            agg.add(_record(t))
+        agg.flush()
+        assert agg.records_processed == 3
+        assert agg.rows_emitted == 2
+
+    def test_open_groups_tracks_cardinality(self):
+        agg = _aggregator()
+        for cdn in ("a", "b", "c"):
+            agg.add(_record(1.0, cdn=cdn))
+        assert agg.open_groups == 3
+        agg.flush()
+        assert agg.open_groups == 0

@@ -1,0 +1,104 @@
+"""Collector fan-out, the stream store, and beacon builders."""
+
+import pytest
+
+from repro.telemetry.aggregate import AggregateRow
+from repro.telemetry.collector import Collector
+from repro.telemetry.records import SessionRecord, record_from_qoe
+from repro.telemetry.streamdb import TimeSeriesStore
+from repro.video.qoe import QoeMetrics
+
+
+def _row(window_start, group=("x",), count=5, mean=0.1):
+    return AggregateRow(
+        window_start=window_start,
+        window_s=10.0,
+        group=group,
+        count=count,
+        means={"m": mean},
+        mins={"m": mean},
+        maxs={"m": mean},
+        variances={"m": 0.0},
+    )
+
+
+class TestCollector:
+    def test_fan_out_to_subscribers(self):
+        collector = Collector()
+        seen = []
+        collector.subscribe(seen.append)
+        record = SessionRecord(time=1.0)
+        collector.ingest(record)
+        assert seen == [record]
+        assert collector.ingested == 1
+
+    def test_recent_with_filter(self):
+        collector = Collector()
+        collector.ingest_many(
+            SessionRecord(time=t, attrs={"cdn": "x" if t < 2 else "y"})
+            for t in range(4)
+        )
+        matched = collector.recent(where=lambda r: r.attr("cdn") == "y")
+        assert len(matched) == 2
+
+    def test_retention_bounded(self):
+        collector = Collector(retention=3)
+        collector.ingest_many(SessionRecord(time=t) for t in range(10))
+        assert len(collector.recent(limit=100)) == 3
+
+    def test_invalid_retention(self):
+        with pytest.raises(ValueError):
+            Collector(retention=0)
+
+
+class TestStore:
+    def test_latest_and_series(self):
+        store = TimeSeriesStore()
+        store.append(_row(0.0, mean=0.1))
+        store.append(_row(10.0, mean=0.3))
+        assert store.latest(("x",)).mean("m") == 0.3
+        assert len(store.series(("x",))) == 2
+        assert len(store.series(("x",), since=10.0)) == 1
+
+    def test_mean_over_weighted_by_count(self):
+        store = TimeSeriesStore()
+        store.append(_row(0.0, count=1, mean=0.0))
+        store.append(_row(10.0, count=3, mean=1.0))
+        assert store.mean_over(("x",), "m", last_n=2) == pytest.approx(0.75)
+
+    def test_mean_over_empty(self):
+        assert TimeSeriesStore().mean_over(("x",), "m") is None
+
+    def test_scan_filters_groups(self):
+        store = TimeSeriesStore()
+        store.append(_row(0.0, group=("a", "1")))
+        store.append(_row(0.0, group=("b", "2")))
+        hits = store.scan(where=lambda g: g[0] == "a")
+        assert len(hits) == 1
+
+    def test_retention(self):
+        store = TimeSeriesStore(retention_rows=2)
+        for i in range(5):
+            store.append(_row(float(i)))
+        assert len(store.series(("x",))) == 2
+
+
+class TestBeaconBuilders:
+    def test_record_from_qoe_fields(self):
+        qoe = QoeMetrics(
+            session_id="s",
+            join_time_s=1.0,
+            play_time_s=90.0,
+            rebuffer_time_s=10.0,
+            mean_bitrate_mbps=3.0,
+        )
+        record = record_from_qoe(time=100.0, qoe=qoe, cdn="cdnX", isp="isp1")
+        assert record.attr("cdn") == "cdnX"
+        assert record.metric("buffering_ratio") == pytest.approx(0.1)
+        assert record.metric("abandoned") == 0.0
+
+    def test_never_joined_encodes_sentinel(self):
+        qoe = QoeMetrics(session_id="s", abandoned=True)
+        record = record_from_qoe(time=1.0, qoe=qoe, cdn="x")
+        assert record.metric("join_time_s") == -1.0
+        assert record.metric("abandoned") == 1.0

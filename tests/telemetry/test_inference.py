@@ -1,0 +1,83 @@
+"""QoE inference model: fitting, prediction, rank metrics."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.inference import (
+    QoeInferenceModel,
+    spearman_correlation,
+)
+
+
+class TestModel:
+    def test_recovers_linear_relationship(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 3))
+        y = 2.0 * x[:, 0] - 1.0 * x[:, 1] + 0.5
+        model = QoeInferenceModel(ridge=0.0)
+        model.fit(x, y)
+        predictions = model.predict(x)
+        assert np.allclose(predictions, y, atol=1e-8)
+
+    def test_noise_yields_nonzero_error(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(300, 3))
+        y = x[:, 0] + rng.normal(scale=0.5, size=300)
+        model = QoeInferenceModel()
+        model.fit(x[:200], y[:200])
+        report = model.evaluate(x[200:], y[200:])
+        assert 0.1 < report.mae < 1.0
+        assert report.spearman > 0.5
+
+    def test_constant_feature_handled(self):
+        x = [[1.0, 5.0], [1.0, 6.0], [1.0, 7.0]]
+        y = [1.0, 2.0, 3.0]
+        model = QoeInferenceModel()
+        model.fit(x, y)
+        assert np.isfinite(model.predict(x)).all()
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            QoeInferenceModel().predict([[1.0]])
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            QoeInferenceModel().fit([], [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            QoeInferenceModel().fit([[1.0]], [1.0, 2.0])
+
+    def test_negative_ridge_rejected(self):
+        with pytest.raises(ValueError):
+            QoeInferenceModel(ridge=-1.0)
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        assert spearman_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_inverse(self):
+        assert spearman_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_nonlinear_monotone_still_one(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        y = [1.0, 8.0, 27.0, 64.0]
+        assert spearman_correlation(x, y) == pytest.approx(1.0)
+
+    def test_constant_input_is_zero(self):
+        assert spearman_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_ties_averaged(self):
+        value = spearman_correlation([1, 1, 2], [1, 2, 3])
+        assert -1.0 <= value <= 1.0
+
+    def test_matches_scipy(self):
+        from scipy import stats
+
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=50)
+        y = x + rng.normal(scale=0.8, size=50)
+        ours = spearman_correlation(x, y)
+        theirs = stats.spearmanr(x, y).statistic
+        assert ours == pytest.approx(theirs, abs=1e-9)

@@ -1,0 +1,82 @@
+"""Timeline probe sampling and analysis helpers."""
+
+import math
+
+import pytest
+
+from repro.telemetry.timeline import TimelineProbe
+
+
+class TestSampling:
+    def test_samples_on_period(self, sim):
+        probe = TimelineProbe(sim, {"clock": lambda: sim.now}, period_s=10.0)
+        sim.run(until=35.0)
+        assert probe.times() == [10.0, 20.0, 30.0]
+        assert probe.series("clock") == [10.0, 20.0, 30.0]
+
+    def test_start_at(self, sim):
+        probe = TimelineProbe(
+            sim, {"c": lambda: 1.0}, period_s=10.0, start_at=2.0
+        )
+        sim.run(until=25.0)
+        assert probe.times() == [2.0, 12.0, 22.0]
+
+    def test_failing_metric_becomes_nan(self, sim):
+        def boom():
+            raise RuntimeError("down")
+
+        probe = TimelineProbe(sim, {"boom": boom, "ok": lambda: 1.0}, period_s=5.0)
+        sim.run(until=6.0)
+        assert math.isnan(probe.series("boom")[0])
+        assert probe.series("ok") == [1.0]
+
+    def test_stop(self, sim):
+        probe = TimelineProbe(sim, {"c": lambda: 1.0}, period_s=5.0)
+        sim.schedule(12.0, probe.stop)
+        sim.run(until=100.0)
+        assert len(probe.samples) == 2
+
+    def test_needs_metrics(self, sim):
+        with pytest.raises(ValueError):
+            TimelineProbe(sim, {})
+
+    def test_unknown_metric_rejected(self, sim):
+        probe = TimelineProbe(sim, {"c": lambda: 1.0}, period_s=5.0)
+        with pytest.raises(KeyError):
+            probe.series("nope")
+
+
+class TestAnalysis:
+    def _probe_with(self, sim, values):
+        state = {"i": -1}
+
+        def step():
+            state["i"] += 1
+            return values[min(state["i"], len(values) - 1)]
+
+        probe = TimelineProbe(sim, {"v": step}, period_s=1.0)
+        sim.run(until=len(values) + 0.5)
+        return probe
+
+    def test_changes_counts_transitions(self, sim):
+        probe = self._probe_with(sim, [0, 0, 1, 1, 0, 1])
+        assert probe.changes("v") == 3
+
+    def test_mean_skips_nan(self, sim):
+        probe = TimelineProbe(
+            sim,
+            {"v": lambda: 2.0 if sim.now < 2.5 else float("nan")},
+            period_s=1.0,
+        )
+        sim.run(until=5.5)
+        assert probe.mean("v") == pytest.approx(2.0)
+
+    def test_window_mean(self, sim):
+        probe = self._probe_with(sim, [1, 1, 5, 5, 5])
+        assert probe.window_mean("v", 3.0, 6.0) == pytest.approx(5.0)
+
+    def test_to_rows_with_stride(self, sim):
+        probe = self._probe_with(sim, [1, 2, 3, 4])
+        rows = probe.to_rows(stride=2)
+        assert [row["time"] for row in rows] == [1.0, 3.0]
+        assert rows[0]["v"] == 1.0

@@ -1,0 +1,122 @@
+"""Playback buffer: join, drain, stall, and resume accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.video.buffer import PlaybackBuffer
+
+
+def _buffer(startup=4.0, resume=4.0):
+    buffer = PlaybackBuffer(startup_threshold_s=startup, resume_threshold_s=resume)
+    buffer.bind_clock(0.0)
+    return buffer
+
+
+class TestJoin:
+    def test_starts_at_threshold(self):
+        buffer = _buffer(startup=4.0)
+        buffer.add_chunk(4.0, now=1.5)
+        assert buffer.started
+        assert buffer.join_time_s == 1.5
+
+    def test_not_started_below_threshold(self):
+        buffer = _buffer(startup=8.0)
+        buffer.add_chunk(4.0, now=1.0)
+        assert not buffer.started
+        assert buffer.join_time_s is None
+
+    def test_waiting_time_before_join_not_rebuffering(self):
+        buffer = _buffer()
+        buffer.advance(10.0)
+        assert buffer.rebuffer_time_s == 0.0
+
+
+class TestDrain:
+    def test_plays_down_linearly(self):
+        buffer = _buffer()
+        buffer.add_chunk(4.0, now=0.0)
+        buffer.advance(3.0)
+        assert buffer.level_s == pytest.approx(1.0)
+        assert buffer.play_time_s == pytest.approx(3.0)
+
+    def test_stall_when_empty(self):
+        buffer = _buffer()
+        buffer.add_chunk(4.0, now=0.0)
+        buffer.advance(6.0)
+        assert buffer.stalled
+        assert buffer.rebuffer_time_s == pytest.approx(2.0)
+        assert buffer.rebuffer_events == 1
+
+    def test_resume_requires_threshold(self):
+        buffer = _buffer(resume=4.0)
+        buffer.add_chunk(4.0, now=0.0)
+        buffer.advance(6.0)             # stalled at t=6 (2 s stall)
+        buffer.add_chunk(2.0, now=7.0)  # below resume threshold
+        assert buffer.stalled
+        buffer.add_chunk(2.0, now=8.0)  # now at 4 s -> resume
+        assert not buffer.stalled
+        assert buffer.rebuffer_time_s == pytest.approx(4.0)
+
+    def test_stall_time_while_stalled_counts(self):
+        buffer = _buffer()
+        buffer.add_chunk(4.0, now=0.0)
+        buffer.advance(5.0)
+        buffer.advance(9.0)
+        assert buffer.rebuffer_time_s == pytest.approx(5.0)
+        assert buffer.rebuffer_events == 1  # one continuous stall
+
+    def test_buffering_ratio(self):
+        buffer = _buffer()
+        buffer.add_chunk(4.0, now=0.0)
+        buffer.advance(5.0)  # 4 played + 1 stalled
+        assert buffer.buffering_ratio == pytest.approx(0.2)
+
+    def test_time_backwards_rejected(self):
+        buffer = _buffer()
+        buffer.advance(5.0)
+        with pytest.raises(ValueError):
+            buffer.advance(4.0)
+
+    def test_drain_remaining(self):
+        buffer = _buffer()
+        buffer.add_chunk(8.0, now=0.0)
+        assert buffer.drain_remaining(2.0) == pytest.approx(6.0)
+
+
+class TestInvariants:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=10.0),  # gap to next event
+                st.booleans(),                              # chunk arrives?
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_accounting_identity(self, events):
+        """play + rebuffer + waiting-to-join == elapsed after join check,
+        and level is never negative."""
+        buffer = _buffer()
+        now = 0.0
+        for gap, has_chunk in events:
+            now += gap
+            if has_chunk:
+                buffer.add_chunk(4.0, now=now)
+            else:
+                buffer.advance(now)
+            assert buffer.level_s >= 0.0
+            assert buffer.play_time_s >= 0.0
+            assert buffer.rebuffer_time_s >= 0.0
+            if buffer.started:
+                join = buffer.join_time_s
+                accounted = (
+                    buffer.play_time_s + buffer.rebuffer_time_s + buffer.level_s
+                )
+                # Media downloaded equals media played + buffered; time
+                # after join equals play + rebuffer.
+                assert (
+                    buffer.play_time_s + buffer.rebuffer_time_s
+                    == pytest.approx(now - join, abs=1e-6)
+                )

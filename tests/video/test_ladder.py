@@ -1,0 +1,51 @@
+"""Bitrate ladder arithmetic."""
+
+import pytest
+
+from repro.video.ladder import DEFAULT_LADDER, BitrateLadder
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BitrateLadder(bitrates_mbps=())
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            BitrateLadder(bitrates_mbps=(3.0, 1.0))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            BitrateLadder(bitrates_mbps=(1.0, 1.0))
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            BitrateLadder(bitrates_mbps=(0.0, 1.0))
+
+
+class TestArithmetic:
+    def test_chunk_size(self):
+        assert DEFAULT_LADDER.chunk_size_mbit(3.0) == 12.0
+
+    def test_highest_at_most(self):
+        assert DEFAULT_LADDER.highest_at_most(2.0) == 1.5
+        assert DEFAULT_LADDER.highest_at_most(100.0) == 6.0
+        assert DEFAULT_LADDER.highest_at_most(0.1) == 0.4  # below lowest
+
+    def test_step_down_saturates(self):
+        assert DEFAULT_LADDER.step_down(0.75) == 0.4
+        assert DEFAULT_LADDER.step_down(0.4) == 0.4
+
+    def test_step_up_saturates(self):
+        assert DEFAULT_LADDER.step_up(3.0) == 6.0
+        assert DEFAULT_LADDER.step_up(6.0) == 6.0
+
+    def test_contains_and_index(self):
+        assert 1.5 in DEFAULT_LADDER
+        assert 2.0 not in DEFAULT_LADDER
+        assert DEFAULT_LADDER.index_of(1.5) == 2
+
+    def test_bounds(self):
+        assert DEFAULT_LADDER.lowest == 0.4
+        assert DEFAULT_LADDER.highest == 6.0
+        assert len(DEFAULT_LADDER) == 5

@@ -1,0 +1,189 @@
+"""Adaptive player: session lifecycle over a real fluid network."""
+
+import pytest
+
+from repro.cdn.content import ContentCatalog
+from repro.cdn.origin import Origin
+from repro.cdn.provider import Cdn
+from repro.cdn.server import CdnServer
+from repro.network.fluidsim import FluidNetwork
+from repro.network.topology import NodeKind, Topology
+from repro.simkernel.kernel import Simulator
+from repro.video.abr import RateBasedAbr
+from repro.video.ladder import DEFAULT_LADDER
+from repro.video.player import AdaptivePlayer, PlayerPolicy, SessionAssignment
+
+
+def _world(access_mbps=8.0, degraded=None, two_servers=False):
+    sim = Simulator(seed=3)
+    topo = Topology()
+    topo.add_node("origin", NodeKind.ORIGIN)
+    topo.add_node("edge", NodeKind.SERVER)
+    topo.add_node("isp", NodeKind.ROUTER)
+    topo.add_node("client", NodeKind.CLIENT)
+    if two_servers:
+        topo.add_node("edge2", NodeKind.SERVER)
+        topo.add_link("edge2", "isp", 100.0)
+        topo.add_link("origin", "edge2", 50.0)
+    topo.add_link("origin", "edge", 50.0)
+    topo.add_link("edge", "isp", 100.0)
+    topo.add_link("isp", "client", access_mbps)
+    net = FluidNetwork(sim, topo)
+    servers = [
+        CdnServer("s1", "edge", capacity_sessions=10, degraded_rate_mbps=degraded)
+    ]
+    if two_servers:
+        servers.append(CdnServer("s2", "edge2", capacity_sessions=10))
+    cdn = Cdn("cdn", servers, origin=Origin("origin"))
+    catalog = ContentCatalog(n_items=3, duration_s=40.0)
+    return sim, net, cdn, catalog
+
+
+class FixedPolicy(PlayerPolicy):
+    def __init__(self, cdn):
+        self.cdn = cdn
+        self.chunks_seen = 0
+        self.ended = 0
+
+    def assign(self, player):
+        return SessionAssignment(cdn=self.cdn)
+
+    def on_chunk(self, player, record):
+        self.chunks_seen += 1
+
+    def on_session_end(self, player):
+        self.ended += 1
+
+
+def _player(sim, net, cdn, catalog, policy=None, **kwargs):
+    return AdaptivePlayer(
+        sim,
+        net,
+        session_id="s1",
+        client_node="client",
+        content=catalog.by_rank(0),
+        ladder=DEFAULT_LADDER,
+        abr=RateBasedAbr(),
+        policy=policy or FixedPolicy(cdn),
+        **kwargs,
+    )
+
+
+class TestLifecycle:
+    def test_completes_and_reports_qoe(self):
+        sim, net, cdn, catalog = _world()
+        policy = FixedPolicy(cdn)
+        player = _player(sim, net, cdn, catalog, policy)
+        player.start()
+        sim.run(until=300.0)
+        assert player.ended
+        qoe = player.qoe()
+        assert qoe.joined
+        assert qoe.play_time_s == pytest.approx(40.0)
+        assert policy.chunks_seen == player.n_chunks
+        assert policy.ended == 1
+
+    def test_detaches_from_cdn_on_end(self):
+        sim, net, cdn, catalog = _world()
+        player = _player(sim, net, cdn, catalog)
+        player.start()
+        sim.run(until=300.0)
+        assert cdn.active_sessions == 0
+
+    def test_double_start_rejected(self):
+        sim, net, cdn, catalog = _world()
+        player = _player(sim, net, cdn, catalog)
+        player.start()
+        with pytest.raises(RuntimeError):
+            player.start()
+
+    def test_abort_marks_abandoned(self):
+        sim, net, cdn, catalog = _world()
+        player = _player(sim, net, cdn, catalog)
+        player.start()
+        sim.schedule(5.0, player.abort)
+        sim.run(until=300.0)
+        assert player.qoe().abandoned
+
+    def test_buffer_cap_paces_downloads(self):
+        sim, net, cdn, catalog = _world(access_mbps=100.0)
+        player = _player(sim, net, cdn, catalog, max_buffer_s=8.0)
+        player.start()
+        sim.run(until=300.0)
+        levels = [record.buffer_level_s for record in player.chunk_records]
+        assert max(levels) <= 8.0 + 1e-6
+
+
+class TestAdversity:
+    def test_starved_player_rebuffers(self):
+        sim, net, cdn, catalog = _world(degraded=0.3)
+        player = _player(sim, net, cdn, catalog, abandon_rebuffer_s=None)
+        player.start()
+        sim.run(until=1000.0)
+        qoe = player.qoe()
+        assert qoe.rebuffer_time_s > 0
+        assert qoe.mean_bitrate_mbps <= 0.75
+
+    def test_abandonment_threshold(self):
+        sim, net, cdn, catalog = _world(degraded=0.1)
+        player = _player(sim, net, cdn, catalog, abandon_rebuffer_s=20.0)
+        player.start()
+        sim.run(until=2000.0)
+        qoe = player.qoe()
+        assert qoe.abandoned
+        assert qoe.rebuffer_time_s >= 20.0
+
+    def test_rehomes_after_server_power_off(self):
+        sim, net, cdn, catalog = _world(two_servers=True)
+        player = _player(sim, net, cdn, catalog)
+        player.start()
+
+        def kill_current_server():
+            server = cdn.server_of("s1")
+            cdn.power_off_server(server.server_id)
+
+        sim.schedule(10.0, kill_current_server)
+        sim.run(until=400.0)
+        assert player.ended
+        assert player.qoe().server_switches >= 1
+        assert not player.qoe().abandoned
+
+
+class TestSwitching:
+    def test_switch_cdn_counts_and_penalizes(self):
+        sim, net, cdn, catalog = _world()
+        other_servers = [CdnServer("o1", "edge", capacity_sessions=10)]
+        other = Cdn("other", other_servers, origin=Origin("origin"))
+
+        class SwitchOnce(FixedPolicy):
+            def on_chunk(self, policy_self, record):  # noqa: N805
+                pass
+
+        policy = FixedPolicy(cdn)
+        player = _player(sim, net, cdn, catalog, policy)
+        player.start()
+        sim.schedule(5.0, lambda: player.switch_cdn(other))
+        sim.run(until=300.0)
+        qoe = player.qoe()
+        assert qoe.cdn_switches == 1
+        assert player.cdn is other
+
+    def test_switch_server_within_cdn(self):
+        sim, net, cdn, catalog = _world(two_servers=True)
+        player = _player(sim, net, cdn, catalog)
+        player.start()
+        sim.schedule(5.0, lambda: player.switch_server("s2"))
+        sim.run(until=300.0)
+        assert player.qoe().server_switches == 1
+
+    def test_switch_to_full_cdn_fails_gracefully(self):
+        sim, net, cdn, catalog = _world()
+        full = Cdn("full", [CdnServer("f1", "edge", capacity_sessions=1)])
+        full.attach("occupier")
+        player = _player(sim, net, cdn, catalog)
+        player.start()
+        results = []
+        sim.schedule(5.0, lambda: results.append(player.switch_cdn(full)))
+        sim.run(until=300.0)
+        assert results == [False]
+        assert player.cdn is cdn

@@ -1,0 +1,103 @@
+"""QoE metrics and the engagement model's shape."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.video.qoe import QoeMetrics, engagement_score, summarize
+
+
+def _qoe(**kwargs):
+    defaults = dict(
+        session_id="s",
+        join_time_s=1.0,
+        play_time_s=100.0,
+        rebuffer_time_s=0.0,
+        mean_bitrate_mbps=3.0,
+    )
+    defaults.update(kwargs)
+    return QoeMetrics(**defaults)
+
+
+class TestMetrics:
+    def test_buffering_ratio(self):
+        qoe = _qoe(play_time_s=90.0, rebuffer_time_s=10.0)
+        assert qoe.buffering_ratio == pytest.approx(0.1)
+
+    def test_never_joined_session(self):
+        qoe = QoeMetrics(session_id="s")
+        assert not qoe.joined
+        assert qoe.buffering_ratio == 1.0
+        assert engagement_score(qoe) == 0.0
+
+
+class TestEngagementShape:
+    def test_buffering_dominates(self):
+        clean = engagement_score(_qoe(rebuffer_time_s=0.0))
+        buffered = engagement_score(_qoe(play_time_s=90.0, rebuffer_time_s=10.0))
+        assert buffered < clean * 0.7
+
+    def test_monotone_in_buffering(self):
+        scores = [
+            engagement_score(_qoe(play_time_s=100.0 - r, rebuffer_time_s=r))
+            for r in (0.0, 2.0, 5.0, 10.0, 20.0)
+        ]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_saturates_at_heavy_buffering(self):
+        qoe = _qoe(play_time_s=70.0, rebuffer_time_s=30.0)
+        assert engagement_score(qoe) == 0.0
+
+    def test_monotone_in_bitrate(self):
+        scores = [
+            engagement_score(_qoe(mean_bitrate_mbps=b))
+            for b in (0.4, 1.5, 3.0, 6.0)
+        ]
+        assert scores == sorted(scores)
+
+    def test_bitrate_lift_is_concave(self):
+        low = engagement_score(_qoe(mean_bitrate_mbps=0.4))
+        mid = engagement_score(_qoe(mean_bitrate_mbps=3.0))
+        high = engagement_score(_qoe(mean_bitrate_mbps=6.0))
+        assert (mid - low) > (high - mid)
+
+    def test_slow_join_penalized(self):
+        fast = engagement_score(_qoe(join_time_s=0.5))
+        slow = engagement_score(_qoe(join_time_s=30.0))
+        assert slow < fast
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=1000.0),
+        st.floats(min_value=0.0, max_value=1000.0),
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=0.0, max_value=120.0),
+    )
+    def test_bounded_unit_interval(self, play, rebuffer, bitrate, join):
+        qoe = _qoe(
+            play_time_s=play,
+            rebuffer_time_s=rebuffer,
+            mean_bitrate_mbps=bitrate,
+            join_time_s=join,
+        )
+        assert 0.0 <= engagement_score(qoe) <= 1.0
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize([])
+        assert summary["sessions"] == 0
+        assert summary["mean_engagement"] == 0.0
+
+    def test_aggregates(self):
+        sessions = [
+            _qoe(session_id="a"),
+            _qoe(session_id="b", play_time_s=50.0, rebuffer_time_s=50.0),
+        ]
+        summary = summarize(sessions)
+        assert summary["sessions"] == 2
+        assert summary["mean_buffering_ratio"] == pytest.approx(0.25)
+
+    def test_never_joined_excluded_from_bitrate(self):
+        sessions = [_qoe(), QoeMetrics(session_id="dead")]
+        summary = summarize(sessions)
+        assert summary["mean_bitrate_mbps"] == pytest.approx(3.0)

@@ -1,0 +1,110 @@
+"""The caching web proxy (Figure 1(a)) and shared-object pages."""
+
+import random
+
+import pytest
+
+from repro.network.fluidsim import FluidNetwork
+from repro.network.topology import NodeKind, Topology
+from repro.simkernel.kernel import Simulator
+from repro.web.browser import Browser
+from repro.web.page import WebPage, make_page, make_shared_pool
+from repro.web.proxy import WebProxy
+
+
+class TestProxyUnit:
+    def test_miss_then_hit(self):
+        proxy = WebProxy("px")
+        hit, node = proxy.resolve("obj", 1.0)
+        assert not hit and node == "px"
+        hit, _ = proxy.resolve("obj", 1.0)
+        assert hit
+
+    def test_uncacheable_objects_never_hit(self):
+        proxy = WebProxy("px")
+        assert not proxy.resolve(None, 1.0)[0]
+        assert not proxy.resolve(None, 1.0)[0]
+
+    def test_hit_rate(self):
+        proxy = WebProxy("px")
+        proxy.resolve("a", 1.0)
+        proxy.resolve("a", 1.0)
+        assert proxy.hit_rate == pytest.approx(0.5)
+
+
+class TestSharedPages:
+    def test_pool_objects_reused_across_pages(self):
+        rng = random.Random(0)
+        pool = make_shared_pool(rng, n_objects=5)
+        pages = [
+            make_page(rng, f"p{i}", shared_pool=pool, shared_fraction=1.0,
+                      n_objects_range=(5, 5))
+            for i in range(2)
+        ]
+        keys = set(pages[0].object_keys) | set(pages[1].object_keys)
+        assert keys <= {key for key, _ in pool}
+
+    def test_unique_objects_have_no_keys(self):
+        rng = random.Random(0)
+        pool = make_shared_pool(rng, n_objects=5)
+        page = make_page(rng, "p", shared_pool=pool, shared_fraction=0.0,
+                         n_objects_range=(4, 4))
+        assert all(key is None for key in page.object_keys)
+
+    def test_key_size_alignment_validated(self):
+        with pytest.raises(ValueError):
+            WebPage("p", 0.1, (1.0, 2.0), object_keys=("a",))
+
+    def test_invalid_shared_fraction(self):
+        with pytest.raises(ValueError):
+            make_page(random.Random(0), "p", shared_pool=[("k", 1.0)],
+                      shared_fraction=1.5)
+
+
+class TestBrowserWithProxy:
+    def _world(self):
+        sim = Simulator(seed=0)
+        topo = Topology()
+        topo.add_node("web", NodeKind.SERVER)
+        topo.add_node("px", NodeKind.CACHE)
+        topo.add_node("ue", NodeKind.CLIENT)
+        topo.add_link("web", "px", 2.0, delay_ms=50)   # slow far side
+        topo.add_link("px", "ue", 50.0, delay_ms=5)    # fast near side
+        topo.add_link("web", "ue", 2.0, delay_ms=55)
+        net = FluidNetwork(sim, topo)
+        proxy = WebProxy("px")
+        return sim, net, proxy
+
+    def test_repeat_visits_get_faster(self):
+        sim, net, proxy = self._world()
+        browser = Browser(sim, net, "ue", "web", proxy=proxy)
+        page = WebPage(
+            "p", main_mbit=0.1,
+            object_sizes_mbit=(2.0, 2.0),
+            object_keys=("lib.js", "font.woff"),
+        )
+        plts = []
+        browser.load_page(page, on_done=lambda r: plts.append(r.plt_s))
+        sim.run()
+        browser.load_page(page, on_done=lambda r: plts.append(r.plt_s))
+        sim.run()
+        assert plts[1] < plts[0] / 3  # warm proxy serves from nearby
+        assert browser.records[1].proxy_hits == 2
+
+    def test_unkeyed_objects_bypass_proxy(self):
+        sim, net, proxy = self._world()
+        browser = Browser(sim, net, "ue", "web", proxy=proxy)
+        page = WebPage("p", main_mbit=0.1, object_sizes_mbit=(1.0,))
+        browser.load_page(page)
+        sim.run()
+        browser.load_page(page)
+        sim.run()
+        assert browser.records[1].proxy_hits == 0
+
+    def test_no_proxy_unchanged(self):
+        sim, net, _ = self._world()
+        browser = Browser(sim, net, "ue", "web")
+        page = WebPage("p", 0.1, (1.0,), object_keys=("k",))
+        browser.load_page(page)
+        sim.run()
+        assert browser.records[0].proxy_hits == 0

@@ -1,0 +1,98 @@
+"""Radio Markov model: transitions, capacity coupling, stats."""
+
+import pytest
+
+from repro.network.fluidsim import FluidNetwork
+from repro.network.topology import NodeKind, Topology
+from repro.simkernel.kernel import Simulator
+from repro.web.radio import (
+    DEFAULT_TRANSITIONS,
+    STATE_CAPACITY_MBPS,
+    RadioModel,
+    RadioState,
+    RadioStats,
+)
+
+
+def _world():
+    sim = Simulator(seed=11)
+    topo = Topology()
+    topo.add_node("bs", NodeKind.BASE_STATION)
+    topo.add_node("ue", NodeKind.CLIENT)
+    link = topo.add_link("bs", "ue", 20.0, tags=("access",))
+    net = FluidNetwork(sim, topo)
+    return sim, net, link.link_id
+
+
+class TestTransitions:
+    def test_rows_are_stochastic(self):
+        for state, row in DEFAULT_TRANSITIONS.items():
+            assert sum(row.values()) == pytest.approx(1.0)
+            assert all(p >= 0 for p in row.values())
+
+    def test_capacity_follows_state(self):
+        sim, net, link_id = _world()
+        radio = RadioModel(sim, net, link_id, sim.rng.get("radio"))
+        sim.run(until=120.0)
+        assert (
+            net.topology.link(link_id).capacity_mbps
+            == STATE_CAPACITY_MBPS[radio.state]
+        )
+
+    def test_visits_multiple_states(self):
+        sim, net, link_id = _world()
+        radio = RadioModel(sim, net, link_id, sim.rng.get("radio"))
+        sim.run(until=600.0)
+        visited = {
+            state
+            for state, seconds in radio.stats.seconds_in_state.items()
+            if seconds > 0
+        }
+        assert len(visited) >= 3
+
+    def test_handover_counted(self):
+        sim, net, link_id = _world()
+        radio = RadioModel(sim, net, link_id, sim.rng.get("radio"))
+        sim.run(until=2000.0)
+        assert radio.stats.handovers > 0
+        assert radio.stats.transitions >= radio.stats.handovers
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            sim, net, link_id = _world()
+            radio = RadioModel(sim, net, link_id, sim.rng.get("radio"))
+            sim.run(until=300.0)
+            return radio.stats.transitions, radio.state
+
+        assert run_once() == run_once()
+
+    def test_stop_freezes(self):
+        sim, net, link_id = _world()
+        radio = RadioModel(sim, net, link_id, sim.rng.get("radio"))
+        sim.run(until=50.0)
+        radio.stop()
+        transitions = radio.stats.transitions
+        sim.run(until=500.0)
+        assert radio.stats.transitions == transitions
+
+
+class TestStats:
+    def test_fraction(self):
+        stats = RadioStats()
+        stats.seconds_in_state["good"] = 30.0
+        stats.seconds_in_state["poor"] = 10.0
+        assert stats.fraction(RadioState.GOOD) == pytest.approx(0.75)
+
+    def test_fraction_empty(self):
+        assert RadioStats().fraction(RadioState.GOOD) == 0.0
+
+    def test_diff(self):
+        earlier = RadioStats()
+        earlier.seconds_in_state["good"] = 10.0
+        earlier.handovers = 1
+        later = RadioStats()
+        later.seconds_in_state["good"] = 25.0
+        later.handovers = 3
+        delta = later.diff(earlier)
+        assert delta.seconds_in_state["good"] == 15.0
+        assert delta.handovers == 2

@@ -1,0 +1,100 @@
+"""Arrival processes: rates, bounds, and profile shapes."""
+
+import pytest
+
+from repro.workloads.arrivals import (
+    NonHomogeneousArrivals,
+    PoissonArrivals,
+    diurnal_rate,
+    flash_crowd_rate,
+)
+
+
+class TestPoisson:
+    def test_mean_rate_approximate(self, sim):
+        count = [0]
+        PoissonArrivals(
+            sim, rate_per_s=2.0,
+            start_fn=lambda i: count.__setitem__(0, count[0] + 1),
+            rng=sim.rng.get("arrivals"),
+        )
+        sim.run(until=500.0)
+        assert 800 < count[0] < 1200
+
+    def test_until_bound(self, sim):
+        times = []
+        PoissonArrivals(
+            sim, rate_per_s=5.0,
+            start_fn=lambda i: times.append(sim.now),
+            rng=sim.rng.get("arrivals"),
+            until=10.0,
+        )
+        sim.run(until=100.0)
+        assert times
+        assert max(times) <= 10.0
+
+    def test_max_sessions_bound(self, sim):
+        indices = []
+        PoissonArrivals(
+            sim, rate_per_s=10.0,
+            start_fn=indices.append,
+            rng=sim.rng.get("arrivals"),
+            max_sessions=7,
+        )
+        sim.run(until=1000.0)
+        assert indices == list(range(7))
+
+    def test_invalid_rate(self, sim):
+        with pytest.raises(ValueError):
+            PoissonArrivals(sim, 0.0, lambda i: None, sim.rng.get("x"))
+
+
+class TestNonHomogeneous:
+    def test_thinning_tracks_rate_function(self, sim):
+        times = []
+        rate_fn = lambda t: 4.0 if t < 50.0 else 0.5
+        NonHomogeneousArrivals(
+            sim, rate_fn, max_rate_per_s=4.0,
+            start_fn=lambda i: times.append(sim.now),
+            rng=sim.rng.get("arrivals"),
+            until=100.0,
+        )
+        sim.run(until=100.0)
+        early = sum(1 for t in times if t < 50.0)
+        late = sum(1 for t in times if t >= 50.0)
+        assert early > late * 3
+
+    def test_rate_above_envelope_raises(self, sim):
+        NonHomogeneousArrivals(
+            sim, lambda t: 10.0, max_rate_per_s=1.0,
+            start_fn=lambda i: None,
+            rng=sim.rng.get("arrivals"),
+        )
+        with pytest.raises(ValueError):
+            sim.run(until=100.0)
+
+
+class TestProfiles:
+    def test_flash_crowd_shape(self):
+        rate = flash_crowd_rate(
+            base_per_s=0.1, peak_per_s=2.0, onset_s=60.0, ramp_s=30.0,
+            duration_s=120.0,
+        )
+        assert rate(0.0) == pytest.approx(0.1)
+        assert rate(75.0) == pytest.approx(1.05)  # mid-ramp
+        assert rate(150.0) == pytest.approx(2.0)  # at peak
+        assert rate(10_000.0) == pytest.approx(0.1, abs=0.01)  # decayed
+
+    def test_flash_crowd_validation(self):
+        with pytest.raises(ValueError):
+            flash_crowd_rate(2.0, 1.0, 0.0, 1.0, 1.0)
+
+    def test_diurnal_peak_and_trough(self):
+        rate = diurnal_rate(mean_per_s=1.0, amplitude=0.5, period_s=100.0,
+                            peak_at_s=75.0)
+        assert rate(75.0) == pytest.approx(1.5)
+        assert rate(25.0) == pytest.approx(0.5)
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_rate(1.0, amplitude=1.5)

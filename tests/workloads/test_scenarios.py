@@ -1,0 +1,110 @@
+"""Scenario builders: the worlds match their figure's constraints."""
+
+import pytest
+
+from repro.network.topology import NodeKind
+from repro.workloads.scenarios import (
+    build_cellular_web_scenario,
+    build_coarse_control_scenario,
+    build_energy_scenario,
+    build_flash_crowd_scenario,
+    build_oscillation_scenario,
+)
+
+
+class TestFlashCrowd:
+    def test_access_is_the_bottleneck(self):
+        scenario = build_flash_crowd_scenario(access_capacity_mbps=45.0)
+        access = scenario.topology.link(scenario.access_link)
+        assert access.capacity_mbps == 45.0
+        peering = scenario.topology.links(tag="peering")
+        assert all(link.capacity_mbps > access.capacity_mbps for link in peering)
+
+    def test_both_cdns_have_headroom(self):
+        scenario = build_flash_crowd_scenario()
+        assert all(cdn.has_capacity() for cdn in scenario.cdns)
+
+    def test_client_count(self):
+        scenario = build_flash_crowd_scenario(n_clients=7)
+        assert len(scenario.client_nodes) == 7
+
+
+class TestOscillation:
+    def test_figure5_capacity_ordering(self):
+        scenario = build_oscillation_scenario(
+            n_clients=24, peering_b_mbps=60.0, peering_c_mbps=300.0,
+            cdn_y_uplink_mbps=45.0,
+        )
+        b = scenario.topology.link(scenario.peering_b_link)
+        c = scenario.topology.link(scenario.peering_c_link)
+        demand = 24 * 3.0  # clients at a mid-ladder bitrate
+        assert b.capacity_mbps < demand < c.capacity_mbps
+        y_uplink = scenario.topology.link_between("cdnY", "peerC")
+        assert y_uplink.capacity_mbps < demand
+
+    def test_group_prefers_b(self):
+        scenario = build_oscillation_scenario()
+        group = next(g for g in scenario.groups if g.name == "cdnX")
+        assert group.preferred == "peerB"
+        assert set(group.candidates) == {"peerB", "peerC"}
+
+    def test_cdn_y_has_single_candidate(self):
+        scenario = build_oscillation_scenario()
+        group = next(g for g in scenario.groups if g.name == "cdnY")
+        assert group.candidates == ["peerC"]
+
+
+class TestCoarseControl:
+    def test_one_degraded_one_healthy_server(self):
+        scenario = build_coarse_control_scenario()
+        degraded = [s for s in scenario.cdn_x.servers.values() if s.degraded]
+        healthy = [s for s in scenario.cdn_x.servers.values() if not s.degraded]
+        assert len(degraded) == 1
+        assert len(healthy) == 1
+
+    def test_cdn_x_warm_cdn_y_cold(self):
+        scenario = build_coarse_control_scenario()
+        item = scenario.catalog.by_rank(0)
+        for server in scenario.cdn_x.servers.values():
+            assert item.content_id in server.cache
+        for server in scenario.cdn_y.servers.values():
+            assert item.content_id not in server.cache
+
+    def test_degraded_rate_below_lowest_rung(self):
+        scenario = build_coarse_control_scenario()
+        degraded = next(s for s in scenario.cdn_x.servers.values() if s.degraded)
+        assert degraded.degraded_rate_mbps < 0.4
+
+
+class TestEnergy:
+    def test_servers_and_uplinks_aligned(self):
+        scenario = build_energy_scenario(n_servers=4)
+        assert len(scenario.cdn.servers) == 4
+        assert set(scenario.server_uplinks) == set(scenario.cdn.servers)
+
+    def test_finite_uplinks(self):
+        scenario = build_energy_scenario(server_uplink_mbps=50.0)
+        for link_id in scenario.server_uplinks.values():
+            assert scenario.topology.link(link_id).capacity_mbps == 50.0
+
+
+class TestCellularWeb:
+    def test_one_radio_and_browser_per_client(self):
+        scenario = build_cellular_web_scenario(n_clients=5)
+        assert len(scenario.radios) == 5
+        assert len(scenario.browsers) == 5
+        assert len(scenario.access_links) == 5
+
+    def test_radios_have_independent_streams(self):
+        scenario = build_cellular_web_scenario(n_clients=3)
+        scenario.sim.run(until=200.0)
+        states = {radio.stats.transitions for radio in scenario.radios}
+        assert len(states) > 1  # not all identical trajectories
+
+    def test_deterministic_per_seed(self):
+        def run_once():
+            scenario = build_cellular_web_scenario(seed=7, n_clients=2)
+            scenario.sim.run(until=100.0)
+            return tuple(radio.stats.transitions for radio in scenario.radios)
+
+        assert run_once() == run_once()
