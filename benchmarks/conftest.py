@@ -15,6 +15,7 @@ import pytest
 
 _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 _tables: List[str] = []
+_counters: List[str] = []
 
 
 def record_table(result) -> None:
@@ -27,16 +28,35 @@ def record_table(result) -> None:
         handle.write(text + "\n")
 
 
+def record_counters(label: str, counters: dict) -> None:
+    """Register allocation-engine counters for the terminal summary.
+
+    Pass the dict from ``FluidNetwork.allocation_counters()`` (or
+    ``SimContext.allocation_counters()``) after a run, labeled with the
+    benchmark/configuration it came from.
+    """
+    parts = "  ".join(f"{key}={value}" for key, value in counters.items())
+    _counters.append(f"{label}: {parts}")
+
+
 @pytest.fixture
 def table_sink():
     return record_table
 
 
+@pytest.fixture
+def counter_sink():
+    return record_counters
+
+
 def pytest_terminal_summary(terminalreporter):
-    if not _tables:
-        return
-    terminalreporter.section("reproduced tables/figures")
-    for text in _tables:
-        terminalreporter.write_line("")
-        for line in text.splitlines():
+    if _tables:
+        terminalreporter.section("reproduced tables/figures")
+        for text in _tables:
+            terminalreporter.write_line("")
+            for line in text.splitlines():
+                terminalreporter.write_line(line)
+    if _counters:
+        terminalreporter.section("allocation engine counters")
+        for line in _counters:
             terminalreporter.write_line(line)

@@ -74,6 +74,9 @@ class Cdn:
         transcoder: Optional edge transcoder pool; on a chunk miss with
             a cached higher rung, chunks are derived locally instead of
             pulled through the origin (Figure 1(b)'s transcoders).
+        ctx: The :class:`~repro.core.context.SimContext` this provider
+            belongs to; when given, the CDN registers itself so
+            context-built controllers find it without bespoke wiring.
     """
 
     def __init__(
@@ -83,6 +86,7 @@ class Cdn:
         origin: Optional[Origin] = None,
         selection: str = "least_loaded",
         transcoder: Optional[Transcoder] = None,
+        ctx=None,
     ):
         if selection not in ("least_loaded", "first_fit"):
             raise ValueError(f"unknown selection policy {selection!r}")
@@ -94,6 +98,8 @@ class Cdn:
         self.selection = selection
         self.transcoder = transcoder
         self._assignments: Dict[str, str] = {}  # session -> server_id
+        if ctx is not None:
+            ctx.register_cdn(self)
 
     # ------------------------------------------------------------------
     # session management

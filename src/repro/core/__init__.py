@@ -21,6 +21,7 @@ from repro.core.schemas import (
     ServerHintInfo,
 )
 from repro.core.registry import AccessDeniedError, Grant, OptInRegistry
+from repro.core.context import SimContext, build_context
 from repro.core.privacy import blind_fields, k_suppress, laplace_noise
 from repro.core.staleness import StaleView
 from repro.core.interfaces import LookingGlass, QueryResult
@@ -72,11 +73,13 @@ __all__ = [
     "QoeAggregate",
     "QueryResult",
     "ServerHintInfo",
+    "SimContext",
     "StaleView",
     "StatusQuoAppP",
     "StatusQuoInfP",
     "UseCase",
     "blind_fields",
+    "build_context",
     "derive_wide_interface",
     "k_suppress",
     "laplace_noise",

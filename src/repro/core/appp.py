@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.cdn.provider import Cdn, NoServerAvailableError
+from repro.core.context import SimContext
 from repro.core.damping import HysteresisGate
 from repro.core.interfaces import LookingGlass
 from repro.core.registry import OptInRegistry
@@ -52,7 +53,8 @@ class AppPController(PlayerPolicy):
     """Shared AppP machinery: assignment, QoE watching, telemetry, A2I.
 
     Args:
-        sim: Simulator.
+        sim: Simulator, or a :class:`SimContext` (in which case ``cdns``
+            may be omitted and defaults to the context's registered CDNs).
         cdns: CDNs in preference order (first is the default).
         name: Provider name (used in grants and telemetry attrs).
         isp: The access ISP attribute stamped on beacons.
@@ -63,12 +65,16 @@ class AppPController(PlayerPolicy):
     def __init__(
         self,
         sim: Simulator,
-        cdns: List[Cdn],
+        cdns: Optional[List[Cdn]] = None,
         name: str = "appp",
         isp: str = "isp",
         bad_chunk_threshold: int = 3,
         aggregation_window_s: float = 10.0,
     ):
+        if isinstance(sim, SimContext):
+            if cdns is None:
+                cdns = list(sim.cdns)
+            sim = sim.sim
         if not cdns:
             raise ValueError("AppP needs at least one CDN")
         self.sim = sim
@@ -278,7 +284,7 @@ class EonaAppP(AppPController):
     def __init__(
         self,
         sim: Simulator,
-        cdns: List[Cdn],
+        cdns: Optional[List[Cdn]] = None,
         isp_i2a: Optional[LookingGlass] = None,
         cdn_i2a: Optional[Dict[str, LookingGlass]] = None,
         damper: Optional[HysteresisGate] = None,
@@ -308,7 +314,7 @@ class EonaAppP(AppPController):
             from repro.simkernel.processes import PeriodicProcess
 
             self._governor = PeriodicProcess(
-                sim, global_cap_period_s, self._govern, name="appp-governor"
+                self.sim, global_cap_period_s, self._govern, name="appp-governor"
             )
 
     def stop(self) -> None:
@@ -482,7 +488,7 @@ class MultiIspEonaAppP(EonaAppP):
     def __init__(
         self,
         sim: Simulator,
-        cdns: List[Cdn],
+        cdns: Optional[List[Cdn]],
         isp_i2a_map: Dict[str, LookingGlass],
         isp_of: Callable[[AdaptivePlayer], str],
         scoped: bool = True,
@@ -505,7 +511,7 @@ class MultiIspEonaAppP(EonaAppP):
 
         period = kwargs.get("global_cap_period_s", 5.0)
         self._governor = PeriodicProcess(
-            sim, period, self._govern_scopes, name="appp-scope-governor"
+            self.sim, period, self._govern_scopes, name="appp-scope-governor"
         )
 
     # ------------------------------------------------------------------

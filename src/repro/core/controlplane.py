@@ -75,7 +75,7 @@ class CoordinatedAppP(AppPController):
     def __init__(
         self,
         sim: Simulator,
-        cdns: List[Cdn],
+        cdns: Optional[List[Cdn]] = None,
         control_period_s: float = 10.0,
         exploration: float = 0.05,
         move_budget: int = 4,
@@ -93,13 +93,13 @@ class CoordinatedAppP(AppPController):
         self.score_margin_mbps = score_margin_mbps
         self.ewma_alpha = ewma_alpha
         self.quality: Dict[str, CdnQuality] = {
-            cdn.name: CdnQuality() for cdn in cdns
+            cdn.name: CdnQuality() for cdn in self.cdns
         }
         self.migrations = 0
         self._last_stall: Dict[str, float] = {}
-        self._rng = sim.rng.get(f"controlplane:{self.name}")
+        self._rng = self.sim.rng.get(f"controlplane:{self.name}")
         self._process = PeriodicProcess(
-            sim, control_period_s, self._control_step, name="controlplane"
+            self.sim, control_period_s, self._control_step, name="controlplane"
         )
 
     def stop(self) -> None:

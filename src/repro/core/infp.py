@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.cdn.provider import Cdn
+from repro.core.context import SimContext, resolve_sim_network
 from repro.core.interfaces import LookingGlass
 from repro.core.registry import OptInRegistry
 from repro.core.schemas import CongestionSignal, PeeringDecision, PeeringPointInfo
@@ -35,7 +36,8 @@ class StatusQuoInfP:
     """Today's ISP: SDN knobs, network-level eyes only.
 
     Args:
-        sim: Simulator.
+        sim: Simulator, or a :class:`SimContext` (in which case
+            ``network`` may be omitted and defaults to the context's).
         network: Fluid network.
         groups: Steerable traffic groups (one per CDN, typically).
         owner: Node owner string identifying the ISP's domain.
@@ -47,15 +49,17 @@ class StatusQuoInfP:
     def __init__(
         self,
         sim: Simulator,
-        network: FluidNetwork,
-        groups: List[EgressGroup],
+        network: Optional[FluidNetwork] = None,
+        groups: Optional[List[EgressGroup]] = None,
         owner: str = "isp",
         stats_period_s: float = 5.0,
         te_period_s: float = 60.0,
         congestion_threshold: float = 0.9,
     ):
+        sim, network = resolve_sim_network(sim, network)
         self.sim = sim
         self.network = network
+        groups = groups if groups is not None else []
         self.name = owner
         self.controller = SdnController(network, owner=owner)
         self.stats = StatsService(
@@ -91,7 +95,9 @@ class EonaInfP(StatusQuoInfP):
             QoE), or a list of glasses when the ISP serves several
             AppPs (their demand estimates are summed per CDN);
             ``None`` degrades the TE policy to measured loads.
-        registry: Opt-in registry the I2A glass enforces.
+        registry: Opt-in registry the I2A glass enforces; defaults to
+            the context's registry when constructed from a
+            :class:`SimContext`.
         access_links: Link ids making up the access segment (for the
             Figure 3 congestion-attribution signal).
         i2a_refresh_s: Snapshot period of I2A answers (staleness knob).
@@ -103,15 +109,19 @@ class EonaInfP(StatusQuoInfP):
     def __init__(
         self,
         sim: Simulator,
-        network: FluidNetwork,
-        groups: List[EgressGroup],
-        registry: OptInRegistry,
+        network: Optional[FluidNetwork] = None,
+        groups: Optional[List[EgressGroup]] = None,
+        registry: Optional[OptInRegistry] = None,
         appp_a2i: Optional[LookingGlass] = None,
         access_links: Optional[List[str]] = None,
         i2a_refresh_s: float = 10.0,
         use_splits: bool = False,
         **kwargs,
     ):
+        if registry is None:
+            if not isinstance(sim, SimContext):
+                raise ValueError("EonaInfP needs a registry (or a SimContext)")
+            registry = sim.registry
         self.use_splits = use_splits
         self.registry = registry
         if appp_a2i is None:

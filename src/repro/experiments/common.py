@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cdn.content import ContentCatalog, ContentItem
+from repro.core.context import SimContext
 from repro.network.fluidsim import FluidNetwork
 from repro.simkernel.kernel import Simulator
 from repro.video.abr import AbrAlgorithm, RateBasedAbr
@@ -134,11 +135,11 @@ class ExperimentResult:
 
 def launch_video_sessions(
     sim: Simulator,
-    network: FluidNetwork,
-    catalog: ContentCatalog,
-    policy: PlayerPolicy,
-    client_nodes: Sequence[str],
-    rng: random.Random,
+    network: Optional[FluidNetwork] = None,
+    catalog: Optional[ContentCatalog] = None,
+    policy: Optional[PlayerPolicy] = None,
+    client_nodes: Optional[Sequence[str]] = None,
+    rng: Optional[random.Random] = None,
     rate_per_s: float = 0.5,
     max_sessions: Optional[int] = None,
     rate_fn: Optional[RateFn] = None,
@@ -157,7 +158,35 @@ def launch_video_sessions(
     the run.  With ``rate_fn`` set, arrivals are non-homogeneous
     (flash crowds, diurnal curves); otherwise homogeneous Poisson at
     ``rate_per_s``.
+
+    ``sim`` may be a :class:`~repro.core.context.SimContext`, in which
+    case ``network`` defaults to the context's network and ``rng`` to
+    its ``"arrivals"`` stream; the remaining required arguments
+    (``catalog``, ``policy``, ``client_nodes``) are passed by keyword.
     """
+    if isinstance(sim, SimContext):
+        ctx = sim
+        sim = ctx.sim
+        if network is None:
+            network = ctx.network
+        if rng is None:
+            rng = ctx.rng.get("arrivals")
+    missing = [
+        name
+        for name, value in (
+            ("network", network),
+            ("catalog", catalog),
+            ("policy", policy),
+            ("client_nodes", client_nodes),
+            ("rng", rng),
+        )
+        if value is None
+    ]
+    if missing:
+        raise TypeError(
+            f"launch_video_sessions: missing arguments {missing} "
+            "(pass them explicitly, or a SimContext as `sim`)"
+        )
     players: List[AdaptivePlayer] = []
 
     def start(index: int) -> None:

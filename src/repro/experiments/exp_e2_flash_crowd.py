@@ -37,36 +37,34 @@ def run_mode(
     scenario = build_flash_crowd_scenario(
         seed=seed, n_clients=n_clients, access_capacity_mbps=access_capacity_mbps
     )
-    sim = scenario.sim
-    registry = scenario.registry
+    ctx = scenario.ctx
+    sim = ctx.sim
+    registry = ctx.registry
 
     infp = None
     if mode is Mode.EONA or mode is Mode.I2A_ONLY:
         infp = EonaInfP(
-            sim,
-            scenario.network,
-            groups=[],
-            registry=registry,
+            ctx,
             access_links=[scenario.access_link],
             i2a_refresh_s=i2a_refresh_s,
             stats_period_s=2.0,
         )
         registry.grant("isp", "appp")
-        policy = EonaAppP(sim, scenario.cdns, isp_i2a=infp.i2a, name="appp")
+        policy = EonaAppP(ctx, isp_i2a=infp.i2a, name="appp")
     elif mode is Mode.A2I_ONLY:
         # Measurements flow to the ISP -- but the Figure 3 fix needs the
         # *application's* bitrate knob, which A2I-only cannot reach.
-        policy = StatusQuoAppP(sim, scenario.cdns, name="appp")
+        policy = StatusQuoAppP(ctx, name="appp")
         a2i = policy.make_a2i(registry, refresh_period_s=i2a_refresh_s)
         registry.grant("appp", "isp")
         infp = EonaInfP(
-            sim, scenario.network, groups=[], registry=registry,
+            ctx,
             appp_a2i=a2i, access_links=[scenario.access_link],
             stats_period_s=2.0, i2a_refresh_s=i2a_refresh_s,
         )
     elif mode is Mode.STATUS_QUO:
-        infp = StatusQuoInfP(sim, scenario.network, groups=[], stats_period_s=2.0)
-        policy = StatusQuoAppP(sim, scenario.cdns, name="appp")
+        infp = StatusQuoInfP(ctx, stats_period_s=2.0)
+        policy = StatusQuoAppP(ctx, name="appp")
     elif mode is Mode.ORACLE:
         policy = OracleAppP(
             sim,
@@ -86,12 +84,10 @@ def run_mode(
         duration_s=60.0,
     )
     players = launch_video_sessions(
-        sim,
-        scenario.network,
-        scenario.catalog,
-        policy,
-        scenario.client_nodes,
-        rng=sim.rng.get("arrivals"),
+        ctx,
+        catalog=scenario.catalog,
+        policy=policy,
+        client_nodes=scenario.client_nodes,
         rate_fn=rate_fn,
         max_rate_per_s=peak_rate_per_s,
         until=horizon_s * 0.6,
@@ -153,26 +149,25 @@ def run_abr_ablation(
                 n_clients=n_clients,
                 access_capacity_mbps=access_capacity_mbps,
             )
-            sim = scenario.sim
-            registry = scenario.registry
+            ctx = scenario.ctx
+            sim = ctx.sim
+            registry = ctx.registry
             infp = None
             if mode is Mode.EONA:
                 infp = EonaInfP(
-                    sim, scenario.network, groups=[], registry=registry,
+                    ctx,
                     access_links=[scenario.access_link],
                     i2a_refresh_s=5.0, stats_period_s=2.0,
                 )
                 registry.grant("isp", "appp")
-                policy = EonaAppP(sim, scenario.cdns, isp_i2a=infp.i2a, name="appp")
+                policy = EonaAppP(ctx, isp_i2a=infp.i2a, name="appp")
             else:
-                policy = StatusQuoAppP(sim, scenario.cdns, name="appp")
+                policy = StatusQuoAppP(ctx, name="appp")
             players = launch_video_sessions(
-                sim,
-                scenario.network,
-                scenario.catalog,
-                policy,
-                scenario.client_nodes,
-                rng=sim.rng.get("arrivals"),
+                ctx,
+                catalog=scenario.catalog,
+                policy=policy,
+                client_nodes=scenario.client_nodes,
                 rate_fn=flash_crowd_rate(
                     base_per_s=0.05, peak_per_s=peak_rate_per_s,
                     onset_s=30.0, ramp_s=30.0, duration_s=60.0,

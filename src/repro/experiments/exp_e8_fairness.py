@@ -20,23 +20,20 @@ from repro.cdn.content import ContentCatalog
 from repro.cdn.provider import Cdn
 from repro.cdn.server import CdnServer
 from repro.core.appp import EonaAppP, StatusQuoAppP
+from repro.core.context import build_context
 from repro.core.infp import EonaInfP, StatusQuoInfP
-from repro.core.registry import OptInRegistry
 from repro.experiments.common import (
     ExperimentResult,
     jain_index,
     launch_video_sessions,
     qoe_of,
 )
-from repro.network.fluidsim import FluidNetwork
 from repro.network.topology import NodeKind, Topology
 from repro.sdn.te import EgressGroup
-from repro.simkernel.kernel import Simulator
 from repro.video.qoe import engagement_score, summarize
 
 
 def _build_world(seed: int, n_heavy: int, n_light: int):
-    sim = Simulator(seed=seed)
     topo = Topology("fairness")
     topo.add_node("cdnA", NodeKind.SERVER, owner="cdnA")
     topo.add_node("cdnB", NodeKind.SERVER, owner="cdnB")
@@ -57,10 +54,10 @@ def _build_world(seed: int, n_heavy: int, n_light: int):
         topo.add_node(node, NodeKind.CLIENT, owner="isp")
         topo.add_link("agg", node, 100.0, delay_ms=5, owner="isp")
         clients.append(node)
-    network = FluidNetwork(sim, topo)
+    ctx = build_context(topology=topo, seed=seed)
     catalog = ContentCatalog(n_items=10, duration_s=180.0)
-    cdn_a = Cdn("cdnA", [CdnServer("cdnA.s1", "cdnA", capacity_sessions=10_000)])
-    cdn_b = Cdn("cdnB", [CdnServer("cdnB.s1", "cdnB", capacity_sessions=10_000)])
+    cdn_a = Cdn("cdnA", [CdnServer("cdnA.s1", "cdnA", capacity_sessions=10_000)], ctx=ctx)
+    cdn_b = Cdn("cdnB", [CdnServer("cdnB.s1", "cdnB", capacity_sessions=10_000)], ctx=ctx)
     groups = [
         EgressGroup(
             name="cdnA",
@@ -77,7 +74,7 @@ def _build_world(seed: int, n_heavy: int, n_light: int):
             preferred="peerB",
         ),
     ]
-    return sim, network, catalog, cdn_a, cdn_b, groups, clients
+    return ctx, catalog, cdn_a, cdn_b, groups, clients
 
 
 def run_mode(
@@ -88,16 +85,17 @@ def run_mode(
     horizon_s: float = 900.0,
     te_period_s: float = 45.0,
 ) -> Dict[str, object]:
-    sim, network, catalog, cdn_a, cdn_b, groups, clients = _build_world(
+    ctx, catalog, cdn_a, cdn_b, groups, clients = _build_world(
         seed, n_heavy, n_light
     )
-    registry = OptInRegistry()
+    sim = ctx.sim
+    registry = ctx.registry
     heavy_clients = clients[:n_heavy]
     light_clients = clients[n_heavy:]
 
     if mode is Mode.EONA:
-        appp_heavy = EonaAppP(sim, [cdn_a], name="appp-heavy")
-        appp_light = EonaAppP(sim, [cdn_b], name="appp-light")
+        appp_heavy = EonaAppP(ctx, [cdn_a], name="appp-heavy")
+        appp_light = EonaAppP(ctx, [cdn_b], name="appp-light")
         glasses = [
             appp_heavy.make_a2i(registry),
             appp_light.make_a2i(registry),
@@ -105,10 +103,8 @@ def run_mode(
         registry.grant("appp-heavy", "isp")
         registry.grant("appp-light", "isp")
         infp = EonaInfP(
-            sim,
-            network,
-            groups,
-            registry=registry,
+            ctx,
+            groups=groups,
             appp_a2i=glasses,
             te_period_s=te_period_s,
         )
@@ -117,21 +113,21 @@ def run_mode(
         appp_heavy.isp_i2a = infp.i2a
         appp_light.isp_i2a = infp.i2a
     elif mode is Mode.STATUS_QUO:
-        appp_heavy = StatusQuoAppP(sim, [cdn_a], name="appp-heavy")
-        appp_light = StatusQuoAppP(sim, [cdn_b], name="appp-light")
-        infp = StatusQuoInfP(sim, network, groups, te_period_s=te_period_s)
+        appp_heavy = StatusQuoAppP(ctx, [cdn_a], name="appp-heavy")
+        appp_light = StatusQuoAppP(ctx, [cdn_b], name="appp-light")
+        infp = StatusQuoInfP(ctx, groups=groups, te_period_s=te_period_s)
     else:
         raise ValueError(f"E8 does not support {mode}")
 
     heavy_players = launch_video_sessions(
-        sim, network, catalog, appp_heavy, heavy_clients,
+        ctx, catalog=catalog, policy=appp_heavy, client_nodes=heavy_clients,
         rng=sim.rng.get("arrivals-heavy"),
         rate_per_s=n_heavy / 180.0,
         until=horizon_s - 200.0,
         session_prefix="h",
     )
     light_players = launch_video_sessions(
-        sim, network, catalog, appp_light, light_clients,
+        ctx, catalog=catalog, policy=appp_light, client_nodes=light_clients,
         rng=sim.rng.get("arrivals-light"),
         rate_per_s=n_light / 180.0,
         until=horizon_s - 200.0,

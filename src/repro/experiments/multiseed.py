@@ -8,23 +8,44 @@ be checked for seed-robustness rather than read off a single run.
 
 from __future__ import annotations
 
+import functools
 import math
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.common import ExperimentResult
 
 RowFn = Callable[..., Dict[str, object]]
 
 
+def _run_one(row_fn: RowFn, kwargs: Dict[str, object], seed: int) -> Dict[str, object]:
+    return row_fn(seed=seed, **kwargs)
+
+
 def run_seeds(
     row_fn: RowFn,
     seeds: Sequence[int],
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
     **kwargs,
 ) -> List[Dict[str, object]]:
-    """Run ``row_fn(seed=s, **kwargs)`` for every seed; returns raw rows."""
+    """Run ``row_fn(seed=s, **kwargs)`` for every seed; returns raw rows.
+
+    With ``parallel=True`` the seeds run in worker processes (each seed
+    is an independent simulation, so this is embarrassingly parallel);
+    ``row_fn`` and every kwarg must then be picklable (module-level
+    functions, not lambdas or closures).  Row order always matches
+    ``seeds``, so serial and parallel sweeps aggregate identically.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    return [row_fn(seed=seed, **kwargs) for seed in seeds]
+    if not parallel:
+        return [row_fn(seed=seed, **kwargs) for seed in seeds]
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = max_workers if max_workers is not None else min(len(seeds), 8)
+    run_one = functools.partial(_run_one, row_fn, kwargs)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run_one, seeds))
 
 
 def aggregate_rows(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
@@ -61,6 +82,8 @@ def multiseed_result(
     seeds: Sequence[int],
     config_key: str = "mode",
     notes: str = "",
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Build a mean±std table over ``configs`` × ``seeds``.
 
@@ -71,12 +94,17 @@ def multiseed_result(
         seeds: Seeds to aggregate over.
         config_key: Informational only; named in the notes.
         notes: Extra provenance appended to the table notes.
+        parallel: Run each config's seeds in worker processes (see
+            :func:`run_seeds`).
+        max_workers: Process-pool size when ``parallel`` is set.
     """
     result = ExperimentResult(
         name=name,
         notes=(f"mean±std over seeds {list(seeds)}; " + notes).strip("; "),
     )
     for config in configs:
-        rows = run_seeds(row_fn, seeds, **config)
+        rows = run_seeds(
+            row_fn, seeds, parallel=parallel, max_workers=max_workers, **config
+        )
         result.add_row(**aggregate_rows(rows))
     return result

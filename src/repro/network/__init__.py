@@ -12,12 +12,21 @@ points, not per-packet behaviour.
 from repro.network.topology import Link, Node, NodeKind, Topology
 from repro.network.flows import Flow, FlowState
 from repro.network.maxmin import max_min_allocation
+from repro.network.allocator import (
+    AllocationEngine,
+    EngineConfig,
+    EngineCounters,
+    SolveResult,
+)
 from repro.network.routing import Router
 from repro.network.fluidsim import FluidNetwork, Transfer
 from repro.network.linkstats import CongestionDetector, LinkStats
 
 __all__ = [
+    "AllocationEngine",
     "CongestionDetector",
+    "EngineConfig",
+    "EngineCounters",
     "Flow",
     "FlowState",
     "FluidNetwork",
@@ -26,6 +35,7 @@ __all__ = [
     "Node",
     "NodeKind",
     "Router",
+    "SolveResult",
     "Topology",
     "Transfer",
     "max_min_allocation",

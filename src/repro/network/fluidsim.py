@@ -3,10 +3,12 @@
 :class:`FluidNetwork` binds a topology to a simulator.  Transfers and
 persistent streams become :class:`~repro.network.flows.Flow` objects;
 whenever the flow set, a demand, or a link capacity changes the network
-re-runs max-min allocation, updates link statistics, and reschedules
-the next completion event.  Between changes all flows progress fluidly
-at constant rates, so the simulation cost scales with the number of
-*changes*, not with transferred bytes.
+tells its :class:`~repro.network.allocator.AllocationEngine` what
+changed, and the engine re-solves only the affected component of the
+flow–link graph, updating link statistics for the links whose load
+moved and rescheduling the next completion event.  Between changes all
+flows progress fluidly at constant rates, so the simulation cost scales
+with the number and *locality* of changes, not with transferred bytes.
 """
 
 from __future__ import annotations
@@ -15,9 +17,9 @@ import itertools
 import math
 from typing import Callable, Dict, List, Optional
 
+from repro.network.allocator import AllocationEngine, EngineConfig
 from repro.network.flows import Flow, FlowState
 from repro.network.linkstats import LinkStats
-from repro.network.maxmin import max_min_allocation
 from repro.network.routing import Router
 from repro.network.topology import Link, Topology
 from repro.simkernel.kernel import Simulator
@@ -81,13 +83,17 @@ class _SplitState:
         self.assigned: Dict[str, int] = {via: 0 for via in weights}
 
     def next_via(self) -> str:
-        """The via with the largest weight deficit gets the next flow."""
+        """The via with the largest weight deficit gets the next flow.
+
+        Ties break toward the lexicographically smallest via name, made
+        explicit in the sort key so assignment order is deterministic
+        across runs and Python versions.
+        """
         total = sum(self.assigned.values()) + 1
-        deficits = {
-            via: self.weights[via] * total - self.assigned[via]
-            for via in self.weights
-        }
-        choice = max(sorted(deficits), key=lambda via: deficits[via])
+        choice = min(
+            self.weights,
+            key=lambda via: (self.assigned[via] - self.weights[via] * total, via),
+        )
         self.assigned[choice] += 1
         return choice
 
@@ -99,14 +105,25 @@ class FluidNetwork:
         sim: Simulator providing the clock and event queue.
         topology: The (mutable-capacity) topology.
         max_rate_mbps: Cap applied to any single flow, standing in for
-            end-host NIC limits and keeping rates finite.
+            end-host NIC limits and keeping rates finite.  Ignored when
+            ``engine_config`` is given (the config carries the cap).
+        engine_config: Allocation-engine tuning; defaults to an
+            incremental engine with ``max_rate_mbps`` as the flow cap.
     """
 
-    def __init__(self, sim: Simulator, topology: Topology, max_rate_mbps: float = 1e5):
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        max_rate_mbps: float = 1e5,
+        engine_config: Optional[EngineConfig] = None,
+    ):
         self.sim = sim
         self.topology = topology
         self.router = Router(topology)
-        self.max_rate_mbps = max_rate_mbps
+        if engine_config is None:
+            engine_config = EngineConfig(max_rate_mbps=max_rate_mbps)
+        self.engine = AllocationEngine(engine_config)
         self._flows: Dict[str, Flow] = {}
         self._transfers: Dict[str, Transfer] = {}
         self._via_policy: Dict[str, str] = {}
@@ -119,6 +136,18 @@ class FluidNetwork:
             for link in topology.links()
         }
         self.completed_transfers = 0
+
+    @property
+    def max_rate_mbps(self) -> float:
+        """Per-flow rate cap (lives in the engine config)."""
+        return self.engine.config.max_rate_mbps
+
+    def allocation_counters(self) -> Dict[str, int]:
+        """Engine + routing-cache counters for benchmarks and tests."""
+        counters = self.engine.counters.as_dict()
+        counters["router_cache_hits"] = self.router.cache_hits
+        counters["router_cache_misses"] = self.router.cache_misses
+        return counters
 
     # ------------------------------------------------------------------
     # public API
@@ -165,6 +194,7 @@ class FluidNetwork:
         flow.finished_at = self.sim.now
         self._flows.pop(flow.flow_id, None)
         self._transfers.pop(flow.flow_id, None)
+        self.engine.remove_flow(flow)
         self._reallocate()
 
     def set_demand(self, transfer: Transfer, demand_mbps: float) -> None:
@@ -175,6 +205,7 @@ class FluidNetwork:
             return
         self._sync_to_now()
         transfer.flow.demand_mbps = demand_mbps
+        self.engine.update_demand(transfer.flow)
         self._reallocate()
 
     def reroute(
@@ -188,7 +219,7 @@ class FluidNetwork:
         if flow.done:
             return
         self._sync_to_now()
-        flow.path = self._resolve_path(flow.src, flow.dst, via, path)
+        self.engine.set_path(flow, self._resolve_path(flow.src, flow.dst, via, path))
         self._reallocate()
 
     def set_link_capacity(self, link_id: str, capacity_mbps: float) -> None:
@@ -198,6 +229,7 @@ class FluidNetwork:
         self._sync_to_now()
         self.topology.link(link_id).capacity_mbps = capacity_mbps
         self.link_stats[link_id].capacity_mbps = capacity_mbps
+        self.engine.update_capacity(link_id)
         self._reallocate()
 
     def set_via_policy(self, owner: str, via: Optional[str]) -> None:
@@ -217,7 +249,9 @@ class FluidNetwork:
         self._sync_to_now()
         for flow in self._flows.values():
             if flow.owner == owner:
-                flow.path = self._resolve_path(flow.src, flow.dst, via, None)
+                self.engine.set_path(
+                    flow, self._resolve_path(flow.src, flow.dst, via, None)
+                )
                 rerouted = True
         if rerouted:
             self._reallocate()
@@ -246,7 +280,9 @@ class FluidNetwork:
             state.assigned = {via: 0 for via in normalized}
             for flow in flows:
                 via = state.next_via()
-                flow.path = self._resolve_path(flow.src, flow.dst, via, None)
+                self.engine.set_path(
+                    flow, self._resolve_path(flow.src, flow.dst, via, None)
+                )
             self._reallocate()
 
     def via_policy(self, owner: str) -> Optional[str]:
@@ -333,6 +369,7 @@ class FluidNetwork:
         self._sync_to_now()
         self._flows[flow_id] = flow
         self._transfers[flow_id] = transfer
+        self.engine.add_flow(flow)
         if size_mbit is not None and size_mbit <= _EPS:
             # Zero-size transfers complete immediately.
             self._complete(transfer)
@@ -363,19 +400,22 @@ class FluidNetwork:
             flow.progress(now)
 
     def _reallocate(self) -> None:
-        """Recompute rates and reschedule the next completion event.
+        """Re-solve the dirty component and reschedule the next completion.
 
-        Callers must have already called :meth:`_sync_to_now`.
+        Callers must have already called :meth:`_sync_to_now` and routed
+        their state change through the engine's mutation methods; the
+        engine then recomputes rates for exactly the flows the change
+        can affect and reports which link loads moved.
         """
-        rates = max_min_allocation(self._flows.values())
-        loads: Dict[str, float] = {link_id: 0.0 for link_id in self.link_stats}
-        for flow in self._flows.values():
-            rate = min(rates.get(flow.flow_id, 0.0), self.max_rate_mbps)
-            flow.rate_mbps = rate
-            for link in flow.path:
-                loads[link.link_id] += rate
-        for link_id, load in loads.items():
-            self.link_stats[link_id].set_load(load)
+        result = self.engine.solve()
+        for flow_id, rate in result.rates.items():
+            flow = self._flows.get(flow_id)
+            if flow is not None:
+                flow.rate_mbps = rate
+        for link_id in result.changed_links:
+            self.link_stats[link_id].set_load(
+                self.engine.link_loads.get(link_id, 0.0)
+            )
         self._schedule_next_completion()
 
     def _schedule_next_completion(self) -> None:
@@ -407,6 +447,7 @@ class FluidNetwork:
         flow.remaining_mbit = 0.0
         self._flows.pop(flow.flow_id, None)
         self._transfers.pop(flow.flow_id, None)
+        self.engine.remove_flow(flow)
         self.completed_transfers += 1
         if transfer.on_complete is not None:
             # Fire via the event queue so completion callbacks observe a

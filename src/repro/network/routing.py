@@ -23,18 +23,25 @@ class NoRouteError(Exception):
 class Router:
     """Computes and caches paths on a topology.
 
-    The cache is invalidated explicitly via :meth:`invalidate` when the
-    topology or link weights change (the topologies in this reproduction
-    are static during a run, but capacities change).
+    The cache is keyed on the topology's structural version: adding
+    nodes or links invalidates it automatically, while capacity changes
+    (which leave delay-weighted routes untouched) do not.
+    :meth:`invalidate` remains for forcing a drop by hand, and
+    :attr:`cache_hits` / :attr:`cache_misses` make the cache's value
+    observable in the engine counters.
     """
 
     def __init__(self, topology: Topology):
         self.topology = topology
         self._cache: Dict[Tuple[str, str, Optional[str]], List[str]] = {}
+        self._cached_version = topology.version
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def invalidate(self) -> None:
         """Drop all cached paths."""
         self._cache.clear()
+        self._cached_version = self.topology.version
 
     def shortest_path(self, src: str, dst: str) -> List[str]:
         """Delay-weighted shortest node path from ``src`` to ``dst``."""
@@ -71,10 +78,14 @@ class Router:
         return self.topology.path_links(node_path)
 
     def _cached_path(self, src: str, dst: str, via: Optional[str]) -> List[str]:
+        if self._cached_version != self.topology.version:
+            self.invalidate()
         key = (src, dst, via)
         cached = self._cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return list(cached)
+        self.cache_misses += 1
         if via is None:
             path = self._shortest(src, dst)
         else:

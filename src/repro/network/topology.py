@@ -92,6 +92,17 @@ class Topology:
         self._links: Dict[str, Link] = {}
         self._graph = nx.DiGraph()
         self._auto_link = itertools.count()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every node/link addition.
+
+        Path caches key their validity on this: capacity changes do not
+        bump it (delay-weighted routes are unaffected), structural
+        changes do.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # construction
@@ -109,6 +120,7 @@ class Topology:
         node = Node(node_id=node_id, kind=kind, owner=owner, tags=frozenset(tags))
         self._nodes[node_id] = node
         self._graph.add_node(node_id)
+        self._version += 1
         return node
 
     def add_link(
@@ -142,6 +154,7 @@ class Topology:
         )
         self._links[link_id] = link
         self._graph.add_edge(src, dst, link_id=link_id, delay_ms=delay_ms)
+        self._version += 1
         return link
 
     def add_duplex_link(

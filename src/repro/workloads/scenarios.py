@@ -1,10 +1,14 @@
 """Prebuilt scenario worlds, one per motivating figure of the paper.
 
-Each builder assembles a simulator, a topology, the providers, and the
-client population for one scenario, and returns them in a typed bundle.
-Experiments then attach the control logic under test (status quo, EONA,
-oracle, ...) -- the *world* is identical across modes by construction,
-which is what makes the comparisons meaningful.
+Each builder assembles its world through
+:func:`~repro.core.context.build_context` -- the simulator, topology,
+fluid network (with its allocation engine), RNG streams, and opt-in
+registry all come from one :class:`~repro.core.context.SimContext` --
+then adds the providers and client population, and returns them in a
+typed bundle carrying the context.  Experiments then attach the control
+logic under test (status quo, EONA, oracle, ...) -- the *world* is
+identical across modes by construction, which is what makes the
+comparisons meaningful.
 """
 
 from __future__ import annotations
@@ -17,11 +21,12 @@ from repro.cdn.content import ContentCatalog
 from repro.cdn.origin import Origin
 from repro.cdn.provider import Cdn
 from repro.cdn.server import CdnServer
+from repro.core.context import SimContext, build_context
 from repro.core.registry import OptInRegistry
 from repro.network.fluidsim import FluidNetwork
 from repro.network.topology import NodeKind, Topology
-from repro.sdn.te import EgressGroup
 from repro.simkernel.kernel import Simulator
+from repro.sdn.te import EgressGroup
 from repro.web.browser import Browser
 from repro.web.radio import RadioModel
 
@@ -41,6 +46,7 @@ class FlashCrowdScenario:
     client_nodes: List[str]
     access_link: str
     registry: OptInRegistry
+    ctx: SimContext
 
 
 def build_flash_crowd_scenario(
@@ -56,7 +62,6 @@ def build_flash_crowd_scenario(
     Switching CDNs cannot help (the congestion is after the peering);
     only reducing the per-session bitrate can (Figure 3's lesson).
     """
-    sim = Simulator(seed=seed)
     topo = Topology("flash-crowd")
     topo.add_node("cdn1", NodeKind.SERVER, owner="cdn1")
     topo.add_node("cdn2", NodeKind.SERVER, owner="cdn2")
@@ -74,23 +79,24 @@ def build_flash_crowd_scenario(
         topo.add_link("agg", node, client_link_mbps, delay_ms=5, owner="isp")
         client_nodes.append(node)
 
-    network = FluidNetwork(sim, topo)
+    ctx = build_context(topology=topo, seed=seed)
     catalog = ContentCatalog(
         n_items=catalog_items, duration_s=content_duration_s, zipf_alpha=1.1
     )
     cdns = [
-        Cdn("cdn1", [CdnServer("cdn1.s1", "cdn1", capacity_sessions=10_000)]),
-        Cdn("cdn2", [CdnServer("cdn2.s1", "cdn2", capacity_sessions=10_000)]),
+        Cdn("cdn1", [CdnServer("cdn1.s1", "cdn1", capacity_sessions=10_000)], ctx=ctx),
+        Cdn("cdn2", [CdnServer("cdn2.s1", "cdn2", capacity_sessions=10_000)], ctx=ctx),
     ]
     return FlashCrowdScenario(
-        sim=sim,
+        sim=ctx.sim,
         topology=topo,
-        network=network,
+        network=ctx.network,
         cdns=cdns,
         catalog=catalog,
         client_nodes=client_nodes,
         access_link=access.link_id,
-        registry=OptInRegistry(),
+        registry=ctx.registry,
+        ctx=ctx,
     )
 
 
@@ -112,6 +118,7 @@ class OscillationScenario:
     registry: OptInRegistry
     peering_b_link: str
     peering_c_link: str
+    ctx: SimContext
 
     @property
     def cdns(self) -> List[Cdn]:
@@ -131,7 +138,6 @@ def build_oscillation_scenario(
     and CDN Y's uplink, but fits comfortably through peering C -- the
     "green path" only a coordinated choice discovers.
     """
-    sim = Simulator(seed=seed)
     topo = Topology("oscillation")
     topo.add_node("cdnX", NodeKind.SERVER, owner="cdnX")
     topo.add_node("cdnY", NodeKind.SERVER, owner="cdnY")
@@ -158,10 +164,10 @@ def build_oscillation_scenario(
         topo.add_link("agg", node, 100.0, delay_ms=5, owner="isp")
         client_nodes.append(node)
 
-    network = FluidNetwork(sim, topo)
+    ctx = build_context(topology=topo, seed=seed)
     catalog = ContentCatalog(n_items=10, duration_s=180.0)
-    cdn_x = Cdn("cdnX", [CdnServer("cdnX.s1", "cdnX", capacity_sessions=10_000)])
-    cdn_y = Cdn("cdnY", [CdnServer("cdnY.s1", "cdnY", capacity_sessions=10_000)])
+    cdn_x = Cdn("cdnX", [CdnServer("cdnX.s1", "cdnX", capacity_sessions=10_000)], ctx=ctx)
+    cdn_y = Cdn("cdnY", [CdnServer("cdnY.s1", "cdnY", capacity_sessions=10_000)], ctx=ctx)
     groups = [
         EgressGroup(
             name="cdnX",
@@ -178,17 +184,18 @@ def build_oscillation_scenario(
         ),
     ]
     return OscillationScenario(
-        sim=sim,
+        sim=ctx.sim,
         topology=topo,
-        network=network,
+        network=ctx.network,
         cdn_x=cdn_x,
         cdn_y=cdn_y,
         catalog=catalog,
         client_nodes=client_nodes,
         groups=groups,
-        registry=OptInRegistry(),
+        registry=ctx.registry,
         peering_b_link=link_b.link_id,
         peering_c_link=link_c.link_id,
+        ctx=ctx,
     )
 
 
@@ -207,6 +214,7 @@ class CoarseControlScenario:
     catalog: ContentCatalog
     client_nodes: List[str]
     registry: OptInRegistry
+    ctx: SimContext
 
     @property
     def cdns(self) -> List[Cdn]:
@@ -226,7 +234,6 @@ def build_coarse_control_scenario(
     session fetches pulls through Y's narrow origin uplink.  The
     EONA-I2A server hint makes the intra-CDN switch possible.
     """
-    sim = Simulator(seed=seed)
     topo = Topology("coarse-control")
     topo.add_node("originX", NodeKind.ORIGIN, owner="cdnX")
     topo.add_node("originY", NodeKind.ORIGIN, owner="cdnY")
@@ -249,26 +256,27 @@ def build_coarse_control_scenario(
         topo.add_link("agg", node, 100.0, delay_ms=5, owner="isp")
         client_nodes.append(node)
 
-    network = FluidNetwork(sim, topo)
+    ctx = build_context(topology=topo, seed=seed)
     catalog = ContentCatalog(n_items=catalog_items, duration_s=120.0, zipf_alpha=0.9)
     server_e1 = CdnServer(
         "cdnX.e1", "cdnX.e1", capacity_sessions=10_000,
         cache_mbit=1e7, degraded_rate_mbps=degraded_rate_mbps,
     )
     server_e2 = CdnServer("cdnX.e2", "cdnX.e2", capacity_sessions=10_000, cache_mbit=1e7)
-    cdn_x = Cdn("cdnX", [server_e1, server_e2], origin=Origin("originX"))
+    cdn_x = Cdn("cdnX", [server_e1, server_e2], origin=Origin("originX"), ctx=ctx)
     cdn_x.warm_caches(catalog, top_fraction=1.0)
     server_y = CdnServer("cdnY.e1", "cdnY.e1", capacity_sessions=10_000, cache_mbit=1e7)
-    cdn_y = Cdn("cdnY", [server_y], origin=Origin("originY"))
+    cdn_y = Cdn("cdnY", [server_y], origin=Origin("originY"), ctx=ctx)
     return CoarseControlScenario(
-        sim=sim,
+        sim=ctx.sim,
         topology=topo,
-        network=network,
+        network=ctx.network,
         cdn_x=cdn_x,
         cdn_y=cdn_y,
         catalog=catalog,
         client_nodes=client_nodes,
-        registry=OptInRegistry(),
+        registry=ctx.registry,
+        ctx=ctx,
     )
 
 
@@ -287,6 +295,7 @@ class EnergyScenario:
     client_nodes: List[str]
     registry: OptInRegistry
     server_uplinks: Dict[str, str]
+    ctx: SimContext
 
 
 def build_energy_scenario(
@@ -299,7 +308,6 @@ def build_energy_scenario(
     """Each cluster has a finite uplink; fewer powered servers means
     less aggregate serving capacity, so overshooting the shutdown
     degrades QoE in a way only client-side measurement reveals."""
-    sim = Simulator(seed=seed)
     topo = Topology("energy")
     topo.add_node("core", NodeKind.ROUTER, owner="isp")
     topo.add_node("agg", NodeKind.ROUTER, owner="isp")
@@ -322,18 +330,19 @@ def build_energy_scenario(
         topo.add_link("agg", node, 100.0, delay_ms=5, owner="isp")
         client_nodes.append(node)
 
-    network = FluidNetwork(sim, topo)
+    ctx = build_context(topology=topo, seed=seed)
     catalog = ContentCatalog(n_items=15, duration_s=90.0)
-    cdn = Cdn("cdn", servers)
+    cdn = Cdn("cdn", servers, ctx=ctx)
     return EnergyScenario(
-        sim=sim,
+        sim=ctx.sim,
         topology=topo,
-        network=network,
+        network=ctx.network,
         cdn=cdn,
         catalog=catalog,
         client_nodes=client_nodes,
-        registry=OptInRegistry(),
+        registry=ctx.registry,
         server_uplinks=uplinks,
+        ctx=ctx,
     )
 
 
@@ -354,6 +363,7 @@ class CdnFaultScenario:
     registry: OptInRegistry
     fault_at_s: float
     recover_at_s: float
+    ctx: SimContext
 
     def schedule_fault(self, degraded_mbps: float = 10.0) -> None:
         """Arm the capacity fault and recovery on CDN 1's uplink."""
@@ -378,7 +388,6 @@ def build_cdn_fault_scenario(
     """Two equivalent CDNs behind one healthy ISP; CDN 1's uplink will
     collapse mid-run.  How fast the AppP's control logic notices and
     steers the fleet is the C3-vs-per-session-reaction question."""
-    sim = Simulator(seed=seed)
     topo = Topology("cdn-fault")
     topo.add_node("cdn1", NodeKind.SERVER, owner="cdn1")
     topo.add_node("cdn2", NodeKind.SERVER, owner="cdn2")
@@ -398,23 +407,24 @@ def build_cdn_fault_scenario(
         topo.add_link("agg", node, 100.0, delay_ms=5, owner="isp")
         client_nodes.append(node)
 
-    network = FluidNetwork(sim, topo)
+    ctx = build_context(topology=topo, seed=seed)
     catalog = ContentCatalog(n_items=20, duration_s=120.0, zipf_alpha=1.0)
     cdns = [
-        Cdn("cdn1", [CdnServer("cdn1.s1", "cdn1", capacity_sessions=10_000)]),
-        Cdn("cdn2", [CdnServer("cdn2.s1", "cdn2", capacity_sessions=10_000)]),
+        Cdn("cdn1", [CdnServer("cdn1.s1", "cdn1", capacity_sessions=10_000)], ctx=ctx),
+        Cdn("cdn2", [CdnServer("cdn2.s1", "cdn2", capacity_sessions=10_000)], ctx=ctx),
     ]
     return CdnFaultScenario(
-        sim=sim,
+        sim=ctx.sim,
         topology=topo,
-        network=network,
+        network=ctx.network,
         cdns=cdns,
         catalog=catalog,
         client_nodes=client_nodes,
         cdn1_uplink=uplink1.link_id,
-        registry=OptInRegistry(),
+        registry=ctx.registry,
         fault_at_s=fault_at_s,
         recover_at_s=recover_at_s,
+        ctx=ctx,
     )
 
 
@@ -435,6 +445,7 @@ class TwoIspScenario:
     access_link_isp1: str
     access_link_isp2: str
     registry: OptInRegistry
+    ctx: SimContext
 
     def isp_of_client(self, client_node: str) -> str:
         return "isp1" if client_node in set(self.clients_isp1) else "isp2"
@@ -449,7 +460,6 @@ def build_two_isp_scenario(
     """Two eyeball ISPs behind the same CDNs; only ISP1's access is
     narrow.  The A2I attribute question (client ISP) decides whether a
     congestion response can be scoped to the viewers it concerns."""
-    sim = Simulator(seed=seed)
     topo = Topology("two-isp")
     topo.add_node("cdn1", NodeKind.SERVER, owner="cdn1")
     topo.add_node("cdn2", NodeKind.SERVER, owner="cdn2")
@@ -476,23 +486,24 @@ def build_two_isp_scenario(
             topo.add_link(agg, node, 100.0, delay_ms=5, owner=isp)
             bucket.append(node)
 
-    network = FluidNetwork(sim, topo)
+    ctx = build_context(topology=topo, seed=seed)
     catalog = ContentCatalog(n_items=20, duration_s=120.0, zipf_alpha=1.1)
     cdns = [
-        Cdn("cdn1", [CdnServer("cdn1.s1", "cdn1", capacity_sessions=10_000)]),
-        Cdn("cdn2", [CdnServer("cdn2.s1", "cdn2", capacity_sessions=10_000)]),
+        Cdn("cdn1", [CdnServer("cdn1.s1", "cdn1", capacity_sessions=10_000)], ctx=ctx),
+        Cdn("cdn2", [CdnServer("cdn2.s1", "cdn2", capacity_sessions=10_000)], ctx=ctx),
     ]
     return TwoIspScenario(
-        sim=sim,
+        sim=ctx.sim,
         topology=topo,
-        network=network,
+        network=ctx.network,
         cdns=cdns,
         catalog=catalog,
         clients_isp1=clients_isp1,
         clients_isp2=clients_isp2,
         access_link_isp1=access_links["isp1"],
         access_link_isp2=access_links["isp2"],
-        registry=OptInRegistry(),
+        registry=ctx.registry,
+        ctx=ctx,
     )
 
 
@@ -512,6 +523,7 @@ class CellularWebScenario:
     browsers: List[Browser]
     server_node: str
     rng: random.Random
+    ctx: SimContext
 
 
 def build_cellular_web_scenario(
@@ -521,7 +533,6 @@ def build_cellular_web_scenario(
 ) -> CellularWebScenario:
     """One web server, a cellular core, and clients with independent
     radio processes driving their last-hop capacity."""
-    sim = Simulator(seed=seed)
     topo = Topology("cellular-web")
     topo.add_node("web", NodeKind.SERVER, owner="appp")
     topo.add_node("cellcore", NodeKind.ROUTER, owner="isp")
@@ -539,7 +550,8 @@ def build_cellular_web_scenario(
         client_nodes.append(node)
         access_links.append(link.link_id)
 
-    network = FluidNetwork(sim, topo)
+    ctx = build_context(topology=topo, seed=seed)
+    sim, network = ctx.sim, ctx.network
     radios = []
     browsers = []
     for index, (node, link_id) in enumerate(zip(client_nodes, access_links)):
@@ -559,4 +571,5 @@ def build_cellular_web_scenario(
         browsers=browsers,
         server_node="web",
         rng=sim.rng.get("pages"),
+        ctx=ctx,
     )

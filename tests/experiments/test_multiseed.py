@@ -6,6 +6,31 @@ from repro.baselines.modes import Mode
 from repro.experiments.multiseed import aggregate_rows, multiseed_result, run_seeds
 
 
+def _mini_world_row(seed: int, n_transfers: int = 6) -> dict:
+    """Module-level (hence picklable) row_fn: a tiny real simulation."""
+    from repro.core.context import build_context
+    from repro.network.topology import NodeKind, Topology
+
+    topo = Topology("mini")
+    topo.add_node("a", NodeKind.SERVER)
+    topo.add_node("b", NodeKind.CLIENT)
+    topo.add_link("a", "b", 10.0, delay_ms=1)
+    ctx = build_context(topology=topo, seed=seed)
+    rng = ctx.rng.get("sizes")
+    for _ in range(n_transfers):
+        ctx.network.start_transfer("a", "b", size_mbit=rng.uniform(1.0, 20.0))
+    ctx.run(until=60.0)
+    ctx.network.sync()
+    link_id = next(iter(ctx.network.link_stats))
+    return {
+        "seed": seed,
+        "completed": float(ctx.network.completed_transfers),
+        "mean_util": ctx.network.link_stats[link_id].mean_utilization,
+        "all_done": ctx.network.completed_transfers == n_transfers,
+        "label": "mini",
+    }
+
+
 class TestAggregation:
     def test_numeric_mean_std(self):
         rows = [{"x": 1.0}, {"x": 3.0}]
@@ -31,6 +56,32 @@ class TestAggregation:
             aggregate_rows([])
         with pytest.raises(ValueError):
             run_seeds(lambda seed: {}, [])
+
+
+class TestParallelSeeds:
+    def test_parallel_matches_serial_rows_exactly(self):
+        seeds = [1, 2, 3, 4]
+        serial = run_seeds(_mini_world_row, seeds)
+        parallel = run_seeds(_mini_world_row, seeds, parallel=True, max_workers=2)
+        assert parallel == serial  # identical rows, identical order
+
+    def test_parallel_matches_serial_aggregates(self):
+        seeds = [5, 6, 7]
+        serial = aggregate_rows(run_seeds(_mini_world_row, seeds))
+        parallel = aggregate_rows(
+            run_seeds(_mini_world_row, seeds, parallel=True, max_workers=3)
+        )
+        assert parallel == serial
+
+    def test_kwargs_forwarded_to_workers(self):
+        rows = run_seeds(
+            _mini_world_row, [1, 2], parallel=True, max_workers=2, n_transfers=3
+        )
+        assert [row["completed"] for row in rows] == [3.0, 3.0]
+
+    def test_empty_seeds_rejected_in_parallel_mode(self):
+        with pytest.raises(ValueError):
+            run_seeds(_mini_world_row, [], parallel=True)
 
 
 class TestCrossSeedRobustness:

@@ -42,6 +42,27 @@ class TestSplitState:
         second = [_SplitState({"a": 0.6, "b": 0.4}).next_via() for _ in range(1)]
         assert first == second
 
+    def test_equal_weight_ties_break_to_smallest_via(self):
+        # Ties go to the lexicographically smallest via name, regardless
+        # of dict insertion order.
+        state = _SplitState({"b": 0.5, "a": 0.5})
+        assert state.next_via() == "a"
+        assert state.next_via() == "b"
+        assert state.next_via() == "a"
+        assert state.next_via() == "b"
+
+    def test_assignment_independent_of_insertion_order(self):
+        forward = _SplitState({"a": 0.5, "b": 0.5})
+        backward = _SplitState({"b": 0.5, "a": 0.5})
+        assert [forward.next_via() for _ in range(12)] == [
+            backward.next_via() for _ in range(12)
+        ]
+
+    def test_three_way_tie_cycles_alphabetically(self):
+        state = _SplitState({"c": 1 / 3, "a": 1 / 3, "b": 1 / 3})
+        draws = [state.next_via() for _ in range(6)]
+        assert draws == ["a", "b", "c", "a", "b", "c"]
+
 
 class TestNetworkSplits:
     def test_new_flows_follow_weights(self, sim):
