@@ -1,0 +1,34 @@
+"""simlint: AST-based determinism and layering analyzer for the EONA simulator.
+
+The simulator's credibility rests on bit-identical replays: every E1-E14
+run must reproduce exactly across machines and seeds.  A single stray
+``random.random()``, wall-clock read, or iteration over an unordered set
+silently destroys that property without failing any functional test.
+``simlint`` turns those conventions into machine-checked invariants:
+
+* an AST visitor core with a rule registry (:mod:`repro.analysis.rules`),
+* a layer DAG declared in ``pyproject.toml`` (``[tool.simlint.layers]``),
+* per-line suppression via ``# simlint: ignore[rule-id]`` comments,
+* text and JSON reporters with stable ``file:line:col rule message``
+  output suitable for CI gating.
+
+Run it as ``eona lint`` or ``python -m repro.analysis``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+from repro.analysis.config import SimlintConfig
+from repro.analysis.runner import lint_file, lint_paths, main
+from repro.analysis.rules import RULES
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "RULES",
+    "SimlintConfig",
+    "lint_file",
+    "lint_paths",
+    "main",
+]

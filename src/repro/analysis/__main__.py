@@ -1,0 +1,10 @@
+"""Allow ``python -m repro.analysis`` as a standalone simlint entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

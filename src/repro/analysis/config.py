@@ -1,0 +1,197 @@
+"""simlint configuration: layer DAG and per-rule scopes from pyproject.toml.
+
+The configuration lives under ``[tool.simlint]``::
+
+    [tool.simlint]
+    exclude = ["__pycache__"]
+
+    [tool.simlint.layers]
+    simkernel = []
+    network = ["simkernel"]
+    ...
+
+    [tool.simlint.rules.wall-clock]
+    layers = ["simkernel", "network", ...]
+
+    [tool.simlint.rules.global-rng]
+    allow-files = ["simkernel/rngstreams.py"]
+
+``layers`` declares the architectural DAG: a layer may import itself plus
+exactly the layers it lists.  Per-rule tables narrow where a rule runs:
+``layers`` restricts it to those layers, ``exclude-layers`` exempts
+layers, and ``allow-files`` exempts files whose path ends with one of the
+given suffixes.  :data:`DEFAULT_CONFIG_DICT` mirrors the repository's
+policy so the analyzer is usable with no pyproject at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - 3.9/3.10 fallback, no tomli vendored
+    tomllib = None  # type: ignore[assignment]
+
+#: Layers that participate in the deterministic simulation itself (as
+#: opposed to drivers, reporting, and tooling).  Wall-clock reads are
+#: banned here; ``experiments`` and ``benchmarks`` may time themselves.
+SIM_LAYERS: Tuple[str, ...] = (
+    "simkernel",
+    "network",
+    "core",
+    "cdn",
+    "sdn",
+    "video",
+    "web",
+    "telemetry",
+    "workloads",
+    "baselines",
+)
+
+#: Built-in policy, kept in sync with ``[tool.simlint]`` in pyproject.toml.
+DEFAULT_CONFIG_DICT: Dict[str, object] = {
+    "exclude": ["__pycache__"],
+    "layers": {
+        "simkernel": [],
+        "cdn": [],
+        "network": ["simkernel"],
+        "sdn": ["network", "simkernel"],
+        "video": ["cdn", "network", "simkernel"],
+        "web": ["cdn", "network", "simkernel"],
+        "telemetry": ["simkernel", "video", "web"],
+        "core": ["cdn", "network", "sdn", "simkernel", "telemetry", "video"],
+        "workloads": ["cdn", "core", "network", "sdn", "simkernel", "web"],
+        "baselines": ["cdn", "core", "network", "sdn", "video"],
+        "experiments": [
+            "baselines", "cdn", "core", "network", "sdn", "simkernel",
+            "telemetry", "video", "web", "workloads",
+        ],
+        "cli": ["analysis", "experiments"],
+        "analysis": [],
+    },
+    "rules": {
+        "global-rng": {"allow-files": ["simkernel/rngstreams.py"]},
+        "wall-clock": {"layers": list(SIM_LAYERS)},
+        "float-eq": {"layers": ["network", "core"]},
+        "no-print": {"exclude-layers": ["cli", "analysis"]},
+    },
+}
+
+
+class ConfigError(ValueError):
+    """Raised for malformed ``[tool.simlint]`` tables (e.g. a cyclic DAG)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class RuleScope:
+    """Where a single rule applies."""
+
+    layers: Optional[FrozenSet[str]] = None
+    exclude_layers: FrozenSet[str] = frozenset()
+    allow_files: Tuple[str, ...] = ()
+
+    def applies(self, path: str, layer: Optional[str]) -> bool:
+        if self.layers is not None and layer not in self.layers:
+            return False
+        if layer is not None and layer in self.exclude_layers:
+            return False
+        normalized = path.replace("\\", "/")
+        for suffix in self.allow_files:
+            if normalized.endswith(suffix):
+                return False
+        return True
+
+
+@dataclasses.dataclass(frozen=True)
+class SimlintConfig:
+    """Validated simlint policy."""
+
+    layers: Mapping[str, FrozenSet[str]]
+    scopes: Mapping[str, RuleScope]
+    exclude: Tuple[str, ...]
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, object]) -> "SimlintConfig":
+        layers: Dict[str, FrozenSet[str]] = {}
+        for name, deps in dict(raw.get("layers", {})).items():  # type: ignore[union-attr]
+            if not isinstance(deps, (list, tuple)):
+                raise ConfigError(f"layers.{name} must be a list, got {deps!r}")
+            layers[str(name)] = frozenset(str(d) for d in deps)
+        _check_acyclic(layers)
+
+        scopes: Dict[str, RuleScope] = {}
+        for rule_id, table in dict(raw.get("rules", {})).items():  # type: ignore[union-attr]
+            if not isinstance(table, Mapping):
+                raise ConfigError(f"rules.{rule_id} must be a table, got {table!r}")
+            only = table.get("layers")
+            scopes[str(rule_id)] = RuleScope(
+                layers=None if only is None else frozenset(str(x) for x in only),
+                exclude_layers=frozenset(
+                    str(x) for x in table.get("exclude-layers", ())
+                ),
+                allow_files=tuple(str(x) for x in table.get("allow-files", ())),
+            )
+
+        exclude = tuple(str(x) for x in raw.get("exclude", ()))  # type: ignore[call-overload]
+        return cls(layers=layers, scopes=scopes, exclude=exclude)
+
+    @classmethod
+    def default(cls) -> "SimlintConfig":
+        return cls.from_dict(DEFAULT_CONFIG_DICT)
+
+    @classmethod
+    def from_pyproject(cls, pyproject: Path) -> "SimlintConfig":
+        if tomllib is None:  # pragma: no cover
+            return cls.default()
+        with open(pyproject, "rb") as handle:
+            data = tomllib.load(handle)
+        table = data.get("tool", {}).get("simlint")
+        if table is None:
+            return cls.default()
+        return cls.from_dict(table)
+
+    @classmethod
+    def discover(cls, start: Path) -> "SimlintConfig":
+        """Walk up from ``start`` looking for a pyproject with [tool.simlint]."""
+        current = start.resolve()
+        if current.is_file():
+            current = current.parent
+        for directory in [current, *current.parents]:
+            candidate = directory / "pyproject.toml"
+            if candidate.is_file():
+                return cls.from_pyproject(candidate)
+        return cls.default()
+
+    def scope_for(self, rule_id: str) -> RuleScope:
+        return self.scopes.get(rule_id, RuleScope())
+
+    def allowed_imports(self, layer: str) -> Optional[FrozenSet[str]]:
+        """Layers that ``layer`` may import, or ``None`` if undeclared."""
+        return self.layers.get(layer)
+
+
+def _check_acyclic(layers: Mapping[str, Iterable[str]]) -> None:
+    """Reject cyclic layer declarations with a precise error message."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    state = {name: WHITE for name in layers}
+
+    def visit(name: str, stack: List[str]) -> None:
+        state[name] = GREY
+        stack.append(name)
+        for dep in sorted(layers.get(name, ())):
+            if dep not in layers:
+                continue
+            if state[dep] == GREY:
+                cycle = " -> ".join(stack[stack.index(dep):] + [dep])
+                raise ConfigError(f"layer DAG has a cycle: {cycle}")
+            if state[dep] == WHITE:
+                visit(dep, stack)
+        stack.pop()
+        state[name] = BLACK
+
+    for name in sorted(layers):
+        if state[name] == WHITE:
+            visit(name, [])

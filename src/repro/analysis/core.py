@@ -1,0 +1,93 @@
+"""Core data model for simlint: findings, module context, rule base class."""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import TYPE_CHECKING, Dict, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.analysis.config import SimlintConfig
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source location.
+
+    Ordering is (path, line, col, rule) so reports are stable regardless
+    of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one source file.
+
+    ``module`` is the dotted import path (``repro.network.routing``) when
+    the file lives under a ``repro`` package root, else ``None``.
+    ``layer`` is the architectural layer the file belongs to: the first
+    package under ``repro`` (``network``, ``core``, ...) or the module
+    stem for top-level modules (``cli``).  Files outside the tree (tests,
+    benchmarks) have ``layer = None`` and are exempt from layer-scoped
+    rules.
+    """
+
+    path: str
+    tree: ast.Module
+    source: str
+    config: "SimlintConfig"
+    module: Optional[str] = None
+    layer: Optional[str] = None
+
+    @property
+    def is_package_init(self) -> bool:
+        return self.path.endswith("__init__.py")
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule_id,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for simlint rules.
+
+    Subclasses set ``id`` and ``description`` and implement
+    :meth:`check`, yielding :class:`Finding` objects.  Rules never apply
+    scoping or suppression themselves; the runner handles both so every
+    rule stays a pure AST query.
+    """
+
+    id: str = ""
+    description: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains rooted at a Name, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

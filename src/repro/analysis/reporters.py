@@ -1,0 +1,32 @@
+"""Finding reporters: stable text lines for humans/CI, JSON for tooling."""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Sequence
+
+from repro.analysis.core import Finding
+
+
+def render_text(findings: Sequence[Finding], stream: IO[str]) -> None:
+    """One ``path:line:col rule message`` line per finding, plus a summary."""
+    for finding in findings:
+        stream.write(finding.format() + "\n")
+    files = len({finding.path for finding in findings})
+    if findings:
+        stream.write(
+            f"simlint: {len(findings)} finding(s) in {files} file(s)\n"
+        )
+    else:
+        stream.write("simlint: clean\n")
+
+
+def render_json(findings: Sequence[Finding], stream: IO[str]) -> None:
+    """Machine-readable report; the schema is covered by golden tests."""
+    payload = {
+        "tool": "simlint",
+        "findings": [finding.to_json() for finding in findings],
+        "count": len(findings),
+    }
+    json.dump(payload, stream, indent=2, sort_keys=True)
+    stream.write("\n")

@@ -1,0 +1,51 @@
+"""Rule registry.
+
+Importing this package registers every built-in rule.  Each rule module
+defines one :class:`~repro.analysis.core.Rule` subclass decorated with
+:func:`register`; ``RULES`` maps rule id -> singleton instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.analysis.core import Rule
+
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate the rule and add it to ``RULES``."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"{cls.__name__} has no rule id")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    RULES[rule.id] = rule
+    return cls
+
+
+# Import for side effect: each module registers its rule(s).
+from repro.analysis.rules import (  # noqa: E402  (registry must exist first)
+    defaults,
+    floateq,
+    layering,
+    ordering,
+    printrule,
+    purity,
+    rng,
+    wallclock,
+)
+
+__all__ = [
+    "RULES",
+    "register",
+    "defaults",
+    "floateq",
+    "layering",
+    "ordering",
+    "printrule",
+    "purity",
+    "rng",
+    "wallclock",
+]

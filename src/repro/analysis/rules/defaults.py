@@ -1,0 +1,67 @@
+"""mutable-default: no list/dict/set (or comprehension) default arguments.
+
+A mutable default is shared across calls; in a simulator that means state
+leaking between sessions, flows, or seeds -- exactly the kind of
+cross-run coupling that breaks replay determinism.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+from repro.analysis.rules import register
+
+_MUTABLE_CALLS = {
+    "list",
+    "dict",
+    "set",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "deque",
+    "bytearray",
+}
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "mutable-default"
+    description = "default argument values must be immutable"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]:
+                label = _mutable_label(default)
+                if label is not None:
+                    yield ctx.finding(
+                        self.id,
+                        default,
+                        f"mutable default {label} in '{node.name}' is shared "
+                        "across calls; default to None and build inside",
+                    )
+
+
+def _mutable_label(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.List):
+        return "[]" if not node.elts else "[...]"
+    if isinstance(node, ast.Dict):
+        return "{}" if not node.keys else "{...}"
+    if isinstance(node, ast.Set):
+        return "{...}"
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return "comprehension"
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name in _MUTABLE_CALLS:
+            return f"{name}()"
+    return None

@@ -1,0 +1,58 @@
+"""float-eq: no ``==`` / ``!=`` against float literals in allocation code.
+
+Rates, capacities, and link loads are accumulated floats; exact equality
+against a float literal is either dead (never true after arithmetic) or a
+fragile sentinel.  Scoped (via ``[tool.simlint.rules.float-eq]``) to the
+``network`` and ``core`` layers where allocation math lives.  Intentional
+exact-sentinel checks (e.g. a rate that was *assigned* 0.0 and never
+touched by arithmetic) carry an inline ``# simlint: ignore[float-eq]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+from repro.analysis.rules import register
+
+
+@register
+class FloatEqRule(Rule):
+    id = "float-eq"
+    description = (
+        "compare floats with a tolerance (math.isclose / epsilon), not ==/!="
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                literal = _float_literal(left) or _float_literal(right)
+                if literal is not None:
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"exact {symbol} against float literal {literal}; "
+                        "use a tolerance, or mark an intentional sentinel "
+                        "with '# simlint: ignore[float-eq]'",
+                    )
+
+
+def _float_literal(node: ast.expr):
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return repr(node.value)
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, float)
+    ):
+        sign = "-" if isinstance(node.op, ast.USub) else "+"
+        return sign + repr(node.operand.value)
+    return None

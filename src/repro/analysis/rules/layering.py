@@ -1,0 +1,102 @@
+"""layering: enforce the declared import DAG between repro packages.
+
+``[tool.simlint.layers]`` in pyproject.toml declares, for every layer
+(top-level package under ``repro``, or top-level module like ``cli``),
+exactly which layers it may import.  Anything else -- ``network``
+reaching up into ``core``, a sim layer importing ``experiments`` -- is a
+boundary violation.  Absolute and relative imports are both resolved;
+files outside a ``repro`` package root (tests, benchmarks) have no layer
+and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+from repro.analysis.rules import register
+
+
+@register
+class LayeringRule(Rule):
+    id = "layering"
+    description = "imports must follow the layer DAG declared in [tool.simlint.layers]"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.layer is None or ctx.module is None:
+            return
+        allowed = ctx.config.allowed_imports(ctx.layer)
+        if allowed is None:  # undeclared layer: nothing to enforce
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    parts = alias.name.split(".")
+                    yield from self._judge(ctx, node, parts, allowed)
+            elif isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(ctx, node, allowed)
+
+    def _check_import_from(
+        self, ctx: ModuleContext, node: ast.ImportFrom, allowed: Iterable[str]
+    ) -> Iterator[Finding]:
+        base = _resolve_base(ctx, node)
+        if base is None:
+            return
+        if len(base) >= 2:
+            yield from self._judge(ctx, node, base, allowed)
+        elif base == ["repro"]:
+            # `from repro import X` / `from .. import X` at the top:
+            # each alias names a layer directly.
+            for alias in node.names:
+                yield from self._judge(
+                    ctx, node, ["repro", alias.name], allowed
+                )
+
+    def _judge(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        parts: List[str],
+        allowed: Iterable[str],
+    ) -> Iterator[Finding]:
+        if not parts or parts[0] != "repro" or len(parts) < 2:
+            return
+        target = parts[1]
+        if target == ctx.layer or target in allowed:
+            return
+        if target not in ctx.config.layers:
+            return  # unknown target (e.g. a symbol re-exported from repro)
+        yield ctx.finding(
+            self.id,
+            node,
+            f"layer '{ctx.layer}' may not import 'repro.{target}' "
+            f"(allowed: {', '.join(sorted(allowed)) or 'nothing'})",
+        )
+
+
+def _resolve_base(
+    ctx: ModuleContext, node: ast.ImportFrom
+) -> Optional[List[str]]:
+    """Resolve the package an ImportFrom targets, as dotted parts.
+
+    Returns e.g. ``["repro", "core", "infp"]``, or ``None`` when the
+    import is outside the repro tree.
+    """
+    if node.level == 0:
+        module = node.module or ""
+        if module == "repro" or module.startswith("repro."):
+            return module.split(".")
+        return None
+    assert ctx.module is not None
+    parts = ctx.module.split(".")
+    if not ctx.is_package_init:
+        parts = parts[:-1]
+    drop = node.level - 1
+    if drop:
+        parts = parts[: len(parts) - drop]
+    if not parts or parts[0] != "repro":
+        return None
+    if node.module:
+        parts = parts + node.module.split(".")
+    return parts

@@ -1,0 +1,64 @@
+"""unordered-iter: no iteration over bare sets or ``dict.keys()``.
+
+Set iteration order depends on insertion history and hash seeding; when
+such a loop feeds event scheduling or allocation order, two runs of the
+"same" experiment diverge.  Iterating ``d.keys()`` is flagged too: plain
+``for k in d`` is equivalent, and writing ``.keys()`` usually signals a
+loop that actually cares about order -- make it ``sorted(d)`` instead.
+
+The rule is syntactic: it sees set literals, set comprehensions,
+``set(...)``/``frozenset(...)`` calls, and ``.keys()`` calls in ``for``
+statements and comprehension generators.  Sets reached through variables
+are out of reach of an untyped AST pass (documented in DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+from repro.analysis.rules import register
+
+
+@register
+class UnorderedIterRule(Rule):
+    id = "unordered-iter"
+    description = (
+        "iterate sorted(...) (or the dict itself), never a bare set or "
+        "dict.keys()"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iter(ctx, node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    yield from self._check_iter(ctx, generator.iter)
+
+    def _check_iter(self, ctx: ModuleContext, it: ast.expr) -> Iterator[Finding]:
+        label = _unordered_label(it)
+        if label is not None:
+            yield ctx.finding(
+                self.id,
+                it,
+                f"iterating {label} has no deterministic order; wrap in "
+                "sorted(...) or iterate a sequence",
+            )
+
+
+def _unordered_label(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}(...)"
+        if isinstance(func, ast.Attribute) and func.attr == "keys":
+            return ".keys()"
+    return None

@@ -1,0 +1,35 @@
+"""no-print: library code reports through telemetry, not stdout.
+
+A ``print`` buried in a sim layer interleaves with experiment tables,
+breaks machine-readable output, and hides data from the telemetry
+pipeline.  Scoped (via ``[tool.simlint.rules.no-print]``) to exclude the
+CLI and the analyzer itself, whose job *is* writing to the console.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+from repro.analysis.rules import register
+
+
+@register
+class NoPrintRule(Rule):
+    id = "no-print"
+    description = "no print() in library code; use telemetry / reporters"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "print() in library code; emit a telemetry record or "
+                    "return data to the caller",
+                )

@@ -1,0 +1,107 @@
+"""global-rng: ban the process-global RNG state.
+
+Every draw in the simulator must come from a named, seeded stream owned
+by :mod:`repro.simkernel.rngstreams`; module-level ``random.*`` and
+``numpy.random.*`` calls share hidden global state, so any import-order
+or scheduling change silently reshuffles every experiment.
+
+Allowed anywhere: ``random.Random`` / ``random.SystemRandom`` *class*
+references (constructing or annotating an explicit, seedable instance).
+Everything else on the ``random`` module, and anything on
+``np.random``/``numpy.random``, is flagged outside the allow-listed
+``simkernel/rngstreams.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Set
+
+from repro.analysis.core import Finding, ModuleContext, Rule, dotted_name
+from repro.analysis.rules import register
+
+_ALLOWED_RANDOM_ATTRS = {"Random", "SystemRandom"}
+
+
+@register
+class GlobalRngRule(Rule):
+    id = "global-rng"
+    description = (
+        "use seeded streams from repro.simkernel.rngstreams, never the "
+        "global random / numpy.random state"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        numpy_aliases = _numpy_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(ctx, node)
+            elif isinstance(node, ast.Attribute):
+                yield from self._check_attribute(ctx, node, numpy_aliases)
+
+    def _check_import_from(
+        self, ctx: ModuleContext, node: ast.ImportFrom
+    ) -> Iterator[Finding]:
+        module = node.module or ""
+        if module == "random":
+            for alias in node.names:
+                if alias.name not in _ALLOWED_RANDOM_ATTRS:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"'from random import {alias.name}' pulls in the "
+                        "global RNG; take a seeded random.Random (or an "
+                        "rngstreams stream) instead",
+                    )
+        elif module == "numpy.random" or (
+            module == "numpy" and any(a.name == "random" for a in node.names)
+        ):
+            yield ctx.finding(
+                self.id,
+                node,
+                "importing numpy.random exposes the global numpy RNG; use "
+                "repro.simkernel.rngstreams",
+            )
+
+    def _check_attribute(
+        self, ctx: ModuleContext, node: ast.Attribute, numpy_aliases: Set[str]
+    ) -> Iterator[Finding]:
+        # random.<fn> for anything that is not the Random class itself.
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "random"
+            and node.attr not in _ALLOWED_RANDOM_ATTRS
+        ):
+            yield ctx.finding(
+                self.id,
+                node,
+                f"random.{node.attr} uses the process-global RNG; draw from "
+                "a seeded stream (repro.simkernel.rngstreams)",
+            )
+            return
+        # np.random.<anything> / numpy.random.<anything>.
+        name = dotted_name(node)
+        if name is None:
+            return
+        parts = name.split(".")
+        if len(parts) >= 2 and parts[0] in numpy_aliases and parts[1] == "random":
+            # Report once, on the innermost `np.random` attribute, so a
+            # chain like np.random.rand does not double-fire.
+            if len(parts) == 2:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{name} is the global numpy RNG; use "
+                    "repro.simkernel.rngstreams",
+                )
+
+
+def _numpy_aliases(tree: ast.Module) -> Set[str]:
+    """Names that refer to the numpy module in this file (np, numpy, ...)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases

@@ -1,0 +1,71 @@
+"""wall-clock: no real-time reads inside simulation layers.
+
+Simulated time is ``sim.now``; a ``time.time()`` or ``datetime.now()``
+call inside a sim layer couples results to the host machine and makes
+replays diverge.  Scoped (via ``[tool.simlint.rules.wall-clock]``) to the
+sim layers only -- experiments and benchmarks legitimately measure wall
+clock for scalability tables.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, ModuleContext, Rule, dotted_name
+from repro.analysis.rules import register
+
+#: Attribute chains that read the host clock.
+_BANNED_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "date.today",
+}
+
+#: Names whose bare import-from is equally banned (`from time import time`).
+_BANNED_FROM_IMPORTS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "perf_counter"),
+}
+
+
+@register
+class WallClockRule(Rule):
+    id = "wall-clock"
+    description = (
+        "sim layers must use simulated time (sim.now), never the host clock"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                name = dotted_name(node)
+                if name in _BANNED_CALLS:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"{name} reads the host clock inside a sim layer; "
+                        "use the kernel's simulated time (sim.now)",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                for alias in node.names:
+                    if (module, alias.name) in _BANNED_FROM_IMPORTS:
+                        yield ctx.finding(
+                            self.id,
+                            node,
+                            f"'from {module} import {alias.name}' imports a "
+                            "host-clock reader into a sim layer",
+                        )

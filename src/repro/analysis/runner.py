@@ -1,0 +1,215 @@
+"""simlint driver: file discovery, layer inference, rule dispatch, CLI.
+
+Used three ways:
+
+* ``eona lint [paths]`` (wired in :mod:`repro.cli`),
+* ``python -m repro.analysis [paths]``,
+* programmatically via :func:`lint_paths` (the test suite does this).
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import IO, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.config import ConfigError, SimlintConfig
+from repro.analysis.core import Finding, ModuleContext
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import RULES
+from repro.analysis.suppressions import collect_suppressions, is_suppressed
+
+
+def iter_python_files(paths: Sequence[Path], config: SimlintConfig) -> Iterator[Path]:
+    """Yield .py files under ``paths``, skipping excluded directory names."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in config.exclude for part in candidate.parts):
+                continue
+            yield candidate
+
+
+def module_info(path: Path) -> Tuple[Optional[str], Optional[str]]:
+    """Infer (dotted module, layer) for a file under a ``repro`` tree.
+
+    The package root is the *last* ``src/repro`` pair in the path, so
+    fixture trees like ``tests/analysis/fixtures/src/repro/network/x.py``
+    resolve exactly like the real tree.  Files outside any such root get
+    ``(None, None)`` and skip layer-scoped rules.
+    """
+    parts = path.parts
+    root_index = None
+    for i in range(len(parts) - 1):
+        if parts[i] == "src" and parts[i + 1] == "repro":
+            root_index = i + 1
+    if root_index is None:
+        return None, None
+    rest = parts[root_index + 1:]
+    if not rest:
+        return None, None
+    stem_parts = list(rest[:-1])
+    filename = rest[-1]
+    if filename == "__init__.py":
+        module_parts = ["repro"] + stem_parts
+    else:
+        module_parts = ["repro"] + stem_parts + [filename[:-3]]
+    module = ".".join(module_parts)
+    layer = stem_parts[0] if stem_parts else filename[:-3]
+    return module, layer
+
+
+def lint_file(
+    path: Path,
+    config: SimlintConfig,
+    select: Optional[Sequence[str]] = None,
+    display_root: Optional[Path] = None,
+) -> List[Finding]:
+    """Run every applicable rule over one file."""
+    source = path.read_text(encoding="utf-8")
+    display = str(path)
+    if display_root is not None:
+        try:
+            display = str(path.resolve().relative_to(display_root.resolve()))
+        except ValueError:
+            pass
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule="syntax-error",
+                message=f"cannot parse file: {exc.msg}",
+            )
+        ]
+    module, layer = module_info(path)
+    ctx = ModuleContext(
+        path=display,
+        tree=tree,
+        source=source,
+        config=config,
+        module=module,
+        layer=layer,
+    )
+    suppressions = collect_suppressions(source)
+    findings: List[Finding] = []
+    for rule_id, rule in sorted(RULES.items()):
+        if select is not None and rule_id not in select:
+            continue
+        if not config.scope_for(rule_id).applies(display, layer):
+            continue
+        for finding in rule.check(ctx):
+            if not is_suppressed(suppressions, finding.line, finding.rule):
+                findings.append(finding)
+    findings.sort()
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    config: SimlintConfig,
+    select: Optional[Sequence[str]] = None,
+    display_root: Optional[Path] = None,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for path in iter_python_files(paths, config):
+        findings.extend(lint_file(path, config, select, display_root))
+    findings.sort()
+    return findings
+
+
+def default_paths() -> List[Path]:
+    """With no arguments, lint the package tree that contains this file
+    when run from a checkout, else the current directory."""
+    here = Path.cwd()
+    src = here / "src" / "repro"
+    if src.is_dir():
+        return [src]
+    return [here]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description=(
+            "AST-based determinism and layering analyzer for the EONA "
+            "simulator (see DESIGN.md §7)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--config", type=Path, metavar="PYPROJECT",
+        help="explicit pyproject.toml with a [tool.simlint] table",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, stream: Optional[IO[str]] = None) -> int:
+    out = stream if stream is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(rule_id) for rule_id in RULES)
+        for rule_id, rule in sorted(RULES.items()):
+            out.write(f"{rule_id.ljust(width)}  {rule.description}\n")
+        return 0
+
+    try:
+        if args.config is not None:
+            config = SimlintConfig.from_pyproject(args.config)
+        else:
+            config = SimlintConfig.discover(Path.cwd())
+    except (ConfigError, OSError) as exc:
+        print(f"simlint: configuration error: {exc}", file=sys.stderr)
+        return 2
+
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+        unknown = [rule_id for rule_id in select if rule_id not in RULES]
+        if unknown:
+            print(
+                f"simlint: unknown rule id(s): {', '.join(unknown)}",
+                file=sys.stderr,
+            )
+            return 2
+
+    paths = list(args.paths) or default_paths()
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"simlint: no such path: {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    findings = lint_paths(paths, config, select, display_root=Path.cwd())
+    if args.format == "json":
+        render_json(findings, out)
+    else:
+        render_text(findings, out)
+    return 1 if findings else 0

@@ -1,0 +1,60 @@
+"""Per-line suppression of simlint findings.
+
+A trailing comment disarms rules on its physical line::
+
+    if rate != 0.0:  # simlint: ignore[float-eq]
+    foo()            # simlint: ignore          (all rules on this line)
+    bar()            # simlint: ignore[rule-a, rule-b]
+
+Suppressions are parsed from the token stream (not regex over raw lines)
+so comments inside string literals never count.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet
+
+#: Sentinel meaning "suppress every rule on this line".
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+_PATTERN = re.compile(
+    r"#\s*simlint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\- ]+)\])?"
+)
+
+
+def collect_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> set of suppressed rule ids ('*' = all)."""
+    suppressed: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PATTERN.search(token.string)
+            if not match:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                ids = ALL_RULES
+            else:
+                ids = frozenset(
+                    part.strip() for part in rules.split(",") if part.strip()
+                )
+            line = token.start[0]
+            suppressed[line] = suppressed.get(line, frozenset()) | ids
+    except tokenize.TokenError:
+        # Unterminated constructs: the AST parse will have failed anyway.
+        pass
+    return suppressed
+
+
+def is_suppressed(
+    suppressions: Dict[int, FrozenSet[str]], line: int, rule_id: str
+) -> bool:
+    ids = suppressions.get(line)
+    if ids is None:
+        return False
+    return "*" in ids or rule_id in ids

@@ -12,7 +12,7 @@ import heapq
 import itertools
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 
 @dataclass

@@ -16,7 +16,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.cdn.content import ContentCatalog, ContentItem
 from repro.cdn.origin import Origin
-from repro.cdn.server import CdnServer, ServerOverloadedError
+from repro.cdn.server import CdnServer
 from repro.cdn.transcoder import TranscodeJob, Transcoder
 
 

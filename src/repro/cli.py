@@ -6,15 +6,16 @@ Examples::
     eona run e4
     eona run e2 --seed 3
     eona run all --out results/
+    eona lint
+    eona lint src/repro/network --format json
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Dict, List, Optional
 
 from repro.experiments import (
     exp_e1_coarse_control,
@@ -143,6 +144,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run simlint (repro.analysis) with the arguments collected after 'lint'."""
+    from repro.analysis import runner
+
+    return runner.main(args.lint_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="eona",
@@ -165,11 +173,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="file format for --out (default: txt)",
     )
     run_parser.set_defaults(fn=_cmd_run)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run simlint, the determinism & layering analyzer (DESIGN.md §7)",
+    )
+    lint_parser.add_argument(
+        "lint_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to simlint (paths, --format, --select, ...)",
+    )
+    lint_parser.set_defaults(fn=_cmd_lint)
     return parser
 
 
-def main(argv: List[str] = None) -> int:
-    args = build_parser().parse_args(argv)
+def main(argv: Optional[List[str]] = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        # Forward everything after 'lint' verbatim: argparse.REMAINDER
+        # rejects option-like tokens (e.g. 'lint --list-rules') otherwise.
+        from repro.analysis import runner
+
+        return runner.main(arguments[1:])
+    args = build_parser().parse_args(arguments)
     return args.fn(args)
 
 

@@ -23,10 +23,10 @@ aggregator → store) and exports the A2I looking glass from it.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.cdn.provider import Cdn, NoServerAvailableError
+from repro.cdn.provider import Cdn
 from repro.core.context import SimContext
 from repro.core.damping import HysteresisGate
 from repro.core.interfaces import LookingGlass

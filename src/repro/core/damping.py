@@ -14,7 +14,7 @@ Two standard mechanisms are implemented and ablated in E4/E10:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.simkernel.kernel import Simulator
 

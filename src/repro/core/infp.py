@@ -454,11 +454,9 @@ class EnergyManager:
         demand = self.demand_fetch() if self.demand_fetch is not None else None
         if demand is not None and self.server_capacity_mbps:
             # Feed-forward sizing from the A2I demand estimate.
-            import math as _math
-
             needed = max(
                 self.min_on,
-                _math.ceil(demand * self.headroom / self.server_capacity_mbps),
+                math.ceil(demand * self.headroom / self.server_capacity_mbps),
             )
             if needed < on:
                 return on - 1  # shed gradually, one cluster per period

@@ -18,7 +18,7 @@ owns them and which queries they register.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping
 
 from repro.core.privacy import blind_fields
 from repro.core.registry import Grant, OptInRegistry

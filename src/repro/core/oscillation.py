@@ -14,8 +14,7 @@ exponential backoff until the flapping stops.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, Hashable, Optional, Tuple
+from typing import Deque, Dict, Hashable, Optional
 
 from repro.core.damping import ExponentialBackoff
 from repro.simkernel.kernel import Simulator

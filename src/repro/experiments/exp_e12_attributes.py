@@ -19,9 +19,8 @@ ISP2's bitrate at no cost to ISP1.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
-from repro.baselines.modes import Mode
 from repro.core.appp import MultiIspEonaAppP, StatusQuoAppP
 from repro.core.infp import EonaInfP, StatusQuoInfP
 from repro.experiments.common import ExperimentResult, launch_video_sessions

@@ -13,7 +13,7 @@ retains (nearly) all the traffic.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.baselines.modes import Mode
 from repro.core.appp import EonaAppP, StatusQuoAppP

@@ -21,7 +21,7 @@ from repro.telemetry.inference import QoeInferenceModel, pageload_features
 from repro.web.browser import PageLoadRecord
 from repro.web.page import make_page
 from repro.web.qoe import satisfaction_from_plt
-from repro.web.radio import DEFAULT_TRANSITIONS, RadioState
+from repro.web.radio import DEFAULT_TRANSITIONS
 from repro.workloads.scenarios import build_cellular_web_scenario
 
 

@@ -22,7 +22,6 @@ from repro.core.appp import EonaAppP, StatusQuoAppP
 from repro.core.damping import HysteresisGate
 from repro.core.infp import EonaInfP, StatusQuoInfP
 from repro.experiments.common import ExperimentResult, launch_video_sessions, qoe_of
-from repro.sdn.te import TrafficEngineeringApp
 from repro.video.qoe import summarize
 from repro.workloads.scenarios import build_oscillation_scenario
 

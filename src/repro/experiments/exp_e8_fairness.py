@@ -13,7 +13,7 @@ them, lifting both AppPs' QoE and pushing the Jain index toward 1.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.baselines.modes import Mode
 from repro.cdn.content import ContentCatalog

@@ -120,7 +120,7 @@ class AllocationEngine:
     which link loads moved.
     """
 
-    def __init__(self, config: Optional[EngineConfig] = None):
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
         self.config = config or EngineConfig()
         self.counters = EngineCounters()
         self._flows: Dict[str, Flow] = {}
@@ -163,7 +163,7 @@ class AllocationEngine:
             members = self._members.get(link_id)
             if members is not None:
                 members.discard(flow_id)
-            if rate != 0.0:
+            if rate != 0.0:  # simlint: ignore[float-eq] -- exact sentinel, never arithmetic
                 self.link_loads[link_id] = self.link_loads.get(link_id, 0.0) - rate
                 self._changed_links.add(link_id)
             # The survivors on this link may now speed up.
@@ -193,7 +193,7 @@ class AllocationEngine:
             members = self._members.get(link_id)
             if members is not None:
                 members.discard(flow_id)
-            if rate != 0.0:
+            if rate != 0.0:  # simlint: ignore[float-eq] -- exact sentinel, never arithmetic
                 self.link_loads[link_id] = self.link_loads.get(link_id, 0.0) - rate
                 self._changed_links.add(link_id)
             self._dirty_links.add(link_id)
@@ -202,7 +202,7 @@ class AllocationEngine:
         for link in new_path:
             link_id = link.link_id
             self._members.setdefault(link_id, set()).add(flow_id)
-            if rate != 0.0:
+            if rate != 0.0:  # simlint: ignore[float-eq] -- exact sentinel, never arithmetic
                 self.link_loads[link_id] = self.link_loads.get(link_id, 0.0) + rate
                 self._changed_links.add(link_id)
         self._dirty_flows.add(flow_id)

@@ -57,7 +57,7 @@ class Flow:
         demand_mbps: float = math.inf,
         size_mbit: Optional[float] = None,
         owner: str = "",
-    ):
+    ) -> None:
         if demand_mbps <= 0:
             raise ValueError(f"flow {flow_id}: demand must be positive")
         if size_mbit is not None and size_mbit < 0:

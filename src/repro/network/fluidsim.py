@@ -37,7 +37,7 @@ class Transfer:
         flow: Flow,
         network: "FluidNetwork",
         on_complete: Optional[Callable[["Transfer"], None]],
-    ):
+    ) -> None:
         self.flow = flow
         self.network = network
         self.on_complete = on_complete
@@ -78,7 +78,7 @@ class _SplitState:
 
     __slots__ = ("weights", "assigned")
 
-    def __init__(self, weights: Dict[str, float]):
+    def __init__(self, weights: Dict[str, float]) -> None:
         self.weights = weights
         self.assigned: Dict[str, int] = {via: 0 for via in weights}
 
@@ -117,7 +117,7 @@ class FluidNetwork:
         topology: Topology,
         max_rate_mbps: float = 1e5,
         engine_config: Optional[EngineConfig] = None,
-    ):
+    ) -> None:
         self.sim = sim
         self.topology = topology
         self.router = Router(topology)

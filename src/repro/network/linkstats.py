@@ -19,7 +19,7 @@ class LinkStats:
     constant between boundaries).
     """
 
-    def __init__(self, link_id: str, capacity_mbps: float):
+    def __init__(self, link_id: str, capacity_mbps: float) -> None:
         self.link_id = link_id
         self.capacity_mbps = capacity_mbps
         self.current_load_mbps = 0.0
@@ -80,7 +80,7 @@ class CongestionDetector:
         threshold: float = 0.9,
         clear_threshold: Optional[float] = None,
         alpha: float = 0.3,
-    ):
+    ) -> None:
         if not 0 < threshold <= 1.5:
             raise ValueError(f"threshold out of range: {threshold!r}")
         if not 0 < alpha <= 1:

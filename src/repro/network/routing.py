@@ -31,7 +31,7 @@ class Router:
     observable in the engine counters.
     """
 
-    def __init__(self, topology: Topology):
+    def __init__(self, topology: Topology) -> None:
         self.topology = topology
         self._cache: Dict[Tuple[str, str, Optional[str]], List[str]] = {}
         self._cached_version = topology.version

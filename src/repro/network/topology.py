@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 import networkx as nx
@@ -86,7 +86,7 @@ class Link:
 class Topology:
     """Validated container of nodes and links with graph queries."""
 
-    def __init__(self, name: str = "net"):
+    def __init__(self, name: str = "net") -> None:
         self.name = name
         self._nodes: Dict[str, Node] = {}
         self._links: Dict[str, Link] = {}

@@ -10,7 +10,7 @@ program traffic groups through it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.network.fluidsim import FluidNetwork
 from repro.network.routing import NoRouteError

@@ -9,8 +9,8 @@ the granularity at which the paper's InfP knobs operate.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 
 _WILDCARD = None

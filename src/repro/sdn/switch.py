@@ -10,7 +10,6 @@ from repro.sdn.messages import (
     FlowMod,
     FlowModCommand,
     FlowRemoved,
-    Match,
     PortStats,
     StatsReply,
 )

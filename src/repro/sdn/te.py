@@ -20,7 +20,7 @@ Two policies matter for the reproduction:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.network.fluidsim import FluidNetwork

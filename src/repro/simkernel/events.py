@@ -41,7 +41,7 @@ class EventHandle:
 
     __slots__ = ("_event",)
 
-    def __init__(self, event: Event):
+    def __init__(self, event: Event) -> None:
         self._event = event
 
     @property

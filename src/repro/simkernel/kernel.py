@@ -9,7 +9,7 @@ executing events, so the clock is exact and deterministic.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Optional
 
 from repro.simkernel.events import EventHandle, EventQueue
 from repro.simkernel.rngstreams import RngStreams
@@ -35,7 +35,7 @@ class Simulator:
         ['b', 'a']
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self._now = 0.0
         self._queue = EventQueue()
         self.rng = RngStreams(seed)

@@ -35,7 +35,7 @@ class PeriodicProcess:
         fn: Callable[[], Any],
         start_at: Optional[float] = None,
         name: str = "",
-    ):
+    ) -> None:
         if period <= 0:
             raise ValueError(f"period must be positive, got {period!r}")
         self.sim = sim

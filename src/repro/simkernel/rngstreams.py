@@ -30,7 +30,7 @@ class RngStreams:
         True
     """
 
-    def __init__(self, root_seed: int = 0):
+    def __init__(self, root_seed: int = 0) -> None:
         self.root_seed = int(root_seed)
         self._streams: Dict[str, random.Random] = {}
 

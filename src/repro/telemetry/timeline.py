@@ -9,8 +9,8 @@ is infinite" can be shown as a trajectory and not just a count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.simkernel.kernel import Simulator
 from repro.simkernel.processes import PeriodicProcess

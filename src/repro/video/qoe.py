@@ -10,7 +10,7 @@ bitrate (Dobrian et al. SIGCOMM'11, Krishnan & Sitaraman IMC'12).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 

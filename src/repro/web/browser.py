@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.network.fluidsim import FluidNetwork, Transfer
+from repro.network.fluidsim import FluidNetwork
 from repro.simkernel.kernel import Simulator
 from repro.web.page import WebPage
 from repro.web.radio import RadioModel, RadioState, RadioStats

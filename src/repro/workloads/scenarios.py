@@ -14,8 +14,8 @@ comparisons meaningful.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.cdn.content import ContentCatalog
 from repro.cdn.origin import Origin

@@ -1,0 +1,17 @@
+"""Fixture: exact float comparisons in allocation-layer code."""
+
+
+def converged(a: float, b: float) -> bool:
+    return a == 0.5 or b != 1.0
+
+
+def negated(x: float) -> bool:
+    return x == -0.25
+
+
+def sentinel(rate: float) -> bool:
+    return rate == 0.0  # simlint: ignore[float-eq] -- assigned, never computed
+
+
+def allowed(a: float, b: float, n: int) -> bool:
+    return abs(a - b) < 1e-9 and n == 0

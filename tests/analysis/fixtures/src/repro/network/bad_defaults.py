@@ -1,0 +1,24 @@
+"""Fixture: mutable default arguments."""
+
+from collections import deque
+from typing import Optional
+
+
+def gather(into=[]) -> list:
+    return into
+
+
+def index(table={}) -> dict:
+    return table
+
+
+def uniq(seen=set(), extra=deque()) -> set:
+    return seen
+
+
+def keyword_only(*, acc=[1, 2]) -> list:
+    return acc
+
+
+def allowed(items: Optional[list] = None, limit: int = 10, name: str = "x") -> list:
+    return items if items is not None else []

@@ -1,0 +1,22 @@
+"""Fixture: layering violations (network may only import simkernel)."""
+
+import repro.core.infp
+
+from repro.core import damping
+
+from repro import core
+
+from ..core import staleness
+
+from repro.simkernel.kernel import Simulator
+
+from . import bad_rng
+
+__all__ = [
+    "repro",
+    "damping",
+    "core",
+    "staleness",
+    "Simulator",
+    "bad_rng",
+]

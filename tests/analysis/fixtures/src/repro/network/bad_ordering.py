@@ -1,0 +1,29 @@
+"""Fixture: iteration with no deterministic order."""
+
+from typing import Dict, List
+
+
+def drain(pending: Dict[str, float]) -> List[str]:
+    order = []
+    for key in pending.keys():
+        order.append(key)
+    return order
+
+
+def dedupe(xs: List[int]) -> List[int]:
+    out = []
+    for x in set(xs):
+        out.append(x)
+    return out
+
+
+def literals() -> List[int]:
+    return [x for x in {3, 1, 2}]
+
+
+def allowed(pending: Dict[str, float], xs: List[int]) -> List[str]:
+    ordered = [k for k in sorted(pending)]
+    ordered.extend(str(x) for x in sorted(set(xs)))
+    for key in pending:  # plain dict iteration is insertion-ordered
+        ordered.append(key)
+    return ordered

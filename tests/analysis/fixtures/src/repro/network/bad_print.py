@@ -1,0 +1,9 @@
+"""Fixture: print() in library code."""
+
+
+def report(value: float) -> None:
+    print(f"value={value}")
+
+
+def fine(value: float) -> str:
+    return f"value={value}"

@@ -1,0 +1,30 @@
+"""Fixture: kernel event handlers mutating module-level state."""
+
+COUNTERS = {}
+TOTAL = 0.0
+
+
+def on_tick(sim) -> None:
+    global TOTAL
+    TOTAL = TOTAL + 1.0
+    COUNTERS["ticks"] = 1
+    sim.schedule(1.0, on_tick, sim)
+
+
+class Node:
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.count = 0
+
+    def start(self) -> None:
+        self.sim.schedule(0.5, self._on_timer)
+        self.sim.call_soon(self._on_timer)
+
+    def _on_timer(self) -> None:
+        COUNTERS.setdefault("timers", 0)
+        self.count += 1  # instance state is fine
+
+
+def not_a_handler() -> None:
+    # Mutates module state but is never registered with the kernel.
+    COUNTERS["free"] = 1

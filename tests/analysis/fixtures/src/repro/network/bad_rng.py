@@ -1,0 +1,28 @@
+"""Fixture: global-rng violations (and the allowed seeded-instance pattern)."""
+
+import random
+
+import numpy as np
+
+from random import randint
+
+
+def draw() -> float:
+    return random.random()
+
+
+def shuffle(xs: list) -> None:
+    random.shuffle(xs)
+
+
+def noise() -> float:
+    return float(np.random.normal())
+
+
+def reseed() -> None:
+    np.random.seed(7)
+
+
+def allowed(rng: random.Random) -> int:
+    # A seeded, explicitly-threaded instance is exactly what we want.
+    return randint(0, 1) if False else int(rng.random())

@@ -1,0 +1,19 @@
+"""Fixture: wall-clock violations inside a sim layer."""
+
+import time
+
+from datetime import datetime
+
+from time import perf_counter
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def when() -> str:
+    return str(datetime.now())
+
+
+def tick() -> float:
+    return time.monotonic()

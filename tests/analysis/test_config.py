@@ -1,0 +1,67 @@
+"""Config loading: layer DAG validation, rule scopes, discovery."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.config import ConfigError, RuleScope, SimlintConfig
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_default_config_is_valid_and_matches_pyproject() -> None:
+    default = SimlintConfig.default()
+    repo_root = Path(__file__).resolve().parents[2]
+    from_file = SimlintConfig.from_pyproject(repo_root / "pyproject.toml")
+    assert from_file.layers == default.layers
+    assert from_file.scopes == default.scopes
+
+
+def test_cyclic_layer_dag_is_rejected() -> None:
+    with pytest.raises(ConfigError, match="cycle"):
+        SimlintConfig.from_dict(
+            {"layers": {"a": ["b"], "b": ["c"], "c": ["a"]}}
+        )
+
+
+def test_self_cycle_is_rejected() -> None:
+    with pytest.raises(ConfigError, match="cycle"):
+        SimlintConfig.from_dict({"layers": {"a": ["a"]}})
+
+
+def test_malformed_layer_table_is_rejected() -> None:
+    with pytest.raises(ConfigError, match="must be a list"):
+        SimlintConfig.from_dict({"layers": {"a": "b"}})
+
+
+def test_rule_scope_layers_restriction() -> None:
+    scope = RuleScope(layers=frozenset({"network", "core"}))
+    assert scope.applies("src/repro/network/x.py", "network")
+    assert not scope.applies("src/repro/cli.py", "cli")
+    assert not scope.applies("tests/foo.py", None)
+
+
+def test_rule_scope_exclusions_and_allow_files() -> None:
+    scope = RuleScope(
+        exclude_layers=frozenset({"cli"}),
+        allow_files=("simkernel/rngstreams.py",),
+    )
+    assert not scope.applies("src/repro/cli.py", "cli")
+    assert not scope.applies("src/repro/simkernel/rngstreams.py", "simkernel")
+    assert scope.applies("src/repro/simkernel/kernel.py", "simkernel")
+    # Files with no layer (tests, benchmarks) still lint under open scopes.
+    assert scope.applies("benchmarks/bench_x.py", None)
+
+
+def test_discover_walks_up_to_nearest_pyproject() -> None:
+    config = SimlintConfig.discover(FIXTURES / "src" / "repro" / "network")
+    # The fixture DAG is the small one, not the repo default.
+    assert set(config.layers) == {"simkernel", "network", "core", "experiments"}
+
+
+def test_allowed_imports_for_undeclared_layer_is_none() -> None:
+    config = SimlintConfig.default()
+    assert config.allowed_imports("nonexistent") is None
+    assert config.allowed_imports("network") == frozenset({"simkernel"})

@@ -1,0 +1,40 @@
+"""The shipped tree must be simlint-clean: CI gates on this invariant.
+
+If this test fails, either fix the violation (preferred) or, for an
+intentional exact-sentinel / measurement site, add an inline
+``# simlint: ignore[rule-id]`` with a justification.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import SimlintConfig, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_shipped_tree_is_simlint_clean() -> None:
+    config = SimlintConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
+    findings = lint_paths(
+        [REPO_ROOT / "src" / "repro"], config, display_root=REPO_ROOT
+    )
+    report = "\n".join(finding.format() for finding in findings)
+    assert not findings, f"simlint violations in shipped code:\n{report}"
+
+
+def test_layer_dag_covers_every_shipped_package() -> None:
+    config = SimlintConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
+    src = REPO_ROOT / "src" / "repro"
+    shipped = {
+        child.name
+        for child in src.iterdir()
+        if child.is_dir() and child.name != "__pycache__"
+    }
+    shipped.update(
+        child.stem for child in src.glob("*.py") if child.stem != "__init__"
+    )
+    undeclared = shipped - set(config.layers)
+    assert not undeclared, (
+        f"packages missing from [tool.simlint.layers]: {sorted(undeclared)}"
+    )

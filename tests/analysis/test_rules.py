@@ -1,0 +1,88 @@
+"""Every simlint rule, exercised against the fixture tree + golden JSON.
+
+The fixture tree under ``fixtures/src/repro`` mirrors the real package
+layout so layer inference runs the exact code path used on the shipped
+tree; ``fixtures/pyproject.toml`` provides a deliberately small layer DAG
+so these tests cover config loading too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, SimlintConfig, lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def fixture_config() -> SimlintConfig:
+    return SimlintConfig.from_pyproject(FIXTURES / "pyproject.toml")
+
+
+@pytest.fixture(scope="module")
+def fixture_findings(fixture_config: SimlintConfig):
+    return lint_paths(
+        [FIXTURES / "src"], fixture_config, display_root=FIXTURES
+    )
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(FIXTURES / "expected.json", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_findings_match_golden_json(fixture_findings, golden) -> None:
+    actual = [finding.to_json() for finding in fixture_findings]
+    assert actual == golden["findings"]
+    assert len(fixture_findings) == golden["count"]
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULES))
+def test_every_rule_has_fixture_coverage(rule_id, fixture_findings) -> None:
+    hits = [f for f in fixture_findings if f.rule == rule_id]
+    assert hits, f"no fixture triggers rule {rule_id!r}"
+
+
+def test_good_files_are_clean(fixture_findings) -> None:
+    flagged = {finding.path for finding in fixture_findings}
+    assert not any("good_" in path for path in flagged)
+
+
+def test_layering_respects_allowed_edges(fixture_findings) -> None:
+    layering = [f for f in fixture_findings if f.rule == "layering"]
+    assert {f.line for f in layering} == {3, 5, 7, 9}
+    assert all("repro.core" in f.message for f in layering)
+
+
+def test_rng_allows_seeded_random_instances(fixture_findings) -> None:
+    rng = [f for f in fixture_findings if f.rule == "global-rng"]
+    # The `allowed(rng: random.Random)` helper at the bottom of bad_rng.py
+    # must not fire; its def sits past every expected finding.
+    assert max(f.line for f in rng) < 26
+
+
+def test_float_eq_sees_both_operands_and_negation(fixture_findings) -> None:
+    floats = [f for f in fixture_findings if f.rule == "float-eq"]
+    assert [f.line for f in floats] == [5, 5, 9]
+    assert any("-0.25" in f.message for f in floats)
+
+
+def test_purity_flags_only_registered_handlers(fixture_findings) -> None:
+    purity = [f for f in fixture_findings if f.rule == "handler-purity"]
+    assert purity
+    assert all("not_a_handler" not in f.message for f in purity)
+
+
+def test_finding_format_is_precise(fixture_findings) -> None:
+    line = fixture_findings[0].format()
+    # file:line:col rule-id message
+    path, lineno, rest = line.split(":", 2)
+    col, rule, _message = rest.split(" ", 2)
+    assert path.endswith(".py")
+    assert lineno.isdigit() and col.isdigit()
+    assert rule in RULES

@@ -1,0 +1,44 @@
+"""Unit tests for the `# simlint: ignore[...]` suppression parser."""
+
+from __future__ import annotations
+
+from repro.analysis.suppressions import collect_suppressions, is_suppressed
+
+
+def test_bare_ignore_suppresses_everything() -> None:
+    sup = collect_suppressions("x = 1  # simlint: ignore\n")
+    assert is_suppressed(sup, 1, "wall-clock")
+    assert is_suppressed(sup, 1, "anything-at-all")
+    assert not is_suppressed(sup, 2, "wall-clock")
+
+
+def test_bracketed_ignore_is_rule_specific() -> None:
+    sup = collect_suppressions("x = 1  # simlint: ignore[float-eq, no-print]\n")
+    assert is_suppressed(sup, 1, "float-eq")
+    assert is_suppressed(sup, 1, "no-print")
+    assert not is_suppressed(sup, 1, "wall-clock")
+
+
+def test_comment_inside_string_does_not_count() -> None:
+    sup = collect_suppressions('x = "# simlint: ignore"\n')
+    assert sup == {}
+
+
+def test_trailing_prose_after_marker_is_fine() -> None:
+    sup = collect_suppressions(
+        "y = 0.0  # simlint: ignore[float-eq] -- exact sentinel\n"
+    )
+    assert is_suppressed(sup, 1, "float-eq")
+
+
+def test_multiple_markers_per_file() -> None:
+    source = (
+        "a = 1  # simlint: ignore[rule-a]\n"
+        "b = 2\n"
+        "c = 3  # simlint: ignore\n"
+    )
+    sup = collect_suppressions(source)
+    assert is_suppressed(sup, 1, "rule-a")
+    assert not is_suppressed(sup, 1, "rule-b")
+    assert not is_suppressed(sup, 2, "rule-a")
+    assert is_suppressed(sup, 3, "rule-b")
