@@ -16,6 +16,7 @@ import pytest
 _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 _tables: List[str] = []
 _counters: List[str] = []
+_checks: List[str] = []
 
 
 def record_table(result) -> None:
@@ -39,9 +40,24 @@ def record_counters(label: str, counters: dict) -> None:
     _counters.append(f"{label}: {parts}")
 
 
+def record_checks(label: str, outcomes) -> None:
+    """Register spec-check outcomes for the terminal summary.
+
+    Pass the list of ``CheckOutcome`` from ``VariantSpec.evaluate``.
+    """
+    for outcome in outcomes:
+        status = "PASS" if outcome.passed else "FAIL"
+        _checks.append(f"{status}  {label}: {outcome.check}")
+
+
 @pytest.fixture
 def table_sink():
     return record_table
+
+
+@pytest.fixture
+def check_sink():
+    return record_checks
 
 
 @pytest.fixture
@@ -59,4 +75,8 @@ def pytest_terminal_summary(terminalreporter):
     if _counters:
         terminalreporter.section("allocation engine counters")
         for line in _counters:
+            terminalreporter.write_line(line)
+    if _checks:
+        terminalreporter.section("spec shape checks")
+        for line in _checks:
             terminalreporter.write_line(line)

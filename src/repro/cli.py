@@ -1,11 +1,15 @@
 """Command-line entry point: run any experiment and print its table.
 
+The experiment list is not maintained here: every ``exp_*`` module
+registers an :class:`~repro.experiments.spec.ExperimentSpec` and the
+CLI drives :mod:`repro.experiments.registry`.
+
 Examples::
 
     eona list
     eona run e4
-    eona run e2 --seed 3
-    eona run all --out results/
+    eona run e2 --seeds 0..4 --parallel
+    eona run all --seed 0 --out results/ --format json
     eona lint
     eona lint src/repro/network --format json
 """
@@ -14,134 +18,73 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.experiments import (
-    exp_e1_coarse_control,
-    exp_e2_flash_crowd,
-    exp_e3_inference,
-    exp_e4_oscillation,
-    exp_e5_energy,
-    exp_e6_staleness,
-    exp_e7_scalability,
-    exp_e8_fairness,
-    exp_e9_recipe,
-    exp_e10_timescales,
-    exp_e11_privacy,
-    exp_e12_attributes,
-    exp_e13_controlplane,
-    exp_e14_splits,
-)
-from repro.experiments.common import ExperimentResult
-
-#: Experiment id -> (description, runner).  Runners take only ``seed``.
-EXPERIMENTS: Dict[str, tuple] = {
-    "e1": (
-        "coarse control: bad server, intra-CDN switch vs CDN switch (§2)",
-        lambda seed: [exp_e1_coarse_control.run(seed=seed)],
-    ),
-    "e2": (
-        "flash crowd behind congested access ISP (Figure 3)",
-        lambda seed: [
-            exp_e2_flash_crowd.run(seed=seed),
-            exp_e2_flash_crowd.run_abr_ablation(seed=seed),
-        ],
-    ),
-    "e3": (
-        "inferring web QoE from network features vs direct A2I (Figure 4)",
-        lambda seed: [
-            exp_e3_inference.run(seed=seed),
-            exp_e3_inference.run_volatility_sweep(seed=seed),
-        ],
-    ),
-    "e4": (
-        "CDN/peering control-loop oscillation (Figure 5)",
-        lambda seed: [
-            exp_e4_oscillation.run(seed=seed),
-            exp_e4_oscillation.run_switch_growth(seed=seed),
-        ],
-    ),
-    "e5": (
-        "server energy saving with/without A2I feedback (§2, §5)",
-        lambda seed: [exp_e5_energy.run(seed=seed)],
-    ),
-    "e6": (
-        "EONA benefit vs interface staleness (§5)",
-        lambda seed: [
-            exp_e6_staleness.run(seed=seed),
-            exp_e6_staleness.run_te_staleness(seed=seed),
-        ],
-    ),
-    "e7": (
-        "A2I analytics and allocator scalability (§5)",
-        lambda seed: [exp_e7_scalability.run()],
-    ),
-    "e8": (
-        "fairness across multiple AppPs (§5)",
-        lambda seed: [exp_e8_fairness.run(seed=seed)],
-    ),
-    "e9": (
-        "interface narrowing recipe vs the oracle (§4)",
-        lambda seed: [exp_e9_recipe.run(seed=seed)],
-    ),
-    "e10": (
-        "timescale coupling and damping ablation (§5)",
-        lambda seed: [
-            exp_e10_timescales.run_partial(seed=seed),
-            exp_e10_timescales.run_full(seed=seed),
-            exp_e10_timescales.run_te_damping(seed=seed),
-        ],
-    ),
-    "e11": (
-        "privacy blinding (Laplace noise on A2I demand) vs effectiveness (§4)",
-        lambda seed: [exp_e11_privacy.run(seed=seed)],
-    ),
-    "e12": (
-        "why A2I carries the client-ISP attribute: scoped congestion response (§3)",
-        lambda seed: [exp_e12_attributes.run(seed=seed)],
-    ),
-    "e13": (
-        "coordinated control plane (C3-style) vs per-session reaction (§1 trend 3)",
-        lambda seed: [exp_e13_controlplane.run(seed=seed)],
-    ),
-    "e14": (
-        "traffic splits across peering points when no single egress fits (§4)",
-        lambda seed: [exp_e14_splits.run(seed=seed)],
-    ),
-}
+from repro.experiments import registry
+from repro.experiments.spec import seeds_arg
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
-    width = max(len(key) for key in EXPERIMENTS)
-    for key, (description, _runner) in EXPERIMENTS.items():
-        print(f"  {key.ljust(width)}  {description}")
+    specs = registry.all_specs()
+    width = max(len(spec.exp_id) for spec in specs)
+    for spec in specs:
+        print(f"  {spec.exp_id.ljust(width)}  {spec.title}")
+        variants = ", ".join(variant.name for variant in spec.variants)
+        checks = sum(len(variant.checks) for variant in spec.variants)
+        print(f"  {''.ljust(width)}  variants: {variants}; {checks} checks")
     return 0
+
+
+def _resolve_seeds(args: argparse.Namespace) -> List[int]:
+    if args.seeds is not None:
+        return seeds_arg(args.seeds)
+    return [args.seed]
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    keys: List[str]
     if args.experiment == "all":
-        keys = list(EXPERIMENTS)
-    elif args.experiment in EXPERIMENTS:
-        keys = [args.experiment]
+        specs = registry.all_specs()
     else:
-        print(f"unknown experiment {args.experiment!r}; try 'eona list'",
-              file=sys.stderr)
-        return 2
-    for key in keys:
-        description, runner = EXPERIMENTS[key]
-        print(f"\n### {key}: {description}")
-        started = time.perf_counter()
-        results: List[ExperimentResult] = runner(args.seed)
-        elapsed = time.perf_counter() - started
-        for result in results:
+        try:
+            specs = [registry.get(args.experiment)]
+        except KeyError:
+            print(
+                f"unknown experiment {args.experiment!r}; try 'eona list'",
+                file=sys.stderr,
+            )
+            return 2
+    seeds = _resolve_seeds(args)
+    evaluate = not args.no_checks
+    failures = 0
+    for spec in specs:
+        print(f"\n### {spec.exp_id}: {spec.title}")
+        tables, artifact = registry.run_experiment(
+            spec, seeds, parallel=args.parallel, evaluate=evaluate
+        )
+        for table in tables:
             print()
-            print(result.table_str())
+            print(table.table_str())
             if args.out:
-                result.save(args.out, fmt=args.format)
-        print(f"\n({key} took {elapsed:.1f}s wall clock)")
-    return 0
+                table.save(args.out, fmt=args.format)
+        if evaluate:
+            failed = artifact.failed_checks()
+            failures += len(failed)
+            print(
+                f"\n({spec.exp_id}: {len(artifact.checks)} checks over seeds "
+                f"{artifact.seeds}, {len(failed)} failed; "
+                f"{artifact.wall_time_s:.1f}s wall clock)"
+            )
+            for entry in failed:
+                print(
+                    f"  FAIL [{entry['variant']} seed={entry['seed']}] "
+                    f"{entry['check']}: {entry['detail']}"
+                )
+        else:
+            print(f"\n({spec.exp_id} took {artifact.wall_time_s:.1f}s wall clock)")
+        if args.out:
+            path = artifact.save(args.out)
+            print(f"(run artifact: {path})")
+    return 1 if failures else 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -161,16 +104,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    list_parser = subparsers.add_parser("list", help="list experiments")
+    list_parser = subparsers.add_parser(
+        "list", help="list registered experiments and their variants"
+    )
     list_parser.set_defaults(fn=_cmd_list)
 
+    known = ", ".join(registry.experiment_ids())
     run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
-    run_parser.add_argument("experiment", help="e1..e10, or 'all'")
-    run_parser.add_argument("--seed", type=int, default=0)
-    run_parser.add_argument("--out", help="directory to save tables into")
+    run_parser.add_argument("experiment", help=f"{known}, or 'all'")
+    run_parser.add_argument("--seed", type=int, default=0, help="single seed")
+    run_parser.add_argument(
+        "--seeds",
+        help="seed sweep, e.g. '0..9' or '0,3,7'; tables become mean±std",
+    )
+    run_parser.add_argument(
+        "--parallel", action="store_true",
+        help="run the seed sweep in worker processes",
+    )
+    run_parser.add_argument(
+        "--no-checks", action="store_true",
+        help="skip evaluating the spec's shape checks",
+    )
+    run_parser.add_argument(
+        "--out", help="directory to save tables and BENCH_<id>.json artifacts into"
+    )
     run_parser.add_argument(
         "--format", choices=("txt", "csv", "json"), default="txt",
-        help="file format for --out (default: txt)",
+        help="file format for --out tables (default: txt)",
     )
     run_parser.set_defaults(fn=_cmd_run)
 

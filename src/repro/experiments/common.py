@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.cdn.content import ContentCatalog, ContentItem
 from repro.core.context import SimContext
@@ -24,14 +24,38 @@ class ExperimentResult:
         name: Experiment id, e.g. ``"E4-oscillation"``.
         rows: One dict per configuration (mode, sweep point, ...).
         notes: Free-form provenance (seeds, durations).
+        counters: Allocation-engine counters accumulated across the
+            worlds behind the rows (see ``SimContext.allocation_counters``);
+            run-artifact provenance, never rendered in the table.
     """
 
     name: str
     rows: List[Dict[str, object]] = field(default_factory=list)
     notes: str = ""
+    counters: Dict[str, int] = field(default_factory=dict)
 
     def add_row(self, **values: object) -> None:
-        self.rows.append(dict(values))
+        """Append a row; keys starting with ``_`` are provenance, not data.
+
+        ``_counters`` (a mapping) is summed into :attr:`counters`; any
+        other underscore-prefixed key is dropped, so row producers can
+        attach metadata without widening the rendered table.
+        """
+        row: Dict[str, object] = {}
+        for key, value in values.items():
+            if key.startswith("_"):
+                if key == "_counters" and isinstance(value, Mapping):
+                    self.merge_counters(value)
+                continue
+            row[key] = value
+        self.rows.append(row)
+
+    def merge_counters(self, counters: Mapping[str, object]) -> None:
+        """Sum engine counters from one simulated world into the result."""
+        for key in sorted(counters):
+            value = counters[key]
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.counters[key] = self.counters.get(key, 0) + int(value)
 
     def row(self, **match: object) -> Dict[str, object]:
         """The first row whose items include all of ``match``."""
@@ -47,11 +71,7 @@ class ExperimentResult:
         """Render rows as an aligned text table (the bench output)."""
         if not self.rows:
             return f"== {self.name} ==\n(no rows)"
-        columns: List[str] = []
-        for row in self.rows:
-            for key in row:
-                if key not in columns:
-                    columns.append(key)
+        columns = self._columns()
         rendered = [
             [self._fmt(row.get(column, "")) for column in columns]
             for row in self.rows

@@ -22,6 +22,8 @@ from repro.core.damping import HysteresisGate
 from repro.core.infp import EonaInfP, StatusQuoInfP
 from repro.experiments import exp_e4_oscillation
 from repro.experiments.common import ExperimentResult, launch_video_sessions, qoe_of
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.video.qoe import summarize
 from repro.workloads.scenarios import build_oscillation_scenario
 
@@ -84,6 +86,7 @@ def run_partial_mode(
         "cdn_switches": summary["cdn_switches_per_session"],
         "buffering_ratio": summary["mean_buffering_ratio"],
         "engagement": summary["mean_engagement"],
+        "_counters": scenario.ctx.allocation_counters(),
     }
 
 
@@ -127,6 +130,7 @@ def run_full(
             cdn_switches=row["cdn_switches"],
             buffering_ratio=row["buffering_ratio"],
             engagement=row["engagement"],
+            _counters=row["_counters"],
         )
     return result
 
@@ -192,6 +196,7 @@ def run_te_damping(
             suppressed_changes=suppressed,
             buffering_ratio=summary["mean_buffering_ratio"],
             engagement=summary["mean_engagement"],
+            _counters=scenario.ctx.allocation_counters(),
         )
     return result
 
@@ -199,3 +204,55 @@ def run_te_damping(
 def run(seed: int = 0, **kwargs) -> ExperimentResult:
     """Headline table: the partial-coupling churn with damping ablation."""
     return run_partial(seed=seed, **kwargs)
+
+
+register(
+    ExperimentSpec(
+        exp_id="e10",
+        title="timescale coupling and damping ablation (§5)",
+        source="paper §5 new oscillations",
+        module=__name__,
+        variants=(
+            VariantSpec(
+                name="partial-coupling",
+                runner=run_partial,
+                checks=(
+                    # Faster legacy TE loop flaps more...
+                    check(
+                        "te_switches",
+                        {"te_period_s": 15.0, "damping": "off"},
+                        ">",
+                        of={"te_period_s": 120.0, "damping": "off"},
+                    ),
+                    # ...and damping suppresses the AppP-side churn.
+                    check(
+                        "cdn_switches",
+                        {"te_period_s": 45.0, "damping": "on"},
+                        "<",
+                        0.5,
+                        of={"te_period_s": 45.0, "damping": "off"},
+                    ),
+                ),
+            ),
+            VariantSpec(
+                name="full-eona",
+                runner=run_full,
+                row_key="te_period_s",
+                checks=(
+                    check("te_switches", "*", "<=", 3),
+                    check("cdn_switches", "*", "==", 0),
+                ),
+            ),
+            VariantSpec(
+                name="te-damping",
+                runner=run_te_damping,
+                row_key="te_damper",
+                checks=(
+                    check("te_switches", "adaptive", "<", 0.5, of="none"),
+                    check("suppressed_changes", "adaptive", ">", 0),
+                    check("engagement", "adaptive", ">=", of="none"),
+                ),
+            ),
+        ),
+    )
+)

@@ -24,6 +24,8 @@ from repro.core.infp import EonaInfP
 from repro.core.interfaces import QueryResult
 from repro.core.privacy import noise_numeric_fields
 from repro.experiments.common import ExperimentResult, launch_video_sessions, qoe_of
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.video.qoe import summarize
 from repro.workloads.scenarios import build_oscillation_scenario
 
@@ -123,6 +125,7 @@ def run_epsilon(
         "buffering_ratio": summary["mean_buffering_ratio"],
         "engagement": summary["mean_engagement"],
         "noised_queries": noised.noised_queries,
+        "_counters": scenario.ctx.allocation_counters(),
     }
 
 
@@ -138,3 +141,28 @@ def run(
     for epsilon in epsilons:
         result.add_row(**run_epsilon(epsilon, seed=seed, **kwargs))
     return result
+
+
+register(
+    ExperimentSpec(
+        exp_id="e11",
+        title="privacy blinding (Laplace noise on A2I demand) vs effectiveness (§4)",
+        source="paper §4 open question 2",
+        module=__name__,
+        variants=(
+            VariantSpec(
+                name="privacy",
+                runner=lambda seed: run(seed=seed, epsilons=(10.0, 1.0, 0.1, 0.02)),
+                row_key="epsilon",
+                checks=(
+                    # Light blinding preserves full EONA behaviour...
+                    check("te_switches", 1.0, "<=", 3),
+                    check("on_green_path", 1.0, "truthy"),
+                    # ...heavy blinding drowns the signal and churn returns.
+                    check("te_switches", 0.02, ">", of=1.0),
+                    check("buffering_ratio", 0.02, ">", of=1.0),
+                ),
+            ),
+        ),
+    )
+)

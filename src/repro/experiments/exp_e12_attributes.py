@@ -24,6 +24,8 @@ from typing import Dict
 from repro.core.appp import MultiIspEonaAppP, StatusQuoAppP
 from repro.core.infp import EonaInfP, StatusQuoInfP
 from repro.experiments.common import ExperimentResult, launch_video_sessions
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.video.qoe import summarize
 from repro.workloads.arrivals import flash_crowd_rate
 from repro.workloads.scenarios import build_two_isp_scenario
@@ -119,6 +121,7 @@ def run_config(
         "isp2_bitrate": summary_isp2["mean_bitrate_mbps"],
         "isp1_engagement": summary_isp1["mean_engagement"],
         "isp2_engagement": summary_isp2["mean_engagement"],
+        "_counters": scenario.ctx.allocation_counters(),
     }
 
 
@@ -130,3 +133,31 @@ def run(seed: int = 0, **kwargs) -> ExperimentResult:
     for config in ("status_quo", "eona_unscoped", "eona_scoped"):
         result.add_row(**run_config(config, seed=seed, **kwargs))
     return result
+
+
+register(
+    ExperimentSpec(
+        exp_id="e12",
+        title="why A2I carries the client-ISP attribute: scoped congestion response (§3)",
+        source="paper §3 attributes",
+        module=__name__,
+        variants=(
+            VariantSpec(
+                name="attributes",
+                runner=run,
+                row_key="config",
+                checks=(
+                    # The congestion response fixes ISP1 either way...
+                    check("isp1_buffering", "eona_scoped", "<", of="status_quo"),
+                    check("isp1_buffering", "eona_unscoped", "<", of="status_quo"),
+                    # ...but only scoping spares ISP2's viewers.
+                    check("isp2_bitrate", "eona_unscoped", "<", 0.5, of="status_quo"),
+                    check("isp2_bitrate", "eona_scoped", "==", of="status_quo"),
+                    check(
+                        "isp2_engagement", "eona_scoped", ">", of="eona_unscoped"
+                    ),
+                ),
+            ),
+        ),
+    )
+)

@@ -24,6 +24,8 @@ from typing import Dict
 from repro.core.appp import StatusQuoAppP
 from repro.core.controlplane import CoordinatedAppP
 from repro.experiments.common import ExperimentResult, launch_video_sessions
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.telemetry.timeline import TimelineProbe
 from repro.video.qoe import summarize
 from repro.workloads.scenarios import build_cdn_fault_scenario
@@ -98,6 +100,7 @@ def run_config(
             share_on_faulty_during / total_during if total_during > 0 else 0.0
         ),
         "migrations": getattr(policy, "migrations", 0),
+        "_counters": scenario.ctx.allocation_counters(),
     }
 
 
@@ -109,3 +112,31 @@ def run(seed: int = 0, **kwargs) -> ExperimentResult:
     for config in ("reactive", "coordinated"):
         result.add_row(**run_config(config, seed=seed, **kwargs))
     return result
+
+
+register(
+    ExperimentSpec(
+        exp_id="e13",
+        title="coordinated control plane (C3-style) vs per-session reaction (§1 trend 3)",
+        source="paper §1 trend 3; cite [36]",
+        module=__name__,
+        variants=(
+            VariantSpec(
+                name="controlplane",
+                runner=run,
+                row_key="config",
+                checks=(
+                    # Fleet steering evacuates the faulty CDN; per-session
+                    # reaction leaves most sessions suffering on it.
+                    check(
+                        "faulty_cdn_share_during_fault", "coordinated", "<", 0.15
+                    ),
+                    check("faulty_cdn_share_during_fault", "reactive", ">", 0.4),
+                    check("mean_bitrate_mbps", "coordinated", ">", of="reactive"),
+                    check("engagement", "coordinated", ">", of="reactive"),
+                    check("migrations", "coordinated", ">", 0),
+                ),
+            ),
+        ),
+    )
+)

@@ -19,6 +19,8 @@ from typing import Dict
 from repro.core.appp import EonaAppP, StatusQuoAppP
 from repro.core.infp import EonaInfP, StatusQuoInfP
 from repro.experiments.common import ExperimentResult, launch_video_sessions, qoe_of
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, VariantSpec, any_of, check
 from repro.video.qoe import summarize
 from repro.workloads.scenarios import build_oscillation_scenario
 
@@ -102,6 +104,7 @@ def run_config(
         "peerC_util_loaded": probe.get("c_util", 0.0),
         "split_active": bool(probe.get("split_active", False)),
         "engagement": summary["mean_engagement"],
+        "_counters": scenario.ctx.allocation_counters(),
     }
 
 
@@ -113,3 +116,38 @@ def run(seed: int = 0, **kwargs) -> ExperimentResult:
     for config in ("status_quo", "eona_single", "eona_split"):
         result.add_row(**run_config(config, seed=seed, **kwargs))
     return result
+
+
+register(
+    ExperimentSpec(
+        exp_id="e14",
+        title="traffic splits across peering points when no single egress fits (§4)",
+        source="paper §4 recipe, third knob",
+        module=__name__,
+        variants=(
+            VariantSpec(
+                name="splits",
+                runner=run,
+                row_key="config",
+                checks=(
+                    check("split_active", "eona_split", "truthy"),
+                    check(
+                        "mean_bitrate_mbps",
+                        "eona_split",
+                        ">",
+                        1.5,
+                        of="eona_single",
+                    ),
+                    check("peerB_util_loaded", "eona_split", ">", 0.5),
+                    check("peerC_util_loaded", "eona_split", ">", 0.5),
+                    # Single-egress placement strands one peering or the other.
+                    any_of(
+                        check("peerB_util_loaded", "eona_single", "<", 0.5),
+                        check("peerC_util_loaded", "eona_single", "<", 0.5),
+                    ),
+                    check("engagement", "eona_split", ">", of="eona_single"),
+                ),
+            ),
+        ),
+    )
+)

@@ -19,6 +19,8 @@ from repro.baselines.modes import Mode
 from repro.core.appp import EonaAppP, StatusQuoAppP
 from repro.core.infp import make_cdn_i2a
 from repro.experiments.common import ExperimentResult, launch_video_sessions, qoe_of
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.video.qoe import summarize
 from repro.workloads.scenarios import build_coarse_control_scenario
 
@@ -81,6 +83,7 @@ def run_mode(
         "traffic_retained_by_x": ended_on_x / max(1, len(players)),
         "origin_y_fetches": scenario.cdn_y.origin.fetches,
         "engagement": summary["mean_engagement"],
+        "_counters": scenario.ctx.allocation_counters(),
     }
 
 
@@ -93,3 +96,25 @@ def run(seed: int = 0, **kwargs) -> ExperimentResult:
     for mode in (Mode.STATUS_QUO, Mode.EONA):
         result.add_row(**run_mode(mode, seed=seed, **kwargs))
     return result
+
+
+register(
+    ExperimentSpec(
+        exp_id="e1",
+        title="coarse control: bad server, intra-CDN switch vs CDN switch (§2)",
+        source="paper §2, first bullet; Figure 1(b)",
+        module=__name__,
+        variants=(
+            VariantSpec(
+                name="coarse-control",
+                runner=run,
+                checks=(
+                    check("traffic_retained_by_x", "eona", ">", of="status_quo"),
+                    check("cdn_switches", "eona", "==", 0),
+                    check("origin_y_fetches", "eona", "==", 0),
+                    check("mean_bitrate_mbps", "eona", ">", of="status_quo"),
+                ),
+            ),
+        ),
+    )
+)

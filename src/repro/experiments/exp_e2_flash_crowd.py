@@ -20,6 +20,8 @@ from repro.baselines.oracle import OracleAppP
 from repro.core.appp import EonaAppP, StatusQuoAppP
 from repro.core.infp import EonaInfP, StatusQuoInfP
 from repro.experiments.common import ExperimentResult, launch_video_sessions, qoe_of
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.video.qoe import summarize
 from repro.workloads.arrivals import flash_crowd_rate
 from repro.workloads.scenarios import build_flash_crowd_scenario
@@ -111,6 +113,7 @@ def run_mode(
         "abandoned": sum(1 for q in qoes if q.abandoned),
         "access_utilization": access_stats.mean_utilization,
         "engagement": summary["mean_engagement"],
+        "_counters": ctx.allocation_counters(),
     }
 
 
@@ -183,6 +186,7 @@ def run_abr_ablation(
             if hasattr(policy, "stop"):
                 policy.stop()
             per_mode[mode] = summarize(qoe_of(players))
+            result.merge_counters(ctx.allocation_counters())
         quo, eona = per_mode[Mode.STATUS_QUO], per_mode[Mode.EONA]
         result.add_row(
             abr=abr_name,
@@ -227,3 +231,35 @@ def run(
     for mode in modes:
         result.add_row(**run_mode(mode, seed=seed, **kwargs))
     return result
+
+
+register(
+    ExperimentSpec(
+        exp_id="e2",
+        title="flash crowd behind congested access ISP (Figure 3)",
+        source="paper §2, second bullet; Figure 3",
+        module=__name__,
+        variants=(
+            VariantSpec(
+                name="flash-crowd",
+                runner=run,
+                checks=(
+                    check("buffering_ratio", "eona", "<", 0.6, of="status_quo"),
+                    check("mean_bitrate_mbps", "eona", "<=", of="status_quo"),
+                    check("cdn_switches", "eona", "==", 0),
+                    check("cdn_switches", "status_quo", ">", 0),
+                    check("buffering_ratio", "eona", "<", 1.5, of="oracle"),
+                ),
+            ),
+            VariantSpec(
+                name="abr-ablation",
+                runner=run_abr_ablation,
+                row_key="abr",
+                checks=(
+                    check("eona_benefit", "*", ">", 0),
+                    check("eona_engagement_gain", "*", ">", 0),
+                ),
+            ),
+        ),
+    )
+)

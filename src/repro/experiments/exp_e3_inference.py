@@ -17,6 +17,8 @@ import random
 from typing import Dict, List, Tuple
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.telemetry.inference import QoeInferenceModel, pageload_features
 from repro.web.browser import PageLoadRecord
 from repro.web.page import make_page
@@ -176,3 +178,41 @@ def run_volatility_sweep(
             detection_acc=inferred["bad_session_detection_acc"],
         )
     return result
+
+
+register(
+    ExperimentSpec(
+        exp_id="e3",
+        title="inferring web QoE from network features vs direct A2I (Figure 4)",
+        source="paper §2, third bullet; Figure 4",
+        module=__name__,
+        variants=(
+            VariantSpec(
+                name="inference",
+                runner=lambda seed: run(seed=seed, n_clients=10, n_pages_per_client=25),
+                row_key="method",
+                checks=(
+                    check("mae_s", "a2i_direct", "==", 0.0),
+                    check("spearman", "a2i_direct", "==", 1.0),
+                    check("mae_s", "network_inference", ">", 0.05),
+                    check("relative_mae", "network_inference", ">", 0.1),
+                    check("bad_session_detection_acc", "network_inference", "<", 1.0),
+                ),
+            ),
+            VariantSpec(
+                name="volatility-sweep",
+                runner=lambda seed: run_volatility_sweep(
+                    seed=seed,
+                    volatilities=(0.5, 1.0, 2.0),
+                    n_clients=8,
+                    n_pages_per_client=20,
+                ),
+                row_key="radio_volatility",
+                checks=(
+                    # Faster hidden-state dynamics degrade the proxy.
+                    check("mae_s", 2.0, ">=", 0.5, of=0.5),
+                ),
+            ),
+        ),
+    )
+)

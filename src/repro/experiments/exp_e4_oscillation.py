@@ -22,6 +22,8 @@ from repro.core.appp import EonaAppP, StatusQuoAppP
 from repro.core.damping import HysteresisGate
 from repro.core.infp import EonaInfP, StatusQuoInfP
 from repro.experiments.common import ExperimentResult, launch_video_sessions, qoe_of
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.video.qoe import summarize
 from repro.workloads.scenarios import build_oscillation_scenario
 
@@ -147,6 +149,7 @@ def run_mode(
         "loaded_egress": probed or "",
         "on_green_path": probed == "peerC",
         "engagement": summary["mean_engagement"],
+        "_counters": scenario.ctx.allocation_counters(),
     }
 
 
@@ -198,5 +201,42 @@ def run_switch_growth(
             eona_te_switches=eona["te_switches"],
             status_quo_cdn_switches=quo["cdn_switches"],
             eona_cdn_switches=eona["cdn_switches"],
+            _counters=quo["_counters"],
         )
+        result.merge_counters(eona["_counters"])
     return result
+
+
+register(
+    ExperimentSpec(
+        exp_id="e4",
+        title="CDN/peering control-loop oscillation (Figure 5)",
+        source="paper §2 interactions; Figure 5",
+        module=__name__,
+        variants=(
+            VariantSpec(
+                name="oscillation",
+                runner=run,
+                checks=(
+                    check("te_switches", "status_quo", ">=", 10),
+                    check("te_switches", "eona", "<=", 3),
+                    check("on_green_path", "eona", "truthy"),
+                    check("buffering_ratio", "eona", "<", of="status_quo"),
+                    check("te_switches", "oracle", "<=", 2),
+                ),
+            ),
+            VariantSpec(
+                name="switch-growth",
+                runner=lambda seed: run_switch_growth(
+                    seed=seed, horizons=(400.0, 800.0, 1200.0)
+                ),
+                row_key="horizon_s",
+                checks=(
+                    # Linear growth for status quo, flat for EONA.
+                    check("status_quo_te_switches", "@last", ">=", 2.0, of="@first"),
+                    check("eona_te_switches", "@last", "<=", of="@first", plus=1),
+                ),
+            ),
+        ),
+    )
+)

@@ -23,6 +23,8 @@ from typing import Dict, Optional
 from repro.core.appp import StatusQuoAppP
 from repro.core.infp import EnergyManager
 from repro.experiments.common import ExperimentResult, launch_video_sessions, qoe_of
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.video.qoe import summarize
 from repro.workloads.arrivals import diurnal_rate
 from repro.workloads.scenarios import build_energy_scenario
@@ -108,6 +110,7 @@ def run_policy(
         "mean_bitrate_mbps": summary["mean_bitrate_mbps"],
         "power_actions": len(manager.log),
         "engagement": summary["mean_engagement"],
+        "_counters": scenario.ctx.allocation_counters(),
     }
 
 
@@ -119,3 +122,28 @@ def run(seed: int = 0, **kwargs) -> ExperimentResult:
     for policy_name in ("conservative", "schedule", "eona"):
         result.add_row(**run_policy(policy_name, seed=seed, **kwargs))
     return result
+
+
+register(
+    ExperimentSpec(
+        exp_id="e5",
+        title="server energy saving with/without A2I feedback (§2, §5)",
+        source="paper §2 configuration changes; §5",
+        module=__name__,
+        variants=(
+            VariantSpec(
+                name="energy",
+                runner=run,
+                row_key="policy",
+                checks=(
+                    check("energy_saved_pct", "conservative", "==", 0.0),
+                    check("energy_saved_pct", "schedule", ">", 20.0),
+                    check("buffering_ratio", "schedule", ">", 5.0, of="eona"),
+                    check("energy_saved_pct", "eona", ">", 15.0),
+                    check("buffering_ratio", "eona", "<", 0.005),
+                    check("abandoned", "eona", "<=", of="schedule"),
+                ),
+            ),
+        ),
+    )
+)

@@ -18,6 +18,8 @@ from typing import Tuple
 from repro.baselines.modes import Mode
 from repro.experiments import exp_e2_flash_crowd, exp_e4_oscillation
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 
 
 def run(
@@ -31,6 +33,7 @@ def run(
         notes="EONA benefit in the Figure 3 world as I2A snapshots age",
     )
     baseline = exp_e2_flash_crowd.run_mode(Mode.STATUS_QUO, seed=seed, **kwargs)
+    result.merge_counters(baseline["_counters"])
     for period in refresh_periods:
         eona = exp_e2_flash_crowd.run_mode(
             Mode.EONA, seed=seed, i2a_refresh_s=period, **kwargs
@@ -49,6 +52,7 @@ def run(
                 else 0.0
             ),
             eona_bitrate=eona["mean_bitrate_mbps"],
+            _counters=eona["_counters"],
         )
     return result
 
@@ -73,5 +77,36 @@ def run_te_staleness(
             cdn_switches=eona["cdn_switches"],
             buffering_ratio=eona["buffering_ratio"],
             on_green_path=eona["on_green_path"],
+            _counters=eona["_counters"],
         )
     return result
+
+
+register(
+    ExperimentSpec(
+        exp_id="e6",
+        title="EONA benefit vs interface staleness (§5)",
+        source="paper §5 open challenges (staleness)",
+        module=__name__,
+        variants=(
+            VariantSpec(
+                name="staleness",
+                runner=run,
+                row_key="i2a_refresh_s",
+                checks=(
+                    check("relative_benefit", 2.0, ">", 0.4),
+                    check("relative_benefit", 90.0, "<", of=2.0),
+                ),
+            ),
+            VariantSpec(
+                name="te-staleness",
+                runner=run_te_staleness,
+                row_key="refresh_s",
+                checks=(
+                    check("te_switches", "*", "<=", 3),
+                    check("on_green_path", "*", "truthy"),
+                ),
+            ),
+        ),
+    )
+)

@@ -20,6 +20,8 @@ import time
 from typing import Dict, List, Tuple
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.network.flows import Flow
 from repro.network.maxmin import max_min_allocation
 from repro.network.topology import NodeKind, Topology
@@ -142,3 +144,72 @@ def run(
         row["kind"] = "allocator"
         result.add_row(**row)
     return result
+
+
+def run_aggregation_table(
+    seed: int = 0,
+    cardinalities: Tuple[int, ...] = (8, 200, 2000),
+    n_records: int = 100_000,
+) -> ExperimentResult:
+    """The canonical E7-aggregation sweep (the seed is unused: the
+    workload is synthetic and deterministic; only wall clock varies)."""
+    del seed
+    result = ExperimentResult(
+        name="E7-aggregation",
+        notes="windowed group-by throughput vs. attribute cardinality",
+    )
+    for cardinality in cardinalities:
+        result.add_row(
+            **measure_aggregation(
+                n_records=n_records, n_cdns=4, n_isps=max(1, cardinality // 4)
+            )
+        )
+    return result
+
+
+def run_allocator_table(
+    seed: int = 0,
+    flow_counts: Tuple[int, ...] = (100, 1000, 5000),
+) -> ExperimentResult:
+    """The canonical E7-allocator sweep (seed unused, as above)."""
+    del seed
+    result = ExperimentResult(
+        name="E7-allocator",
+        notes="max-min allocation cost vs. concurrent flows (50-link chain)",
+    )
+    for n_flows in flow_counts:
+        result.add_row(**measure_allocator(n_flows))
+    return result
+
+
+register(
+    ExperimentSpec(
+        exp_id="e7",
+        title="A2I analytics and allocator scalability (§5)",
+        source="paper §5 scalability",
+        module=__name__,
+        variants=(
+            VariantSpec(
+                name="aggregation",
+                runner=run_aggregation_table,
+                row_key="cardinality",
+                checks=(
+                    # Hash-grouping: sublinear degradation in cardinality,
+                    # and laptop-scale throughput well past the paper's
+                    # "tens of millions of sessions each day".
+                    check("records_per_sec", "@min", ">", 0.1, of="@max"),
+                    check("records_per_sec", "@min", ">", 30_000),
+                ),
+            ),
+            VariantSpec(
+                name="allocator",
+                runner=run_allocator_table,
+                row_key="n_flows",
+                checks=(
+                    check("allocated", "*", "==", of_column="n_flows"),
+                    check("alloc_wall_ms", "@last", "<", 1000.0),
+                ),
+            ),
+        ),
+    )
+)

@@ -28,6 +28,8 @@ from repro.experiments.common import (
     launch_video_sessions,
     qoe_of,
 )
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.network.topology import NodeKind, Topology
 from repro.sdn.te import EgressGroup
 from repro.video.qoe import engagement_score, summarize
@@ -159,6 +161,7 @@ def run_mode(
         "jain_sessions": fairness,
         "te_switches": infp.te.switch_count(),
         "split_across_peerings": bool(probe.get("split", False)),
+        "_counters": ctx.allocation_counters(),
     }
 
 
@@ -170,3 +173,26 @@ def run(seed: int = 0, **kwargs) -> ExperimentResult:
     for mode in (Mode.STATUS_QUO, Mode.EONA):
         result.add_row(**run_mode(mode, seed=seed, **kwargs))
     return result
+
+
+register(
+    ExperimentSpec(
+        exp_id="e8",
+        title="fairness across multiple AppPs (§5)",
+        source="paper §5 fairness and trust",
+        module=__name__,
+        variants=(
+            VariantSpec(
+                name="fairness",
+                runner=run,
+                checks=(
+                    check("heavy_engagement", "eona", ">=", of="status_quo"),
+                    check("light_engagement", "eona", ">=", of="status_quo"),
+                    check("jain_sessions", "eona", ">=", 0.95),
+                    check("split_across_peerings", "eona", "truthy"),
+                    check("te_switches", "eona", "<", of="status_quo"),
+                ),
+            ),
+        ),
+    )
+)

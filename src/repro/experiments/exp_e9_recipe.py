@@ -28,6 +28,8 @@ from repro.core.recipe import (
 )
 from repro.experiments import exp_e4_oscillation
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 
 #: Utility scores for recipe step 4 (in a real deployment these come
 #: from measured quality impact / information gain; here they encode
@@ -123,6 +125,7 @@ def run_width(
         "te_switches": infp.te.switch_count("cdnX"),
         "cdn_switches": summary["cdn_switches_per_session"],
         "engagement": summary["mean_engagement"],
+        "_counters": scenario.ctx.allocation_counters(),
     }
 
 
@@ -144,6 +147,7 @@ def run(
         mean_bitrate_mbps=quo["mean_bitrate_mbps"],
         te_switches=quo["te_switches"],
         engagement=quo["engagement"],
+        _counters=quo["_counters"],
     )
     for budget, spec in narrowed_specs(budgets):
         shared = sorted({name for name, _ in spec.shared_fields})
@@ -163,5 +167,33 @@ def run(
         mean_bitrate_mbps=oracle["mean_bitrate_mbps"],
         te_switches=oracle["te_switches"],
         engagement=oracle["engagement"],
+        _counters=oracle["_counters"],
     )
     return result
+
+
+register(
+    ExperimentSpec(
+        exp_id="e9",
+        title="interface narrowing recipe vs the oracle (§4)",
+        source="paper §4 recipe, step 4",
+        module=__name__,
+        variants=(
+            VariantSpec(
+                name="recipe",
+                runner=run,
+                row_key="config",
+                checks=(
+                    # A handful of fields captures the benefit...
+                    check("buffering_ratio", "narrow-1", "<", 0.2, of="status_quo"),
+                    check("te_switches", "narrow-1", "<=", 3),
+                    check("te_switches", "status_quo", ">", 3),
+                    # ...widening adds essentially nothing...
+                    check("buffering_ratio", "narrow-7", "<=", 1.5, of="narrow-1"),
+                    # ...and narrow-1 sits within noise of the oracle.
+                    check("engagement", "narrow-1", ">=", of="oracle", plus=-0.05),
+                ),
+            ),
+        ),
+    )
+)

@@ -51,17 +51,28 @@ def run_seeds(
 def aggregate_rows(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
     """Reduce rows to per-column mean and stddev.
 
-    Numeric columns become ``<name>_mean`` / ``<name>_std``; boolean
-    columns become the fraction true (``<name>_frac``); non-numeric
-    columns keep their value when it agrees across seeds, else the
-    sorted set of observed values joined with ``|`` (a run-dependent
-    label such as which egress a probe caught is data, not an error).
+    Columns are the stable-ordered union of keys across *all* rows
+    (first-seen order), so a column that only appears from some seed
+    onward is still aggregated rather than silently dropped; each
+    column reduces over the rows that actually carry it.  Keys starting
+    with ``_`` are per-row provenance (e.g. ``_counters``) and are
+    skipped.  Numeric columns become ``<name>_mean`` / ``<name>_std``;
+    boolean columns become the fraction true (``<name>_frac``);
+    non-numeric columns keep their value when it agrees across seeds,
+    else the sorted set of observed values joined with ``|`` (a
+    run-dependent label such as which egress a probe caught is data,
+    not an error).
     """
     if not rows:
         raise ValueError("need at least one row")
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if not key.startswith("_") and key not in columns:
+                columns.append(key)
     aggregated: Dict[str, object] = {"n_seeds": len(rows)}
-    for key in rows[0]:
-        values = [row.get(key) for row in rows]
+    for key in columns:
+        values = [row[key] for row in rows if key in row]
         if all(isinstance(v, bool) for v in values):
             aggregated[f"{key}_frac"] = sum(values) / len(values)
         elif all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in values):

@@ -1,0 +1,227 @@
+"""The experiment registry: discovery, lookup, and the run driver.
+
+Every ``exp_*`` module under :mod:`repro.experiments` registers its
+:class:`~repro.experiments.spec.ExperimentSpec` at import time;
+:func:`ensure_loaded` walks the package so nothing has to maintain an
+experiment list by hand.  :func:`run_experiment` is the one driver the
+CLI and the multiseed sweeps share: it runs every variant across the
+requested seeds (optionally in worker processes, via
+:func:`repro.experiments.multiseed.run_seeds`), evaluates the
+spec-declared shape checks per seed, aggregates multi-seed tables to
+mean±std, and returns the tables plus a provenance-stamped
+:class:`~repro.experiments.spec.RunArtifact`.
+"""
+
+from __future__ import annotations
+
+import functools
+import importlib
+import pkgutil
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import repro.experiments as _experiments_pkg
+from repro.experiments.common import ExperimentResult
+from repro.experiments.multiseed import aggregate_rows, run_seeds
+from repro.experiments.spec import ExperimentSpec, RunArtifact, VariantSpec
+
+_SPECS: Dict[str, ExperimentSpec] = {}
+_LOADED = False
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Register ``spec``; called at the bottom of every ``exp_*`` module.
+
+    Re-registration from the same module is idempotent (modules may be
+    re-imported); two modules claiming one id is a hard error.
+    """
+    existing = _SPECS.get(spec.exp_id)
+    if existing is not None and existing.module != spec.module:
+        raise ValueError(
+            f"experiment id {spec.exp_id!r} registered by both "
+            f"{existing.module} and {spec.module}"
+        )
+    _SPECS[spec.exp_id] = spec
+    return spec
+
+
+def ensure_loaded() -> None:
+    """Import every ``exp_*`` module so all specs are registered."""
+    global _LOADED
+    if _LOADED:
+        return
+    module_names = sorted(
+        info.name
+        for info in pkgutil.iter_modules(_experiments_pkg.__path__)
+        if info.name.startswith("exp_")
+    )
+    for name in module_names:
+        importlib.import_module(f"repro.experiments.{name}")
+    _LOADED = True
+
+
+def experiment_modules() -> List[str]:
+    """Dotted names of every discoverable ``exp_*`` module."""
+    return sorted(
+        f"repro.experiments.{info.name}"
+        for info in pkgutil.iter_modules(_experiments_pkg.__path__)
+        if info.name.startswith("exp_")
+    )
+
+
+def all_specs() -> List[ExperimentSpec]:
+    """Registered specs in experiment-number order."""
+    ensure_loaded()
+    return sorted(_SPECS.values(), key=lambda spec: (spec.order, spec.exp_id))
+
+
+def experiment_ids() -> List[str]:
+    return [spec.exp_id for spec in all_specs()]
+
+
+def get(exp_id: str) -> ExperimentSpec:
+    ensure_loaded()
+    try:
+        return _SPECS[exp_id]
+    except KeyError:
+        known = ", ".join(experiment_ids())
+        raise KeyError(f"unknown experiment {exp_id!r} (known: {known})") from None
+
+
+# ---------------------------------------------------------------------------
+# The run driver
+# ---------------------------------------------------------------------------
+
+
+def _variant_payload(
+    spec_ref: Union[str, ExperimentSpec],
+    variant_ref: Union[str, VariantSpec],
+    *,
+    seed: int,
+) -> Dict[str, object]:
+    """Picklable per-seed entry point handed to ``multiseed.run_seeds``.
+
+    For parallel sweeps the refs are strings, resolved against the
+    registry inside the worker process; serial callers may pass the
+    objects directly (which also lets unregistered specs run, e.g. in
+    tests).
+    """
+    spec = spec_ref if isinstance(spec_ref, ExperimentSpec) else get(spec_ref)
+    variant = (
+        variant_ref
+        if isinstance(variant_ref, VariantSpec)
+        else spec.variant(variant_ref)
+    )
+    result = variant.run(seed)
+    return {
+        "name": result.name,
+        "notes": result.notes,
+        "rows": result.rows,
+        "counters": result.counters,
+    }
+
+
+def _aggregate_result(
+    payloads: Sequence[Dict[str, object]], seeds: Sequence[int]
+) -> ExperimentResult:
+    """Mean±std table across per-seed payloads of one variant."""
+    row_counts = [len(payload["rows"]) for payload in payloads]  # type: ignore[arg-type]
+    if len(set(row_counts)) != 1:
+        raise ValueError(
+            f"{payloads[0]['name']}: row count varies across seeds "
+            f"({sorted(set(row_counts))}); cannot aggregate"
+        )
+    first = payloads[0]
+    notes = str(first["notes"])
+    aggregated = ExperimentResult(
+        name=str(first["name"]),
+        notes=(f"mean±std over seeds {list(seeds)}; " + notes).strip("; "),
+    )
+    for index in range(row_counts[0]):
+        per_seed = [payload["rows"][index] for payload in payloads]  # type: ignore[index]
+        aggregated.add_row(**aggregate_rows(per_seed))
+    return aggregated
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    seeds: Sequence[int],
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+    evaluate: bool = True,
+) -> Tuple[List[ExperimentResult], RunArtifact]:
+    """Run every variant of ``spec`` across ``seeds``.
+
+    Returns the displayable tables (one per variant: the single-seed
+    table, or the mean±std aggregate for multi-seed runs) and the
+    :class:`RunArtifact` recording provenance and per-seed check
+    outcomes.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    started = time.perf_counter()
+    tables: List[ExperimentResult] = []
+    artifact_tables: List[Dict[str, object]] = []
+    check_entries: List[Dict[str, object]] = []
+    counters: Dict[str, int] = {}
+    for variant in spec.variants:
+        if parallel:
+            payload_fn = functools.partial(
+                _variant_payload, spec.exp_id, variant.name
+            )
+        else:
+            payload_fn = functools.partial(_variant_payload, spec, variant)
+        payloads = run_seeds(
+            payload_fn, seeds, parallel=parallel, max_workers=max_workers
+        )
+        for seed, payload in zip(seeds, payloads):
+            for name in sorted(payload["counters"]):  # type: ignore[arg-type]
+                counters[name] = counters.get(name, 0) + payload["counters"][name]  # type: ignore[index]
+            if evaluate:
+                seed_result = ExperimentResult(
+                    name=str(payload["name"]),
+                    rows=list(payload["rows"]),  # type: ignore[arg-type]
+                    notes=str(payload["notes"]),
+                )
+                for outcome in variant.evaluate(seed_result):
+                    check_entries.append(
+                        {
+                            "variant": variant.name,
+                            "seed": seed,
+                            "check": outcome.check,
+                            "passed": outcome.passed,
+                            "detail": outcome.detail,
+                        }
+                    )
+        if len(seeds) == 1:
+            payload = payloads[0]
+            table = ExperimentResult(
+                name=str(payload["name"]),
+                rows=list(payload["rows"]),  # type: ignore[arg-type]
+                notes=str(payload["notes"]),
+            )
+            table.counters.update(payload["counters"])  # type: ignore[arg-type]
+        else:
+            table = _aggregate_result(payloads, seeds)
+        tables.append(table)
+        artifact_tables.append(
+            {
+                "variant": variant.name,
+                "name": table.name,
+                "notes": table.notes,
+                "rows": table.rows,
+            }
+        )
+    artifact = RunArtifact(
+        experiment=spec.exp_id,
+        title=spec.title,
+        source=spec.source,
+        module=spec.module,
+        seeds=[int(seed) for seed in seeds],
+        parallel=parallel,
+        wall_time_s=time.perf_counter() - started,
+        tables=artifact_tables,
+        checks=check_entries,
+        counters=counters,
+    )
+    return tables, artifact

@@ -57,6 +57,36 @@ class TestAggregation:
         with pytest.raises(ValueError):
             run_seeds(lambda seed: {}, [])
 
+    def test_union_of_keys_across_rows(self):
+        # A column appearing only from some seed onward must still be
+        # aggregated (over the rows that carry it), not dropped.
+        rows = [{"x": 1.0}, {"x": 3.0, "y": 10.0}]
+        out = aggregate_rows(rows)
+        assert out["x_mean"] == 2.0
+        assert out["y_mean"] == 10.0
+        assert out["y_std"] == 0.0
+
+    def test_column_order_is_first_seen(self):
+        rows = [{"a": 1.0, "b": 2.0}, {"c": 3.0, "a": 1.0}]
+        keys = list(aggregate_rows(rows))
+        assert keys.index("a_mean") < keys.index("b_mean") < keys.index("c_mean")
+
+    def test_mixed_type_column_falls_back_to_labels(self):
+        # int in one seed, string in another: not aggregatable as
+        # numbers, so it reduces like a label column.
+        out = aggregate_rows([{"v": 3}, {"v": "n/a"}])
+        assert out["v"] == "3|n/a"
+        assert "v_mean" not in out
+
+    def test_underscore_keys_skipped(self):
+        rows = [
+            {"x": 1.0, "_counters": {"solves": 5}},
+            {"x": 3.0, "_counters": {"solves": 7}},
+        ]
+        out = aggregate_rows(rows)
+        assert out["x_mean"] == 2.0
+        assert "_counters" not in out and "_counters_mean" not in out
+
 
 class TestParallelSeeds:
     def test_parallel_matches_serial_rows_exactly(self):

@@ -5,8 +5,8 @@ import random
 import pytest
 
 from repro.core.privacy import noise_numeric_fields
-from repro.experiments import exp_e11_privacy
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.experiments import exp_e11_privacy, registry
+from repro.cli import build_parser, main
 
 
 class TestNoiseNumericFields:
@@ -68,7 +68,7 @@ class TestE11Shape:
 
 class TestCli:
     def test_all_experiments_registered(self):
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 15)}
+        assert set(registry.experiment_ids()) == {f"e{i}" for i in range(1, 15)}
 
     def test_list_command(self, capsys):
         assert main(["list"]) == 0

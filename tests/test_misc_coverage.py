@@ -77,14 +77,25 @@ class TestPublicApiSurface:
             for exported in getattr(module, "__all__", []):
                 assert hasattr(module, exported), f"{name}.{exported}"
 
-    def test_cli_experiments_all_runnable_signatures(self):
-        """Each CLI runner is callable with just a seed (contract used
-        by `eona run all`)."""
+    def test_registered_variants_all_runnable_signatures(self):
+        """Each spec variant's runner is callable with just a seed (the
+        contract `eona run all` and the multiseed driver rely on)."""
         import inspect
 
-        from repro.cli import EXPERIMENTS
+        from repro.experiments import registry
 
-        for key, (description, runner) in EXPERIMENTS.items():
-            assert description
-            signature = inspect.signature(runner)
-            assert len(signature.parameters) == 1, key
+        for spec in registry.all_specs():
+            assert spec.title, spec.exp_id
+            for variant in spec.variants:
+                signature = inspect.signature(variant.runner)
+                required = [
+                    parameter
+                    for parameter in signature.parameters.values()
+                    if parameter.default is inspect.Parameter.empty
+                    and parameter.kind
+                    not in (
+                        inspect.Parameter.VAR_POSITIONAL,
+                        inspect.Parameter.VAR_KEYWORD,
+                    )
+                ]
+                assert len(required) <= 1, f"{spec.exp_id}/{variant.name}"
