@@ -57,19 +57,20 @@ DEFAULT_CONFIG_DICT: Dict[str, object] = {
     "layers": {
         "simkernel": [],
         "cdn": [],
-        "network": ["simkernel"],
-        "sdn": ["network", "simkernel"],
+        "obs": ["simkernel"],
+        "network": ["obs", "simkernel"],
+        "sdn": ["network", "obs", "simkernel"],
         "video": ["cdn", "network", "simkernel"],
         "web": ["cdn", "network", "simkernel"],
         "telemetry": ["simkernel", "video", "web"],
-        "core": ["cdn", "network", "sdn", "simkernel", "telemetry", "video"],
-        "workloads": ["cdn", "core", "network", "sdn", "simkernel", "web"],
+        "core": ["cdn", "network", "obs", "sdn", "simkernel", "telemetry", "video"],
+        "workloads": ["cdn", "core", "network", "obs", "sdn", "simkernel", "web"],
         "baselines": ["cdn", "core", "network", "sdn", "video"],
         "experiments": [
-            "baselines", "cdn", "core", "network", "sdn", "simkernel",
+            "baselines", "cdn", "core", "network", "obs", "sdn", "simkernel",
             "telemetry", "video", "web", "workloads",
         ],
-        "cli": ["analysis", "experiments"],
+        "cli": ["analysis", "experiments", "obs"],
         "analysis": [],
     },
     "rules": {
@@ -77,6 +78,7 @@ DEFAULT_CONFIG_DICT: Dict[str, object] = {
         "wall-clock": {"layers": list(SIM_LAYERS)},
         "float-eq": {"layers": ["network", "core"]},
         "no-print": {"exclude-layers": ["cli", "analysis"]},
+        "obs-hotpath": {"exclude-layers": ["obs"]},
     },
 }
 

@@ -29,6 +29,7 @@ def register(cls: Type[Rule]) -> Type[Rule]:
 from repro.analysis.rules import (  # noqa: E402  (registry must exist first)
     defaults,
     floateq,
+    hotpath,
     layering,
     ordering,
     printrule,
@@ -42,6 +43,7 @@ __all__ = [
     "register",
     "defaults",
     "floateq",
+    "hotpath",
     "layering",
     "ordering",
     "printrule",

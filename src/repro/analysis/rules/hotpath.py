@@ -1,0 +1,63 @@
+"""obs-hotpath: host-timer access is confined to the ``obs`` layer.
+
+The ``wall-clock`` rule bans *calling* host-clock readers inside sim
+layers; this rule goes one step further and bans even *importing* the
+:mod:`time` module (or its clock readers) anywhere outside
+``repro.obs``.  Every layer that legitimately needs wall time -- the
+experiment registry's run timing, e7's scalability measurements --
+routes through :func:`repro.obs.profile.wall_clock`, so a grep for host
+timers has exactly one layer to audit.  Scoped via
+``[tool.simlint.rules.obs-hotpath]`` with ``exclude-layers = ["obs"]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+from repro.analysis.rules import register
+
+#: ``from <module> import <name>`` pairs that smuggle in a host timer.
+_BANNED_FROM_IMPORTS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("time", "process_time_ns"),
+}
+
+
+@register
+class ObsHotpathRule(Rule):
+    id = "obs-hotpath"
+    description = (
+        "only the obs layer may import time/perf_counter; other layers "
+        "route wall-clock reads through repro.obs.profile.wall_clock"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".", 1)[0]
+                    if root == "time":
+                        yield ctx.finding(
+                            self.id,
+                            node,
+                            f"'import {alias.name}' outside the obs layer; "
+                            "use repro.obs.profile.wall_clock for host timing",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                for alias in node.names:
+                    if (module, alias.name) in _BANNED_FROM_IMPORTS:
+                        yield ctx.finding(
+                            self.id,
+                            node,
+                            f"'from {module} import {alias.name}' outside the "
+                            "obs layer; use repro.obs.profile.wall_clock",
+                        )

@@ -10,6 +10,8 @@ Examples::
     eona run e4
     eona run e2 --seeds 0..4 --parallel
     eona run all --seed 0 --out results/ --format json
+    eona trace e2 --seeds 0 --out traces/
+    eona profile e2 --seeds 0 --top 10
     eona lint
     eona lint src/repro/network --format json
 """
@@ -17,11 +19,23 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
 from repro.experiments import registry
 from repro.experiments.spec import seeds_arg
+
+
+def _version() -> str:
+    """Installed package version; pyproject's version for src-tree runs."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        return "1.0.0"
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -41,29 +55,40 @@ def _resolve_seeds(args: argparse.Namespace) -> List[int]:
     return [args.seed]
 
 
+def _resolve_specs(experiment: str) -> Optional[List[object]]:
+    if experiment == "all":
+        return list(registry.all_specs())
+    try:
+        return [registry.get(experiment)]
+    except KeyError:
+        print(
+            f"unknown experiment {experiment!r}; try 'eona list'",
+            file=sys.stderr,
+        )
+        return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    if args.experiment == "all":
-        specs = registry.all_specs()
-    else:
-        try:
-            specs = [registry.get(args.experiment)]
-        except KeyError:
-            print(
-                f"unknown experiment {args.experiment!r}; try 'eona list'",
-                file=sys.stderr,
-            )
-            return 2
+    specs = _resolve_specs(args.experiment)
+    if specs is None:
+        return 2
     seeds = _resolve_seeds(args)
     evaluate = not args.no_checks
+    # With --format json, stdout carries nothing but the run artifact(s)
+    # so the output can be piped; the human narration moves to stderr.
+    json_stdout = args.format == "json"
+    chatter = sys.stderr if json_stdout else sys.stdout
     failures = 0
+    artifacts = []
     for spec in specs:
-        print(f"\n### {spec.exp_id}: {spec.title}")
+        print(f"\n### {spec.exp_id}: {spec.title}", file=chatter)
         tables, artifact = registry.run_experiment(
             spec, seeds, parallel=args.parallel, evaluate=evaluate
         )
+        artifacts.append(artifact)
         for table in tables:
-            print()
-            print(table.table_str())
+            print(file=chatter)
+            print(table.table_str(), file=chatter)
             if args.out:
                 table.save(args.out, fmt=args.format)
         if evaluate:
@@ -72,19 +97,99 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(
                 f"\n({spec.exp_id}: {len(artifact.checks)} checks over seeds "
                 f"{artifact.seeds}, {len(failed)} failed; "
-                f"{artifact.wall_time_s:.1f}s wall clock)"
+                f"{artifact.wall_time_s:.1f}s wall clock)",
+                file=chatter,
             )
             for entry in failed:
                 print(
                     f"  FAIL [{entry['variant']} seed={entry['seed']}] "
-                    f"{entry['check']}: {entry['detail']}"
+                    f"{entry['check']}: {entry['detail']}",
+                    file=chatter,
                 )
         else:
-            print(f"\n({spec.exp_id} took {artifact.wall_time_s:.1f}s wall clock)")
+            print(
+                f"\n({spec.exp_id} took {artifact.wall_time_s:.1f}s wall clock)",
+                file=chatter,
+            )
         if args.out:
             path = artifact.save(args.out)
-            print(f"(run artifact: {path})")
+            print(f"(run artifact: {path})", file=chatter)
+    if json_stdout:
+        if len(artifacts) == 1:
+            print(artifacts[0].to_json())
+        else:
+            print(
+                json.dumps(
+                    [artifact.to_dict() for artifact in artifacts],
+                    indent=2,
+                    default=str,
+                )
+            )
     return 1 if failures else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run an experiment with the tracer enabled and report/emit the trace."""
+    from repro.obs.trace import TRACER
+
+    specs = _resolve_specs(args.experiment)
+    if specs is None:
+        return 2
+    seeds = _resolve_seeds(args)
+    status = 0
+    for spec in specs:
+        sink = None
+        if args.out:
+            sink = os.path.join(args.out, f"TRACE_{spec.exp_id}.jsonl")
+        TRACER.enable(capacity=args.capacity, sink=sink)
+        try:
+            # Serial on purpose: the tracer is per-process, and forked
+            # workers deliberately deactivate inherited tracers.
+            registry.run_experiment(spec, seeds, parallel=False, evaluate=False)
+        finally:
+            TRACER.disable()
+        counts = TRACER.kind_counts()
+        print(
+            f"{spec.exp_id}: {TRACER.emitted} events over seeds {seeds}",
+            file=sys.stderr,
+        )
+        for kind, count in counts.items():
+            print(f"  {count:>8}  {kind}", file=sys.stderr)
+        if sink is not None:
+            print(f"(trace: {sink})", file=sys.stderr)
+        else:
+            # No sink: the ring buffer's JSONL goes to stdout for piping.
+            sys.stdout.write(TRACER.to_jsonl())
+        if TRACER.emitted == 0:
+            print(f"{spec.exp_id}: trace is empty", file=sys.stderr)
+            status = 1
+        TRACER.close()
+    return status
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run an experiment under the handler profiler and print hot handlers."""
+    from repro.obs.profile import HandlerProfiler
+
+    specs = _resolve_specs(args.experiment)
+    if specs is None:
+        return 2
+    seeds = _resolve_seeds(args)
+    profiler = HandlerProfiler()
+    profiler.install()
+    try:
+        for spec in specs:
+            for variant in spec.variants:
+                with profiler.phase(f"{spec.exp_id}/{variant.name}"):
+                    for seed in seeds:
+                        variant.run(seed)
+    finally:
+        profiler.uninstall()
+    print(profiler.report(top=args.top))
+    if profiler.events == 0:
+        print("no events were dispatched under the profiler", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -101,6 +206,9 @@ def build_parser() -> argparse.ArgumentParser:
             "EONA (HotNets 2014) reproduction: run the per-figure "
             "experiments and print the tables they regenerate."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -133,6 +241,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="file format for --out tables (default: txt)",
     )
     run_parser.set_defaults(fn=_cmd_run)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="run an experiment with tracing on; JSONL to --out or stdout",
+    )
+    trace_parser.add_argument("experiment", help=f"{known}, or 'all'")
+    trace_parser.add_argument("--seed", type=int, default=0, help="single seed")
+    trace_parser.add_argument(
+        "--seeds", help="seed list, e.g. '0..4' or '0,3' (runs serially)"
+    )
+    trace_parser.add_argument(
+        "--out",
+        help="directory receiving TRACE_<id>.jsonl; omit to dump JSONL to stdout",
+    )
+    trace_parser.add_argument(
+        "--capacity", type=int, default=65536,
+        help="in-memory ring-buffer size (the sink gets every event)",
+    )
+    trace_parser.set_defaults(fn=_cmd_trace, parallel=False)
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="run an experiment under the event-handler wall-clock profiler",
+    )
+    profile_parser.add_argument("experiment", help=f"{known}, or 'all'")
+    profile_parser.add_argument("--seed", type=int, default=0, help="single seed")
+    profile_parser.add_argument(
+        "--seeds", help="seed list, e.g. '0..4' or '0,3' (runs serially)"
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=10, help="how many hot handlers to print"
+    )
+    profile_parser.set_defaults(fn=_cmd_profile, parallel=False)
 
     lint_parser = subparsers.add_parser(
         "lint",

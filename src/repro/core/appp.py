@@ -32,6 +32,7 @@ from repro.core.damping import HysteresisGate
 from repro.core.interfaces import LookingGlass
 from repro.core.registry import OptInRegistry
 from repro.core.schemas import DemandEstimate, QoeAggregate
+from repro.obs.trace import TRACER
 from repro.simkernel.kernel import Simulator
 from repro.telemetry.aggregate import GroupByAggregator
 from repro.telemetry.collector import Collector
@@ -144,6 +145,17 @@ class AppPController(PlayerPolicy):
                 server=server.server_id if server else "",
             )
         )
+        if TRACER.enabled:
+            # Session-end beacons are the A2I pipeline's input, so they
+            # count as a2i-report even in worlds with no A2I glass built.
+            TRACER.emit(
+                "a2i-report",
+                via="beacon",
+                owner=self.name,
+                session=player.session_id,
+                cdn=player.cdn.name if player.cdn else "",
+                isp=self.isp,
+            )
 
     # ------------------------------------------------------------------
     # A2I export
@@ -155,7 +167,7 @@ class AppPController(PlayerPolicy):
         k_anonymity: int = 1,
     ) -> LookingGlass:
         """Build this AppP's A2I looking glass (QoE + demand queries)."""
-        glass = LookingGlass(self.sim, owner=self.name, registry=registry)
+        glass = LookingGlass(self.sim, owner=self.name, registry=registry, kind="a2i")
         glass.register(
             "qoe_by_cdn",
             lambda: self._qoe_aggregates(k_anonymity),
@@ -236,6 +248,27 @@ class AppPController(PlayerPolicy):
         """React to sustained badness; returns whether an action was taken."""
         raise NotImplementedError
 
+    def _switch_cdn(self, player: AdaptivePlayer, target: Cdn, reason: str) -> bool:
+        """Switch ``player`` to ``target``, tracing successful switches.
+
+        All controller CDN-switch paths route through here so the
+        ``cdn-switch`` trace events carry a uniform shape (and the
+        policy's *reason* for the switch, which the raw player mechanics
+        cannot know).
+        """
+        previous = player.cdn.name if player.cdn else ""
+        switched = player.switch_cdn(target)
+        if switched and TRACER.enabled:
+            TRACER.emit(
+                "cdn-switch",
+                session=player.session_id,
+                from_cdn=previous,
+                to_cdn=target.name,
+                reason=reason,
+                policy=self.name,
+            )
+        return switched
+
     def _next_cdn(self, current: Cdn) -> Optional[Cdn]:
         """The next CDN in preference order with capacity, or None."""
         names = [cdn.name for cdn in self.cdns]
@@ -266,7 +299,7 @@ class StatusQuoAppP(AppPController):
         target = self._next_cdn(player.cdn)
         if target is None:
             return False
-        return player.switch_cdn(target)
+        return self._switch_cdn(player, target, reason="blackbox-react")
 
 
 class EonaAppP(AppPController):
@@ -454,7 +487,7 @@ class EonaAppP(AppPController):
             if not self.damper.allow(knob, current_score, current_score + 1.0):
                 return False
             self.damper.record_change(knob)
-        return player.switch_cdn(target)
+        return self._switch_cdn(player, target, reason="damped-last-resort")
 
     def on_chunk(self, player: AdaptivePlayer, record: ChunkRecord) -> None:
         super().on_chunk(player, record)

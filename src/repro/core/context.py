@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
 from repro.core.registry import OptInRegistry
 from repro.network.allocator import EngineConfig
+from repro.obs.trace import TRACER
 from repro.network.fluidsim import FluidNetwork
 from repro.network.topology import Topology
 from repro.simkernel.kernel import Simulator
@@ -98,6 +99,10 @@ def build_context(
         registry: Opt-in registry; a fresh empty one when omitted.
     """
     sim = Simulator(seed=seed)
+    # Trace events are stamped with the *newest* world's simulated time;
+    # experiments build and run worlds sequentially, so this is correct
+    # for every supported run shape (and free when tracing is off).
+    TRACER.bind_clock(lambda: sim.now)
     if topology is None:
         topology = Topology(name)
     if engine_config is None:

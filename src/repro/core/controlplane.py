@@ -163,7 +163,7 @@ class CoordinatedAppP(AppPController):
         )
         if gap < self.score_margin_mbps:
             return False
-        return player.switch_cdn(best)
+        return self._switch_cdn(player, best, reason="coordinated-fallback")
 
     # ------------------------------------------------------------------
     # the periodic global step
@@ -190,7 +190,7 @@ class CoordinatedAppP(AppPController):
                 continue
             if not best.has_capacity():
                 break
-            if player.switch_cdn(best):
+            if self._switch_cdn(player, best, reason="coordinated-migration"):
                 moved += 1
                 self.migrations += 1
 

@@ -244,7 +244,9 @@ class EonaInfP(StatusQuoInfP):
     # I2A export
     # ------------------------------------------------------------------
     def _make_i2a(self, refresh_period_s: float) -> LookingGlass:
-        glass = LookingGlass(self.sim, owner=self.name, registry=self.registry)
+        glass = LookingGlass(
+            self.sim, owner=self.name, registry=self.registry, kind="i2a"
+        )
         glass.register(
             "congestion", self.congestion_signals, refresh_period_s=refresh_period_s
         )
@@ -332,7 +334,7 @@ def make_cdn_i2a(
     refresh_period_s: float = 5.0,
 ) -> LookingGlass:
     """Build a CDN's I2A looking glass exporting server hints and load."""
-    glass = LookingGlass(sim, owner=cdn.name, registry=registry)
+    glass = LookingGlass(sim, owner=cdn.name, registry=registry, kind="i2a")
 
     def server_hints() -> List[dict]:
         return [

@@ -23,7 +23,11 @@ from typing import Any, Callable, Dict, List, Mapping
 from repro.core.privacy import blind_fields
 from repro.core.registry import Grant, OptInRegistry
 from repro.core.staleness import StaleView
+from repro.obs.trace import TRACER
 from repro.simkernel.kernel import Simulator
+
+#: LookingGlass ``kind`` -> trace event kind for served queries.
+_QUERY_EVENT_KIND = {"a2i": "a2i-report", "i2a": "i2a-hint"}
 
 
 @dataclass(frozen=True)
@@ -52,12 +56,18 @@ class LookingGlass:
         sim: Simulator (needed for staleness snapshots).
         owner: Provider name; grants are checked against it.
         registry: The shared opt-in registry.
+        kind: Which EONA interface this glass realizes (``"a2i"`` or
+            ``"i2a"``); served queries emit the matching trace event.
+            Empty (the default) for glasses outside the taxonomy.
     """
 
-    def __init__(self, sim: Simulator, owner: str, registry: OptInRegistry):
+    def __init__(
+        self, sim: Simulator, owner: str, registry: OptInRegistry, kind: str = ""
+    ):
         self.sim = sim
         self.owner = owner
         self.registry = registry
+        self.kind = kind
         self._handlers: Dict[str, Callable[..., Any]] = {}
         self._views: Dict[str, StaleView] = {}
         self.queries_served = 0
@@ -112,6 +122,17 @@ class LookingGlass:
         else:
             raw, age = self._handlers[query](**params), 0.0
         self.queries_served += 1
+        if TRACER.enabled:
+            event_kind = _QUERY_EVENT_KIND.get(self.kind)
+            if event_kind is not None:
+                TRACER.emit(
+                    event_kind,
+                    via="query",
+                    owner=self.owner,
+                    requester=requester,
+                    query=query,
+                    age_s=age,
+                )
         return QueryResult(query=query, payload=self._narrow(raw, grant), age_s=age)
 
     # ------------------------------------------------------------------

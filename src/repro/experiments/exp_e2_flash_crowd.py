@@ -24,7 +24,7 @@ from repro.experiments.registry import register
 from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.video.qoe import summarize
 from repro.workloads.arrivals import flash_crowd_rate
-from repro.workloads.scenarios import build_flash_crowd_scenario
+from repro.workloads.scenarios import build_flash_crowd_scenario, trace_phases
 
 
 def run_mode(
@@ -85,6 +85,9 @@ def run_mode(
         ramp_s=30.0,
         duration_s=60.0,
     )
+    # Mirrors the rate_fn parameters above: the crowd ramps at 30s,
+    # holds its peak from 60s, and decays after 120s.
+    trace_phases(sim, "flash-crowd", {"onset": 30.0, "peak": 60.0, "decay": 120.0})
     players = launch_video_sessions(
         ctx,
         catalog=scenario.catalog,

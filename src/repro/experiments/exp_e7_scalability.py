@@ -16,7 +16,6 @@ at laptop scale.
 from __future__ import annotations
 
 import math
-import time
 from typing import Dict, List, Tuple
 
 from repro.experiments.common import ExperimentResult
@@ -25,6 +24,7 @@ from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.network.flows import Flow
 from repro.network.maxmin import max_min_allocation
 from repro.network.topology import NodeKind, Topology
+from repro.obs.profile import wall_clock
 from repro.telemetry.aggregate import GroupByAggregator
 from repro.telemetry.records import SessionRecord
 
@@ -67,11 +67,11 @@ def measure_aggregation(
         group_keys=("cdn", "isp"),
         metrics=("buffering_ratio", "mean_bitrate_mbps"),
     )
-    start = time.perf_counter()
+    start = wall_clock()
     for record in records:
         aggregator.add(record)
     aggregator.flush()
-    elapsed = time.perf_counter() - start
+    elapsed = wall_clock() - start
     return {
         "n_records": n_records,
         "cardinality": n_cdns * n_isps,
@@ -111,9 +111,9 @@ def measure_allocator(n_flows: int, n_links: int = 50) -> Dict[str, object]:
                 demand_mbps=5.0 + (index % 7),
             )
         )
-    start = time.perf_counter()
+    start = wall_clock()
     rates = max_min_allocation(flows)
-    elapsed = time.perf_counter() - start
+    elapsed = wall_clock() - start
     return {
         "n_flows": n_flows,
         "n_links": n_links,

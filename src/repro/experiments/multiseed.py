@@ -13,11 +13,17 @@ import math
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.common import ExperimentResult
+from repro.obs.trace import TRACER
 
 RowFn = Callable[..., Dict[str, object]]
 
 
 def _run_one(row_fn: RowFn, kwargs: Dict[str, object], seed: int) -> Dict[str, object]:
+    # Worker-process entry point.  On fork-start platforms the worker
+    # inherits the parent's enabled tracer -- including its open sink
+    # handle; tracing must be opt-in per worker or the processes would
+    # interleave nondeterministically into one file.
+    TRACER.deactivate_inherited()
     return row_fn(seed=seed, **kwargs)
 
 

@@ -17,13 +17,14 @@ from __future__ import annotations
 import functools
 import importlib
 import pkgutil
-import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import repro.experiments as _experiments_pkg
 from repro.experiments.common import ExperimentResult
 from repro.experiments.multiseed import aggregate_rows, run_seeds
 from repro.experiments.spec import ExperimentSpec, RunArtifact, VariantSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import wall_clock
 
 _SPECS: Dict[str, ExperimentSpec] = {}
 _LOADED = False
@@ -159,7 +160,8 @@ def run_experiment(
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    started = time.perf_counter()
+    started = wall_clock()
+    metrics = MetricsRegistry()
     tables: List[ExperimentResult] = []
     artifact_tables: List[Dict[str, object]] = []
     check_entries: List[Dict[str, object]] = []
@@ -171,8 +173,12 @@ def run_experiment(
             )
         else:
             payload_fn = functools.partial(_variant_payload, spec, variant)
+        variant_started = wall_clock()
         payloads = run_seeds(
             payload_fn, seeds, parallel=parallel, max_workers=max_workers
+        )
+        metrics.histogram("run.variant_wall_s").observe(
+            wall_clock() - variant_started
         )
         for seed, payload in zip(seeds, payloads):
             for name in sorted(payload["counters"]):  # type: ignore[arg-type]
@@ -212,6 +218,16 @@ def run_experiment(
                 "rows": table.rows,
             }
         )
+    metrics.absorb(counters, prefix="alloc.")
+    metrics.gauge("run.seeds").set(len(seeds))
+    metrics.gauge("run.variants").set(len(spec.variants))
+    metrics.gauge("run.rows").set(
+        sum(len(table["rows"]) for table in artifact_tables)  # type: ignore[arg-type]
+    )
+    metrics.counter("run.checks_evaluated").inc(len(check_entries))
+    metrics.counter("run.checks_failed").inc(
+        sum(1 for entry in check_entries if not entry["passed"])
+    )
     artifact = RunArtifact(
         experiment=spec.exp_id,
         title=spec.title,
@@ -219,9 +235,10 @@ def run_experiment(
         module=spec.module,
         seeds=[int(seed) for seed in seeds],
         parallel=parallel,
-        wall_time_s=time.perf_counter() - started,
+        wall_time_s=wall_clock() - started,
         tables=artifact_tables,
         checks=check_entries,
         counters=counters,
+        metrics=metrics.snapshot(),
     )
     return tables, artifact

@@ -34,7 +34,10 @@ from typing import (
 
 from repro.experiments.common import ExperimentResult
 
-ARTIFACT_SCHEMA = "eona-run-artifact/1"
+ARTIFACT_SCHEMA = "eona-run-artifact/2"
+#: Older schemas :meth:`RunArtifact.from_dict` still reads.  ``/1``
+#: artifacts lack the ``metrics`` block, which loads as empty.
+COMPATIBLE_SCHEMAS = ("eona-run-artifact/1", ARTIFACT_SCHEMA)
 
 #: How a check names the row(s) it constrains (see :meth:`ShapeCheck`):
 #: a scalar is matched against the variant's ``row_key`` column, a
@@ -373,6 +376,7 @@ class RunArtifact:
     tables: List[Dict[str, object]] = field(default_factory=list)
     checks: List[Dict[str, object]] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
+    metrics: Dict[str, object] = field(default_factory=dict)
     provenance: Dict[str, object] = field(default_factory=run_provenance)
     schema: str = ARTIFACT_SCHEMA
 
@@ -397,6 +401,7 @@ class RunArtifact:
             "tables": self.tables,
             "checks": self.checks,
             "counters": self.counters,
+            "metrics": self.metrics,
             "provenance": self.provenance,
         }
 
@@ -406,7 +411,7 @@ class RunArtifact:
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "RunArtifact":
         schema = payload.get("schema")
-        if schema != ARTIFACT_SCHEMA:
+        if schema not in COMPATIBLE_SCHEMAS:
             raise ValueError(
                 f"unsupported artifact schema {schema!r} (want {ARTIFACT_SCHEMA!r})"
             )
@@ -421,7 +426,9 @@ class RunArtifact:
             tables=list(payload["tables"]),  # type: ignore[arg-type]
             checks=list(payload["checks"]),  # type: ignore[arg-type]
             counters=dict(payload["counters"]),  # type: ignore[arg-type]
+            metrics=dict(payload.get("metrics") or {}),  # type: ignore[arg-type]
             provenance=dict(payload["provenance"]),  # type: ignore[arg-type]
+            schema=str(schema),
         )
 
     @classmethod

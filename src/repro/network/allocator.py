@@ -38,6 +38,7 @@ from typing import Dict, Iterable, List, Optional, Set
 from repro.network.flows import Flow
 from repro.network.maxmin import max_min_allocation
 from repro.network.topology import Link
+from repro.obs.trace import TRACER
 
 
 @dataclass
@@ -249,6 +250,15 @@ class AllocationEngine:
         self._dirty_flows.clear()
         self._dirty_links.clear()
         self._refresh_changed_loads()
+        if TRACER.enabled:
+            # Noop solves are skipped: at one solve per network change
+            # they would dominate the trace with zero-information events.
+            TRACER.emit(
+                "allocator-solve",
+                mode=mode,
+                flows_solved=len(targets),
+                flows_active=total,
+            )
         return SolveResult(mode, new_rates, self._drain_changed())
 
     def active_flow_count(self) -> int:

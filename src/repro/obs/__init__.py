@@ -1,0 +1,39 @@
+"""Unified observability layer: tracing, metrics, and profiling.
+
+The simulator's three ad-hoc introspection mechanisms -- the allocation
+engine's :class:`~repro.network.allocator.EngineCounters`,
+``Simulator.events_executed``, and the per-row ``_counters`` convention
+-- answer "how much", but not "why did the AppP switch CDNs at t=412s"
+or "where does the wall time go".  This package adds the missing three
+views (DESIGN.md §9):
+
+* :mod:`repro.obs.trace` -- sim-time-stamped structured events from the
+  EONA control loops (A2I reports, I2A hints, CDN switches, reroutes,
+  allocator solves, scenario phases), process-global and inert by
+  default so a disabled tracer costs one attribute check on hot paths.
+* :mod:`repro.obs.metrics` -- a registry of counters, gauges, and
+  fixed-bucket histograms behind one ``snapshot() -> dict`` API, which
+  absorbs the legacy counter dicts and feeds the
+  ``eona-run-artifact/2`` ``metrics`` block.
+* :mod:`repro.obs.profile` -- wall-clock timing of event-handler
+  execution via the kernel's dispatch hook.  This is the only layer
+  allowed to read host timers; simlint's ``obs-hotpath`` rule enforces
+  that everything else routes timing through :func:`wall_clock`.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import HandlerProfiler, wall_clock
+from repro.obs.trace import TRACER, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HandlerProfiler",
+    "Histogram",
+    "MetricsRegistry",
+    "TRACER",
+    "Tracer",
+    "wall_clock",
+]

@@ -14,6 +14,7 @@ from typing import Dict, List, Set
 
 from repro.network.fluidsim import FluidNetwork
 from repro.network.routing import NoRouteError
+from repro.obs.trace import TRACER
 from repro.sdn.messages import FlowMod, FlowModCommand, Match
 from repro.sdn.switch import Switch
 
@@ -77,6 +78,16 @@ class SdnController:
             )
             sent += 1
         self.flow_mods_sent += sent
+        if TRACER.enabled:
+            TRACER.emit(
+                "infp-reroute",
+                owner=self.owner,
+                path=list(node_path),
+                group=match.group,
+                cookie=cookie,
+                priority=priority,
+                rules_sent=sent,
+            )
         return sent
 
     def remove_by_cookie(self, cookie: str) -> int:

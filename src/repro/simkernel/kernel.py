@@ -9,10 +9,14 @@ executing events, so the clock is exact and deterministic.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from repro.simkernel.events import EventHandle, EventQueue
 from repro.simkernel.rngstreams import RngStreams
+
+#: Signature of a dispatch hook: ``hook(now, fn, args)``.  The hook takes
+#: over execution of the event -- it must call ``fn(*args)`` itself.
+DispatchHook = Callable[[float, Callable[..., Any], Tuple[Any, ...]], None]
 
 
 class SimError(RuntimeError):
@@ -35,12 +39,18 @@ class Simulator:
         ['b', 'a']
     """
 
+    #: Hook copied onto new instances at construction.  The kernel knows
+    #: nothing about observers; ``repro.obs.profile`` installs its timing
+    #: hook here.  ``None`` (the default) keeps dispatch a direct call.
+    default_dispatch_hook: Optional[DispatchHook] = None
+
     def __init__(self, seed: int = 0) -> None:
         self._now = 0.0
         self._queue = EventQueue()
         self.rng = RngStreams(seed)
         self._events_executed = 0
         self._running = False
+        self._dispatch_hook: Optional[DispatchHook] = type(self).default_dispatch_hook
 
     @property
     def now(self) -> float:
@@ -99,6 +109,7 @@ class Simulator:
             raise SimError("run() called re-entrantly from within an event")
         self._running = True
         executed = 0
+        hook = self._dispatch_hook
         try:
             while True:
                 if max_events is not None and executed >= max_events:
@@ -114,7 +125,10 @@ class Simulator:
                 event = self._queue.pop()
                 assert event is not None
                 self._now = event.time
-                event.fn(*event.args)
+                if hook is None:
+                    event.fn(*event.args)
+                else:
+                    hook(self._now, event.fn, event.args)
                 self._events_executed += 1
                 executed += 1
         finally:

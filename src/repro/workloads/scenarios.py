@@ -25,6 +25,7 @@ from repro.core.context import SimContext, build_context
 from repro.core.registry import OptInRegistry
 from repro.network.fluidsim import FluidNetwork
 from repro.network.topology import NodeKind, Topology
+from repro.obs.trace import TRACER
 from repro.simkernel.kernel import Simulator
 from repro.sdn.te import EgressGroup
 from repro.web.browser import Browser
@@ -368,14 +369,31 @@ class CdnFaultScenario:
     def schedule_fault(self, degraded_mbps: float = 10.0) -> None:
         """Arm the capacity fault and recovery on CDN 1's uplink."""
         healthy = self.topology.link(self.cdn1_uplink).capacity_mbps
-        self.sim.schedule_at(
-            self.fault_at_s,
-            lambda: self.network.set_link_capacity(self.cdn1_uplink, degraded_mbps),
-        )
-        self.sim.schedule_at(
-            self.recover_at_s,
-            lambda: self.network.set_link_capacity(self.cdn1_uplink, healthy),
-        )
+
+        def fault() -> None:
+            self.network.set_link_capacity(self.cdn1_uplink, degraded_mbps)
+            if TRACER.enabled:
+                TRACER.emit(
+                    "phase-transition",
+                    scenario="cdn-fault",
+                    phase="fault",
+                    link=self.cdn1_uplink,
+                    capacity_mbps=degraded_mbps,
+                )
+
+        def recover() -> None:
+            self.network.set_link_capacity(self.cdn1_uplink, healthy)
+            if TRACER.enabled:
+                TRACER.emit(
+                    "phase-transition",
+                    scenario="cdn-fault",
+                    phase="recover",
+                    link=self.cdn1_uplink,
+                    capacity_mbps=healthy,
+                )
+
+        self.sim.schedule_at(self.fault_at_s, fault)
+        self.sim.schedule_at(self.recover_at_s, recover)
 
 
 def build_cdn_fault_scenario(
@@ -426,6 +444,28 @@ def build_cdn_fault_scenario(
         recover_at_s=recover_at_s,
         ctx=ctx,
     )
+
+
+def trace_phases(
+    sim: Simulator, scenario: str, transitions: Dict[str, float]
+) -> None:
+    """Schedule ``phase-transition`` trace events for a scenario's arc.
+
+    Called by experiments whose phase structure lives in arrival-rate
+    shapes rather than scheduled topology changes (e.g. the flash
+    crowd's onset/peak/decay).  Only schedules anything when tracing is
+    already enabled, so untraced runs keep an event history identical
+    to a build that never called this -- the determinism contract.
+    """
+    if not TRACER.enabled:
+        return
+
+    def emit_phase(phase: str) -> None:
+        if TRACER.enabled:
+            TRACER.emit("phase-transition", scenario=scenario, phase=phase)
+
+    for phase in sorted(transitions, key=lambda name: (transitions[name], name)):
+        sim.schedule_at(transitions[phase], emit_phase, phase)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,11 @@
+"""Fixture: imports the time module inside a sim layer.
+
+``time.sleep`` is not a clock *reader*, so the wall-clock rule stays
+silent -- only obs-hotpath should flag this file (once, for the import).
+"""
+
+import time
+
+
+def backoff() -> None:
+    time.sleep(0.1)

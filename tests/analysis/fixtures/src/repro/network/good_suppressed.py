@@ -1,6 +1,6 @@
 """Fixture: violations disarmed by inline suppressions -> zero findings."""
 
-import time
+import time  # simlint: ignore[obs-hotpath]
 
 
 def stamp() -> float:

@@ -64,4 +64,4 @@ def test_discover_walks_up_to_nearest_pyproject() -> None:
 def test_allowed_imports_for_undeclared_layer_is_none() -> None:
     config = SimlintConfig.default()
     assert config.allowed_imports("nonexistent") is None
-    assert config.allowed_imports("network") == frozenset({"simkernel"})
+    assert config.allowed_imports("network") == frozenset({"obs", "simkernel"})

@@ -1,0 +1,18 @@
+"""Keep the process-global tracer and kernel hook clean between tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import TRACER
+from repro.simkernel.kernel import Simulator
+
+
+@pytest.fixture(autouse=True)
+def _clean_observability():
+    """The tracer and dispatch hook are process-global; never leak state."""
+    TRACER.close()
+    Simulator.default_dispatch_hook = None
+    yield
+    TRACER.close()
+    Simulator.default_dispatch_hook = None

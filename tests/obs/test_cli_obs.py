@@ -1,0 +1,171 @@
+"""CLI observability surfaces: --version, trace, profile, JSON stdout."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.context import build_context
+from repro.experiments import registry
+from repro.experiments.common import ExperimentResult
+from repro.experiments.spec import ExperimentSpec, VariantSpec
+from repro.network.topology import NodeKind, Topology
+
+
+def _mini_runner(seed: int) -> ExperimentResult:
+    """A real (but tiny) simulated world so instrumentation fires."""
+    topo = Topology("mini")
+    topo.add_node("a", NodeKind.SERVER)
+    topo.add_node("b", NodeKind.CLIENT)
+    topo.add_link("a", "b", 10.0, delay_ms=1)
+    ctx = build_context(topology=topo, seed=seed)
+    rng = ctx.rng.get("sizes")
+    for _ in range(4):
+        ctx.network.start_transfer("a", "b", size_mbit=rng.uniform(1.0, 20.0))
+    ctx.run(until=60.0)
+    ctx.network.sync()
+    result = ExperimentResult(name="E99-mini", notes=f"seed={seed}")
+    result.add_row(
+        mode="mini",
+        completed=float(ctx.network.completed_transfers),
+        _counters=ctx.allocation_counters(),
+    )
+    return result
+
+
+def _idle_runner(seed: int) -> ExperimentResult:
+    """A world where nothing happens: no events, no trace."""
+    result = ExperimentResult(name="E99-idle")
+    result.add_row(mode="idle", completed=0.0)
+    return result
+
+
+MINI_SPEC = ExperimentSpec(
+    exp_id="e99",
+    title="synthetic mini world",
+    source="tests",
+    module=__name__,
+    variants=(VariantSpec(name="mini", runner=_mini_runner),),
+)
+
+IDLE_SPEC = ExperimentSpec(
+    exp_id="e98",
+    title="synthetic idle world",
+    source="tests",
+    module=__name__,
+    variants=(VariantSpec(name="idle", runner=_idle_runner),),
+)
+
+
+@pytest.fixture
+def synthetic_registry(monkeypatch):
+    specs = {spec.exp_id: spec for spec in (MINI_SPEC, IDLE_SPEC)}
+
+    def fake_get(exp_id: str) -> ExperimentSpec:
+        try:
+            return specs[exp_id]
+        except KeyError:
+            raise KeyError(exp_id)
+
+    monkeypatch.setattr(registry, "get", fake_get)
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("eona ")
+        assert out.strip().split()[-1][0].isdigit()
+
+
+class TestUnknownExperiment:
+    def test_unknown_id_is_rc2(self, capsys):
+        assert main(["trace", "e77777"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_trace_to_out_directory(self, synthetic_registry, tmp_path, capsys):
+        out = tmp_path / "traces"
+        rc = main(["trace", "e99", "--seeds", "0", "--out", str(out)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        sink = out / "TRACE_e99.jsonl"
+        lines = sink.read_text().splitlines()
+        assert lines  # instrumented mini world emitted events
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "allocator-solve" in kinds
+        # Summary goes to stderr; stdout stays empty in --out mode.
+        assert "events over seeds" in captured.err
+        assert captured.out == ""
+
+    def test_trace_stdout_is_pure_jsonl(self, synthetic_registry, capsys):
+        rc = main(["trace", "e99", "--seeds", "0"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        lines = captured.out.splitlines()
+        assert lines
+        for line in lines:
+            event = json.loads(line)
+            assert "t" in event and "kind" in event
+
+    def test_trace_is_deterministic_across_runs(
+        self, synthetic_registry, tmp_path, capsys
+    ):
+        for name in ("first", "second"):
+            assert (
+                main(["trace", "e99", "--seeds", "0", "--out", str(tmp_path / name)])
+                == 0
+            )
+        capsys.readouterr()
+        first = (tmp_path / "first" / "TRACE_e99.jsonl").read_bytes()
+        second = (tmp_path / "second" / "TRACE_e99.jsonl").read_bytes()
+        assert first == second
+
+    def test_empty_trace_is_rc1(self, synthetic_registry, capsys):
+        rc = main(["trace", "e98", "--seeds", "0"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "trace is empty" in captured.err
+
+
+class TestProfileCommand:
+    def test_profile_reports_handlers(self, synthetic_registry, capsys):
+        rc = main(["profile", "e99", "--seeds", "0", "--top", "5"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "handler" in captured.out
+        assert "e99/mini" in captured.out  # phase totals by exp/variant
+
+    def test_profile_with_no_events_is_rc1(self, synthetic_registry, capsys):
+        rc = main(["profile", "e98", "--seeds", "0"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "no events" in captured.err
+
+
+class TestRunJsonStdout:
+    def test_json_format_emits_pure_json_on_stdout(
+        self, synthetic_registry, capsys
+    ):
+        rc = main(["run", "e99", "--seeds", "0", "--no-checks", "--format", "json"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        artifact = json.loads(captured.out)  # whole stdout is one document
+        assert artifact["schema"] == "eona-run-artifact/2"
+        assert set(artifact["metrics"]) == {"counters", "gauges", "histograms"}
+        assert artifact["metrics"]["gauges"]["run.seeds"] == 1.0
+        # The human narration still happened -- on stderr.
+        assert "e99" in captured.err
+
+    def test_txt_format_keeps_stdout_human(self, synthetic_registry, capsys):
+        rc = main(["run", "e99", "--seeds", "0", "--no-checks"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "E99-mini" in captured.out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(captured.out)

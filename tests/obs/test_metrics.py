@@ -1,0 +1,131 @@
+"""Metrics registry: counters, gauges, histogram bucketing, snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    WALL_SECONDS_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestPrimitives:
+    def test_counter_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_histogram_requires_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+
+    def test_histogram_rejects_unsorted_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", (2.0, 1.0))
+
+    def test_histogram_bucketing(self):
+        hist = Histogram("h", (1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 11.0):
+            hist.observe(value)
+        # counts[i] counts observations <= edges[i]; last slot overflows.
+        assert hist.counts == [2, 2, 1]
+        assert hist.total == 5
+        assert hist.sum == pytest.approx(27.5)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_histogram_edge_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", (1.0, 3.0))
+
+    def test_default_histogram_edges(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h").edges == WALL_SECONDS_EDGES
+
+    def test_counter_value_lookup(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("missing") is None
+        registry.counter("x").inc(2)
+        assert registry.counter_value("x") == 2
+
+    def test_absorb_prefixes_and_skips_non_numeric(self):
+        registry = MetricsRegistry()
+        registry.absorb(
+            {"solve_calls": 3, "label": "noop", "flag": True, "ratio": 2.9},
+            prefix="alloc.",
+        )
+        assert registry.counter_value("alloc.solve_calls") == 3
+        assert registry.counter_value("alloc.ratio") == 2  # int() truncation
+        assert registry.counter_value("alloc.label") is None
+        assert registry.counter_value("alloc.flag") is None
+
+    def test_absorb_accumulates_across_calls(self):
+        registry = MetricsRegistry()
+        registry.absorb({"n": 1})
+        registry.absorb({"n": 2})
+        assert registry.counter_value("n") == 3
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("run.rows").inc(4)
+        registry.gauge("run.seeds").set(2)
+        registry.histogram("run.variant_wall_s", (1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"run.rows": 4}
+        assert snap["gauges"] == {"run.seeds": 2.0}
+        assert snap["histograms"] == {
+            "run.variant_wall_s": {
+                "edges": [1.0],
+                "counts": [1, 0],
+                "total": 1,
+                "sum": 0.5,
+            }
+        }
+
+    def test_snapshot_is_sorted_and_json_stable(self):
+        def build() -> MetricsRegistry:
+            registry = MetricsRegistry()
+            for name in ("zeta", "alpha", "mid"):
+                registry.counter(name).inc()
+                registry.gauge(name).set(1.0)
+            return registry
+
+        a, b = build().snapshot(), build().snapshot()
+        assert list(a["counters"]) == ["alpha", "mid", "zeta"]
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_empty_snapshot(self):
+        assert MetricsRegistry().snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

@@ -1,0 +1,148 @@
+"""Timeline and stream-store edge cases: empty, NaN, out-of-order."""
+
+import math
+
+import pytest
+
+from repro.telemetry.aggregate import AggregateRow
+from repro.telemetry.streamdb import TimeSeriesStore
+from repro.telemetry.timeline import TimelineProbe, TimelineSample
+
+
+def _row(window_start, group=("x",), count=5, mean=0.1):
+    return AggregateRow(
+        window_start=window_start,
+        window_s=10.0,
+        group=group,
+        count=count,
+        means={"m": mean},
+        mins={"m": mean},
+        maxs={"m": mean},
+        variances={"m": 0.0},
+    )
+
+
+class TestTimelineEmpty:
+    def test_unsampled_probe_is_empty(self, sim):
+        probe = TimelineProbe(sim, {"c": lambda: 1.0}, period_s=10.0)
+        # The sim never runs: no samples, and every reducer has a
+        # well-defined empty answer instead of a ZeroDivisionError.
+        assert probe.times() == []
+        assert probe.series("c") == []
+        assert probe.mean("c") == 0.0
+        assert probe.changes("c") == 0
+        assert probe.window_mean("c", 0.0, 100.0) == 0.0
+        assert probe.to_rows() == []
+
+    def test_unknown_metric_raises(self, sim):
+        probe = TimelineProbe(sim, {"c": lambda: 1.0}, period_s=10.0)
+        with pytest.raises(KeyError):
+            probe.series("missing")
+        with pytest.raises(KeyError):
+            probe.mean("missing")
+
+
+class TestTimelineNaN:
+    def test_mean_skips_nan_samples(self, sim):
+        values = iter([1.0, float("nan"), 3.0])
+        probe = TimelineProbe(sim, {"m": lambda: next(values)}, period_s=10.0)
+        sim.run(until=35.0)
+        series = probe.series("m")
+        assert len(series) == 3 and math.isnan(series[1])
+        assert probe.mean("m") == 2.0  # NaN dropped, not averaged in
+
+    def test_window_mean_skips_nan_and_respects_bounds(self, sim):
+        values = iter([1.0, float("nan"), 5.0, 100.0])
+        probe = TimelineProbe(sim, {"m": lambda: next(values)}, period_s=10.0)
+        sim.run(until=45.0)
+        # Samples at t=10,20,30,40; the window is half-open [10, 40).
+        assert probe.window_mean("m", 10.0, 40.0) == 3.0
+        assert probe.window_mean("m", 100.0, 200.0) == 0.0
+
+    def test_all_nan_mean_is_zero(self, sim):
+        probe = TimelineProbe(sim, {"m": lambda: float("nan")}, period_s=10.0)
+        sim.run(until=25.0)
+        assert probe.mean("m") == 0.0
+
+
+class TestTimelineChanges:
+    def test_changes_within_tolerance_ignored(self, sim):
+        values = iter([1.0, 1.0 + 1e-12, 2.0, 2.0])
+        probe = TimelineProbe(sim, {"m": lambda: next(values)}, period_s=10.0)
+        sim.run(until=45.0)
+        assert probe.changes("m") == 1
+        assert probe.changes("m", tolerance=0.0) == 2
+
+    def test_to_rows_stride(self, sim):
+        probe = TimelineProbe(sim, {"m": lambda: sim.now}, period_s=10.0)
+        sim.run(until=65.0)
+        rows = probe.to_rows(stride=3)
+        assert [row["time"] for row in rows] == [10.0, 40.0]
+
+    def test_sample_value_default(self):
+        sample = TimelineSample(time=0.0, values={"m": 1.0})
+        assert sample.value("missing") == 0.0
+        assert sample.value("missing", default=-1.0) == -1.0
+
+
+class TestStoreEmpty:
+    def test_empty_store_queries(self):
+        store = TimeSeriesStore()
+        assert store.groups() == []
+        assert store.latest(("x",)) is None
+        assert store.series(("x",)) == []
+        assert store.mean_over(("x",), "m") is None
+        assert store.scan(where=lambda group: True) == []
+        assert store.rows_stored == 0
+
+    def test_retention_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimeSeriesStore(retention_rows=0)
+        with pytest.raises(ValueError):
+            TimeSeriesStore(retention_rows=-3)
+
+    def test_zero_count_windows_mean_is_none(self):
+        store = TimeSeriesStore()
+        store.append(_row(0.0, count=0))
+        store.append(_row(10.0, count=0))
+        # Rows exist but aggregate nothing: no mean, not a 0/0 crash.
+        assert store.mean_over(("x",), "m", last_n=2) is None
+
+
+class TestStoreOutOfOrder:
+    def test_out_of_order_inserts_keep_arrival_order(self):
+        store = TimeSeriesStore()
+        store.append(_row(20.0, mean=0.2))
+        store.append(_row(0.0, mean=0.0))  # late window arrives after
+        store.append(_row(10.0, mean=0.1))
+        series = store.series(("x",))
+        # The store is append-only: arrival order is preserved, and
+        # ``latest`` means latest *arrival*, not max window_start.
+        assert [row.window_start for row in series] == [20.0, 0.0, 10.0]
+        assert store.latest(("x",)).window_start == 10.0
+
+    def test_since_filters_by_window_start_not_position(self):
+        store = TimeSeriesStore()
+        store.append(_row(20.0))
+        store.append(_row(0.0))
+        store.append(_row(10.0))
+        kept = store.series(("x",), since=10.0)
+        assert [row.window_start for row in kept] == [20.0, 10.0]
+
+    def test_retention_evicts_by_arrival_order(self):
+        store = TimeSeriesStore(retention_rows=2)
+        store.append(_row(30.0))
+        store.append(_row(0.0))
+        store.append(_row(20.0))
+        series = store.series(("x",))
+        assert [row.window_start for row in series] == [0.0, 20.0]
+        assert store.rows_stored == 3  # the counter is lifetime appends
+
+    def test_groups_are_isolated(self):
+        store = TimeSeriesStore(retention_rows=1)
+        store.append(_row(0.0, group=("a",)))
+        store.append(_row(10.0, group=("b",)))
+        store.append(_row(20.0, group=("a",)))
+        assert store.latest(("a",)).window_start == 20.0
+        assert store.latest(("b",)).window_start == 10.0
+        assert sorted(store.groups()) == [("a",), ("b",)]
