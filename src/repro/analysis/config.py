@@ -49,6 +49,7 @@ SIM_LAYERS: Tuple[str, ...] = (
     "telemetry",
     "workloads",
     "baselines",
+    "faults",
 )
 
 #: Built-in policy, kept in sync with ``[tool.simlint]`` in pyproject.toml.
@@ -66,11 +67,12 @@ DEFAULT_CONFIG_DICT: Dict[str, object] = {
         "core": ["cdn", "network", "obs", "sdn", "simkernel", "telemetry", "video"],
         "workloads": ["cdn", "core", "network", "obs", "sdn", "simkernel", "web"],
         "baselines": ["cdn", "core", "network", "sdn", "video"],
+        "faults": ["core", "network", "obs", "simkernel"],
         "experiments": [
-            "baselines", "cdn", "core", "network", "obs", "sdn", "simkernel",
-            "telemetry", "video", "web", "workloads",
+            "baselines", "cdn", "core", "faults", "network", "obs", "sdn",
+            "simkernel", "telemetry", "video", "web", "workloads",
         ],
-        "cli": ["analysis", "experiments", "obs"],
+        "cli": ["analysis", "experiments", "faults", "obs"],
         "analysis": [],
     },
     "rules": {

@@ -192,6 +192,55 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """List registered fault plans; describe or apply one by name."""
+    from repro.faults import get_plan, named_plans
+
+    registry.all_specs()  # importing the experiments registers their plans
+    target = args.target
+    if target is not None:
+        try:
+            named = get_plan(target)
+        except KeyError:
+            named = None
+        if named is not None:
+            plan = named.factory()
+            print(plan.describe())
+            if args.apply:
+                if named.apply is None:
+                    print(
+                        f"plan {named.name!r} has no canonical applier",
+                        file=sys.stderr,
+                    )
+                    return 2
+                counters = named.apply(plan)
+                print()
+                for key in sorted(counters):
+                    print(f"  {counters[key]:>8}  {key}")
+            return 0
+        if args.apply:
+            print(f"--apply needs a plan name, got {target!r}", file=sys.stderr)
+            return 2
+    plans = named_plans(target)
+    if not plans:
+        known = ", ".join(plan.name for plan in named_plans())
+        print(
+            f"no fault plans registered under {target!r}"
+            + (f" (known plans: {known})" if known else ""),
+            file=sys.stderr,
+        )
+        return 2
+    width = max(len(plan.name) for plan in plans)
+    for named in plans:
+        events = len(named.factory())
+        owner = named.experiment or "-"
+        print(
+            f"  {named.name.ljust(width)}  [{owner}] {events} events"
+            + (f" -- {named.description}" if named.description else "")
+        )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run simlint (repro.analysis) with the arguments collected after 'lint'."""
     from repro.analysis import runner
@@ -274,6 +323,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10, help="how many hot handlers to print"
     )
     profile_parser.set_defaults(fn=_cmd_profile, parallel=False)
+
+    faults_parser = subparsers.add_parser(
+        "faults",
+        help="list registered fault plans; describe or apply one (DESIGN.md §10)",
+    )
+    faults_parser.add_argument(
+        "target", nargs="?",
+        help="experiment id (list its plans) or plan name (describe it); "
+        "omit to list every registered plan",
+    )
+    faults_parser.add_argument(
+        "--apply", action="store_true",
+        help="apply the named plan to its experiment's canonical world "
+        "and print the resulting faults.* counters",
+    )
+    faults_parser.set_defaults(fn=_cmd_faults)
 
     lint_parser = subparsers.add_parser(
         "lint",

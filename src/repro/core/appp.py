@@ -29,8 +29,8 @@ from typing import Callable, Dict, List, Optional
 from repro.cdn.provider import Cdn
 from repro.core.context import SimContext
 from repro.core.damping import HysteresisGate
-from repro.core.interfaces import LookingGlass
-from repro.core.registry import OptInRegistry
+from repro.core.interfaces import LookingGlass, QueryResult
+from repro.core.registry import AccessDeniedError, OptInRegistry
 from repro.core.schemas import DemandEstimate, QoeAggregate
 from repro.obs.trace import TRACER
 from repro.simkernel.kernel import Simulator
@@ -312,6 +312,17 @@ class EonaAppP(AppPController):
             damping (the E4/E10 ablation).
         cap_relief_factor: When the access congestion clears, caps are
             lifted.
+        fallback_enabled: Degrade to status-quo behavior when the
+            glasses fail repeatedly (the resilience contract); the
+            E15 ablation sets this False to show what rigidity costs.
+        glass_error_threshold: Consecutive glass failures before
+            fallback engages.
+        reengage_ticks: Consecutive successful probes before a
+            recovered glass is trusted again (damped re-engagement).
+        stale_tolerance_s: Answers older than this count as glass
+            failures (a frozen glass keeps answering, but lies);
+            ``inf`` (the default) trusts any age, preserving the
+            staleness-sweep semantics of E6.
     """
 
     def __init__(
@@ -324,6 +335,10 @@ class EonaAppP(AppPController):
         ladder=None,
         global_cap_period_s: float = 5.0,
         clear_ticks_to_raise: int = 3,
+        fallback_enabled: bool = True,
+        glass_error_threshold: int = 3,
+        reengage_ticks: int = 3,
+        stale_tolerance_s: float = math.inf,
         **kwargs,
     ):
         super().__init__(sim, cdns, **kwargs)
@@ -332,6 +347,20 @@ class EonaAppP(AppPController):
         self.damper = damper
         self.i2a_queries = 0
         self.bitrate_downshifts = 0
+        # Graceful degradation: a glass that dies must not take the
+        # control loop with it.  Consecutive failures trip a fallback to
+        # blackbox (status-quo) behavior; consecutive successful probes
+        # re-engage EONA, damped so a flapping glass cannot oscillate us.
+        self.fallback_enabled = fallback_enabled
+        self.glass_error_threshold = glass_error_threshold
+        self.reengage_ticks = reengage_ticks
+        self.stale_tolerance_s = stale_tolerance_s
+        self.glass_errors = 0
+        self.fallback_activations = 0
+        self.fallback_reengagements = 0
+        self.fallback_active = False
+        self._glass_fail_streak = 0
+        self._glass_ok_streak = 0
         # Fleet-wide bitrate governor (the Figure 3 fix): while the ISP
         # reports access congestion, every session is capped, stepping
         # one rung down per control period; the cap relaxes one rung per
@@ -356,6 +385,14 @@ class EonaAppP(AppPController):
 
     def _govern(self) -> None:
         """One tick of the fleet-wide bitrate governor."""
+        if self.fallback_active:
+            # In fallback the governor holds no caps (status-quo players
+            # are uncapped) and probes the glass once per tick; only
+            # ``reengage_ticks`` consecutive good probes re-engage EONA.
+            self.global_cap_mbps = math.inf
+            self._clear_ticks = 0
+            self._probe_glass()
+            return
         if self._access_congested():
             self._clear_ticks = 0
             if math.isinf(self.global_cap_mbps):
@@ -388,14 +425,91 @@ class EonaAppP(AppPController):
     def rate_cap_mbps(self, player: AdaptivePlayer) -> float:
         return min(super().rate_cap_mbps(player), self.global_cap_mbps)
 
-    # -- I2A helpers ---------------------------------------------------
-    def _congestion_signals(self) -> List[dict]:
-        if self.isp_i2a is None:
-            return []
+    # -- glass fault tracking ------------------------------------------
+    def _glass_query(
+        self, glass: LookingGlass, query: str
+    ) -> Optional[QueryResult]:
+        """Query a glass, tracking failures and over-stale answers.
+
+        Returns ``None`` when the glass is down, the handler raised, or
+        the answer exceeds ``stale_tolerance_s`` -- each counts toward
+        the fallback failure streak.  Access denials are configuration,
+        not faults: they return ``None`` without touching the streaks
+        (the pre-fallback behavior).
+        """
         self.i2a_queries += 1
         try:
-            result = self.isp_i2a.query(self.name, "congestion")
+            result = glass.query(self.name, query)
+        except AccessDeniedError:
+            return None
         except Exception:
+            self.glass_errors += 1
+            self._note_glass_failure()
+            return None
+        if result.age_s > self.stale_tolerance_s:
+            self.glass_errors += 1
+            self._note_glass_failure()
+            return None
+        self._note_glass_ok()
+        return result
+
+    def _note_glass_failure(self) -> None:
+        self._glass_ok_streak = 0
+        self._glass_fail_streak += 1
+        if (
+            self.fallback_enabled
+            and not self.fallback_active
+            and self._glass_fail_streak >= self.glass_error_threshold
+        ):
+            self.fallback_active = True
+            self.fallback_activations += 1
+            self._on_fallback_activate()
+            if TRACER.enabled:
+                TRACER.emit(
+                    "fallback-engage", policy=self.name, errors=self.glass_errors
+                )
+
+    def _note_glass_ok(self) -> None:
+        self._glass_fail_streak = 0
+        if not self.fallback_active:
+            return
+        self._glass_ok_streak += 1
+        if self._glass_ok_streak >= self.reengage_ticks:
+            self.fallback_active = False
+            self._glass_ok_streak = 0
+            self.fallback_reengagements += 1
+            if TRACER.enabled:
+                TRACER.emit("fallback-reengage", policy=self.name)
+
+    def _on_fallback_activate(self) -> None:
+        """Drop EONA-imposed state so fallback really is status quo."""
+        self.global_cap_mbps = math.inf
+        self._clear_ticks = 0
+        for state in self._sessions.values():
+            state.rate_cap_mbps = math.inf
+
+    def _probe_candidates(self) -> List[tuple]:
+        """``(glass, query)`` pairs a fallback probe may try, in order."""
+        candidates: List[tuple] = []
+        if self.isp_i2a is not None:
+            candidates.append((self.isp_i2a, "congestion"))
+        for cdn_name in sorted(self.cdn_i2a):
+            candidates.append((self.cdn_i2a[cdn_name], "server_hints"))
+        return candidates
+
+    def _probe_glass(self) -> None:
+        """One damped re-engagement probe while in fallback."""
+        candidates = self._probe_candidates()
+        if candidates:
+            glass, query = candidates[0]
+            self._glass_query(glass, query)
+
+    # -- I2A helpers ---------------------------------------------------
+    def _congestion_signals(self) -> List[dict]:
+        if self.isp_i2a is None or self.fallback_active:
+            return []
+        result = self._glass_query(self.isp_i2a, "congestion")
+        if result is None:
             return []
         payload = result.payload
         return payload if isinstance(payload, list) else []
@@ -408,12 +522,10 @@ class EonaAppP(AppPController):
 
     def _server_hints(self, cdn_name: str) -> List[dict]:
         glass = self.cdn_i2a.get(cdn_name)
-        if glass is None:
+        if glass is None or self.fallback_active:
             return []
-        self.i2a_queries += 1
-        try:
-            result = glass.query(self.name, "server_hints")
-        except Exception:
+        result = self._glass_query(glass, "server_hints")
+        if result is None:
             return []
         payload = result.payload
         return payload if isinstance(payload, list) else []
@@ -426,12 +538,10 @@ class EonaAppP(AppPController):
         EONA InfP will repair -- so a wholesale CDN switch would only
         add churn (the Figure 5 lesson).
         """
-        if self.isp_i2a is None:
+        if self.isp_i2a is None or self.fallback_active:
             return False
-        self.i2a_queries += 1
-        try:
-            result = self.isp_i2a.query(self.name, "peering_points")
-        except Exception:
+        result = self._glass_query(self.isp_i2a, "peering_points")
+        if result is None:
             return False
         points = result.payload if isinstance(result.payload, list) else []
         relevant = [p for p in points if p.get("cdn") == cdn_name]
@@ -453,6 +563,16 @@ class EonaAppP(AppPController):
         state: _SessionState,
     ) -> bool:
         assert player.cdn is not None
+        # 0. Degraded mode: the glasses are untrusted, so react exactly
+        #    like StatusQuoAppP (blackbox CDN switch).  Each reaction
+        #    also probes, so worlds without a governor can re-engage.
+        if self.fallback_active:
+            self._probe_glass()
+        if self.fallback_active:
+            target = self._next_cdn(player.cdn)
+            if target is None:
+                return False
+            return self._switch_cdn(player, target, reason="fallback-blackbox")
         # 1. Access-network congestion => adapt bitrate, don't thrash.
         if self._access_congested():
             current = record.bitrate_mbps
@@ -550,12 +670,10 @@ class MultiIspEonaAppP(EonaAppP):
     # ------------------------------------------------------------------
     def _isp_congested(self, isp: str) -> bool:
         glass = self.isp_i2a_map.get(isp)
-        if glass is None:
+        if glass is None or self.fallback_active:
             return False
-        self.i2a_queries += 1
-        try:
-            result = glass.query(self.name, "congestion")
-        except Exception:
+        result = self._glass_query(glass, "congestion")
+        if result is None:
             return False
         payload = result.payload if isinstance(result.payload, list) else []
         return any(
@@ -570,7 +688,25 @@ class MultiIspEonaAppP(EonaAppP):
         # that are actually bad, so scoping is preserved there.
         return any(self._isp_congested(isp) for isp in self.isp_i2a_map)
 
+    def _probe_candidates(self) -> List[tuple]:
+        candidates = super()._probe_candidates()
+        for isp in sorted(self.isp_i2a_map):
+            candidates.append((self.isp_i2a_map[isp], "congestion"))
+        return candidates
+
+    def _on_fallback_activate(self) -> None:
+        super()._on_fallback_activate()
+        for isp in self._scope_caps:
+            self._scope_caps[isp] = math.inf
+            self._scope_clear_ticks[isp] = 0
+
     def _govern_scopes(self) -> None:
+        if self.fallback_active:
+            for isp in self._scope_caps:
+                self._scope_caps[isp] = math.inf
+                self._scope_clear_ticks[isp] = 0
+            self._probe_glass()
+            return
         congested = {isp: self._isp_congested(isp) for isp in self.isp_i2a_map}
         if not self.scoped and any(congested.values()):
             congested = {isp: True for isp in congested}

@@ -21,8 +21,9 @@ from typing import Callable, Dict, List, Optional
 
 from repro.cdn.provider import Cdn
 from repro.core.context import SimContext, resolve_sim_network
-from repro.core.interfaces import LookingGlass
-from repro.core.registry import OptInRegistry
+from repro.core.interfaces import LookingGlass, QueryResult
+from repro.core.registry import AccessDeniedError, OptInRegistry
+from repro.obs.trace import TRACER
 from repro.core.schemas import CongestionSignal, PeeringDecision, PeeringPointInfo
 from repro.network.fluidsim import FluidNetwork
 from repro.sdn.controller import SdnController
@@ -86,6 +87,15 @@ class StatusQuoInfP:
         self.stats.stop()
         self.te.stop()
 
+    def reset_soft_state(self) -> None:
+        """Wipe soft state, as a provider restart would (fault seam).
+
+        Collected link statistics and congestion-detector smoothing are
+        lost; programmed network state (via/split policies) survives,
+        as installed dataplane rules do across a controller restart.
+        """
+        self.stats.reset()
+
 
 class EonaInfP(StatusQuoInfP):
     """EONA-enhanced ISP: demand-aware TE plus the I2A export.
@@ -104,6 +114,14 @@ class EonaInfP(StatusQuoInfP):
         use_splits: Allow the TE plan to split a group across several
             peering points when no single one fits its demand (§4's
             "traffic splits across the peering points" knob).
+        fallback_enabled: Degrade to measured-load TE when the A2I
+            glasses fail repeatedly; re-engage damped on recovery.
+        glass_error_threshold: Consecutive all-glasses-failed TE rounds
+            before fallback engages.
+        reengage_ticks: Consecutive successful probes before recovered
+            glasses are trusted again.
+        stale_tolerance_s: Demand estimates older than this count as
+            failures (``inf`` trusts any age).
     """
 
     def __init__(
@@ -116,6 +134,10 @@ class EonaInfP(StatusQuoInfP):
         access_links: Optional[List[str]] = None,
         i2a_refresh_s: float = 10.0,
         use_splits: bool = False,
+        fallback_enabled: bool = True,
+        glass_error_threshold: int = 2,
+        reengage_ticks: int = 2,
+        stale_tolerance_s: float = math.inf,
         **kwargs,
     ):
         if registry is None:
@@ -134,6 +156,19 @@ class EonaInfP(StatusQuoInfP):
         self.access_links = access_links or []
         self._plan_time = -1.0
         self._plan: Dict[str, str] = {}
+        # Graceful degradation mirror of EonaAppP: rounds where every
+        # A2I glass fails trip a fallback to measured-load TE (the
+        # status-quo information base), re-engaged damped on recovery.
+        self.fallback_enabled = fallback_enabled
+        self.glass_error_threshold = glass_error_threshold
+        self.reengage_ticks = reengage_ticks
+        self.stale_tolerance_s = stale_tolerance_s
+        self.glass_errors = 0
+        self.fallback_activations = 0
+        self.fallback_reengagements = 0
+        self.fallback_active = False
+        self._glass_fail_streak = 0
+        self._glass_ok_streak = 0
         super().__init__(sim, network, groups, **kwargs)
         self.i2a = self._make_i2a(i2a_refresh_s)
 
@@ -217,20 +252,28 @@ class EonaInfP(StatusQuoInfP):
 
     def _demand_estimates(self, app: TrafficEngineeringApp) -> Dict[str, float]:
         if self.appp_a2i_list:
-            combined: Dict[str, float] = {}
-            got_any = False
-            for glass in self.appp_a2i_list:
-                try:
-                    result = glass.query(self.name, "demand_estimate")
-                except Exception:
-                    continue
-                payload = result.payload
-                if isinstance(payload, dict) and "demand_mbps" in payload:
-                    got_any = True
-                    for cdn, demand in payload["demand_mbps"].items():
-                        combined[cdn] = combined.get(cdn, 0.0) + demand
-            if got_any:
-                return combined
+            if self.fallback_active:
+                # One probe per TE round; re-engagement needs
+                # ``reengage_ticks`` consecutive good probes.
+                self._probe_a2i()
+            if not self.fallback_active:
+                combined: Dict[str, float] = {}
+                got_any = False
+                errors_before = self.glass_errors
+                for glass in self.appp_a2i_list:
+                    result = self._query_demand(glass)
+                    if result is None:
+                        continue
+                    payload = result.payload
+                    if isinstance(payload, dict) and "demand_mbps" in payload:
+                        got_any = True
+                        for cdn, demand in payload["demand_mbps"].items():
+                            combined[cdn] = combined.get(cdn, 0.0) + demand
+                if got_any:
+                    self._glass_fail_streak = 0
+                    return combined
+                if self.glass_errors > errors_before:
+                    self._note_round_failed()
         # Fallback: measure current egress loads (network-level only).
         measured: Dict[str, float] = {}
         for group in app.groups.values():
@@ -239,6 +282,63 @@ class EonaInfP(StatusQuoInfP):
                 group.egress_links[selected]
             ) * self.network.topology.link(group.egress_links[selected]).capacity_mbps
         return measured
+
+    def _query_demand(self, glass: LookingGlass) -> Optional[QueryResult]:
+        """Query one A2I glass, counting faults and over-stale answers.
+
+        Access denials are configuration, not faults; they return
+        ``None`` without touching ``glass_errors``.
+        """
+        try:
+            result = glass.query(self.name, "demand_estimate")
+        except AccessDeniedError:
+            return None
+        except Exception:
+            self.glass_errors += 1
+            return None
+        if result.age_s > self.stale_tolerance_s:
+            self.glass_errors += 1
+            return None
+        return result
+
+    def _note_round_failed(self) -> None:
+        self._glass_ok_streak = 0
+        self._glass_fail_streak += 1
+        if (
+            self.fallback_enabled
+            and not self.fallback_active
+            and self._glass_fail_streak >= self.glass_error_threshold
+        ):
+            self.fallback_active = True
+            self.fallback_activations += 1
+            self._plan = {}
+            self._plan_time = -1.0
+            if TRACER.enabled:
+                TRACER.emit(
+                    "fallback-engage", policy=self.name, errors=self.glass_errors
+                )
+
+    def _probe_a2i(self) -> None:
+        """One damped re-engagement probe while in fallback."""
+        result = self._query_demand(self.appp_a2i_list[0])
+        if result is None:
+            self._glass_ok_streak = 0
+            return
+        self._glass_ok_streak += 1
+        if self._glass_ok_streak >= self.reengage_ticks:
+            self.fallback_active = False
+            self._glass_ok_streak = 0
+            self._glass_fail_streak = 0
+            self.fallback_reengagements += 1
+            if TRACER.enabled:
+                TRACER.emit("fallback-reengage", policy=self.name)
+
+    def reset_soft_state(self) -> None:
+        super().reset_soft_state()
+        self._plan = {}
+        self._plan_time = -1.0
+        self._glass_fail_streak = 0
+        self._glass_ok_streak = 0
 
     # ------------------------------------------------------------------
     # I2A export

@@ -18,7 +18,7 @@ owns them and which queries they register.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.core.privacy import blind_fields
 from repro.core.registry import Grant, OptInRegistry
@@ -49,6 +49,14 @@ class UnknownQueryError(Exception):
     """The looking glass exports no such query."""
 
 
+class GlassUnavailableError(Exception):
+    """The looking glass is down (outage) or dropping queries (fault)."""
+
+
+#: Fault modes settable via :meth:`LookingGlass.set_fault_mode`.
+FAULT_MODES = (None, "drop", "delay", "freeze")
+
+
 class LookingGlass:
     """One provider's EONA query server.
 
@@ -72,6 +80,10 @@ class LookingGlass:
         self._views: Dict[str, StaleView] = {}
         self.queries_served = 0
         self.queries_denied = 0
+        self.queries_failed = 0
+        self.available = True
+        self._fault_mode: Optional[str] = None
+        self._fault_delay_s = 0.0
 
     def register(
         self,
@@ -107,20 +119,73 @@ class LookingGlass:
     def exported_queries(self) -> List[str]:
         return sorted(self._handlers)
 
+    # ------------------------------------------------------------------
+    # fault hooks (driven by repro.faults.injector)
+    # ------------------------------------------------------------------
+    def set_available(self, available: bool) -> None:
+        """Take the glass dark (every query raises) or bring it back."""
+        self.available = available
+
+    def set_fault_mode(self, mode: Optional[str], delay_s: float = 0.0) -> None:
+        """Degrade query answers without taking the glass fully down.
+
+        Args:
+            mode: ``"drop"`` -- queries raise
+                :class:`GlassUnavailableError`; ``"delay"`` -- answers
+                flow but report ``delay_s`` extra staleness;
+                ``"freeze"`` -- snapshot views stop refreshing, so the
+                glass keeps answering with ever-older data (live
+                zero-period queries are unaffected); ``None`` -- clear
+                the fault (frozen views are re-paced with a fresh
+                snapshot taken now).
+            delay_s: Extra reported age for ``"delay"`` mode.
+        """
+        if mode not in FAULT_MODES:
+            raise ValueError(f"unknown fault mode {mode!r} (known: {FAULT_MODES})")
+        if delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {delay_s!r}")
+        previous = self._fault_mode
+        self._fault_mode = mode
+        self._fault_delay_s = delay_s if mode == "delay" else 0.0
+        if mode == "freeze" and previous != "freeze":
+            for name in sorted(self._views):
+                self._views[name].stop()
+        elif previous == "freeze" and mode != "freeze":
+            for name in sorted(self._views):
+                old = self._views[name]
+                old.stop()
+                self._views[name] = StaleView(
+                    self.sim, old.fetch, old.refresh_period_s, old.publish_delay_s
+                )
+
+    @property
+    def fault_mode(self) -> Optional[str]:
+        return self._fault_mode
+
     def query(self, requester: str, query: str, **params: Any) -> QueryResult:
         """Run a query as ``requester``, enforcing grants and narrowing."""
         if query not in self._handlers:
+            self.queries_failed += 1
             raise UnknownQueryError(f"{self.owner!r} does not export {query!r}")
+        if not self.available or self._fault_mode == "drop":
+            self.queries_failed += 1
+            reason = "down" if not self.available else "dropping queries"
+            raise GlassUnavailableError(f"{self.owner!r} glass is {reason}")
         try:
             grant = self.registry.check(self.owner, requester, query)
         except Exception:
             self.queries_denied += 1
             raise
         view = self._views.get(query)
-        if view is not None:
-            raw, age = view.get()
-        else:
-            raw, age = self._handlers[query](**params), 0.0
+        try:
+            if view is not None:
+                raw, age = view.get()
+            else:
+                raw, age = self._handlers[query](**params), 0.0
+        except Exception:
+            self.queries_failed += 1
+            raise
+        age += self._fault_delay_s
         self.queries_served += 1
         if TRACER.enabled:
             event_kind = _QUERY_EVENT_KIND.get(self.kind)

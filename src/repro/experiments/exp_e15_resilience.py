@@ -1,0 +1,436 @@
+"""E15 -- Resilience: EONA under fault injection (DESIGN.md §10).
+
+The paper's architecture adds a dependency: control loops now consume
+another provider's looking glass.  This experiment injects the failures
+that dependency invites -- the glass goes dark mid flash crowd, its
+snapshots freeze and quietly go stale, links flap under the data plane
+-- and asserts the two properties that make the dependency safe:
+
+* **Graceful degradation** (``glass-outage``, ``stale-freeze``): when
+  the ISP's I2A glass dies or lies, an EONA AppP with fallback enabled
+  trips back to status-quo (blackbox) behavior and re-engages, damped,
+  once the glass recovers.  Degraded EONA must never do worse than the
+  status quo it falls back to.
+
+* **Apply/revert symmetry** (``link-flap``): a fault plan whose every
+  fault recovers leaves the world *exactly* where a never-faulted run
+  ends -- post-recovery allocations match within 1e-6 -- while rates
+  demonstrably diverged mid-fault.
+
+Every row folds the injector's dotted ``faults.*`` counters into the
+run artifact's metrics snapshot via ``_counters``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.appp import EonaAppP, StatusQuoAppP
+from repro.core.context import build_context
+from repro.core.infp import EonaInfP, StatusQuoInfP
+from repro.experiments.common import ExperimentResult, launch_video_sessions, qoe_of
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, VariantSpec, check
+from repro.faults import FaultInjector, FaultPlan, PlanBuilder, register_plan
+from repro.network.topology import NodeKind, Topology
+from repro.video.qoe import summarize
+from repro.workloads.arrivals import flash_crowd_rate
+from repro.workloads.scenarios import build_flash_crowd_scenario, trace_phases
+
+#: Staleness bound (seconds) the fallback-enabled controllers enforce in
+#: the stale-freeze variant.  The healthy glass refreshes every 10s, so
+#: 30s of age is unambiguously a frozen snapshot, never a slow one.
+STALE_TOLERANCE_S = 30.0
+
+
+# ----------------------------------------------------------------------
+# Canonical fault plans (registered for `eona faults`)
+# ----------------------------------------------------------------------
+def glass_outage_plan() -> FaultPlan:
+    """ISP I2A dark through the flash-crowd peak; ISP restarts mid-outage."""
+    return (
+        PlanBuilder(
+            "e15-glass-outage",
+            "ISP I2A glass down 40s..300s (spanning the flash-crowd peak); "
+            "ISP stats soft state wiped at 150s",
+        )
+        .glass_outage("isp", at=40.0, until=300.0)
+        .restart_provider("isp", at=150.0)
+        .build()
+    )
+
+
+def stale_freeze_plan() -> FaultPlan:
+    """ISP I2A snapshots freeze during the peak and silently go stale."""
+    return (
+        PlanBuilder(
+            "e15-stale-freeze",
+            "ISP I2A snapshots frozen 135s..400s: the glass answers, but "
+            "its congested-at-the-peak picture never updates, long after "
+            "the crowd has drained",
+        )
+        .freeze_queries("isp", at=135.0, until=400.0)
+        .build()
+    )
+
+
+def link_flap_plan() -> FaultPlan:
+    """Every fault recovers: cut+flap the shared uplink, kill one leaf."""
+    return (
+        PlanBuilder(
+            "e15-link-flap",
+            "shared uplink flaps (half capacity, 10s of every 30s, "
+            "30s..120s) and one client leaf is killed 50s..90s; all "
+            "faults recover, so the end state must equal a clean run",
+        )
+        .flap_link("a->core", at=30.0, until=120.0, down_s=10.0, period_s=30.0, factor=0.5)
+        .kill_link("core->c0", at=50.0, until=90.0)
+        .build()
+    )
+
+
+# ----------------------------------------------------------------------
+# Degradation variants: the flash-crowd world with a failing glass
+# ----------------------------------------------------------------------
+def _run_degraded_mode(
+    row: str,
+    seed: int,
+    plan: Optional[FaultPlan],
+    fallback_enabled: bool = True,
+    stale_tolerance_s: float = math.inf,
+    n_clients: int = 30,
+    access_capacity_mbps: float = 45.0,
+    peak_rate_per_s: float = 1.5,
+    horizon_s: float = 600.0,
+) -> Dict[str, object]:
+    """One row of a degradation table: the E2 world plus a fault plan.
+
+    The world and workload are exactly E2's canonical flash crowd, so a
+    clean ``eona`` row here reproduces E2's -- the only new variable is
+    the plan.
+    """
+    scenario = build_flash_crowd_scenario(
+        seed=seed, n_clients=n_clients, access_capacity_mbps=access_capacity_mbps
+    )
+    ctx = scenario.ctx
+    sim = ctx.sim
+
+    injector = None
+    if row == "status_quo":
+        infp = StatusQuoInfP(ctx, stats_period_s=2.0)
+        policy: StatusQuoAppP = StatusQuoAppP(ctx, name="appp")
+    else:
+        infp = EonaInfP(
+            ctx,
+            access_links=[scenario.access_link],
+            i2a_refresh_s=10.0,
+            stats_period_s=2.0,
+        )
+        ctx.registry.grant("isp", "appp")
+        policy = EonaAppP(
+            ctx,
+            isp_i2a=infp.i2a,
+            name="appp",
+            fallback_enabled=fallback_enabled,
+            stale_tolerance_s=stale_tolerance_s,
+        )
+    if plan is not None:
+        injector = FaultInjector(ctx)
+        if isinstance(infp, EonaInfP):
+            injector.register_glass("isp", infp.i2a)
+        injector.register_provider("isp", infp.reset_soft_state)
+        injector.install(plan)
+
+    trace_phases(sim, "resilience", {"onset": 30.0, "peak": 60.0, "decay": 120.0})
+    players = launch_video_sessions(
+        ctx,
+        catalog=scenario.catalog,
+        policy=policy,
+        client_nodes=scenario.client_nodes,
+        rate_fn=flash_crowd_rate(
+            base_per_s=0.05,
+            peak_per_s=peak_rate_per_s,
+            onset_s=30.0,
+            ramp_s=30.0,
+            duration_s=60.0,
+        ),
+        max_rate_per_s=peak_rate_per_s,
+        until=horizon_s * 0.6,
+        content_picker=lambda index: scenario.catalog.by_rank(0),
+    )
+    sim.run(until=horizon_s)
+    infp.stop()
+
+    summary = summarize(qoe_of(players))
+    counters = dict(ctx.allocation_counters())
+    if injector is not None:
+        counters.update(injector.counters())
+    return {
+        "mode": row,
+        "sessions": len(players),
+        "buffering_ratio": summary["mean_buffering_ratio"],
+        "mean_bitrate_mbps": summary["mean_bitrate_mbps"],
+        "cdn_switches": summary["cdn_switches_per_session"],
+        "engagement": summary["mean_engagement"],
+        "glass_errors": getattr(policy, "glass_errors", 0),
+        "fallback_activations": getattr(policy, "fallback_activations", 0),
+        "fallback_reengagements": getattr(policy, "fallback_reengagements", 0),
+        "_counters": counters,
+    }
+
+
+def run_glass_outage(seed: int = 0, **kwargs) -> ExperimentResult:
+    """The I2A glass dies under the flash crowd: does EONA stay standing?
+
+    Rows: clean ``status_quo`` and ``eona`` anchors, then the plan
+    applied to EONA with fallback disabled (``eona_rigid``) and enabled
+    (``eona_fallback``).  The claim: fallback EONA degrades *to* the
+    status quo, not below it, and re-engages after recovery.
+    """
+    result = ExperimentResult(
+        name="E15-glass-outage",
+        notes="ISP I2A outage spanning the flash-crowd peak (DESIGN.md §10)",
+    )
+    plan = glass_outage_plan()
+    result.add_row(**_run_degraded_mode("status_quo", seed, None, **kwargs))
+    result.add_row(**_run_degraded_mode("eona", seed, None, **kwargs))
+    result.add_row(
+        **_run_degraded_mode(
+            "eona_rigid", seed, plan, fallback_enabled=False, **kwargs
+        )
+    )
+    result.add_row(**_run_degraded_mode("eona_fallback", seed, plan, **kwargs))
+    return result
+
+
+def run_stale_freeze(seed: int = 0, **kwargs) -> ExperimentResult:
+    """The glass keeps answering but its snapshots froze at the peak.
+
+    A frozen glass is worse than a dead one: ``eona_rigid`` (no
+    staleness bound) keeps obeying a congestion picture from the peak
+    long after the crowd has left, holding bitrates down.  The
+    fallback row bounds snapshot age at :data:`STALE_TOLERANCE_S`,
+    treats over-stale answers as failures, and recovers.
+    """
+    result = ExperimentResult(
+        name="E15-stale-freeze",
+        notes="ISP I2A snapshots frozen at the flash-crowd peak",
+    )
+    plan = stale_freeze_plan()
+    result.add_row(**_run_degraded_mode("status_quo", seed, None, **kwargs))
+    result.add_row(
+        **_run_degraded_mode(
+            "eona_rigid", seed, plan, fallback_enabled=False, **kwargs
+        )
+    )
+    result.add_row(
+        **_run_degraded_mode(
+            "eona_fallback", seed, plan, stale_tolerance_s=STALE_TOLERANCE_S, **kwargs
+        )
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Apply/revert symmetry: link flaps must leave no trace
+# ----------------------------------------------------------------------
+def _build_flap_world(seed: int):
+    """Small streams world: two servers share an uplink into four leaves.
+
+    The uplink is undersized (60 Mbps for 4x40 Mbps of demand) so every
+    capacity change moves the max-min allocation -- a fault that failed
+    to revert cannot hide behind slack capacity.
+    """
+    topo = Topology("resilience-flap")
+    topo.add_node("a", NodeKind.SERVER, owner="cdn")
+    topo.add_node("b", NodeKind.SERVER, owner="cdn")
+    topo.add_node("core", NodeKind.ROUTER, owner="isp")
+    topo.add_link("a", "core", 60.0, delay_ms=5, owner="isp")
+    topo.add_link("b", "core", 60.0, delay_ms=5, owner="isp")
+    clients = []
+    for index in range(4):
+        node = f"c{index}"
+        topo.add_node(node, NodeKind.CLIENT, owner="isp")
+        topo.add_link("core", node, 50.0, delay_ms=2, owner="isp")
+        clients.append(node)
+    ctx = build_context(topology=topo, seed=seed)
+    streams = [
+        ctx.network.start_stream("a" if index % 2 == 0 else "b", node, 40.0)
+        for index, node in enumerate(clients)
+    ]
+    return ctx, streams
+
+
+def _rates(streams) -> List[float]:
+    return [stream.rate_mbps for stream in streams]
+
+
+def run_link_flap(
+    seed: int = 0,
+    mid_sample_s: float = 55.0,
+    horizon_s: float = 240.0,
+) -> ExperimentResult:
+    """Run the same world clean and faulted; compare allocations.
+
+    ``mid_fault_divergence`` (sampled at ``mid_sample_s``, inside both
+    the flap's down interval and the leaf kill) proves the plan bit;
+    ``post_recovery_divergence`` (sampled at ``horizon_s``, after every
+    fault reverted) proves apply/revert symmetry: <= 1e-6.
+    """
+    plan = link_flap_plan()
+
+    clean_ctx, clean_streams = _build_flap_world(seed)
+    clean_ctx.sim.run(until=mid_sample_s)
+    clean_mid = _rates(clean_streams)
+    clean_ctx.sim.run(until=horizon_s)
+    clean_end = _rates(clean_streams)
+
+    faulted_ctx, faulted_streams = _build_flap_world(seed)
+    injector = FaultInjector(faulted_ctx)
+    injector.install(plan)
+    faulted_ctx.sim.run(until=mid_sample_s)
+    faulted_mid = _rates(faulted_streams)
+    faulted_ctx.sim.run(until=horizon_s)
+    faulted_end = _rates(faulted_streams)
+
+    mid_divergence = max(
+        abs(c - f) for c, f in zip(clean_mid, faulted_mid)
+    )
+    post_divergence = max(
+        abs(c - f) for c, f in zip(clean_end, faulted_end)
+    )
+    counters = dict(faulted_ctx.allocation_counters())
+    counters.update(injector.counters())
+    result = ExperimentResult(
+        name="E15-link-flap",
+        notes="apply/revert symmetry: a fully recovered plan leaves no trace",
+    )
+    result.add_row(
+        mode="flap",
+        streams=len(faulted_streams),
+        plan_events=len(plan),
+        faults_injected=injector.counters().get("faults.injected", 0),
+        faults_recovered=injector.counters().get("faults.recovered", 0),
+        mid_fault_divergence=mid_divergence,
+        post_recovery_divergence=post_divergence,
+        _counters=counters,
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# `eona faults` demo appliers (run the plan on the canonical world)
+# ----------------------------------------------------------------------
+def _apply_degraded(plan: FaultPlan) -> Mapping[str, int]:
+    row = _run_degraded_mode("eona_fallback", 0, plan)
+    counters = row["_counters"]
+    return {
+        key: counters[key] for key in sorted(counters) if key.startswith("faults.")
+    }
+
+
+def _apply_stale(plan: FaultPlan) -> Mapping[str, int]:
+    row = _run_degraded_mode(
+        "eona_fallback", 0, plan, stale_tolerance_s=STALE_TOLERANCE_S
+    )
+    counters = row["_counters"]
+    return {
+        key: counters[key] for key in sorted(counters) if key.startswith("faults.")
+    }
+
+
+def _apply_flap(plan: FaultPlan) -> Mapping[str, int]:
+    ctx, _streams = _build_flap_world(0)
+    injector = FaultInjector(ctx)
+    injector.install(plan)
+    ctx.sim.run(until=240.0)
+    return injector.counters()
+
+
+register_plan(
+    "e15-glass-outage",
+    glass_outage_plan,
+    experiment="e15",
+    description="ISP I2A dark 40s..300s + soft-state wipe at 150s",
+    apply=_apply_degraded,
+)
+register_plan(
+    "e15-stale-freeze",
+    stale_freeze_plan,
+    experiment="e15",
+    description="ISP I2A snapshots frozen 135s..400s (stale, not silent)",
+    apply=_apply_stale,
+)
+register_plan(
+    "e15-link-flap",
+    link_flap_plan,
+    experiment="e15",
+    description="uplink flaps + leaf kill, all recovered by 120s",
+    apply=_apply_flap,
+)
+
+
+register(
+    ExperimentSpec(
+        exp_id="e15",
+        title="resilience under fault injection (graceful degradation)",
+        source="DESIGN.md §10; paper §3 'incremental deployment' discussion",
+        module=__name__,
+        variants=(
+            VariantSpec(
+                name="glass-outage",
+                runner=run_glass_outage,
+                checks=(
+                    # Degraded EONA falls back *to* status quo, not below.
+                    check("engagement", "eona_fallback", ">=", of="status_quo",
+                          plus=-0.02),
+                    check("buffering_ratio", "eona_fallback", "<=",
+                          of="status_quo", plus=0.02),
+                    # The outage was seen and the fallback actually tripped...
+                    check("glass_errors", "eona_fallback", ">", 0),
+                    check("fallback_activations", "eona_fallback", ">", 0),
+                    # ...and EONA re-engaged, damped, after recovery.
+                    check("fallback_reengagements", "eona_fallback", ">", 0),
+                    # The rigid row saw the same errors but never tripped.
+                    check("glass_errors", "eona_rigid", ">", 0),
+                    check("fallback_activations", "eona_rigid", "==", 0),
+                    # Clean EONA anchor: no errors, no fallback.
+                    check("glass_errors", "eona", "==", 0),
+                    check("fallback_activations", "eona", "==", 0),
+                ),
+            ),
+            VariantSpec(
+                name="stale-freeze",
+                runner=run_stale_freeze,
+                checks=(
+                    # Bounding staleness must not hurt QoE vs trusting lies.
+                    check("engagement", "eona_fallback", ">=", of="eona_rigid",
+                          plus=-0.02),
+                    check("mean_bitrate_mbps", "eona_fallback", ">=",
+                          of="eona_rigid", plus=-0.05),
+                    # Over-stale answers were detected and tripped fallback.
+                    check("glass_errors", "eona_fallback", ">", 0),
+                    check("fallback_activations", "eona_fallback", ">", 0),
+                    # Without a staleness bound the freeze goes unnoticed.
+                    check("glass_errors", "eona_rigid", "==", 0),
+                    check("fallback_activations", "eona_rigid", "==", 0),
+                ),
+            ),
+            VariantSpec(
+                name="link-flap",
+                runner=run_link_flap,
+                checks=(
+                    # Apply/revert symmetry: recovered == never-faulted.
+                    check("post_recovery_divergence", "flap", "<=", 1e-6),
+                    # ...and the faults demonstrably bit mid-run.
+                    check("mid_fault_divergence", "flap", ">", 1.0),
+                    check("faults_injected", "flap", ">", 0),
+                    check("faults_recovered", "flap", ">", 0),
+                    check("faults_injected", "flap", "==",
+                          of="flap", of_column="faults_recovered"),
+                ),
+            ),
+        ),
+    )
+)

@@ -1,0 +1,45 @@
+"""Deterministic fault injection (`repro.faults`, DESIGN.md §10).
+
+EONA's implicit contract is that when the A2I/I2A looking glasses fail,
+stall, or lie, the EONA control loops degrade to no worse than the
+status-quo baselines.  This package makes those failures injectable so
+the claim is testable:
+
+* :mod:`repro.faults.plan` -- declarative :class:`FaultPlan` /
+  :class:`FaultEvent` specs with a builder DSL and a named-plan
+  registry (``eona faults`` lists these);
+* :mod:`repro.faults.injector` -- a :class:`FaultInjector` that drives
+  a plan off the sim kernel, applying and reverting events through the
+  existing seams (link capacities, glass availability, provider reset
+  hooks) with apply/revert symmetry.
+
+Experiment E15 compares eona vs. baseline vs. eona-with-fallback under
+glass-outage and link-flap plans.
+"""
+
+from repro.faults.injector import KILL_CAPACITY_MBPS, FaultInjector
+from repro.faults.plan import (
+    EVENT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    NamedPlan,
+    PlanBuilder,
+    PlanError,
+    get_plan,
+    named_plans,
+    register_plan,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "KILL_CAPACITY_MBPS",
+    "NamedPlan",
+    "PlanBuilder",
+    "PlanError",
+    "get_plan",
+    "named_plans",
+    "register_plan",
+]

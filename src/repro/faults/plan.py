@@ -1,0 +1,424 @@
+"""Declarative fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is an ordered, validated list of
+:class:`FaultEvent` entries -- pure data, independent of any simulated
+world, so the same plan can be applied to every mode of an experiment
+(the worlds must degrade *identically* for the comparison to mean
+anything).  Events are scheduled at absolute simulated times; the
+:class:`PlanBuilder` DSL adds the recurring shapes (cut-with-recovery,
+square-wave flaps, seeded stochastic outage processes drawn from a
+context RNG stream, so plans stay seed-stable).
+
+Experiments register reusable plans with :func:`register_plan`;
+``eona faults`` lists and applies them by name.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Every fault kind the injector knows how to apply.  ``link-*`` events
+#: target link ids, ``glass-*`` / ``query-*`` events target registered
+#: looking glasses, ``provider-restart`` targets a registered provider
+#: reset hook.
+EVENT_KINDS: Tuple[str, ...] = (
+    "link-cut",          # capacity cut (params: capacity_mbps or factor)
+    "link-kill",         # capacity to the kill floor (partition member)
+    "link-restore",      # back to the pre-fault capacity
+    "glass-outage",      # every query raises GlassUnavailableError
+    "glass-recover",     # availability restored
+    "query-drop",        # queries are lost (counted separately from outages)
+    "query-delay",       # answers age by +delay_s (params: delay_s)
+    "query-freeze",      # snapshots stop refreshing: the glass goes stale
+    "query-clear",       # drop/delay/freeze reverted, snapshots re-paced
+    "provider-restart",  # provider soft state wiped via its reset hook
+)
+
+#: Kinds that *revert* an earlier fault (traced as ``fault-recover``).
+RECOVERY_KINDS: Tuple[str, ...] = ("link-restore", "glass-recover", "query-clear")
+
+#: Required numeric params per kind (beyond the always-optional ones).
+_REQUIRED_PARAMS: Dict[str, Tuple[str, ...]] = {
+    "query-delay": ("delay_s",),
+}
+
+
+class PlanError(ValueError):
+    """Raised for malformed fault plans or events."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault (or recovery) action.
+
+    Attributes:
+        time_s: Absolute simulated time the event fires at.
+        kind: One of :data:`EVENT_KINDS`.
+        target: Link id, glass name, or provider name the event acts on.
+        params: Kind-specific numeric parameters (e.g. ``capacity_mbps``
+            for a cut, ``delay_s`` for a query delay).
+    """
+
+    time_s: float
+    kind: str
+    target: str
+    params: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise PlanError(f"event time must be >= 0, got {self.time_s!r}")
+        if self.kind not in EVENT_KINDS:
+            raise PlanError(
+                f"unknown fault kind {self.kind!r} (known: {', '.join(EVENT_KINDS)})"
+            )
+        if not self.target:
+            raise PlanError(f"{self.kind} event needs a target")
+        for name in _REQUIRED_PARAMS.get(self.kind, ()):
+            if name not in self.params:
+                raise PlanError(f"{self.kind} event needs param {name!r}")
+        if self.kind == "link-cut" and not (
+            "capacity_mbps" in self.params or "factor" in self.params
+        ):
+            raise PlanError("link-cut event needs capacity_mbps or factor")
+        for name, value in self.params.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise PlanError(f"param {name}={value!r} must be numeric")
+
+    @property
+    def is_recovery(self) -> bool:
+        return self.kind in RECOVERY_KINDS
+
+    def describe(self) -> str:
+        extras = " ".join(
+            f"{name}={self.params[name]:g}" for name in sorted(self.params)
+        )
+        return f"t={self.time_s:g} {self.kind} {self.target}" + (
+            f" ({extras})" if extras else ""
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, time-ordered fault schedule.
+
+    Events are stored sorted by ``(time_s, insertion order)`` so two
+    plans built from the same calls compare equal and inject in a
+    deterministic order even at shared timestamps.
+    """
+
+    name: str
+    events: Tuple[FaultEvent, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlanError("plan needs a name")
+        ordered = tuple(
+            event
+            for _, event in sorted(
+                enumerate(self.events), key=lambda pair: (pair[1].time_s, pair[0])
+            )
+        )
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def horizon_s(self) -> float:
+        """Time of the last scheduled event (0 for an empty plan)."""
+        return self.events[-1].time_s if self.events else 0.0
+
+    def targets(self) -> List[str]:
+        """Distinct targets the plan touches, sorted."""
+        return sorted({event.target for event in self.events})
+
+    def describe(self) -> str:
+        header = f"plan {self.name!r}: {len(self.events)} events"
+        if self.description:
+            header += f" -- {self.description}"
+        return "\n".join([header] + [f"  {event.describe()}" for event in self.events])
+
+
+class PlanBuilder:
+    """Small DSL for assembling :class:`FaultPlan` objects.
+
+    Every method returns ``self`` so plans chain::
+
+        plan = (
+            PlanBuilder("peak-outage")
+            .glass_outage("isp", at=35.0, until=400.0)
+            .flap_link("core->agg", at=100.0, until=200.0,
+                       down_s=10.0, period_s=40.0, factor=0.2)
+            .build()
+        )
+
+    Stochastic helpers (:meth:`random_flaps`,
+    :meth:`random_glass_outages`) draw their schedule from a caller-
+    provided RNG -- pass a named context stream
+    (``ctx.rng.get("faults")``) and the plan is a pure function of the
+    root seed.
+    """
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._events: List[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    # link faults
+    # ------------------------------------------------------------------
+    def cut_link(
+        self,
+        link_id: str,
+        at: float,
+        capacity_mbps: Optional[float] = None,
+        factor: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> "PlanBuilder":
+        """Cut a link's capacity; with ``until``, restore it afterwards."""
+        params: Dict[str, float] = {}
+        if capacity_mbps is not None:
+            params["capacity_mbps"] = float(capacity_mbps)
+        if factor is not None:
+            params["factor"] = float(factor)
+        self._add(FaultEvent(at, "link-cut", link_id, params))
+        if until is not None:
+            self.restore_link(link_id, at=until)
+        return self
+
+    def kill_link(
+        self, link_id: str, at: float, until: Optional[float] = None
+    ) -> "PlanBuilder":
+        """Take a link down entirely (capacity to the kill floor)."""
+        self._add(FaultEvent(at, "link-kill", link_id))
+        if until is not None:
+            self.restore_link(link_id, at=until)
+        return self
+
+    def restore_link(self, link_id: str, at: float) -> "PlanBuilder":
+        self._add(FaultEvent(at, "link-restore", link_id))
+        return self
+
+    def partition(
+        self, link_ids: Sequence[str], at: float, until: Optional[float] = None
+    ) -> "PlanBuilder":
+        """Kill a set of links together (a provider/segment partition)."""
+        if not link_ids:
+            raise PlanError("partition needs at least one link")
+        for link_id in link_ids:
+            self.kill_link(link_id, at=at, until=until)
+        return self
+
+    def flap_link(
+        self,
+        link_id: str,
+        at: float,
+        until: float,
+        down_s: float,
+        period_s: float,
+        capacity_mbps: Optional[float] = None,
+        factor: Optional[float] = None,
+    ) -> "PlanBuilder":
+        """Square-wave flapping: down ``down_s`` out of every ``period_s``.
+
+        The final restore is always emitted (at ``until`` if a down
+        interval would overrun it), so a flapped link ends healthy.
+        """
+        if until <= at:
+            raise PlanError(f"flap window is empty ({at!r} .. {until!r})")
+        if not 0 < down_s < period_s:
+            raise PlanError("need 0 < down_s < period_s")
+        start = at
+        while start < until:
+            self.cut_link(
+                link_id,
+                at=start,
+                capacity_mbps=capacity_mbps,
+                factor=factor,
+                until=min(start + down_s, until),
+            )
+            start += period_s
+        return self
+
+    def random_flaps(
+        self,
+        link_id: str,
+        rng: random.Random,
+        at: float,
+        until: float,
+        rate_per_s: float,
+        mean_down_s: float,
+        capacity_mbps: Optional[float] = None,
+        factor: Optional[float] = None,
+    ) -> "PlanBuilder":
+        """Poisson-arriving cuts with exponential repair times.
+
+        The schedule is drawn *now*, from ``rng``; pass a named context
+        stream so the plan is reproducible from the root seed.
+        """
+        if rate_per_s <= 0 or mean_down_s <= 0:
+            raise PlanError("rate_per_s and mean_down_s must be positive")
+        time = at + rng.expovariate(rate_per_s)
+        while time < until:
+            down = min(time + rng.expovariate(1.0 / mean_down_s), until)
+            self.cut_link(
+                link_id,
+                at=time,
+                capacity_mbps=capacity_mbps,
+                factor=factor,
+                until=down,
+            )
+            time = down + rng.expovariate(rate_per_s)
+        return self
+
+    # ------------------------------------------------------------------
+    # looking-glass faults
+    # ------------------------------------------------------------------
+    def glass_outage(
+        self, glass: str, at: float, until: Optional[float] = None
+    ) -> "PlanBuilder":
+        """Take a looking glass dark; with ``until``, bring it back."""
+        self._add(FaultEvent(at, "glass-outage", glass))
+        if until is not None:
+            self._add(FaultEvent(until, "glass-recover", glass))
+        return self
+
+    def random_glass_outages(
+        self,
+        glass: str,
+        rng: random.Random,
+        at: float,
+        until: float,
+        rate_per_s: float,
+        mean_outage_s: float,
+    ) -> "PlanBuilder":
+        """Seeded stochastic outage/recovery process for one glass."""
+        if rate_per_s <= 0 or mean_outage_s <= 0:
+            raise PlanError("rate_per_s and mean_outage_s must be positive")
+        time = at + rng.expovariate(rate_per_s)
+        while time < until:
+            recover = min(time + rng.expovariate(1.0 / mean_outage_s), until)
+            self.glass_outage(glass, at=time, until=recover)
+            time = recover + rng.expovariate(rate_per_s)
+        return self
+
+    def drop_queries(
+        self, glass: str, at: float, until: Optional[float] = None
+    ) -> "PlanBuilder":
+        self._add(FaultEvent(at, "query-drop", glass))
+        if until is not None:
+            self.clear_queries(glass, at=until)
+        return self
+
+    def delay_queries(
+        self, glass: str, delay_s: float, at: float, until: Optional[float] = None
+    ) -> "PlanBuilder":
+        """Answers keep flowing but report ``delay_s`` extra staleness."""
+        self._add(FaultEvent(at, "query-delay", glass, {"delay_s": float(delay_s)}))
+        if until is not None:
+            self.clear_queries(glass, at=until)
+        return self
+
+    def freeze_queries(
+        self, glass: str, at: float, until: Optional[float] = None
+    ) -> "PlanBuilder":
+        """Snapshots stop refreshing: the glass answers, but lies."""
+        self._add(FaultEvent(at, "query-freeze", glass))
+        if until is not None:
+            self.clear_queries(glass, at=until)
+        return self
+
+    def clear_queries(self, glass: str, at: float) -> "PlanBuilder":
+        self._add(FaultEvent(at, "query-clear", glass))
+        return self
+
+    # ------------------------------------------------------------------
+    # provider faults
+    # ------------------------------------------------------------------
+    def restart_provider(self, provider: str, at: float) -> "PlanBuilder":
+        """Wipe a provider's soft state through its registered reset hook."""
+        self._add(FaultEvent(at, "provider-restart", provider))
+        return self
+
+    # ------------------------------------------------------------------
+    def _add(self, event: FaultEvent) -> None:
+        self._events.append(event)
+
+    def build(self) -> FaultPlan:
+        return FaultPlan(
+            name=self.name, events=tuple(self._events), description=self.description
+        )
+
+
+# ---------------------------------------------------------------------------
+# Named-plan registry (the `eona faults` inventory)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NamedPlan:
+    """A reusable plan: a factory plus the experiment that owns it.
+
+    Attributes:
+        name: Registry key (unique).
+        factory: Zero-argument callable building the canonical plan
+            (experiments bake in their canonical targets and times).
+        experiment: Owning experiment id (``"e15"``), or ``""``.
+        description: One-line summary shown by ``eona faults``.
+        apply: Optional demo runner: applies the plan to the owning
+            experiment's canonical world and returns the resulting
+            fault counters (what ``eona faults --apply`` executes).
+    """
+
+    name: str
+    factory: Callable[[], FaultPlan]
+    experiment: str = ""
+    description: str = ""
+    apply: Optional[Callable[[FaultPlan], Mapping[str, int]]] = None
+
+
+_PLANS: Dict[str, NamedPlan] = {}
+
+
+def register_plan(
+    name: str,
+    factory: Callable[[], FaultPlan],
+    experiment: str = "",
+    description: str = "",
+    apply: Optional[Callable[[FaultPlan], Mapping[str, int]]] = None,
+) -> NamedPlan:
+    """Register a named plan; idempotent for re-imports of one owner."""
+    existing = _PLANS.get(name)
+    if existing is not None and existing.experiment != experiment:
+        raise PlanError(
+            f"plan {name!r} registered by both "
+            f"{existing.experiment or '?'} and {experiment or '?'}"
+        )
+    plan = NamedPlan(
+        name=name,
+        factory=factory,
+        experiment=experiment,
+        description=description,
+        apply=apply,
+    )
+    _PLANS[name] = plan
+    return plan
+
+
+def named_plans(experiment: Optional[str] = None) -> List[NamedPlan]:
+    """Registered plans (optionally one experiment's), sorted by name."""
+    plans = sorted(_PLANS.values(), key=lambda plan: plan.name)
+    if experiment is None:
+        return plans
+    return [plan for plan in plans if plan.experiment == experiment]
+
+
+def get_plan(name: str) -> NamedPlan:
+    try:
+        return _PLANS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PLANS)) or "none registered"
+        raise KeyError(f"unknown fault plan {name!r} (known: {known})") from None

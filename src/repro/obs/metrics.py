@@ -126,13 +126,16 @@ class MetricsRegistry:
 
         Accepts the legacy shapes (``EngineCounters.as_dict()``,
         ``allocation_counters()``, experiment ``_counters``): numeric
-        values only, booleans and non-numerics skipped.
+        values only, booleans and non-numerics skipped.  Keys that are
+        already dotted (``faults.injected``) carry their own group name
+        and absorb as-is; the prefix applies only to bare keys.
         """
         for key in sorted(counters):
             value = counters[key]
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 continue
-            self.counter(f"{prefix}{key}").inc(int(value))
+            name = key if "." in key else f"{prefix}{key}"
+            self.counter(name).inc(int(value))
 
     # ------------------------------------------------------------------
     # snapshot

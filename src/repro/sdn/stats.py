@@ -63,6 +63,15 @@ class StatsService:
     def stop(self) -> None:
         self._process.stop()
 
+    def reset(self) -> None:
+        """Forget all samples and detector smoothing (restart semantics).
+
+        The polling process keeps running; history rebuilds from the
+        next poll, exactly as a freshly restarted stats service would.
+        """
+        self._samples.clear()
+        self._detectors.clear()
+
     def poll_once(self) -> None:
         """Collect one sample from every switch (also runs periodically)."""
         self.polls += 1

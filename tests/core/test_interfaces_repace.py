@@ -1,0 +1,123 @@
+"""Re-pacing snapshot views mid-run, and the queries_failed counter."""
+
+import pytest
+
+from repro.core.interfaces import (
+    GlassUnavailableError,
+    LookingGlass,
+    UnknownQueryError,
+)
+from repro.core.registry import OptInRegistry
+from repro.core.staleness import StaleView
+
+
+def _glass(sim, **register_kwargs):
+    registry = OptInRegistry()
+    registry.grant("isp", "appp")
+    glass = LookingGlass(sim, "isp", registry)
+    glass.register("clock", lambda: {"t": sim.now}, **register_kwargs)
+    return glass
+
+
+class TestRepacingUnderActiveSim:
+    def test_stop_halts_refresh_while_sim_keeps_running(self, sim):
+        view = StaleView(sim, lambda: sim.now, refresh_period_s=5.0)
+        sim.run(until=12.0)           # refreshed at 5 and 10
+        assert view.get() == (10.0, 2.0)
+        view.stop()
+        sim.run(until=40.0)           # process stopped: snapshot frozen
+        value, age = view.get()
+        assert value == 10.0
+        assert age == pytest.approx(30.0)
+
+    def test_stop_is_idempotent(self, sim):
+        view = StaleView(sim, lambda: sim.now, refresh_period_s=5.0)
+        sim.run(until=7.0)
+        view.stop()
+        view.stop()
+        sim.run(until=20.0)
+        assert view.value() == 5.0
+
+    def test_set_refresh_period_repaces_mid_run(self, sim):
+        glass = _glass(sim, refresh_period_s=60.0)
+        ages = []
+        # Re-pace at t=30 while the old (60s) process is mid-cycle; the
+        # next queries must see the fast cadence, not the old one.
+        sim.schedule_at(30.0, glass.set_refresh_period, "clock", 2.0)
+        for time in (29.0, 35.0, 41.0):
+            sim.schedule_at(
+                time, lambda: ages.append(glass.query("appp", "clock").age_s)
+            )
+        sim.run(until=50.0)
+        assert ages[0] == pytest.approx(29.0)   # old pace: snapshot from t=0
+        assert ages[1] <= 2.0                   # new pace took over
+        assert ages[2] <= 2.0
+
+    def test_set_refresh_period_zero_goes_live(self, sim):
+        glass = _glass(sim, refresh_period_s=60.0)
+        results = []
+        sim.schedule_at(10.0, glass.set_refresh_period, "clock", 0.0)
+        sim.schedule_at(
+            20.0, lambda: results.append(glass.query("appp", "clock"))
+        )
+        sim.run(until=30.0)
+        assert results[0].payload == {"t": 20.0}
+        assert results[0].age_s == 0.0
+
+    def test_set_refresh_period_unknown_query(self, sim):
+        glass = _glass(sim)
+        with pytest.raises(UnknownQueryError):
+            glass.set_refresh_period("nope", 5.0)
+
+
+class TestQueriesFailedCounter:
+    def test_unknown_query_counts(self, sim):
+        glass = _glass(sim)
+        with pytest.raises(UnknownQueryError):
+            glass.query("appp", "nope")
+        assert glass.queries_failed == 1
+        assert glass.queries_served == 0
+
+    def test_handler_exception_counts(self, sim):
+        glass = _glass(sim)
+
+        def broken():
+            raise RuntimeError("backend died")
+
+        glass.register("broken", broken)
+        with pytest.raises(RuntimeError):
+            glass.query("appp", "broken")
+        assert glass.queries_failed == 1
+
+    def test_outage_and_drop_count(self, sim):
+        glass = _glass(sim)
+        glass.set_available(False)
+        with pytest.raises(GlassUnavailableError):
+            glass.query("appp", "clock")
+        glass.set_available(True)
+        glass.set_fault_mode("drop")
+        with pytest.raises(GlassUnavailableError):
+            glass.query("appp", "clock")
+        assert glass.queries_failed == 2
+
+    def test_denials_counted_separately(self, sim):
+        glass = _glass(sim)
+        from repro.core.registry import AccessDeniedError
+
+        with pytest.raises(AccessDeniedError):
+            glass.query("stranger", "clock")
+        assert glass.queries_denied == 1
+        assert glass.queries_failed == 0
+
+    def test_successful_query_does_not_count(self, sim):
+        glass = _glass(sim)
+        glass.query("appp", "clock")
+        assert glass.queries_failed == 0
+        assert glass.queries_served == 1
+
+    def test_invalid_fault_mode_rejected(self, sim):
+        glass = _glass(sim)
+        with pytest.raises(ValueError):
+            glass.set_fault_mode("explode")
+        with pytest.raises(ValueError):
+            glass.set_fault_mode("delay", delay_s=-1.0)

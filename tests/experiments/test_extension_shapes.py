@@ -1,4 +1,4 @@
-"""Integration shapes for the extension experiments E9..E14.
+"""Integration shapes for the extension experiments E9..E15.
 
 Small/fast configurations; the benchmarks run the full-size versions.
 """
@@ -13,7 +13,9 @@ from repro.experiments import (
     exp_e12_attributes,
     exp_e13_controlplane,
     exp_e14_splits,
+    exp_e15_resilience,
 )
+from repro.faults import PlanBuilder
 
 
 class TestE9Recipe:
@@ -113,3 +115,33 @@ class TestE14Splits:
             split["peerB_util_loaded"] + split["peerC_util_loaded"]
             > single["peerB_util_loaded"] + single["peerC_util_loaded"]
         )
+
+
+class TestE15Resilience:
+    def test_link_flap_recovers_exactly(self):
+        result = exp_e15_resilience.run_link_flap(seed=1)
+        row = result.rows[0]
+        assert row["mid_fault_divergence"] > 1.0
+        assert row["post_recovery_divergence"] <= 1e-6
+        assert row["faults_injected"] > 0
+        assert row["faults_injected"] == row["faults_recovered"]
+
+    def test_outage_trips_fallback_and_holds_baseline(self):
+        small = dict(
+            n_clients=12, access_capacity_mbps=18.0, horizon_s=420.0
+        )
+        plan = (
+            PlanBuilder("shape-outage")
+            .glass_outage("isp", at=40.0, until=240.0)
+            .build()
+        )
+        quo = exp_e15_resilience._run_degraded_mode(
+            "status_quo", 1, None, **small
+        )
+        degraded = exp_e15_resilience._run_degraded_mode(
+            "eona_fallback", 1, plan, **small
+        )
+        assert degraded["glass_errors"] > 0
+        assert degraded["fallback_activations"] >= 1
+        assert degraded["fallback_reengagements"] >= 1
+        assert degraded["engagement"] >= quo["engagement"] - 0.05

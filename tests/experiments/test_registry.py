@@ -27,8 +27,8 @@ def _result(*rows, name="T", notes=""):
 
 
 class TestRegistryCompleteness:
-    def test_ids_are_e1_to_e14(self):
-        assert registry.experiment_ids() == [f"e{i}" for i in range(1, 15)]
+    def test_ids_are_e1_to_e15(self):
+        assert registry.experiment_ids() == [f"e{i}" for i in range(1, 16)]
 
     def test_every_exp_module_registers(self):
         registered = {spec.module for spec in registry.all_specs()}

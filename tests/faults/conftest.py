@@ -1,0 +1,14 @@
+"""Keep the process-global tracer clean around fault-injection tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import TRACER
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    TRACER.close()
+    yield
+    TRACER.close()

@@ -1,0 +1,247 @@
+"""FaultInjector: target validation, apply/revert symmetry, determinism."""
+
+import pytest
+
+from repro.core.context import build_context
+from repro.core.interfaces import GlassUnavailableError, LookingGlass
+from repro.core.registry import OptInRegistry
+from repro.faults import (
+    KILL_CAPACITY_MBPS,
+    FaultInjector,
+    PlanBuilder,
+    PlanError,
+)
+from repro.network.topology import NodeKind, Topology
+from repro.obs.trace import TRACER
+
+
+def _world(seed=0):
+    """Two streams share an undersized uplink: a -> core -> {c0, c1}."""
+    topo = Topology("inj")
+    topo.add_node("a", NodeKind.SERVER, owner="cdn")
+    topo.add_node("core", NodeKind.ROUTER, owner="isp")
+    topo.add_link("a", "core", 60.0, delay_ms=5, owner="isp")
+    for index in range(2):
+        node = f"c{index}"
+        topo.add_node(node, NodeKind.CLIENT, owner="isp")
+        topo.add_link("core", node, 50.0, delay_ms=2, owner="isp")
+    ctx = build_context(topology=topo, seed=seed)
+    streams = [
+        ctx.network.start_stream("a", f"c{index}", 40.0) for index in range(2)
+    ]
+    return ctx, streams
+
+
+def _recovering_plan():
+    return (
+        PlanBuilder("inj-test")
+        .flap_link("a->core", at=10.0, until=60.0, down_s=5.0, period_s=20.0,
+                   factor=0.5)
+        .kill_link("core->c0", at=25.0, until=45.0)
+        .build()
+    )
+
+
+class TestTargetValidation:
+    def test_unknown_link_fails_at_install(self):
+        ctx, _ = _world()
+        injector = FaultInjector(ctx)
+        plan = PlanBuilder("p").kill_link("no->such", at=1.0).build()
+        with pytest.raises(PlanError, match="unknown link"):
+            injector.install(plan)
+        # Nothing was scheduled: the sim runs to the horizon untouched.
+        ctx.sim.run(until=5.0)
+        assert injector.counters() == {}
+
+    def test_unknown_glass_fails_at_install(self):
+        ctx, _ = _world()
+        injector = FaultInjector(ctx)
+        plan = PlanBuilder("p").glass_outage("ghost", at=1.0).build()
+        with pytest.raises(PlanError, match="unknown glass"):
+            injector.install(plan)
+
+    def test_unknown_provider_fails_at_install(self):
+        ctx, _ = _world()
+        injector = FaultInjector(ctx)
+        plan = PlanBuilder("p").restart_provider("ghost", at=1.0).build()
+        with pytest.raises(PlanError, match="unknown provider"):
+            injector.install(plan)
+
+    def test_installed_plans_listed(self):
+        ctx, _ = _world()
+        injector = FaultInjector(ctx)
+        plan = _recovering_plan()
+        injector.install(plan)
+        assert injector.installed_plans == [plan]
+
+
+class TestLinkFaults:
+    def test_cut_factor_and_exact_restore(self):
+        ctx, _ = _world()
+        injector = FaultInjector(ctx)
+        plan = PlanBuilder("p").cut_link("a->core", at=10.0, factor=0.5,
+                                         until=20.0).build()
+        injector.install(plan)
+        link = ctx.network.topology.link("a->core")
+        ctx.sim.run(until=15.0)
+        assert link.capacity_mbps == 30.0
+        ctx.sim.run(until=25.0)
+        assert link.capacity_mbps == 60.0
+
+    def test_repeated_cuts_keep_original_baseline(self):
+        ctx, _ = _world()
+        injector = FaultInjector(ctx)
+        plan = (
+            PlanBuilder("p")
+            .cut_link("a->core", at=10.0, factor=0.5)
+            .cut_link("a->core", at=20.0, factor=0.5)
+            .restore_link("a->core", at=30.0)
+            .build()
+        )
+        injector.install(plan)
+        link = ctx.network.topology.link("a->core")
+        ctx.sim.run(until=25.0)
+        # Second cut applies to the *original* 60, not the cut 30.
+        assert link.capacity_mbps == 30.0
+        ctx.sim.run(until=35.0)
+        assert link.capacity_mbps == 60.0
+
+    def test_kill_uses_floor_capacity(self):
+        ctx, streams = _world()
+        injector = FaultInjector(ctx)
+        injector.install(PlanBuilder("p").kill_link("core->c0", at=5.0).build())
+        ctx.sim.run(until=10.0)
+        assert ctx.network.topology.link("core->c0").capacity_mbps == KILL_CAPACITY_MBPS
+        assert streams[0].rate_mbps <= KILL_CAPACITY_MBPS
+
+    def test_restore_of_never_faulted_link_is_noop(self):
+        ctx, _ = _world()
+        injector = FaultInjector(ctx)
+        injector.install(PlanBuilder("p").restore_link("a->core", at=5.0).build())
+        ctx.sim.run(until=10.0)
+        assert ctx.network.topology.link("a->core").capacity_mbps == 60.0
+
+    def test_apply_revert_symmetry_allocation_equivalence(self):
+        """A fully recovered plan leaves allocations exactly as a clean run."""
+        clean_ctx, clean_streams = _world(seed=3)
+        clean_ctx.sim.run(until=100.0)
+
+        faulted_ctx, faulted_streams = _world(seed=3)
+        injector = FaultInjector(faulted_ctx)
+        injector.install(_recovering_plan())
+        faulted_ctx.sim.run(until=30.0)
+        mid = [s.rate_mbps for s in faulted_streams]
+        faulted_ctx.sim.run(until=100.0)
+
+        # Mid-fault the worlds diverged (the leaf kill bit)...
+        assert mid[0] <= KILL_CAPACITY_MBPS
+        # ...but post-recovery every rate and capacity matches exactly.
+        for clean, faulted in zip(clean_streams, faulted_streams):
+            assert faulted.rate_mbps == pytest.approx(clean.rate_mbps, abs=1e-9)
+        for link_id in ("a->core", "core->c0", "core->c1"):
+            assert (
+                faulted_ctx.network.topology.link(link_id).capacity_mbps
+                == clean_ctx.network.topology.link(link_id).capacity_mbps
+            )
+
+
+class TestGlassAndProviderFaults:
+    def _glass(self, ctx):
+        registry = OptInRegistry()
+        registry.grant("isp", "appp")
+        glass = LookingGlass(ctx.sim, "isp", registry)
+        glass.register("ping", lambda: {"pong": 1})
+        return glass
+
+    def test_outage_window(self):
+        ctx, _ = _world()
+        glass = self._glass(ctx)
+        injector = FaultInjector(ctx)
+        injector.register_glass("isp", glass)
+        injector.install(PlanBuilder("p").glass_outage("isp", at=10.0,
+                                                       until=20.0).build())
+        seen = []
+
+        def probe():
+            try:
+                glass.query("appp", "ping")
+                seen.append("ok")
+            except GlassUnavailableError:
+                seen.append("down")
+
+        for time in (5.0, 15.0, 25.0):
+            ctx.sim.schedule_at(time, probe)
+        ctx.sim.run(until=30.0)
+        assert seen == ["ok", "down", "ok"]
+        assert glass.queries_failed == 1
+
+    def test_query_fault_modes_driven(self):
+        ctx, _ = _world()
+        glass = self._glass(ctx)
+        injector = FaultInjector(ctx)
+        injector.register_glass("isp", glass)
+        injector.install(
+            PlanBuilder("p")
+            .delay_queries("isp", delay_s=30.0, at=10.0, until=20.0)
+            .drop_queries("isp", at=30.0, until=40.0)
+            .build()
+        )
+        ages = []
+        ctx.sim.schedule_at(15.0, lambda: ages.append(
+            glass.query("appp", "ping").age_s))
+        ctx.sim.schedule_at(25.0, lambda: ages.append(
+            glass.query("appp", "ping").age_s))
+        ctx.sim.schedule_at(
+            35.0, lambda: ages.append(glass.fault_mode))
+        ctx.sim.schedule_at(
+            45.0, lambda: ages.append(glass.fault_mode))
+        ctx.sim.run(until=50.0)
+        assert ages == [30.0, 0.0, "drop", None]
+
+    def test_provider_restart_calls_reset(self):
+        ctx, _ = _world()
+        calls = []
+        injector = FaultInjector(ctx)
+        injector.register_provider("isp", lambda: calls.append(ctx.sim.now))
+        injector.install(PlanBuilder("p").restart_provider("isp", at=12.0).build())
+        ctx.sim.run(until=20.0)
+        assert calls == [12.0]
+
+
+class TestCountersAndTrace:
+    def test_counters_split_inject_recover_and_kind(self):
+        ctx, _ = _world()
+        injector = FaultInjector(ctx)
+        injector.install(_recovering_plan())
+        ctx.sim.run(until=100.0)
+        counters = injector.counters()
+        assert counters["faults.injected"] == 4
+        assert counters["faults.recovered"] == 4
+        assert counters["faults.link_cut"] == 3
+        assert counters["faults.link_kill"] == 1
+        assert counters["faults.link_restore"] == 4
+
+    def test_fault_events_traced(self):
+        TRACER.enable(capacity=4096)
+        ctx, _ = _world()  # build_context binds the tracer clock
+        injector = FaultInjector(ctx)
+        injector.install(_recovering_plan())
+        ctx.sim.run(until=100.0)
+        counts = TRACER.kind_counts()
+        assert counts.get("fault-inject") == 4
+        assert counts.get("fault-recover") == 4
+
+    def test_same_seed_fault_traces_byte_identical(self):
+        def run_once():
+            TRACER.enable(capacity=65536)
+            ctx, _ = _world(seed=11)
+            injector = FaultInjector(ctx)
+            injector.install(_recovering_plan())
+            ctx.sim.run(until=100.0)
+            text = TRACER.to_jsonl()
+            TRACER.close()
+            return text
+
+        first, second = run_once(), run_once()
+        assert "fault-inject" in first
+        assert first == second

@@ -1,0 +1,197 @@
+"""FaultPlan / FaultEvent validation, the builder DSL, and the registry."""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    EVENT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    PlanBuilder,
+    PlanError,
+    get_plan,
+    named_plans,
+    register_plan,
+)
+
+
+class TestFaultEvent:
+    def test_negative_time_rejected(self):
+        with pytest.raises(PlanError):
+            FaultEvent(-1.0, "glass-outage", "isp")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PlanError):
+            FaultEvent(0.0, "meteor-strike", "isp")
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(PlanError):
+            FaultEvent(0.0, "glass-outage", "")
+
+    def test_query_delay_needs_delay_param(self):
+        with pytest.raises(PlanError):
+            FaultEvent(0.0, "query-delay", "isp")
+        FaultEvent(0.0, "query-delay", "isp", {"delay_s": 5.0})
+
+    def test_link_cut_needs_capacity_or_factor(self):
+        with pytest.raises(PlanError):
+            FaultEvent(0.0, "link-cut", "a->b")
+        FaultEvent(0.0, "link-cut", "a->b", {"factor": 0.5})
+        FaultEvent(0.0, "link-cut", "a->b", {"capacity_mbps": 10.0})
+
+    def test_params_must_be_numeric(self):
+        with pytest.raises(PlanError):
+            FaultEvent(0.0, "link-cut", "a->b", {"capacity_mbps": "ten"})
+        with pytest.raises(PlanError):
+            FaultEvent(0.0, "link-cut", "a->b", {"capacity_mbps": True})
+
+    def test_recovery_classification(self):
+        assert FaultEvent(1.0, "link-restore", "a->b").is_recovery
+        assert FaultEvent(1.0, "glass-recover", "isp").is_recovery
+        assert FaultEvent(1.0, "query-clear", "isp").is_recovery
+        assert not FaultEvent(1.0, "glass-outage", "isp").is_recovery
+
+    def test_every_kind_constructible(self):
+        params = {"query-delay": {"delay_s": 1.0}, "link-cut": {"factor": 0.5}}
+        for kind in EVENT_KINDS:
+            FaultEvent(0.0, kind, "t", params.get(kind, {}))
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time_insertion_stable(self):
+        early = FaultEvent(5.0, "glass-outage", "isp")
+        late = FaultEvent(9.0, "glass-recover", "isp")
+        tie_a = FaultEvent(5.0, "link-kill", "a->b")
+        plan = FaultPlan("p", (late, early, tie_a))
+        assert plan.events == (early, tie_a, late)
+
+    def test_needs_name(self):
+        with pytest.raises(PlanError):
+            FaultPlan("", ())
+
+    def test_horizon_targets_len(self):
+        plan = FaultPlan(
+            "p",
+            (
+                FaultEvent(3.0, "glass-outage", "isp"),
+                FaultEvent(7.0, "link-kill", "a->b"),
+            ),
+        )
+        assert plan.horizon_s == 7.0
+        assert plan.targets() == ["a->b", "isp"]
+        assert len(plan) == 2
+        assert FaultPlan("empty", ()).horizon_s == 0.0
+
+    def test_describe_mentions_every_event(self):
+        plan = (
+            PlanBuilder("demo", "a demo plan")
+            .glass_outage("isp", at=1.0, until=2.0)
+            .build()
+        )
+        text = plan.describe()
+        assert "demo" in text and "glass-outage" in text and "glass-recover" in text
+
+
+class TestPlanBuilder:
+    def test_cut_with_until_emits_restore(self):
+        plan = PlanBuilder("p").cut_link("a->b", at=10.0, factor=0.5, until=20.0).build()
+        assert [e.kind for e in plan.events] == ["link-cut", "link-restore"]
+        assert plan.events[1].time_s == 20.0
+
+    def test_kill_and_partition(self):
+        plan = PlanBuilder("p").partition(["a->b", "b->c"], at=5.0, until=9.0).build()
+        kinds = [(e.kind, e.target) for e in plan.events]
+        assert ("link-kill", "a->b") in kinds and ("link-kill", "b->c") in kinds
+        assert sum(1 for k, _ in kinds if k == "link-restore") == 2
+        with pytest.raises(PlanError):
+            PlanBuilder("p").partition([], at=5.0)
+
+    def test_flap_square_wave_ends_restored(self):
+        plan = (
+            PlanBuilder("p")
+            .flap_link("a->b", at=0.0, until=100.0, down_s=10.0, period_s=30.0,
+                       factor=0.2)
+            .build()
+        )
+        cuts = [e for e in plan.events if e.kind == "link-cut"]
+        restores = [e for e in plan.events if e.kind == "link-restore"]
+        assert len(cuts) == len(restores) == 4
+        # The 4th down interval (at t=90) would overrun; its restore clamps.
+        assert restores[-1].time_s == 100.0
+        assert plan.events[-1].kind == "link-restore"
+
+    def test_flap_validation(self):
+        with pytest.raises(PlanError):
+            PlanBuilder("p").flap_link("a->b", at=10.0, until=10.0, down_s=1.0,
+                                       period_s=5.0, factor=0.5)
+        with pytest.raises(PlanError):
+            PlanBuilder("p").flap_link("a->b", at=0.0, until=10.0, down_s=5.0,
+                                       period_s=5.0, factor=0.5)
+
+    def test_random_flaps_seed_stable_and_paired(self):
+        def build(seed):
+            return (
+                PlanBuilder("p")
+                .random_flaps("a->b", random.Random(seed), at=0.0, until=500.0,
+                              rate_per_s=0.02, mean_down_s=10.0, factor=0.1)
+                .build()
+            )
+
+        first, again, other = build(7), build(7), build(8)
+        assert first.events == again.events
+        assert first.events != other.events
+        kinds = [e.kind for e in first.events]
+        assert kinds.count("link-cut") == kinds.count("link-restore")
+        assert all(e.time_s <= 500.0 for e in first.events)
+
+    def test_random_glass_outages_validation(self):
+        with pytest.raises(PlanError):
+            PlanBuilder("p").random_glass_outages(
+                "isp", random.Random(1), at=0.0, until=10.0,
+                rate_per_s=0.0, mean_outage_s=5.0,
+            )
+
+    def test_query_fault_helpers(self):
+        plan = (
+            PlanBuilder("p")
+            .drop_queries("isp", at=1.0, until=2.0)
+            .delay_queries("isp", delay_s=30.0, at=3.0, until=4.0)
+            .freeze_queries("isp", at=5.0, until=6.0)
+            .restart_provider("isp", at=7.0)
+            .build()
+        )
+        kinds = [e.kind for e in plan.events]
+        assert kinds == [
+            "query-drop", "query-clear", "query-delay", "query-clear",
+            "query-freeze", "query-clear", "provider-restart",
+        ]
+        assert plan.events[2].params["delay_s"] == 30.0
+
+
+class TestNamedPlanRegistry:
+    def test_e15_plans_registered_on_import(self):
+        import repro.experiments.exp_e15_resilience  # noqa: F401
+
+        names = [plan.name for plan in named_plans("e15")]
+        assert names == ["e15-glass-outage", "e15-link-flap", "e15-stale-freeze"]
+        for named in named_plans("e15"):
+            assert len(named.factory()) > 0
+            assert named.apply is not None
+
+    def test_register_is_idempotent_for_same_owner(self):
+        factory = lambda: FaultPlan("tmp", ())
+        register_plan("test-tmp-plan", factory, experiment="test")
+        register_plan("test-tmp-plan", factory, experiment="test")
+        assert get_plan("test-tmp-plan").factory is factory
+
+    def test_cross_experiment_clash_rejected(self):
+        register_plan("test-owned-plan", lambda: FaultPlan("tmp", ()),
+                      experiment="test-a")
+        with pytest.raises(PlanError):
+            register_plan("test-owned-plan", lambda: FaultPlan("tmp", ()),
+                          experiment="test-b")
+
+    def test_get_unknown_plan_lists_known(self):
+        with pytest.raises(KeyError, match="unknown fault plan"):
+            get_plan("no-such-plan")

@@ -128,6 +128,12 @@ class TestControls:
         with pytest.raises(ValueError):
             net.set_link_capacity("r1->r2", 0.0)
 
+    def test_negative_capacity_rejected(self, net):
+        with pytest.raises(ValueError, match="capacity must be positive"):
+            net.set_link_capacity("r1->r2", -5.0)
+        # The failed call must not have touched the link.
+        assert net.topology.link("r1->r2").capacity_mbps == 5.0
+
 
 class TestViaPolicy:
     def _dual_path_net(self, sim):

@@ -55,6 +55,7 @@ class TestPublicApiSurface:
         import repro.cdn
         import repro.core
         import repro.experiments
+        import repro.faults
         import repro.network
         import repro.sdn
         import repro.simkernel
@@ -70,7 +71,7 @@ class TestPublicApiSurface:
         packages = [
             "repro.simkernel", "repro.network", "repro.sdn", "repro.cdn",
             "repro.video", "repro.web", "repro.telemetry", "repro.core",
-            "repro.baselines", "repro.workloads",
+            "repro.baselines", "repro.workloads", "repro.faults",
         ]
         for name in packages:
             module = importlib.import_module(name)
