@@ -50,6 +50,7 @@ SIM_LAYERS: Tuple[str, ...] = (
     "workloads",
     "baselines",
     "faults",
+    "cohorts",
 )
 
 #: Built-in policy, kept in sync with ``[tool.simlint]`` in pyproject.toml.
@@ -64,13 +65,14 @@ DEFAULT_CONFIG_DICT: Dict[str, object] = {
         "video": ["cdn", "network", "simkernel"],
         "web": ["cdn", "network", "simkernel"],
         "telemetry": ["simkernel", "video", "web"],
+        "cohorts": ["network", "telemetry", "video", "web", "workloads"],
         "core": ["cdn", "network", "obs", "sdn", "simkernel", "telemetry", "video"],
         "workloads": ["cdn", "core", "network", "obs", "sdn", "simkernel", "web"],
         "baselines": ["cdn", "core", "network", "sdn", "video"],
         "faults": ["core", "network", "obs", "simkernel"],
         "experiments": [
-            "baselines", "cdn", "core", "faults", "network", "obs", "sdn",
-            "simkernel", "telemetry", "video", "web", "workloads",
+            "baselines", "cdn", "cohorts", "core", "faults", "network", "obs",
+            "sdn", "simkernel", "telemetry", "video", "web", "workloads",
         ],
         "cli": ["analysis", "experiments", "faults", "obs"],
         "analysis": [],

@@ -1,0 +1,29 @@
+"""Fluid-cohort session engine: provider-scale populations as numpy arrays.
+
+Sessions grouped by attribute tuple (node, CDN, content tier, device
+class) evolve as per-generation numpy rows instead of per-session
+Python objects; state scales with cohorts × content length, not with
+the number of viewers.  See DESIGN.md §11 for the model and its
+equivalence contract with the scalar player.
+"""
+
+from repro.cohorts.engine import BeaconSink, CohortEngine
+from repro.cohorts.specs import VIDEO, WEB, CohortSpec
+from repro.cohorts.vecsteps import (
+    buffer_advance_vec,
+    engagement_vec,
+    highest_at_most_vec,
+    rung_for_throughput,
+)
+
+__all__ = [
+    "BeaconSink",
+    "CohortEngine",
+    "CohortSpec",
+    "VIDEO",
+    "WEB",
+    "buffer_advance_vec",
+    "engagement_vec",
+    "highest_at_most_vec",
+    "rung_for_throughput",
+]

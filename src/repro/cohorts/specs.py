@@ -1,0 +1,97 @@
+"""Cohort definitions: the attribute tuple a fluid population shares.
+
+A *cohort* is the set of concurrent sessions that agree on the
+aggregation attributes the A2I pipeline groups by — client node, CDN,
+content tier, device class.  Sessions inside a cohort are statistically
+exchangeable, which is exactly what lets the engine evolve them as one
+numpy row per arrival batch instead of one Python object per viewer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Cohort kinds: adaptive-video sessions or single-page web loads.
+VIDEO = "video"
+WEB = "web"
+
+
+@dataclass(frozen=True)
+class CohortSpec:
+    """One cohort: where its sessions live and how they behave.
+
+    Attributes:
+        node: Client topology node the cohort's sessions share.
+        cdn: CDN name (beacon attribute; the data plane uses src_node).
+        tier: Content tier label, e.g. ``"hd"`` / ``"sd"``.
+        device: Device class label, e.g. ``"tv"`` / ``"mobile"``.
+        src_node: Topology node the cohort downloads from (the CDN edge
+            serving this cohort).
+        arrival_rate_per_s: Mean session arrivals per second (Poisson).
+        kind: ``"video"`` (adaptive playback) or ``"web"`` (page loads).
+        isp: Access ISP label (beacon attribute).
+        via: Optional via-node routing constraint for the cohort stream.
+        content_duration_s: Video kind — title length sessions play.
+        device_cap_mbps: Per-session bitrate/rate cap of the device
+            class (``inf`` = uncapped).
+        burst_demand_mbps: Per-session demand while a session is
+            filling its buffer (stands in for the server connection
+            cap a scalar player sees); must be finite so cohort flow
+            demands stay finite.
+        page_mbit: Web kind — page weight downloaded per session.
+    """
+
+    node: str
+    cdn: str
+    tier: str
+    device: str
+    src_node: str
+    arrival_rate_per_s: float = 0.0
+    kind: str = VIDEO
+    isp: str = ""
+    via: Optional[str] = None
+    content_duration_s: float = 120.0
+    device_cap_mbps: float = math.inf
+    burst_demand_mbps: float = 24.0
+    page_mbit: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (VIDEO, WEB):
+            raise ValueError(f"unknown cohort kind {self.kind!r}")
+        if self.arrival_rate_per_s < 0 or not math.isfinite(self.arrival_rate_per_s):
+            raise ValueError(f"arrival rate out of range: {self.arrival_rate_per_s!r}")
+        if self.content_duration_s <= 0:
+            raise ValueError("content duration must be positive")
+        if self.device_cap_mbps <= 0:
+            raise ValueError("device cap must be positive")
+        if self.burst_demand_mbps <= 0 or not math.isfinite(self.burst_demand_mbps):
+            raise ValueError("burst demand must be positive and finite")
+        if self.page_mbit <= 0:
+            raise ValueError("page weight must be positive")
+
+    @property
+    def key(self) -> Tuple[str, str, str, str]:
+        """The grouping tuple: (node, cdn, tier, device)."""
+        return (self.node, self.cdn, self.tier, self.device)
+
+    def beacon_attrs(self) -> Dict[str, str]:
+        """Attributes every beacon from this cohort carries.
+
+        Mirrors :func:`repro.telemetry.records.record_from_qoe` /
+        ``record_from_pageload`` so cohort rows group identically to
+        individual-session rows in the A2I aggregates.
+        """
+        attrs = {
+            "cdn": self.cdn,
+            "isp": self.isp,
+            "server": self.src_node,
+            "app": self.kind,
+            "node": self.node,
+            "tier": self.tier,
+            "device": self.device,
+        }
+        if self.kind == WEB:
+            attrs["client"] = self.node
+        return attrs

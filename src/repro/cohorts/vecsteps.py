@@ -1,0 +1,100 @@
+"""Vectorized twins of the scalar per-step session functions.
+
+Each function here mirrors one scalar source of truth, element-wise:
+
+* :func:`buffer_advance_vec` ← :func:`repro.video.buffer.buffer_advance_step`
+* :func:`engagement_vec` ← :func:`repro.video.qoe.engagement_terms`
+* :func:`rung_for_throughput` ← :class:`repro.video.abr.RateBasedAbr`
+  (``choose`` with a single-sample throughput estimate)
+
+The web satisfaction path is already array-native
+(:func:`repro.web.qoe.satisfaction_from_plt_array`), so the cohort
+engine calls it directly.  A hypothesis property test
+(``tests/cohorts/test_vecsteps_property.py``) pins element-wise
+agreement between each pair on random inputs, so the scalar player and
+the cohort engine cannot drift.
+"""
+
+from __future__ import annotations
+
+import numpy
+
+from repro.video.ladder import BitrateLadder
+
+
+def buffer_advance_vec(level_s, elapsed_s, started, stalled):
+    """Array form of :func:`~repro.video.buffer.buffer_advance_step`.
+
+    All four inputs broadcast together; returns
+    ``(new_level_s, played_s, waiting_s, now_stalled)`` arrays with the
+    same semantics as the scalar step: rows that are not started, are
+    stalled, or see no elapsed time are untouched (their waiting is
+    accounted by the caller, exactly as :class:`PlaybackBuffer` does).
+    """
+    level = numpy.asarray(level_s, dtype=float)
+    elapsed = numpy.asarray(elapsed_s, dtype=float)
+    started_arr = numpy.asarray(started, dtype=bool)
+    stalled_arr = numpy.asarray(stalled, dtype=bool)
+    ticking = elapsed > 0
+    draining = ticking & started_arr & ~stalled_arr
+    played = numpy.where(draining, numpy.minimum(level, elapsed), 0.0)
+    waiting = numpy.where(ticking, elapsed - played, 0.0)
+    new_level = level - played
+    now_stalled = numpy.where(draining, waiting > 0, stalled_arr)
+    return new_level, played, waiting, now_stalled
+
+
+def engagement_vec(
+    buffering_ratio,
+    mean_bitrate_mbps,
+    join_time_s,
+    max_bitrate_mbps: float = 6.0,
+):
+    """Array form of :func:`~repro.video.qoe.engagement_terms`."""
+    ratio = numpy.maximum(numpy.asarray(buffering_ratio, dtype=float), 0.0)
+    buffering_term = numpy.maximum(0.0, 1.0 - 5.0 * ratio)
+    if max_bitrate_mbps <= 0:
+        fraction = numpy.ones_like(buffering_term)
+    else:
+        fraction = numpy.clip(
+            numpy.asarray(mean_bitrate_mbps, dtype=float) / max_bitrate_mbps,
+            0.0,
+            1.0,
+        )
+    bitrate_term = 0.7 + 0.3 * numpy.sqrt(fraction)
+    join = numpy.maximum(numpy.asarray(join_time_s, dtype=float), 0.0)
+    join_term = numpy.exp(-join / 10.0) * 0.1 + 0.9
+    return numpy.clip(buffering_term * bitrate_term * join_term, 0.0, 1.0)
+
+
+def highest_at_most_vec(ladder: BitrateLadder, cap_mbps):
+    """Array form of :meth:`~repro.video.ladder.BitrateLadder.highest_at_most`."""
+    rungs = numpy.asarray(ladder.bitrates_mbps, dtype=float)
+    cap = numpy.asarray(cap_mbps, dtype=float)
+    index = numpy.searchsorted(rungs, cap, side="right") - 1
+    return rungs[numpy.maximum(index, 0)]
+
+
+def rung_for_throughput(
+    ladder: BitrateLadder,
+    estimate_mbps,
+    cap_mbps=numpy.inf,
+    safety: float = 0.85,
+):
+    """Array form of rate-based ABR: :class:`~repro.video.abr.RateBasedAbr`.
+
+    ``estimate_mbps`` plays the role of the player's harmonic-mean
+    throughput estimate (a cohort has exactly one estimate: its
+    per-session share of the cohort stream); ``cap_mbps`` is the
+    external rate cap (device class or AppP guidance, ``inf`` = none).
+    """
+    estimate = numpy.asarray(estimate_mbps, dtype=float)
+    cap = numpy.asarray(cap_mbps, dtype=float)
+    lowest = ladder.bitrates_mbps[0]
+    target = numpy.where(
+        estimate > 0,
+        highest_at_most_vec(ladder, safety * estimate),
+        lowest,
+    )
+    capped = numpy.minimum(target, highest_at_most_vec(ladder, cap))
+    return numpy.where(numpy.isfinite(cap), capped, target)

@@ -87,6 +87,7 @@ class AppPController(PlayerPolicy):
         self._sessions: Dict[str, _SessionState] = {}
         self._active_players: Dict[str, AdaptivePlayer] = {}
         self.finished_qoe: List = []
+        self.cohort_sessions_reported = 0.0
 
         # Telemetry plane: beacons -> windowed aggregates -> store.
         self.collector = Collector()
@@ -156,6 +157,34 @@ class AppPController(PlayerPolicy):
                 cdn=player.cdn.name if player.cdn else "",
                 isp=self.isp,
             )
+
+    # ------------------------------------------------------------------
+    # cohort beacons
+    # ------------------------------------------------------------------
+    def ingest_cohort_beacons(self, beacons) -> None:
+        """Ingest cohort-level A2I beacons: ``(record, sessions)`` pairs.
+
+        A cohort beacon carries per-session *mean* metrics for
+        ``sessions`` sessions that retired together, so it enters the
+        aggregator with that weight -- the A2I aggregates come out as if
+        every individual beacon had been sent, without any individual
+        :class:`~repro.telemetry.records.SessionRecord` ever being
+        materialized.  The per-record collector is bypassed on purpose:
+        its subscribers expect unweighted records, and the privacy
+        boundary is *stronger* here (individuals never existed).
+        """
+        for record, sessions in beacons:
+            self.cohort_sessions_reported += sessions
+            self.aggregator.add(record, weight=sessions)
+            if TRACER.enabled:
+                TRACER.emit(
+                    "a2i-report",
+                    via="cohort-beacon",
+                    owner=self.name,
+                    cdn=record.attr("cdn"),
+                    isp=record.attr("isp"),
+                    sessions=sessions,
+                )
 
     # ------------------------------------------------------------------
     # A2I export

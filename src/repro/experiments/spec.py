@@ -323,15 +323,27 @@ class ExperimentSpec:
     variants: Tuple[VariantSpec, ...]
 
     def __post_init__(self) -> None:
-        if not (self.exp_id.startswith("e") and self.exp_id[1:].isdigit()):
-            raise ValueError(f"experiment id must look like 'e4', got {self.exp_id!r}")
+        # Ids are ``e<digits>`` with an optional ``-slug`` suffix for
+        # companion experiments that extend a numbered one (``e7-cohort``
+        # rides alongside ``e7``); the digits define the sort order.
+        digits, _, slug = self.exp_id[1:].partition("-")
+        if not (
+            self.exp_id.startswith("e")
+            and digits.isdigit()
+            and (not self.exp_id[1:].endswith("-"))
+            and ("-" not in slug)
+        ):
+            raise ValueError(
+                f"experiment id must look like 'e4' or 'e7-cohort', got {self.exp_id!r}"
+            )
         names = [variant.name for variant in self.variants]
         if len(names) != len(set(names)):
             raise ValueError(f"duplicate variant names in {self.exp_id}: {names}")
 
     @property
     def order(self) -> int:
-        return int(self.exp_id[1:])
+        digits, _, _ = self.exp_id[1:].partition("-")
+        return int(digits)
 
     def variant(self, name: str) -> VariantSpec:
         for variant in self.variants:

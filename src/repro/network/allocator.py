@@ -177,6 +177,11 @@ class AllocationEngine:
         if flow.flow_id in self._flows:
             self._dirty_flows.add(flow.flow_id)
 
+    def update_weight(self, flow: Flow) -> None:
+        """Note that ``flow.weight`` changed."""
+        if flow.flow_id in self._flows:
+            self._dirty_flows.add(flow.flow_id)
+
     def set_path(self, flow: Flow, new_path: List[Link]) -> None:
         """Move a flow onto ``new_path``, updating all bookkeeping.
 

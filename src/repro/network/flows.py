@@ -30,6 +30,10 @@ class Flow:
             endpoints, in which case the flow is never bottlenecked.
         demand_mbps: Rate cap in Mbit/s (``math.inf`` = unconstrained).
         rate_mbps: Current allocated rate, set by the allocator.
+        weight: Fair-share weight.  A flow of weight *w* receives *w*
+            times the rate of a weight-1 flow sharing its bottleneck,
+            which is how an aggregate (e.g. a cohort of *w* sessions)
+            competes as *w* individual flows would.
     """
 
     __slots__ = (
@@ -38,6 +42,7 @@ class Flow:
         "dst",
         "path",
         "demand_mbps",
+        "weight",
         "size_mbit",
         "remaining_mbit",
         "rate_mbps",
@@ -57,16 +62,20 @@ class Flow:
         demand_mbps: float = math.inf,
         size_mbit: Optional[float] = None,
         owner: str = "",
+        weight: float = 1.0,
     ) -> None:
         if demand_mbps <= 0:
             raise ValueError(f"flow {flow_id}: demand must be positive")
         if size_mbit is not None and size_mbit < 0:
             raise ValueError(f"flow {flow_id}: size must be non-negative")
+        if weight <= 0 or not math.isfinite(weight):
+            raise ValueError(f"flow {flow_id}: weight must be positive and finite")
         self.flow_id = flow_id
         self.src = src
         self.dst = dst
         self.path = list(path)
         self.demand_mbps = demand_mbps
+        self.weight = weight
         self.size_mbit = size_mbit
         self.remaining_mbit = size_mbit if size_mbit is not None else math.inf
         self.rate_mbps = 0.0

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.network.allocator import AllocationEngine, EngineConfig
 from repro.network.flows import Flow, FlowState
@@ -162,6 +162,7 @@ class FluidNetwork:
         via: Optional[str] = None,
         path: Optional[List[str]] = None,
         owner: str = "",
+        weight: float = 1.0,
     ) -> Transfer:
         """Start a finite transfer of ``size_mbit`` from ``src`` to ``dst``.
 
@@ -170,7 +171,9 @@ class FluidNetwork:
         ``on_complete`` fires, at the completion instant, with the
         transfer handle.
         """
-        return self._start(src, dst, size_mbit, on_complete, demand_mbps, via, path, owner)
+        return self._start(
+            src, dst, size_mbit, on_complete, demand_mbps, via, path, owner, weight
+        )
 
     def start_stream(
         self,
@@ -180,9 +183,15 @@ class FluidNetwork:
         via: Optional[str] = None,
         path: Optional[List[str]] = None,
         owner: str = "",
+        weight: float = 1.0,
     ) -> Transfer:
-        """Start a persistent stream that runs until :meth:`abort`."""
-        return self._start(src, dst, None, None, demand_mbps, via, path, owner)
+        """Start a persistent stream that runs until :meth:`abort`.
+
+        ``weight`` sets the flow's fair-share weight (see
+        :class:`~repro.network.flows.Flow`); a cohort stream carrying
+        *n* sessions competes with weight *n*.
+        """
+        return self._start(src, dst, None, None, demand_mbps, via, path, owner, weight)
 
     def abort(self, transfer: Transfer) -> None:
         """Stop a flow without completing it.  Idempotent."""
@@ -207,6 +216,49 @@ class FluidNetwork:
         transfer.flow.demand_mbps = demand_mbps
         self.engine.update_demand(transfer.flow)
         self._reallocate()
+
+    def set_weight(self, transfer: Transfer, weight: float) -> None:
+        """Change a flow's fair-share weight (e.g. a cohort's head count)."""
+        if weight <= 0 or not math.isfinite(weight):
+            raise ValueError(f"weight must be positive and finite, got {weight!r}")
+        if transfer.flow.done:
+            return
+        self._sync_to_now()
+        transfer.flow.weight = weight
+        self.engine.update_weight(transfer.flow)
+        self._reallocate()
+
+    def update_streams(
+        self,
+        updates: Iterable[Tuple[Transfer, float, Optional[float]]],
+    ) -> None:
+        """Apply many ``(transfer, demand, weight)`` changes in one solve.
+
+        ``weight`` may be ``None`` to leave a flow's weight unchanged.
+        Routing each change through :meth:`set_demand` would trigger one
+        reallocation per flow; the cohort engine updates every cohort
+        stream once per tick, so batching keeps that tick at a single
+        solve of the affected component.
+        """
+        self._sync_to_now()
+        dirty = False
+        for transfer, demand_mbps, weight in updates:
+            flow = transfer.flow
+            if flow.done:
+                continue
+            if demand_mbps <= 0:
+                raise ValueError(f"demand must be positive, got {demand_mbps!r}")
+            if weight is not None:
+                if weight <= 0 or not math.isfinite(weight):
+                    raise ValueError(
+                        f"weight must be positive and finite, got {weight!r}"
+                    )
+                flow.weight = weight
+            flow.demand_mbps = demand_mbps
+            self.engine.update_demand(flow)
+            dirty = True
+        if dirty:
+            self._reallocate()
 
     def reroute(
         self,
@@ -345,6 +397,7 @@ class FluidNetwork:
         via: Optional[str],
         path: Optional[List[str]],
         owner: str,
+        weight: float = 1.0,
     ) -> Transfer:
         if via is None and path is None:
             split = self._split_policy.get(owner)
@@ -362,6 +415,7 @@ class FluidNetwork:
             demand_mbps=demand_mbps,
             size_mbit=size_mbit,
             owner=owner,
+            weight=weight,
         )
         flow.started_at = self.sim.now
         flow.last_progress_at = self.sim.now

@@ -1,11 +1,14 @@
-"""Max-min fair bandwidth allocation with per-flow demand caps.
+"""Weighted max-min fair bandwidth allocation with per-flow demand caps.
 
-The allocator implements progressive filling: the rates of all
-unfrozen flows rise together until either a link saturates (its flows
+The allocator implements progressive filling: a per-unit-weight water
+level rises uniformly, so every unfrozen flow's rate grows at
+``weight`` times the level, until either a link saturates (its flows
 freeze at the water level) or a flow reaches its demand cap (it freezes
-at its demand).  The result is the unique max-min fair allocation
-subject to demands, the allocation used by the fluid simulator whenever
-the flow set changes.
+at its demand).  The result is the unique weighted max-min fair
+allocation subject to demands, the allocation used by the fluid
+simulator whenever the flow set changes.  With all weights at the
+default 1.0 the arithmetic reduces exactly to the classic unweighted
+filling, which the equivalence property tests pin.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ _EPS = 1e-9
 
 
 def max_min_allocation(flows: Iterable[Flow]) -> Dict[str, float]:
-    """Compute max-min fair rates for ``flows``.
+    """Compute weighted max-min fair rates for ``flows``.
 
     Link capacities are read from each flow's path links.  Flows with an
     empty path are granted their full demand (they traverse no shared
@@ -32,7 +35,9 @@ def max_min_allocation(flows: Iterable[Flow]) -> Dict[str, float]:
     * feasibility -- no link's capacity is exceeded;
     * demand caps -- no flow exceeds its demand;
     * max-min optimality -- a flow below its demand is bottlenecked on
-      some saturated link where it has a maximal rate.
+      some saturated link where its per-weight rate is maximal;
+    * weighted fairness -- two flows sharing a bottleneck and below
+      demand receive rates proportional to their weights.
     """
     flow_list = [f for f in flows if not f.done]
     rates: Dict[str, float] = {}
@@ -44,28 +49,30 @@ def max_min_allocation(flows: Iterable[Flow]) -> Dict[str, float]:
         else:
             active.append(flow)
 
-    # Per-link bookkeeping over the links actually used.
+    # Per-link bookkeeping over the links actually used.  ``link_weight``
+    # is the total weight of unfrozen flows crossing the link, so the
+    # per-unit-weight increment consumes ``delta * link_weight`` of it.
     link_capacity: Dict[str, float] = {}
     link_objects: Dict[str, Link] = {}
-    link_active: Dict[str, int] = {}
+    link_weight: Dict[str, float] = {}
     for flow in active:
         for link in flow.path:
             link_objects[link.link_id] = link
             link_capacity.setdefault(link.link_id, link.capacity_mbps)
-            link_active[link.link_id] = link_active.get(link.link_id, 0) + 1
+            link_weight[link.link_id] = link_weight.get(link.link_id, 0.0) + flow.weight
 
     level: Dict[str, float] = {f.flow_id: 0.0 for f in active}
     remaining: Dict[str, float] = dict(link_capacity)
 
     while active:
-        # Largest uniform increment before a link saturates...
+        # Largest uniform per-weight increment before a link saturates...
         delta = math.inf
-        for link_id, count in link_active.items():
-            if count > 0:
-                delta = min(delta, remaining[link_id] / count)
+        for link_id, weight_sum in link_weight.items():
+            if weight_sum > _EPS:
+                delta = min(delta, remaining[link_id] / weight_sum)
         # ...or a flow hits its demand cap.
         for flow in active:
-            headroom = flow.demand_mbps - level[flow.flow_id]
+            headroom = (flow.demand_mbps - level[flow.flow_id]) / flow.weight
             delta = min(delta, headroom)
 
         if not math.isfinite(delta):
@@ -77,14 +84,14 @@ def max_min_allocation(flows: Iterable[Flow]) -> Dict[str, float]:
 
         delta = max(delta, 0.0)
         for flow in active:
-            level[flow.flow_id] += delta
-        for link_id, count in link_active.items():
-            remaining[link_id] -= delta * count
+            level[flow.flow_id] += delta * flow.weight
+        for link_id, weight_sum in link_weight.items():
+            remaining[link_id] -= delta * weight_sum
 
         saturated = {
             link_id
             for link_id, cap in remaining.items()
-            if cap <= _EPS and link_active[link_id] > 0
+            if cap <= _EPS and link_weight[link_id] > _EPS
         }
 
         still_active: List[Flow] = []
@@ -94,7 +101,7 @@ def max_min_allocation(flows: Iterable[Flow]) -> Dict[str, float]:
             if at_demand or on_saturated:
                 rates[flow.flow_id] = min(level[flow.flow_id], flow.demand_mbps)
                 for link in flow.path:
-                    link_active[link.link_id] -= 1
+                    link_weight[link.link_id] -= flow.weight
             else:
                 still_active.append(flow)
         if len(still_active) == len(active):

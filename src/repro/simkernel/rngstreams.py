@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Any, Dict
 
 
 class RngStreams:
@@ -33,6 +33,7 @@ class RngStreams:
     def __init__(self, root_seed: int = 0) -> None:
         self.root_seed = int(root_seed)
         self._streams: Dict[str, random.Random] = {}
+        self._generators: Dict[str, Any] = {}
 
     def get(self, name: str) -> random.Random:
         """Return the stream for ``name``, creating it on first use."""
@@ -41,6 +42,25 @@ class RngStreams:
             stream = random.Random(self._derive_seed(name))
             self._streams[name] = stream
         return stream
+
+    def generator(self, name: str) -> Any:
+        """A named ``numpy.random.Generator``, seeded like :meth:`get`.
+
+        Vectorized consumers (the cohort engine) need numpy bit
+        generators; minting them here keeps every random stream -- stdlib
+        or numpy -- derived from the one root seed, named, and
+        independent of request order.  numpy is imported lazily so the
+        kernel itself stays dependency-free; the return type is ``Any``
+        for the same reason.  Distinct from :meth:`get`: the two stream
+        families never share state even under the same name.
+        """
+        generator = self._generators.get(name)
+        if generator is None:
+            import numpy
+
+            generator = numpy.random.default_rng(self._derive_seed(name))
+            self._generators[name] = generator
+        return generator
 
     def spawn(self, name: str) -> "RngStreams":
         """Derive a child registry (e.g. one per simulated provider)."""

@@ -19,18 +19,23 @@ from repro.telemetry.records import SessionRecord
 
 @dataclass
 class _Running:
-    """Streaming stats for one metric within one group-window."""
+    """Streaming stats for one metric within one group-window.
 
-    count: int = 0
+    ``count`` is a (possibly fractional) total weight: an individual
+    beacon contributes weight 1, a cohort beacon the number of sessions
+    it summarizes.
+    """
+
+    count: float = 0.0
     total: float = 0.0
     total_sq: float = 0.0
     minimum: float = math.inf
     maximum: float = -math.inf
 
-    def add(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        self.total_sq += value * value
+    def add(self, value: float, weight: float = 1.0) -> None:
+        self.count += weight
+        self.total += weight * value
+        self.total_sq += weight * value * value
         self.minimum = min(self.minimum, value)
         self.maximum = max(self.maximum, value)
 
@@ -54,7 +59,9 @@ class AggregateRow:
         window_start: Start of the tumbling window.
         window_s: Window length.
         group: Group-key values, aligned with the aggregator's keys.
-        count: Records aggregated.
+        count: Total weight aggregated -- the record count when every
+            record carries the default weight 1, the session count when
+            cohort-weighted records are ingested.
         means: Per-metric means.
         mins: Per-metric minima.
         maxs: Per-metric maxima.
@@ -64,7 +71,7 @@ class AggregateRow:
     window_start: float
     window_s: float
     group: Tuple[str, ...]
-    count: int
+    count: float
     means: Dict[str, float]
     mins: Dict[str, float]
     maxs: Dict[str, float]
@@ -109,7 +116,7 @@ class GroupByAggregator:
         self.sink = sink
         self._window_start: Optional[float] = None
         self._cells: Dict[Tuple[str, ...], Dict[str, _Running]] = {}
-        self._counts: Dict[Tuple[str, ...], int] = {}
+        self._counts: Dict[Tuple[str, ...], float] = {}
         self.rows_emitted = 0
         self.records_processed = 0
 
@@ -118,8 +125,17 @@ class GroupByAggregator:
         """Cardinality of the currently open window (memory proxy)."""
         return len(self._cells)
 
-    def add(self, record: SessionRecord) -> None:
-        """Ingest one record, closing the window first if it has passed."""
+    def add(self, record: SessionRecord, weight: float = 1.0) -> None:
+        """Ingest one record, closing the window first if it has passed.
+
+        ``weight`` is the number of sessions the record stands for: 1
+        for an individual beacon (the default), the cohort head count
+        for a cohort-level beacon whose metrics are already per-session
+        means.  A weighted record moves every mean as ``weight``
+        individual records at the same values would.
+        """
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight!r}")
         self.records_processed += 1
         if self._window_start is None:
             self._window_start = self._align(record.time)
@@ -130,11 +146,11 @@ class GroupByAggregator:
         if cell is None:
             cell = {metric: _Running() for metric in self.metrics}
             self._cells[group] = cell
-            self._counts[group] = 0
-        self._counts[group] += 1
+            self._counts[group] = 0.0
+        self._counts[group] += weight
         for metric in self.metrics:
             if metric in record.metrics:
-                cell[metric].add(record.metrics[metric])
+                cell[metric].add(record.metrics[metric], weight)
 
     def flush(self, up_to: Optional[float] = None) -> List[AggregateRow]:
         """Close the open window (and any empty gap up to ``up_to``).

@@ -10,7 +10,39 @@ player practice.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
+
+
+def buffer_advance_step(
+    level_s: float,
+    elapsed_s: float,
+    started: bool,
+    stalled: bool,
+) -> Tuple[float, float, float, bool]:
+    """One pure buffer-drain step: ``elapsed_s`` of wall time passes.
+
+    Returns ``(new_level_s, played_s, waiting_s, now_stalled)``:
+
+    * A session that has not started, or is stalled, plays nothing --
+      all elapsed time is *waiting* (join time before start, rebuffer
+      time after) and the buffer level is untouched (downloads are
+      credited separately).
+    * A playing session drains the buffer at 1 s of media per second;
+      if the buffer runs dry mid-step the shortfall is waiting time and
+      the session is stalled at the end of the step.
+
+    This is the single source of the drain dynamics: the scalar
+    :class:`PlaybackBuffer` and the vectorized cohort twin
+    (:mod:`repro.cohorts.vecsteps`) both apply exactly this function,
+    so the two cannot drift.
+    """
+    if elapsed_s <= 0:
+        return level_s, 0.0, 0.0, stalled
+    if not started or stalled:
+        return level_s, 0.0, elapsed_s, stalled
+    played = min(level_s, elapsed_s)
+    waiting = elapsed_s - played
+    return level_s - played, played, waiting, waiting > 0
 
 
 class PlaybackBuffer:
@@ -56,19 +88,20 @@ class PlaybackBuffer:
         self._last_update = now
         if elapsed == 0:
             return
+        level, played, waiting, now_stalled = buffer_advance_step(
+            self.level_s, elapsed, self.started, self.stalled
+        )
         if not self.started or self.stalled:
             # Waiting for media: all elapsed time is join or rebuffer.
             if self.started:
-                self.rebuffer_time_s += elapsed
+                self.rebuffer_time_s += waiting
             return
-        drained = min(self.level_s, elapsed)
-        self.level_s -= drained
-        self.play_time_s += drained
-        stall = elapsed - drained
-        if stall > 0:
-            self.stalled = True
+        self.level_s = level
+        self.play_time_s += played
+        if waiting > 0:
+            self.stalled = now_stalled
             self.rebuffer_events += 1
-            self.rebuffer_time_s += stall
+            self.rebuffer_time_s += waiting
 
     def add_chunk(self, duration_s: float, now: float) -> None:
         """Credit one downloaded chunk; may trigger start or resume."""

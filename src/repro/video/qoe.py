@@ -55,6 +55,32 @@ class QoeMetrics:
         return self.join_time_s is not None
 
 
+def engagement_terms(
+    buffering_ratio: float,
+    mean_bitrate_mbps: float,
+    join_time_s: float,
+    max_bitrate_mbps: float = 6.0,
+) -> float:
+    """Engagement of one *joined* session, as a pure scalar function.
+
+    This is the single source of the engagement shape: the scalar
+    :func:`engagement_score` and the vectorized cohort twin
+    (:mod:`repro.cohorts.vecsteps`) both call the same per-term
+    arithmetic, so the two paths cannot drift.  All inputs are clamped
+    to their meaningful ranges rather than raising: a degenerate ladder
+    (``max_bitrate_mbps <= 0``) grants the full bitrate lift, negative
+    inputs behave as zero.
+    """
+    buffering_term = max(0.0, 1.0 - 5.0 * max(0.0, buffering_ratio))
+    if max_bitrate_mbps <= 0:
+        bitrate_fraction = 1.0
+    else:
+        bitrate_fraction = min(1.0, max(0.0, mean_bitrate_mbps) / max_bitrate_mbps)
+    bitrate_term = 0.7 + 0.3 * math.sqrt(bitrate_fraction)
+    join_term = math.exp(-max(0.0, join_time_s) / 10.0) * 0.1 + 0.9
+    return max(0.0, min(1.0, buffering_term * bitrate_term * join_term))
+
+
 def engagement_score(qoe: QoeMetrics, max_bitrate_mbps: float = 6.0) -> float:
     """Viewer engagement in [0, 1] from session QoE.
 
@@ -70,11 +96,12 @@ def engagement_score(qoe: QoeMetrics, max_bitrate_mbps: float = 6.0) -> float:
     """
     if not qoe.joined:
         return 0.0
-    buffering_term = max(0.0, 1.0 - 5.0 * qoe.buffering_ratio)
-    bitrate_fraction = min(1.0, qoe.mean_bitrate_mbps / max_bitrate_mbps)
-    bitrate_term = 0.7 + 0.3 * math.sqrt(bitrate_fraction)
-    join_term = math.exp(-max(0.0, qoe.join_time_s) / 10.0) * 0.1 + 0.9
-    return max(0.0, min(1.0, buffering_term * bitrate_term * join_term))
+    return engagement_terms(
+        buffering_ratio=qoe.buffering_ratio,
+        mean_bitrate_mbps=qoe.mean_bitrate_mbps,
+        join_time_s=qoe.join_time_s if qoe.join_time_s is not None else 0.0,
+        max_bitrate_mbps=max_bitrate_mbps,
+    )
 
 
 def summarize(sessions: List[QoeMetrics]) -> dict:
@@ -96,8 +123,10 @@ def summarize(sessions: List[QoeMetrics]) -> dict:
         "mean_bitrate_mbps": (
             sum(q.mean_bitrate_mbps for q in joined) / len(joined) if joined else 0.0
         ),
+        # No joined session means there is no join time to average; 0.0
+        # (not inf/NaN) keeps downstream tables and checks well-defined.
         "mean_join_time_s": (
-            sum(q.join_time_s for q in joined) / len(joined) if joined else math.inf
+            sum(q.join_time_s for q in joined) / len(joined) if joined else 0.0
         ),
         "mean_engagement": sum(engagement_score(q) for q in sessions) / len(sessions),
         "cdn_switches_per_session": sum(q.cdn_switches for q in sessions) / len(sessions),

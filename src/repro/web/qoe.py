@@ -25,3 +25,22 @@ def satisfaction_from_plt(
     if plt_s < 0:
         raise ValueError(f"plt must be non-negative, got {plt_s!r}")
     return 1.0 / (1.0 + math.exp(steepness * (plt_s - midpoint_s)))
+
+
+def satisfaction_from_plt_array(
+    plt_s: "object",
+    midpoint_s: float = 5.0,
+    steepness: float = 0.8,
+):
+    """Vectorized :func:`satisfaction_from_plt` over an array of PLTs.
+
+    Same logistic curve, element-wise, for the cohort engine's web
+    satisfaction path; the property tests pin element-wise agreement
+    with the scalar function.  Accepts anything ``numpy.asarray`` does.
+    """
+    import numpy  # deferred: the scalar path stays dependency-free
+
+    values = numpy.asarray(plt_s, dtype=float)
+    if numpy.any(values < 0):
+        raise ValueError("plt must be non-negative")
+    return 1.0 / (1.0 + numpy.exp(steepness * (values - midpoint_s)))

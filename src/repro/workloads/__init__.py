@@ -7,6 +7,7 @@ experiments run on.
 """
 
 from repro.workloads.arrivals import (
+    BatchedPoissonArrivals,
     NonHomogeneousArrivals,
     PoissonArrivals,
     diurnal_rate,
@@ -30,6 +31,7 @@ from repro.workloads.scenarios import (
 )
 
 __all__ = [
+    "BatchedPoissonArrivals",
     "CdnFaultScenario",
     "CellularWebScenario",
     "CoarseControlScenario",

@@ -124,6 +124,54 @@ class NonHomogeneousArrivals:
         self._schedule_proposal()
 
 
+class BatchedPoissonArrivals:
+    """Per-cohort Poisson arrival *counts*, one vector draw per tick.
+
+    The fluid-cohort counterpart of :class:`PoissonArrivals`: instead
+    of scheduling one simulator event per session, the cohort engine
+    asks once per tick how many sessions arrived in each cohort.  Over
+    a tick of length ``dt`` a cohort with rate λ receives
+    ``Poisson(λ·dt)`` arrivals -- summing ticks recovers exactly the
+    homogeneous process, so the aggregate statistics match the
+    event-per-arrival path at any tick size.
+
+    Args:
+        rates_per_s: Mean arrivals per second, one entry per cohort
+            (any sequence; stored as a float array).  Zero entries are
+            allowed (a cohort that is pre-seeded but has no churn).
+        generator: A ``numpy.random.Generator``; mint it from the named
+            streams (``ctx.rng.generator("cohort-arrivals")``) so draws
+            are reproducible and independent of other streams.
+    """
+
+    def __init__(self, rates_per_s, generator):
+        import numpy
+
+        self._numpy = numpy
+        rates = numpy.asarray(rates_per_s, dtype=float)
+        if rates.ndim != 1 or rates.size == 0:
+            raise ValueError("rates_per_s must be a non-empty 1-d sequence")
+        if numpy.any(rates < 0) or not numpy.all(numpy.isfinite(rates)):
+            raise ValueError("rates must be finite and non-negative")
+        self.rates_per_s = rates
+        self.generator = generator
+        self.generated = 0
+
+    def counts(self, dt_s: float):
+        """Arrival counts per cohort for one tick of length ``dt_s``."""
+        if dt_s < 0:
+            raise ValueError(f"dt must be non-negative, got {dt_s!r}")
+        drawn = self.generator.poisson(self.rates_per_s * dt_s)
+        self.generated += int(drawn.sum())
+        return drawn
+
+    def set_rate(self, index: int, rate_per_s: float) -> None:
+        """Change one cohort's arrival rate (flash crowds, diurnal ramps)."""
+        if rate_per_s < 0 or not math.isfinite(rate_per_s):
+            raise ValueError(f"rate must be finite and non-negative, got {rate_per_s!r}")
+        self.rates_per_s[index] = rate_per_s
+
+
 def flash_crowd_rate(
     base_per_s: float,
     peak_per_s: float,

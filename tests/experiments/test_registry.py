@@ -27,8 +27,11 @@ def _result(*rows, name="T", notes=""):
 
 
 class TestRegistryCompleteness:
-    def test_ids_are_e1_to_e15(self):
-        assert registry.experiment_ids() == [f"e{i}" for i in range(1, 16)]
+    def test_ids_are_e1_to_e15_plus_variants(self):
+        expected = [f"e{i}" for i in range(1, 8)]
+        expected.append("e7-cohort")
+        expected.extend(f"e{i}" for i in range(8, 16))
+        assert registry.experiment_ids() == expected
 
     def test_every_exp_module_registers(self):
         registered = {spec.module for spec in registry.all_specs()}

@@ -170,3 +170,80 @@ def test_maxmin_bottleneck_condition(network):
 def test_allocation_deterministic(network):
     _, flows = network
     assert max_min_allocation(flows) == max_min_allocation(flows)
+
+
+class TestWeighted:
+    def test_rates_proportional_to_weights(self):
+        link = _link("l", 9.0)
+        heavy = Flow("heavy", "a", "b", [link], weight=2.0)
+        light = Flow("light", "a", "b", [link], weight=1.0)
+        rates = max_min_allocation([heavy, light])
+        assert abs(rates["heavy"] - 6.0) < EPS
+        assert abs(rates["light"] - 3.0) < EPS
+
+    def test_cohort_weight_equals_expanded_flows(self):
+        # One weight-n flow receives exactly what n weight-1 flows
+        # sharing the bottleneck would in total -- the property the
+        # cohort engine's network coupling relies on.
+        link_a = _link("la", 10.0)
+        cohort = Flow("cohort", "a", "b", [link_a], weight=3.0)
+        solo_a = Flow("solo", "a", "b", [link_a])
+        rates_aggregate = max_min_allocation([cohort, solo_a])
+
+        link_b = _link("lb", 10.0)
+        members = [Flow(f"m{i}", "a", "b", [link_b]) for i in range(3)]
+        solo_b = Flow("solo", "a", "b", [link_b])
+        rates_expanded = max_min_allocation(members + [solo_b])
+
+        total_members = sum(rates_expanded[f"m{i}"] for i in range(3))
+        assert abs(rates_aggregate["cohort"] - total_members) < EPS
+        assert abs(rates_aggregate["solo"] - rates_expanded["solo"]) < EPS
+
+    def test_demand_cap_trumps_weight(self):
+        link = _link("l", 10.0)
+        heavy = Flow("heavy", "a", "b", [link], demand_mbps=1.0, weight=10.0)
+        light = Flow("light", "a", "b", [link], weight=1.0)
+        rates = max_min_allocation([heavy, light])
+        assert abs(rates["heavy"] - 1.0) < EPS
+        assert abs(rates["light"] - 9.0) < EPS
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=20.0), min_size=2, max_size=8
+        ),
+        st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_shared_bottleneck_per_weight_rates_equal(self, weights, capacity):
+        link = _link("l", capacity)
+        flows = [
+            Flow(f"f{i}", "a", "b", [link], weight=w)
+            for i, w in enumerate(weights)
+        ]
+        rates = max_min_allocation(flows)
+        per_weight = [rates[f.flow_id] / f.weight for f in flows]
+        assert sum(rates.values()) <= capacity + EPS
+        for value in per_weight[1:]:
+            assert abs(value - per_weight[0]) < 1e-6 * max(1.0, per_weight[0])
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.5, max_value=30.0), min_size=1, max_size=8
+        ),
+        st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_unit_weights_reduce_to_unweighted(self, demands, capacity):
+        link_a = _link("la", capacity)
+        explicit = [
+            Flow(f"f{i}", "a", "b", [link_a], demand_mbps=d, weight=1.0)
+            for i, d in enumerate(demands)
+        ]
+        link_b = _link("lb", capacity)
+        implicit = [
+            _flow(f"f{i}", [link_b], demand=d) for i, d in enumerate(demands)
+        ]
+        rates_explicit = max_min_allocation(explicit)
+        rates_implicit = max_min_allocation(implicit)
+        for flow_id, rate in rates_implicit.items():
+            assert abs(rates_explicit[flow_id] - rate) < EPS

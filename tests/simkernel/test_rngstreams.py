@@ -55,3 +55,40 @@ class TestProperties:
     def test_values_in_unit_interval(self, seed):
         value = RngStreams(seed).get("u").random()
         assert 0.0 <= value < 1.0
+
+
+class TestNumpyGenerators:
+    def test_same_seed_same_draws(self):
+        a = RngStreams(3).generator("cohort-arrivals").random()
+        b = RngStreams(3).generator("cohort-arrivals").random()
+        assert a == b
+
+    def test_request_order_independent(self):
+        first = RngStreams(9)
+        first.generator("x")
+        other = RngStreams(9)
+        other.generator("y")
+        assert first.generator("y").random() == other.generator("y").random()
+
+    def test_generator_is_cached(self):
+        streams = RngStreams(0)
+        assert streams.generator("g") is streams.generator("g")
+
+    def test_distinct_from_stdlib_stream_of_same_name(self):
+        streams = RngStreams(1)
+        generator = streams.generator("shared-name")
+        stream = streams.get("shared-name")
+        # Consuming one family must not perturb the other.
+        before = RngStreams(1).generator("shared-name").random()
+        stream.random()
+        streams2 = RngStreams(1)
+        streams2.get("shared-name").random()
+        assert streams2.generator("shared-name").random() == before
+        assert generator is streams.generator("shared-name")
+
+    def test_no_global_numpy_state(self):
+        import numpy
+
+        before = numpy.random.get_state()[1].copy()
+        RngStreams(5).generator("anything").poisson(3.0, size=100)
+        numpy.testing.assert_array_equal(before, numpy.random.get_state()[1])

@@ -3,7 +3,12 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.video.qoe import QoeMetrics, engagement_score, summarize
+from repro.video.qoe import (
+    QoeMetrics,
+    engagement_score,
+    engagement_terms,
+    summarize,
+)
 
 
 def _qoe(**kwargs):
@@ -101,3 +106,57 @@ class TestSummarize:
         sessions = [_qoe(), QoeMetrics(session_id="dead")]
         summary = summarize(sessions)
         assert summary["mean_bitrate_mbps"] == pytest.approx(3.0)
+
+
+class TestEngagementTermsEdges:
+    """Regression tests for the clamping behaviour of the pure scalar."""
+
+    def test_matches_engagement_score_for_joined_sessions(self):
+        qoe = _qoe(play_time_s=95.0, rebuffer_time_s=5.0)
+        assert engagement_score(qoe) == pytest.approx(
+            engagement_terms(qoe.buffering_ratio, 3.0, 1.0)
+        )
+
+    def test_negative_inputs_behave_as_zero(self):
+        assert engagement_terms(-0.3, 3.0, 1.0) == engagement_terms(0.0, 3.0, 1.0)
+        assert engagement_terms(0.0, -1.0, 1.0) == engagement_terms(0.0, 0.0, 1.0)
+        assert engagement_terms(0.0, 3.0, -5.0) == engagement_terms(0.0, 3.0, 0.0)
+
+    def test_heavy_buffering_saturates_at_zero(self):
+        assert engagement_terms(0.2, 6.0, 0.0) == 0.0
+        assert engagement_terms(1.0, 6.0, 0.0) == 0.0
+
+    def test_degenerate_ladder_grants_full_bitrate_lift(self):
+        degenerate = engagement_terms(0.0, 1.0, 0.0, max_bitrate_mbps=0.0)
+        at_max = engagement_terms(0.0, 6.0, 0.0, max_bitrate_mbps=6.0)
+        assert degenerate == pytest.approx(at_max)
+
+    def test_bitrate_above_ladder_top_is_clamped(self):
+        assert engagement_terms(0.0, 50.0, 0.0) == engagement_terms(0.0, 6.0, 0.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.floats(min_value=-1.0, max_value=2.0),
+        st.floats(min_value=-10.0, max_value=100.0),
+        st.floats(min_value=-10.0, max_value=600.0),
+    )
+    def test_always_in_unit_interval(self, ratio, bitrate, join):
+        assert 0.0 <= engagement_terms(ratio, bitrate, join) <= 1.0
+
+
+class TestSummarizeEdges:
+    def test_no_joined_sessions_keeps_means_finite(self):
+        dead = [QoeMetrics(session_id=f"d{i}") for i in range(3)]
+        summary = summarize(dead)
+        assert summary["mean_join_time_s"] == 0.0
+        assert summary["mean_bitrate_mbps"] == 0.0
+        assert summary["mean_engagement"] == 0.0
+        assert summary["mean_buffering_ratio"] == 1.0
+
+    def test_zero_play_zero_rebuffer_joined_session(self):
+        # Joined but retired before playing anything: no buffering blame.
+        qoe = QoeMetrics(session_id="s", join_time_s=2.0)
+        assert qoe.buffering_ratio == 0.0
+        summary = summarize([qoe])
+        assert summary["mean_buffering_ratio"] == 0.0
+        assert summary["mean_join_time_s"] == pytest.approx(2.0)

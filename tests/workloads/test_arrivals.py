@@ -98,3 +98,59 @@ class TestProfiles:
     def test_diurnal_validation(self):
         with pytest.raises(ValueError):
             diurnal_rate(1.0, amplitude=1.5)
+
+
+class TestBatched:
+    def _batched(self, rates, seed=42):
+        import numpy
+
+        from repro.workloads.arrivals import BatchedPoissonArrivals
+
+        return BatchedPoissonArrivals(rates, numpy.random.default_rng(seed))
+
+    def test_counts_reproducible_per_seed(self):
+        a = self._batched([2.0, 0.5, 7.0])
+        b = self._batched([2.0, 0.5, 7.0])
+        for _ in range(20):
+            assert list(a.counts(1.0)) == list(b.counts(1.0))
+
+    def test_mean_matches_rate_times_dt(self):
+        arrivals = self._batched([4.0])
+        ticks = 2000
+        total = sum(int(arrivals.counts(0.5)[0]) for _ in range(ticks))
+        assert total / ticks == pytest.approx(2.0, rel=0.1)
+        assert arrivals.generated == total
+
+    def test_zero_rate_cohort_never_spawns(self):
+        arrivals = self._batched([0.0, 3.0])
+        for _ in range(50):
+            assert arrivals.counts(1.0)[0] == 0
+
+    def test_zero_dt_spawns_nothing(self):
+        arrivals = self._batched([5.0])
+        assert arrivals.counts(0.0)[0] == 0
+        assert arrivals.generated == 0
+
+    def test_set_rate_takes_effect(self):
+        arrivals = self._batched([0.0])
+        arrivals.set_rate(0, 50.0)
+        assert int(arrivals.counts(1.0)[0]) > 0
+        arrivals.set_rate(0, 0.0)
+        assert int(arrivals.counts(1.0)[0]) == 0
+
+    def test_validation(self):
+        import math
+
+        with pytest.raises(ValueError):
+            self._batched([])
+        with pytest.raises(ValueError):
+            self._batched([-1.0])
+        with pytest.raises(ValueError):
+            self._batched([math.inf])
+        arrivals = self._batched([1.0])
+        with pytest.raises(ValueError):
+            arrivals.counts(-1.0)
+        with pytest.raises(ValueError):
+            arrivals.set_rate(0, -2.0)
+        with pytest.raises(ValueError):
+            arrivals.set_rate(0, math.nan)
