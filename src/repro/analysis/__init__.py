@@ -1,4 +1,4 @@
-"""simlint: AST-based determinism and layering analyzer for the EONA simulator.
+"""simlint: determinism and layering analyzer for the EONA simulator.
 
 The simulator's credibility rests on bit-identical replays: every E1-E14
 run must reproduce exactly across machines and seeds.  A single stray
@@ -6,29 +6,46 @@ run must reproduce exactly across machines and seeds.  A single stray
 silently destroys that property without failing any functional test.
 ``simlint`` turns those conventions into machine-checked invariants:
 
-* an AST visitor core with a rule registry (:mod:`repro.analysis.rules`),
+* an AST visitor core with a rule registry (:mod:`repro.analysis.rules`)
+  for per-file rules,
+* a whole-program project graph (:mod:`repro.analysis.project`) backing
+  cross-module rules -- RNG stream ownership, scalar/vectorized twin
+  drift, beacon schema sync, process-global state,
 * a layer DAG declared in ``pyproject.toml`` (``[tool.simlint.layers]``),
-* per-line suppression via ``# simlint: ignore[rule-id]`` comments,
-* text and JSON reporters with stable ``file:line:col rule message``
-  output suitable for CI gating.
+* per-line suppression via ``# simlint: ignore[rule-id]`` comments, plus
+  a ``stale-suppression`` meta-diagnostic (and auto-fix) when those
+  comments outlive the finding they silenced,
+* auto-fixes for mechanically repairable findings (``--fix``, with
+  ``--fix --check`` as the CI idempotency gate),
+* text, JSON, and SARIF 2.1.0 reporters with stable output suitable for
+  CI gating, and a committed-baseline workflow (``--baseline`` /
+  ``--against-baseline``) to ratchet new rules in without a flag day.
 
 Run it as ``eona lint`` or ``python -m repro.analysis``.
 """
 
 from __future__ import annotations
 
-from repro.analysis.core import Finding, ModuleContext, Rule
+from repro.analysis.core import Edit, Finding, Fix, ModuleContext, ProjectRule, Rule
 from repro.analysis.config import SimlintConfig
-from repro.analysis.runner import lint_file, lint_paths, main
-from repro.analysis.rules import RULES
+from repro.analysis.project import ProjectGraph, build_project
+from repro.analysis.runner import lint_file, lint_paths, main, run_lint
+from repro.analysis.rules import PROJECT_RULES, RULES
 
 __all__ = [
+    "Edit",
     "Finding",
+    "Fix",
     "ModuleContext",
-    "Rule",
+    "PROJECT_RULES",
+    "ProjectGraph",
+    "ProjectRule",
     "RULES",
+    "Rule",
     "SimlintConfig",
+    "build_project",
     "lint_file",
     "lint_paths",
     "main",
+    "run_lint",
 ]

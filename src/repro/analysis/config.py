@@ -20,8 +20,12 @@ The configuration lives under ``[tool.simlint]``::
 exactly the layers it lists.  Per-rule tables narrow where a rule runs:
 ``layers`` restricts it to those layers, ``exclude-layers`` exempts
 layers, and ``allow-files`` exempts files whose path ends with one of the
-given suffixes.  :data:`DEFAULT_CONFIG_DICT` mirrors the repository's
-policy so the analyzer is usable with no pyproject at all.
+given suffixes; any further keys in a rule table are passed through to
+the rule as options (``allow`` for process-global-state, the producer /
+cohort / aggregator anchors for beacon-schema-sync).  ``[[tool.simlint.twins]]``
+declares scalar/vectorized twin pairs for the vec-twin-drift project
+rule.  :data:`DEFAULT_CONFIG_DICT` mirrors the repository's policy so
+the analyzer is usable with no pyproject at all.
 """
 
 from __future__ import annotations
@@ -53,9 +57,32 @@ SIM_LAYERS: Tuple[str, ...] = (
     "cohorts",
 )
 
+#: Checks a ``[tool.simlint.twins]`` pair may enable (default: all).
+TWIN_CHECKS: Tuple[str, ...] = ("signature", "defaults", "constants")
+
 #: Built-in policy, kept in sync with ``[tool.simlint]`` in pyproject.toml.
 DEFAULT_CONFIG_DICT: Dict[str, object] = {
     "exclude": ["__pycache__"],
+    # Scalar/vectorized twin pairs the cohort engine depends on staying
+    # in lockstep (DESIGN.md §11); vec-twin-drift compares them.
+    "twins": [
+        {
+            "vec": "repro.cohorts.vecsteps.buffer_advance_vec",
+            "scalar": "repro.video.buffer.buffer_advance_step",
+        },
+        {
+            "vec": "repro.cohorts.vecsteps.engagement_vec",
+            "scalar": "repro.video.qoe.engagement_terms",
+        },
+        # The array implementation is index arithmetic, the scalar a
+        # filter -- their constants legitimately differ, so only the
+        # interface is compared.
+        {
+            "vec": "repro.cohorts.vecsteps.highest_at_most_vec",
+            "scalar": "repro.video.ladder.BitrateLadder.highest_at_most",
+            "checks": ["signature", "defaults"],
+        },
+    ],
     "layers": {
         "simkernel": [],
         "cdn": [],
@@ -83,6 +110,30 @@ DEFAULT_CONFIG_DICT: Dict[str, object] = {
         "float-eq": {"layers": ["network", "core"]},
         "no-print": {"exclude-layers": ["cli", "analysis"]},
         "obs-hotpath": {"exclude-layers": ["obs"]},
+        "rng-stream-discipline": {
+            "allow-files": ["simkernel/rngstreams.py"],
+        },
+        "process-global-state": {
+            # The sanctioned process-globals: the tracer carries an
+            # explicit fork guard (deactivate_inherited, DESIGN.md §9);
+            # the registries are populated at import time and identical
+            # in every worker.
+            "allow": [
+                "repro.analysis.rules.PROJECT_RULES",
+                "repro.analysis.rules.RULES",
+                "repro.experiments.registry._SPECS",
+                "repro.faults.plan._PLANS",
+                "repro.obs.trace.TRACER",
+            ],
+        },
+        "beacon-schema-sync": {
+            "producers": [
+                "repro.telemetry.records.record_from_qoe",
+                "repro.telemetry.records.record_from_pageload",
+            ],
+            "cohort-attrs": "repro.cohorts.specs.CohortSpec.beacon_attrs",
+            "aggregator": "repro.telemetry.aggregate.GroupByAggregator",
+        },
     },
 }
 
@@ -112,12 +163,25 @@ class RuleScope:
 
 
 @dataclasses.dataclass(frozen=True)
+class TwinPair:
+    """One declared scalar/vectorized twin pair (``[[tool.simlint.twins]]``)."""
+
+    vec: str
+    scalar: str
+    checks: Tuple[str, ...] = TWIN_CHECKS
+
+
+@dataclasses.dataclass(frozen=True)
 class SimlintConfig:
     """Validated simlint policy."""
 
     layers: Mapping[str, FrozenSet[str]]
     scopes: Mapping[str, RuleScope]
     exclude: Tuple[str, ...]
+    twins: Tuple[TwinPair, ...] = ()
+    options: Mapping[str, Mapping[str, object]] = dataclasses.field(
+        default_factory=dict
+    )
 
     @classmethod
     def from_dict(cls, raw: Mapping[str, object]) -> "SimlintConfig":
@@ -129,6 +193,7 @@ class SimlintConfig:
         _check_acyclic(layers)
 
         scopes: Dict[str, RuleScope] = {}
+        options: Dict[str, Mapping[str, object]] = {}
         for rule_id, table in dict(raw.get("rules", {})).items():  # type: ignore[union-attr]
             if not isinstance(table, Mapping):
                 raise ConfigError(f"rules.{rule_id} must be a table, got {table!r}")
@@ -140,9 +205,34 @@ class SimlintConfig:
                 ),
                 allow_files=tuple(str(x) for x in table.get("allow-files", ())),
             )
+            options[str(rule_id)] = dict(table)
+
+        twins: List[TwinPair] = []
+        for index, pair in enumerate(raw.get("twins", ())):  # type: ignore[call-overload]
+            if not isinstance(pair, Mapping):
+                raise ConfigError(f"twins[{index}] must be a table, got {pair!r}")
+            vec, scalar = pair.get("vec"), pair.get("scalar")
+            if not vec or not scalar:
+                raise ConfigError(
+                    f"twins[{index}] needs both 'vec' and 'scalar' dotted paths"
+                )
+            checks = tuple(str(c) for c in pair.get("checks", TWIN_CHECKS))
+            unknown = [c for c in checks if c not in TWIN_CHECKS]
+            if unknown:
+                raise ConfigError(
+                    f"twins[{index}] has unknown check(s) {unknown}; "
+                    f"valid: {', '.join(TWIN_CHECKS)}"
+                )
+            twins.append(TwinPair(vec=str(vec), scalar=str(scalar), checks=checks))
 
         exclude = tuple(str(x) for x in raw.get("exclude", ()))  # type: ignore[call-overload]
-        return cls(layers=layers, scopes=scopes, exclude=exclude)
+        return cls(
+            layers=layers,
+            scopes=scopes,
+            exclude=exclude,
+            twins=tuple(twins),
+            options=options,
+        )
 
     @classmethod
     def default(cls) -> "SimlintConfig":
@@ -173,6 +263,10 @@ class SimlintConfig:
 
     def scope_for(self, rule_id: str) -> RuleScope:
         return self.scopes.get(rule_id, RuleScope())
+
+    def rule_options(self, rule_id: str) -> Mapping[str, object]:
+        """The raw ``[tool.simlint.rules.<id>]`` table (scope keys included)."""
+        return self.options.get(rule_id, {})
 
     def allowed_imports(self, layer: str) -> Optional[FrozenSet[str]]:
         """Layers that ``layer`` may import, or ``None`` if undeclared."""

@@ -1,13 +1,41 @@
-"""Core data model for simlint: findings, module context, rule base class."""
+"""Core data model for simlint: findings, fixes, module context, rule bases."""
 
 from __future__ import annotations
 
 import ast
 import dataclasses
-from typing import TYPE_CHECKING, Dict, Iterable, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from repro.analysis.config import SimlintConfig
+    from repro.analysis.project import ProjectGraph
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Edit:
+    """One textual replacement inside a file.
+
+    Lines are 1-based, columns 0-based (AST conventions).  An edit with
+    ``line == end_line and col == end_col`` is a pure insertion; one with
+    empty ``text`` is a deletion.
+    """
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+    text: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Fix:
+    """A mechanical repair for one finding: edits within the finding's file.
+
+    Only rules whose repair is semantics-preserving-by-policy attach a
+    fix (see DESIGN.md §7); everything else stays report-only.
+    """
+
+    edits: Tuple[Edit, ...]
 
 
 @dataclasses.dataclass(frozen=True, order=True)
@@ -15,7 +43,9 @@ class Finding:
     """One rule violation, anchored to a source location.
 
     Ordering is (path, line, col, rule) so reports are stable regardless
-    of rule execution order.
+    of rule execution order.  ``fix`` (when present) is the mechanical
+    repair ``eona lint --fix`` applies; it never participates in
+    ordering or the JSON schema.
     """
 
     path: str
@@ -23,12 +53,19 @@ class Finding:
     col: int
     rule: str
     message: str
+    fix: Optional[Fix] = dataclasses.field(default=None, compare=False)
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
 
     def to_json(self) -> Dict[str, object]:
-        return dataclasses.asdict(self)
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
 
 
 @dataclasses.dataclass
@@ -78,6 +115,25 @@ class Rule:
     description: str = ""
 
     def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule:
+    """Base class for whole-program (cross-module) simlint rules.
+
+    Unlike :class:`Rule`, a project rule sees the entire
+    :class:`~repro.analysis.project.ProjectGraph` at once -- import
+    graph, symbol tables, and every parsed module -- so it can enforce
+    contracts that span files (twin functions, stream ownership, beacon
+    schemas).  The runner still applies per-rule scoping and per-line
+    suppression to each finding afterwards, so project rules stay pure
+    graph queries exactly like file rules stay pure AST queries.
+    """
+
+    id: str = ""
+    description: str = ""
+
+    def check_project(self, graph: "ProjectGraph") -> Iterable[Finding]:
         raise NotImplementedError
 
 

@@ -1,0 +1,288 @@
+"""Whole-program view of a repro source tree: the simlint project graph.
+
+Per-file AST rules cannot see the invariants the reproduction now leans
+on -- twin functions kept in lockstep across packages, RNG streams owned
+by exactly one layer, beacon schemas agreeing between producer and
+aggregator.  :func:`build_project` parses every module once and exposes:
+
+* ``modules`` -- dotted module name -> :class:`ModuleEntry` (AST, layer,
+  per-module import alias map, top-level symbol table, suppressions),
+* ``failures`` -- files that did not parse (each becomes a
+  ``parse-error`` diagnostic instead of aborting the run),
+* :meth:`ProjectGraph.resolve` -- dotted-path lookup down to functions,
+  classes, and methods (``repro.video.ladder.BitrateLadder.highest_at_most``),
+* :meth:`ProjectGraph.resolve_call_target` -- best-effort resolution of
+  a call/attribute expression to a dotted target through the alias map,
+  forming the lightweight call/assignment graph project rules query.
+
+Resolution is purely syntactic (no imports are executed): it follows
+``import``/``from`` aliases and module-level definitions only, which is
+exactly the precision the cross-module rules need.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.config import SimlintConfig
+from repro.analysis.core import ModuleContext, dotted_name
+from repro.analysis.suppressions import collect_suppressions
+
+
+@dataclasses.dataclass(frozen=True)
+class ParseFailure:
+    """A file the analyzer could not parse; the run degrades gracefully."""
+
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+@dataclasses.dataclass
+class ModuleEntry:
+    """One parsed module plus the lookup tables project rules need."""
+
+    ctx: ModuleContext
+    abs_path: Path
+    suppressions: Dict[int, FrozenSet[str]]
+    imports: Dict[str, str]
+    symbols: Dict[str, ast.AST]
+
+    @property
+    def path(self) -> str:
+        return self.ctx.path
+
+    @property
+    def module(self) -> Optional[str]:
+        return self.ctx.module
+
+    @property
+    def layer(self) -> Optional[str]:
+        return self.ctx.layer
+
+
+class ProjectGraph:
+    """All modules of one (or more) repro trees, indexed for cross-module rules."""
+
+    def __init__(self, config: SimlintConfig) -> None:
+        self.config = config
+        self.modules: Dict[str, ModuleEntry] = {}
+        self.others: List[ModuleEntry] = []
+        self.failures: List[ParseFailure] = []
+        self._by_path: Dict[str, ModuleEntry] = {}
+
+    def add(self, entry: ModuleEntry) -> None:
+        if entry.module is not None:
+            self.modules[entry.module] = entry
+        else:
+            self.others.append(entry)
+        self._by_path[entry.path] = entry
+
+    def entries(self) -> Iterator[ModuleEntry]:
+        """Every parsed module, in stable path order."""
+        yield from sorted(
+            list(self.modules.values()) + self.others, key=lambda e: e.path
+        )
+
+    def entry_for_path(self, path: str) -> Optional[ModuleEntry]:
+        return self._by_path.get(path)
+
+    def module_prefix_of(self, dotted: str) -> Optional[ModuleEntry]:
+        """Longest module prefix of ``dotted`` present in the graph."""
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            entry = self.modules.get(".".join(parts[:cut]))
+            if entry is not None:
+                return entry
+        return None
+
+    def resolve(self, dotted: str) -> Optional[Tuple[ModuleEntry, ast.AST]]:
+        """Resolve a dotted path to its defining node.
+
+        Supports module-level functions, classes, assignments, and one
+        level of class members (``pkg.mod.Class.method``).  Returns
+        ``None`` when the module is absent from the graph or the symbol
+        chain does not resolve.
+        """
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            entry = self.modules.get(".".join(parts[:cut]))
+            if entry is None:
+                continue
+            rest = parts[cut:]
+            node = entry.symbols.get(rest[0])
+            if node is None:
+                return None
+            for attr in rest[1:]:
+                if not isinstance(node, ast.ClassDef):
+                    return None
+                node = _class_member(node, attr)
+                if node is None:
+                    return None
+            return entry, node
+        return None
+
+    def resolve_call_target(
+        self, entry: ModuleEntry, func: ast.expr
+    ) -> Optional[str]:
+        """Dotted target a call expression refers to, through the alias map.
+
+        ``GroupByAggregator(...)`` with a ``from repro.telemetry.aggregate
+        import GroupByAggregator`` resolves to the full dotted path;
+        ``agg.GroupByAggregator(...)`` resolves through a module alias; a
+        bare builtin resolves to its own name.  ``None`` when the head of
+        the chain is not a resolvable name (``self.factory()``, ...).
+        """
+        name = dotted_name(func)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        if head in entry.imports:
+            resolved = entry.imports[head]
+        elif head in entry.symbols and entry.module is not None:
+            resolved = f"{entry.module}.{head}"
+        else:
+            resolved = head
+        return f"{resolved}.{rest}" if rest else resolved
+
+
+def _class_member(cls: ast.ClassDef, name: str) -> Optional[ast.AST]:
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if stmt.name == name:
+                return stmt
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return stmt
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == name:
+                return stmt
+    return None
+
+
+def resolve_import_base(
+    module: Optional[str], is_pkg_init: bool, node: ast.ImportFrom
+) -> Optional[str]:
+    """Dotted package an ``ImportFrom`` targets (relative imports resolved)."""
+    if node.level == 0:
+        return node.module
+    if module is None:
+        return None
+    parts = module.split(".")
+    if not is_pkg_init:
+        parts = parts[:-1]
+    drop = node.level - 1
+    if drop:
+        parts = parts[: len(parts) - drop]
+    if not parts:
+        return None
+    if node.module:
+        parts = parts + node.module.split(".")
+    return ".".join(parts)
+
+
+def _import_map(ctx: ModuleContext) -> Dict[str, str]:
+    """Local name -> dotted target, for every import in the module."""
+    imports: Dict[str, str] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    imports[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            base = resolve_import_base(ctx.module, ctx.is_package_init, node)
+            if base is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = f"{base}.{alias.name}"
+    return imports
+
+
+def _symbol_table(tree: ast.Module) -> Dict[str, ast.AST]:
+    """Top-level name -> defining node (defs, classes, assignments)."""
+    symbols: Dict[str, ast.AST] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            symbols[stmt.name] = stmt
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    symbols[target.id] = stmt
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            symbols[stmt.target.id] = stmt
+    return symbols
+
+
+def display_path(path: Path, display_root: Optional[Path]) -> str:
+    display = str(path)
+    if display_root is not None:
+        try:
+            display = str(path.resolve().relative_to(display_root.resolve()))
+        except ValueError:
+            pass
+    return display
+
+
+def build_project(
+    files: Sequence[Path],
+    config: SimlintConfig,
+    display_root: Optional[Path] = None,
+) -> ProjectGraph:
+    """Parse every file once and assemble the project graph.
+
+    Unparseable files become :class:`ParseFailure` entries (reported as
+    ``parse-error`` findings by the runner) -- one broken module never
+    aborts the whole run.
+    """
+    from repro.analysis.runner import module_info  # runner owns path layout
+
+    graph = ProjectGraph(config)
+    for path in files:
+        display = display_path(path, display_root)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            graph.failures.append(
+                ParseFailure(
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"cannot parse file: {exc.msg}",
+                )
+            )
+            continue
+        except (OSError, UnicodeDecodeError) as exc:
+            graph.failures.append(
+                ParseFailure(path=display, line=1, col=0, message=str(exc))
+            )
+            continue
+        module, layer = module_info(path)
+        ctx = ModuleContext(
+            path=display,
+            tree=tree,
+            source=source,
+            config=config,
+            module=module,
+            layer=layer,
+        )
+        graph.add(
+            ModuleEntry(
+                ctx=ctx,
+                abs_path=path,
+                suppressions=collect_suppressions(source),
+                imports=_import_map(ctx),
+                symbols=_symbol_table(tree),
+            )
+        )
+    return graph

@@ -1,11 +1,19 @@
-"""Finding reporters: stable text lines for humans/CI, JSON for tooling."""
+"""Finding reporters: text for humans/CI, JSON for tooling, SARIF for forges.
+
+All three are covered by golden-output tests: key order, indentation,
+and the trailing newline are part of the contract, so CI diffs of
+committed reports stay reviewable.
+"""
 
 from __future__ import annotations
 
 import json
-from typing import IO, Sequence
+from typing import IO, Dict, List, Sequence
 
 from repro.analysis.core import Finding
+
+#: SARIF severity per rule id; anything unlisted reports as "warning".
+_SARIF_LEVELS: Dict[str, str] = {"parse-error": "error"}
 
 
 def render_text(findings: Sequence[Finding], stream: IO[str]) -> None:
@@ -27,6 +35,70 @@ def render_json(findings: Sequence[Finding], stream: IO[str]) -> None:
         "tool": "simlint",
         "findings": [finding.to_json() for finding in findings],
         "count": len(findings),
+    }
+    json.dump(payload, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def render_sarif(findings: Sequence[Finding], stream: IO[str]) -> None:
+    """SARIF 2.1.0 report, the exchange format CI forges ingest natively.
+
+    Columns are 1-based in SARIF (simlint findings carry 0-based AST
+    columns); rule metadata covers exactly the rules that fired so the
+    document stays small and stable.
+    """
+    from repro.analysis.rules import all_rule_ids  # avoid import cycle
+
+    descriptions = all_rule_ids()
+    fired = sorted({finding.rule for finding in findings})
+    rules: List[Dict[str, object]] = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": descriptions.get(rule_id, rule_id),
+            },
+        }
+        for rule_id in fired
+    ]
+    results: List[Dict[str, object]] = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": fired.index(finding.rule),
+            "level": _SARIF_LEVELS.get(finding.rule, "warning"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     json.dump(payload, stream, indent=2, sort_keys=True)
     stream.write("\n")

@@ -1,53 +1,98 @@
 """Rule registry.
 
 Importing this package registers every built-in rule.  Each rule module
-defines one :class:`~repro.analysis.core.Rule` subclass decorated with
-:func:`register`; ``RULES`` maps rule id -> singleton instance.
+defines one :class:`~repro.analysis.core.Rule` or
+:class:`~repro.analysis.core.ProjectRule` subclass decorated with
+:func:`register`; ``RULES`` maps rule id -> per-file rule singleton and
+``PROJECT_RULES`` maps rule id -> whole-program rule singleton.  The two
+diagnostics the runner synthesizes itself (``parse-error`` for files
+that fail to parse, ``stale-suppression`` for ignore-comments that no
+longer suppress anything) are listed in ``META_RULES`` so ``--select``
+and ``--list-rules`` treat them like any other id.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Type
+from typing import Dict, Type, Union
 
-from repro.analysis.core import Rule
+from repro.analysis.core import ProjectRule, Rule
 
 RULES: Dict[str, Rule] = {}
+PROJECT_RULES: Dict[str, ProjectRule] = {}
+
+#: Runner-synthesized diagnostics: id -> description.
+META_RULES: Dict[str, str] = {
+    "parse-error": (
+        "file could not be parsed; reported as a finding instead of "
+        "aborting the run"
+    ),
+    "stale-suppression": (
+        "a '# simlint: ignore[...]' comment (or one id inside it) no "
+        "longer suppresses any finding and should be deleted"
+    ),
+}
 
 
-def register(cls: Type[Rule]) -> Type[Rule]:
-    """Class decorator: instantiate the rule and add it to ``RULES``."""
+def register(
+    cls: Union[Type[Rule], Type[ProjectRule]]
+) -> Union[Type[Rule], Type[ProjectRule]]:
+    """Class decorator: instantiate the rule and add it to its registry."""
     rule = cls()
     if not rule.id:
         raise ValueError(f"{cls.__name__} has no rule id")
-    if rule.id in RULES:
+    if rule.id in RULES or rule.id in PROJECT_RULES or rule.id in META_RULES:
         raise ValueError(f"duplicate rule id {rule.id!r}")
-    RULES[rule.id] = rule
+    if isinstance(rule, ProjectRule):
+        PROJECT_RULES[rule.id] = rule
+    else:
+        RULES[rule.id] = rule
     return cls
+
+
+def all_rule_ids() -> Dict[str, str]:
+    """Every known rule id -> description, across all three registries."""
+    ids: Dict[str, str] = {}
+    for registry in (RULES, PROJECT_RULES):
+        for rule_id, rule in registry.items():
+            ids[rule_id] = rule.description
+    ids.update(META_RULES)
+    return ids
 
 
 # Import for side effect: each module registers its rule(s).
 from repro.analysis.rules import (  # noqa: E402  (registry must exist first)
+    beacons,
     defaults,
     floateq,
+    globalstate,
     hotpath,
     layering,
     ordering,
     printrule,
     purity,
     rng,
+    rngflow,
+    twins,
     wallclock,
 )
 
 __all__ = [
+    "META_RULES",
+    "PROJECT_RULES",
     "RULES",
+    "all_rule_ids",
     "register",
+    "beacons",
     "defaults",
     "floateq",
+    "globalstate",
     "hotpath",
     "layering",
     "ordering",
     "printrule",
     "purity",
     "rng",
+    "rngflow",
+    "twins",
     "wallclock",
 ]

@@ -1,0 +1,210 @@
+"""beacon-schema-sync: producers, cohorts, and aggregators name one schema.
+
+Three places in the tree spell out which categorical attributes a beacon
+carries, and nothing but convention keeps them aligned:
+
+* the producers (``record_from_qoe`` / ``record_from_pageload``) build
+  the ``attrs`` dict of each :class:`SessionRecord`;
+* ``CohortSpec.beacon_attrs`` mirrors them so fluid-cohort rows group
+  identically to scalar-session rows;
+* ``GroupByAggregator`` call sites pick ``group_keys`` out of whatever
+  the beacons carried.
+
+The anchors come from ``[tool.simlint.rules.beacon-schema-sync]``
+(``producers``, ``cohort-attrs``, ``aggregator`` dotted paths).  The
+rule checks consistency along the actual dataflow:
+
+* every attribute a producer emits must also appear in the cohort
+  mirror (a cohort may add extra dimensions -- node/tier/device -- but
+  dropping a produced one silently de-groups cohort rows);
+* every literal ``group_keys`` entry at an aggregator call site must be
+  emitted by both the producers and the cohort mirror, otherwise that
+  key aggregates over the empty string.
+
+Attribute extraction is syntactic: dict literals bound to (or passed
+as) ``attrs`` and ``attrs["key"] = ...`` stores inside the anchored
+functions.  Anchors whose module is absent from the graph are skipped
+(partial lint); anchors whose module is present but whose symbol no
+longer resolves are reported as config drift.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, ProjectRule
+from repro.analysis.project import ModuleEntry, ProjectGraph
+from repro.analysis.rules import register
+
+_ATTRS_NAME = "attrs"
+
+
+@register
+class BeaconSchemaSyncRule(ProjectRule):
+    id = "beacon-schema-sync"
+    description = (
+        "beacon producers, CohortSpec.beacon_attrs, and GroupByAggregator "
+        "group_keys must agree on the attribute schema"
+    )
+
+    def check_project(self, graph: ProjectGraph) -> Iterable[Finding]:
+        options = graph.config.rule_options(self.id)
+        producers = [str(p) for p in options.get("producers", ())]  # type: ignore[call-overload]
+        cohort_path = options.get("cohort-attrs")
+        aggregator = options.get("aggregator")
+        if not producers or not cohort_path or not aggregator:
+            return  # rule not configured for this tree
+
+        produced: Set[str] = set()
+        producer_seen = False
+        for dotted in producers:
+            resolved = self._resolve_anchor(graph, dotted)
+            if resolved is None:
+                continue
+            entry, node = resolved
+            if node is None:
+                yield _drift(self.id, entry, "producers", dotted)
+                continue
+            producer_seen = True
+            produced |= _attr_keys(node)
+
+        cohort_resolved = self._resolve_anchor(graph, str(cohort_path))
+        cohort_keys: Optional[Set[str]] = None
+        if cohort_resolved is not None:
+            cohort_entry, cohort_node = cohort_resolved
+            if cohort_node is None:
+                yield _drift(self.id, cohort_entry, "cohort-attrs", str(cohort_path))
+            else:
+                cohort_keys = _attr_keys(cohort_node)
+                if producer_seen:
+                    missing = sorted(produced - cohort_keys)
+                    if missing:
+                        yield cohort_entry.ctx.finding(
+                            self.id,
+                            cohort_node,
+                            "cohort beacon_attrs is missing producer "
+                            f"attribute(s) {missing}; cohort rows would "
+                            "group differently from per-session beacons",
+                        )
+
+        yield from self._check_aggregator_sites(
+            graph,
+            str(aggregator),
+            produced if producer_seen else None,
+            cohort_keys,
+        )
+
+    def _resolve_anchor(
+        self, graph: ProjectGraph, dotted: str
+    ) -> Optional[Tuple[ModuleEntry, Optional[ast.AST]]]:
+        """(owning entry, node-or-None); ``None`` if the module is absent."""
+        resolved = graph.resolve(dotted)
+        if resolved is not None:
+            return resolved
+        entry = graph.module_prefix_of(dotted)
+        if entry is None:
+            return None
+        return entry, None
+
+    def _check_aggregator_sites(
+        self,
+        graph: ProjectGraph,
+        aggregator: str,
+        produced: Optional[Set[str]],
+        cohort_keys: Optional[Set[str]],
+    ) -> Iterator[Finding]:
+        for entry in graph.entries():
+            for node in ast.walk(entry.ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = graph.resolve_call_target(entry, node.func)
+                if target != aggregator:
+                    continue
+                for key, anchor in _group_key_literals(node):
+                    yield from self._check_key(
+                        entry, anchor, key, produced, cohort_keys
+                    )
+
+    def _check_key(
+        self,
+        entry: ModuleEntry,
+        anchor: ast.AST,
+        key: str,
+        produced: Optional[Set[str]],
+        cohort_keys: Optional[Set[str]],
+    ) -> Iterator[Finding]:
+        if produced is not None and key not in produced:
+            yield entry.ctx.finding(
+                self.id,
+                anchor,
+                f"group key '{key}' is not emitted by any beacon producer; "
+                "aggregating on it groups every record under ''",
+            )
+        elif cohort_keys is not None and key not in cohort_keys:
+            yield entry.ctx.finding(
+                self.id,
+                anchor,
+                f"group key '{key}' is missing from CohortSpec.beacon_attrs; "
+                "fluid-cohort rows would not group with session rows",
+            )
+
+
+def _attr_keys(fn: ast.AST) -> Set[str]:
+    """String keys the function stores into its beacon ``attrs`` dict."""
+    keys: Set[str] = set()
+    if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return keys
+    for node in ast.walk(fn):
+        value: Optional[ast.expr] = None
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            target = node.targets[0] if isinstance(node, ast.Assign) else node.target
+            if isinstance(target, ast.Name) and target.id == _ATTRS_NAME:
+                value = node.value
+            elif (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == _ATTRS_NAME
+                and isinstance(target.slice, ast.Constant)
+                and isinstance(target.slice.value, str)
+            ):
+                keys.add(target.slice.value)
+        elif isinstance(node, ast.keyword) and node.arg == _ATTRS_NAME:
+            value = node.value
+        if isinstance(value, ast.Dict):
+            for key in value.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+    return keys
+
+
+def _group_key_literals(call: ast.Call) -> List[Tuple[str, ast.AST]]:
+    """Literal group-key strings at an aggregator construction site."""
+    candidates: List[ast.expr] = []
+    for kw in call.keywords:
+        if kw.arg == "group_keys":
+            candidates.append(kw.value)
+    if not candidates and call.args:
+        candidates.append(call.args[0])
+    out: List[Tuple[str, ast.AST]] = []
+    for expr in candidates:
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for elt in expr.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    out.append((elt.value, elt))
+        elif isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            out.append((expr.value, expr))
+    return out
+
+
+def _drift(rule_id: str, entry: ModuleEntry, option: str, dotted: str) -> Finding:
+    return Finding(
+        path=entry.path,
+        line=1,
+        col=0,
+        rule=rule_id,
+        message=(
+            f"beacon-schema-sync anchor {dotted!r} ({option}) does not "
+            "resolve in this tree; update [tool.simlint.rules.beacon-schema-sync]"
+        ),
+    )

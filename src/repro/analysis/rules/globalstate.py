@@ -1,0 +1,199 @@
+"""process-global-state: module-level mutable state is a fork-safety hazard.
+
+The multiseed driver fans runs out across worker processes; anything
+mutable bound at module level is silently copied into every fork, so
+state written in one worker neither reaches the others nor survives
+into the parent's aggregation.  The failure is a wrong *number*, not a
+crash, which is why it gets a project rule.
+
+Flagged:
+
+* a module-level container (dict/list/set literal, comprehension, or
+  ``dict()``/``defaultdict()``/``deque()``/... constructor) that some
+  function anywhere in the project mutates -- via a mutator method
+  (``.append``/``.update``/...), subscript or attribute assignment,
+  ``del``, an augmented assignment, or a ``global`` rebinding;
+* a module-level instance of a project class that is not a frozen
+  dataclass (instances carry mutable attribute state by default).
+
+Read-only module constants (``STATE_CAPACITY_MBPS = {...}`` that nobody
+writes) stay quiet, as do frozen-dataclass singletons.  The sanctioned
+globals -- registries populated only at import time and the tracer with
+its explicit fork guard -- are listed in
+``[tool.simlint.rules.process-global-state].allow`` as dotted names.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, ProjectRule, dotted_name
+from repro.analysis.project import ModuleEntry, ProjectGraph
+from repro.analysis.rules import register
+
+#: Method names that mutate their receiver (mirrors the purity rule).
+_MUTATORS = frozenset({
+    "append", "appendleft", "add", "clear", "discard", "extend",
+    "extendleft", "insert", "pop", "popitem", "popleft", "remove",
+    "setdefault", "sort", "update",
+})
+
+#: Constructor names (last dotted segment) that build mutable containers.
+_CONTAINER_CTORS = frozenset({
+    "dict", "list", "set", "defaultdict", "deque", "Counter", "OrderedDict",
+})
+
+_CONTAINER_LITERALS = (
+    ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp,
+)
+
+
+@register
+class ProcessGlobalStateRule(ProjectRule):
+    id = "process-global-state"
+    description = (
+        "module-level mutable state (mutated containers, non-frozen class "
+        "instances) is unsafe under forked multiseed workers"
+    )
+
+    def check_project(self, graph: ProjectGraph) -> Iterable[Finding]:
+        options = graph.config.rule_options(self.id)
+        allow = {str(name) for name in options.get("allow", ())}
+        mutated = _mutated_symbols(graph)
+        for entry in graph.entries():
+            if entry.module is None:
+                continue
+            yield from self._check_module(graph, entry, allow, mutated)
+
+    def _check_module(
+        self,
+        graph: ProjectGraph,
+        entry: ModuleEntry,
+        allow: Set[str],
+        mutated: Set[str],
+    ) -> Iterator[Finding]:
+        for stmt, name, value in _module_bindings(entry):
+            if name.startswith("__") and name.endswith("__"):
+                continue
+            dotted = f"{entry.module}.{name}"
+            if dotted in allow:
+                continue
+            kind = self._classify(graph, entry, value)
+            if kind == "container":
+                if dotted in mutated:
+                    yield entry.ctx.finding(
+                        self.id,
+                        stmt,
+                        f"module-level container '{name}' is mutated after "
+                        "import; forked multiseed workers each mutate a "
+                        "private copy (add to the rule's allow list only "
+                        "for import-time registries)",
+                    )
+            elif kind == "instance":
+                yield entry.ctx.finding(
+                    self.id,
+                    stmt,
+                    f"module-level instance '{name}' of a non-frozen class "
+                    "carries shared mutable state across forked workers; "
+                    "construct it per run or freeze the class",
+                )
+
+    def _classify(
+        self, graph: ProjectGraph, entry: ModuleEntry, value: ast.expr
+    ) -> Optional[str]:
+        if isinstance(value, _CONTAINER_LITERALS):
+            return "container"
+        if not isinstance(value, ast.Call):
+            return None
+        target = graph.resolve_call_target(entry, value.func)
+        if target is None:
+            return None
+        resolved = graph.resolve(target) if "." in target else None
+        if resolved is not None:
+            _, node = resolved
+            if isinstance(node, ast.ClassDef):
+                return None if _is_frozen_dataclass(node) else "instance"
+            return None  # factory function: cannot reason about the result
+        if target.split(".")[-1] in _CONTAINER_CTORS:
+            return "container"
+        return None
+
+
+def _module_bindings(
+    entry: ModuleEntry,
+) -> List[Tuple[ast.stmt, str, ast.expr]]:
+    """(stmt, name, value) for every simple module-level assignment."""
+    out: List[Tuple[ast.stmt, str, ast.expr]] = []
+    for stmt in entry.ctx.tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    out.append((stmt, target.id, stmt.value))
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.value is not None:
+                out.append((stmt, stmt.target.id, stmt.value))
+    return out
+
+
+def _is_frozen_dataclass(cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        callee = dotted_name(deco.func)
+        if callee is None or callee.split(".")[-1] != "dataclass":
+            continue
+        for kw in deco.keywords:
+            if (
+                kw.arg == "frozen"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return True
+    return False
+
+
+def _mutated_symbols(graph: ProjectGraph) -> Set[str]:
+    """Dotted names of module-level symbols some function writes to."""
+    mutated: Set[str] = set()
+
+    def note(entry: ModuleEntry, expr: ast.expr) -> None:
+        base = expr
+        while isinstance(base, ast.Subscript):
+            base = base.value
+        target = graph.resolve_call_target(entry, base)
+        if target is not None and "." in target:
+            mutated.add(target)
+
+    for entry in graph.entries():
+        module = entry.module
+        for node in ast.walk(entry.ctx.tree):
+            if isinstance(node, ast.Global) and module is not None:
+                mutated.update(f"{module}.{name}" for name in node.names)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets: List[ast.expr]
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                else:
+                    targets = [node.target]
+                for target in targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        note(entry, _write_base(target))
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        note(entry, _write_base(target))
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATORS
+            ):
+                note(entry, node.func.value)
+    return mutated
+
+
+def _write_base(target: ast.expr) -> ast.expr:
+    """The expression being written through (``x`` in ``x[k] = v`` / ``x.a = v``)."""
+    while isinstance(target, (ast.Subscript, ast.Attribute)):
+        target = target.value
+    return target

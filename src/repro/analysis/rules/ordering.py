@@ -10,14 +10,20 @@ The rule is syntactic: it sees set literals, set comprehensions,
 ``set(...)``/``frozenset(...)`` calls, and ``.keys()`` calls in ``for``
 statements and comprehension generators.  Sets reached through variables
 are out of reach of an untyped AST pass (documented in DESIGN.md §7).
+
+Findings carry an auto-fix -- wrapping the iterable in ``sorted(...)``
+-- because imposing a total order on an unordered iterable is
+semantics-preserving by policy here: any code this repo lints must
+already be indifferent to which of the possible orders it gets.
 """
 
 from __future__ import annotations
 
 import ast
+import dataclasses
 from typing import Iterable, Iterator, Optional
 
-from repro.analysis.core import Finding, ModuleContext, Rule
+from repro.analysis.core import Edit, Finding, Fix, ModuleContext, Rule
 from repro.analysis.rules import register
 
 
@@ -42,12 +48,30 @@ class UnorderedIterRule(Rule):
     def _check_iter(self, ctx: ModuleContext, it: ast.expr) -> Iterator[Finding]:
         label = _unordered_label(it)
         if label is not None:
-            yield ctx.finding(
+            finding = ctx.finding(
                 self.id,
                 it,
                 f"iterating {label} has no deterministic order; wrap in "
                 "sorted(...) or iterate a sequence",
             )
+            fix = _sorted_wrap_fix(it)
+            if fix is not None:
+                finding = dataclasses.replace(finding, fix=fix)
+            yield finding
+
+
+def _sorted_wrap_fix(it: ast.expr) -> Optional[Fix]:
+    """Wrap the iterable expression in ``sorted(...)`` in place."""
+    end_line = getattr(it, "end_lineno", None)
+    end_col = getattr(it, "end_col_offset", None)
+    if end_line is None or end_col is None:
+        return None
+    return Fix(
+        edits=(
+            Edit(it.lineno, it.col_offset, it.lineno, it.col_offset, "sorted("),
+            Edit(end_line, end_col, end_line, end_col, ")"),
+        )
+    )
 
 
 def _unordered_label(node: ast.expr) -> Optional[str]:

@@ -1,0 +1,236 @@
+"""rng-stream-discipline: every draw traces to a named, single-owner stream.
+
+The per-file ``global-rng`` rule bans the process-global RNG; this
+project rule enforces the positive contract on top of it, across the
+whole tree at once:
+
+* stream names at ``.get(...)`` / ``.generator(...)`` / ``.spawn(...)``
+  call sites must be string literals (or literal-prefixed f-strings like
+  ``f"radio:{index}"``), so every draw in a trace is attributable to a
+  named source;
+* a named stream (or literal prefix family) may be requested from
+  exactly **one** simlint layer -- two layers sharing ``"arrivals"``
+  would couple their draw sequences, so adding a consumer in one layer
+  silently reshuffles the other (the aliasing hazard the multiseed
+  equivalence tests cannot see);
+* no stream object or ``RngStreams`` registry may be bound at module
+  level -- forked multiseed workers would inherit one shared generator
+  state and diverge;
+* simulation layers never construct ``random.Random(...)`` /
+  ``numpy.random.default_rng(...)`` directly: streams are minted by
+  ``RngStreams`` so they derive from the one root seed.
+
+Receivers are matched syntactically: attribute chains ending in ``rng``
+/ ``*_rng`` / ``streams`` / ``*_streams`` (case-insensitive), plus
+direct ``RngStreams(...)`` results.  ``simkernel/rngstreams.py`` itself
+is exempt via ``allow-files``.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.analysis.config import SIM_LAYERS
+from repro.analysis.core import Finding, ProjectRule, dotted_name
+from repro.analysis.project import ModuleEntry, ProjectGraph
+from repro.analysis.rules import register
+
+_STREAM_METHODS = ("get", "generator", "spawn")
+
+_DIRECT_CTORS = {
+    "random.Random",
+    "random.SystemRandom",
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.RandomState",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class _Site:
+    """One literal-named stream request."""
+
+    family: str
+    key: str
+    is_prefix: bool
+    entry: ModuleEntry
+    line: int
+    col: int
+    node_repr: Tuple[str, int, int]  # (path, line, col) for stable identity
+
+
+@register
+class RngStreamDisciplineRule(ProjectRule):
+    id = "rng-stream-discipline"
+    description = (
+        "RNG draws must come from literal-named RngStreams streams, each "
+        "owned by a single layer and never bound at module level"
+    )
+
+    def check_project(self, graph: ProjectGraph) -> Iterable[Finding]:
+        sites: List[_Site] = []
+        for entry in graph.entries():
+            if entry.module is None:
+                continue  # files outside a repro tree are exempt
+            yield from self._check_module(graph, entry, sites)
+        yield from self._check_collisions(sites)
+
+    # ------------------------------------------------------------------
+    # per-module checks (literal names, module-level bindings, ctors)
+    # ------------------------------------------------------------------
+    def _check_module(
+        self, graph: ProjectGraph, entry: ModuleEntry, sites: List[_Site]
+    ) -> Iterator[Finding]:
+        ctx = entry.ctx
+        for stmt in ctx.tree.body:
+            value = getattr(stmt, "value", None)
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)) and value is not None:
+                if self._is_stream_call(entry, value) or self._is_registry_ctor(
+                    graph, entry, value
+                ):
+                    yield ctx.finding(
+                        self.id,
+                        stmt,
+                        "module-level RNG stream binding is shared across "
+                        "forked multiseed workers and escapes per-run "
+                        "seeding; bind streams inside the run "
+                        "(SimContext.rng)",
+                    )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._is_stream_call(entry, node):
+                yield from self._check_name(entry, node, sites)
+            elif (
+                ctx.layer in SIM_LAYERS
+                and self._direct_ctor_target(graph, entry, node)
+            ):
+                target = self._direct_ctor_target(graph, entry, node)
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{target} constructed directly in sim layer "
+                    f"'{ctx.layer}'; mint streams via RngStreams.get/"
+                    "generator so every draw derives from the root seed "
+                    "under a name",
+                )
+
+    def _is_stream_call(self, entry: ModuleEntry, node: ast.expr) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _STREAM_METHODS:
+            return False
+        if len(node.args) + len(node.keywords) != 1:
+            return False  # one-arg signature; dict.get(k, default) never matches
+        receiver = func.value
+        if isinstance(receiver, ast.Call):
+            callee = dotted_name(receiver.func)
+            return callee is not None and callee.split(".")[-1] == "RngStreams"
+        name = dotted_name(receiver)
+        if name is None:
+            return False
+        seg = name.split(".")[-1].lower()
+        return (
+            seg in ("rng", "rngs", "streams")
+            or seg.endswith("_rng")
+            or seg.endswith("_streams")
+        )
+
+    def _is_registry_ctor(
+        self, graph: ProjectGraph, entry: ModuleEntry, node: ast.expr
+    ) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        target = graph.resolve_call_target(entry, node.func)
+        return target is not None and target.split(".")[-1] == "RngStreams"
+
+    def _direct_ctor_target(
+        self, graph: ProjectGraph, entry: ModuleEntry, node: ast.Call
+    ) -> Optional[str]:
+        target = graph.resolve_call_target(entry, node.func)
+        if target in _DIRECT_CTORS:
+            return target
+        return None
+
+    def _check_name(
+        self, entry: ModuleEntry, node: ast.Call, sites: List[_Site]
+    ) -> Iterator[Finding]:
+        assert isinstance(node.func, ast.Attribute)
+        arg = node.args[0] if node.args else node.keywords[0].value
+        key: Optional[str] = None
+        is_prefix = False
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            key = arg.value
+        elif isinstance(arg, ast.JoinedStr) and arg.values:
+            first = arg.values[0]
+            if (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+                and first.value
+            ):
+                key = first.value
+                is_prefix = True
+        if key is None:
+            yield entry.ctx.finding(
+                self.id,
+                node,
+                f".{node.func.attr}(...) stream name is not a string "
+                "literal (or literal-prefixed f-string); draws must be "
+                "attributable to a named stream",
+            )
+            return
+        sites.append(
+            _Site(
+                family=node.func.attr,
+                key=key,
+                is_prefix=is_prefix,
+                entry=entry,
+                line=node.lineno,
+                col=node.col_offset,
+                node_repr=(entry.path, node.lineno, node.col_offset),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # cross-layer ownership
+    # ------------------------------------------------------------------
+    def _check_collisions(self, sites: List[_Site]) -> Iterator[Finding]:
+        by_family: Dict[str, List[_Site]] = {}
+        for site in sites:
+            by_family.setdefault(site.family, []).append(site)
+        for family in sorted(by_family):
+            members = sorted(by_family[family], key=lambda s: s.node_repr)
+            for site in members:
+                other = next(
+                    (
+                        peer
+                        for peer in members
+                        if peer.entry.layer != site.entry.layer
+                        and _names_collide(site, peer)
+                    ),
+                    None,
+                )
+                if other is None:
+                    continue
+                label = site.key + ("*" if site.is_prefix else "")
+                yield Finding(
+                    path=site.entry.path,
+                    line=site.line,
+                    col=site.col,
+                    rule=self.id,
+                    message=(
+                        f"stream '{label}' (.{family}) is also drawn in "
+                        f"layer '{other.entry.layer}' ({other.entry.path}:"
+                        f"{other.line}); a named stream must be owned by "
+                        "exactly one layer -- rename one side"
+                    ),
+                )
+
+
+def _names_collide(a: _Site, b: _Site) -> bool:
+    if a.is_prefix or b.is_prefix:
+        return a.key.startswith(b.key) or b.key.startswith(a.key)
+    return a.key == b.key

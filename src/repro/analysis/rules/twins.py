@@ -1,0 +1,258 @@
+"""vec-twin-drift: declared scalar/vectorized twin pairs must not drift.
+
+The cohort engine evolves millions of sessions through vectorized twins
+of the scalar per-step functions (``repro.cohorts.vecsteps``).  The
+hypothesis property tests pin element-wise agreement at runtime; this
+rule pins the *interface* statically, so a drive-by edit to one side is
+caught before any test runs.  Pairs are declared in
+``[[tool.simlint.twins]]``::
+
+    [[tool.simlint.twins]]
+    vec = "repro.cohorts.vecsteps.engagement_vec"
+    scalar = "repro.video.qoe.engagement_terms"
+    # checks = ["signature", "defaults", "constants"]   (default: all)
+
+Checks per pair:
+
+* ``signature`` -- parameter names must match positionally.  When the
+  scalar is a method, its ``self``/``cls`` and the vec twin's first
+  parameter (the explicit receiver) are skipped.
+* ``defaults`` -- a shared parameter must carry a literal default on
+  both sides or neither, and literal defaults must be equal.
+* ``constants`` -- the set of numeric literals passed to clamp-family
+  calls (``min``/``max``/``clip``/``minimum``/``maximum``) and the full
+  set of numeric literals in the body must agree: a changed clamp bound
+  or model constant on one side is exactly the silent drift the rule
+  exists for.
+
+A pair whose modules are absent from the analyzed tree is skipped (the
+rule stays quiet under partial lints); a present module whose symbol no
+longer resolves is reported -- renames and deletions count as drift.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.config import TwinPair
+from repro.analysis.core import Finding, ProjectRule, dotted_name
+from repro.analysis.project import ModuleEntry, ProjectGraph
+from repro.analysis.rules import register
+
+_CLAMP_CALLEES = {"min", "max", "clip", "minimum", "maximum"}
+_RECEIVERS = {"self", "cls"}
+
+
+@register
+class VecTwinDriftRule(ProjectRule):
+    id = "vec-twin-drift"
+    description = (
+        "scalar/vectorized twin pairs declared in [tool.simlint.twins] must "
+        "keep matching signatures, defaults, and clamp constants"
+    )
+
+    def check_project(self, graph: ProjectGraph) -> Iterable[Finding]:
+        for pair in graph.config.twins:
+            yield from self._check_pair(graph, pair)
+
+    def _check_pair(
+        self, graph: ProjectGraph, pair: TwinPair
+    ) -> Iterator[Finding]:
+        vec = graph.resolve(pair.vec)
+        scalar = graph.resolve(pair.scalar)
+        if vec is None and scalar is None:
+            entry = graph.module_prefix_of(pair.vec) or graph.module_prefix_of(
+                pair.scalar
+            )
+            if entry is not None:
+                yield _module_finding(
+                    self.id,
+                    entry,
+                    f"twin pair {pair.vec!r} / {pair.scalar!r} declared in "
+                    "[tool.simlint.twins] resolves to neither side; update "
+                    "or remove the declaration",
+                )
+            return
+        if vec is None or scalar is None:
+            missing = pair.vec if vec is None else pair.scalar
+            present_entry, present_node = scalar if vec is None else vec  # type: ignore[misc]
+            if graph.module_prefix_of(missing) is None:
+                return  # partial lint: the other tree is simply not loaded
+            yield _node_finding(
+                self.id,
+                present_entry,
+                present_node,
+                f"declared twin {missing!r} does not resolve; the pair in "
+                "[tool.simlint.twins] has drifted (renamed or deleted?)",
+            )
+            return
+
+        vec_entry, vec_node = vec
+        scalar_entry, scalar_node = scalar
+        if not isinstance(vec_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield _node_finding(
+                self.id, vec_entry, vec_node, f"{pair.vec!r} is not a function"
+            )
+            return
+        if not isinstance(scalar_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield _node_finding(
+                self.id,
+                scalar_entry,
+                scalar_node,
+                f"{pair.scalar!r} is not a function",
+            )
+            return
+
+        vec_params = _params(vec_node)
+        scalar_params = _params(scalar_node)
+        scalar_is_method = bool(scalar_params) and scalar_params[0][0] in _RECEIVERS
+        if scalar_is_method:
+            scalar_params = scalar_params[1:]
+            vec_params = vec_params[1:]  # vec's first param is the receiver
+
+        if "signature" in pair.checks:
+            vec_names = [name for name, _ in vec_params]
+            scalar_names = [name for name, _ in scalar_params]
+            if vec_names != scalar_names:
+                yield _node_finding(
+                    self.id,
+                    vec_entry,
+                    vec_node,
+                    f"signature drift vs {pair.scalar}: vec takes "
+                    f"({', '.join(vec_names)}) but scalar takes "
+                    f"({', '.join(scalar_names)})",
+                )
+
+        if "defaults" in pair.checks:
+            scalar_defaults = dict(scalar_params)
+            for name, vec_default in vec_params:
+                if name not in scalar_defaults:
+                    continue
+                yield from self._check_default(
+                    pair, vec_entry, vec_node, name, vec_default,
+                    scalar_defaults[name],
+                )
+
+        if "constants" in pair.checks:
+            vec_all, vec_clamp = _body_constants(vec_node)
+            scalar_all, scalar_clamp = _body_constants(scalar_node)
+            if vec_clamp != scalar_clamp:
+                yield _node_finding(
+                    self.id,
+                    vec_entry,
+                    vec_node,
+                    f"clamp-bound drift vs {pair.scalar}: vec clamps with "
+                    f"{_fmt(vec_clamp)}, scalar with {_fmt(scalar_clamp)}",
+                )
+            elif vec_all != scalar_all:
+                yield _node_finding(
+                    self.id,
+                    vec_entry,
+                    vec_node,
+                    f"constant drift vs {pair.scalar}: vec body uses "
+                    f"{_fmt(vec_all)}, scalar body uses {_fmt(scalar_all)}",
+                )
+
+    def _check_default(
+        self,
+        pair: TwinPair,
+        vec_entry: ModuleEntry,
+        vec_node: ast.AST,
+        name: str,
+        vec_default: Optional[ast.expr],
+        scalar_default: Optional[ast.expr],
+    ) -> Iterator[Finding]:
+        if (vec_default is None) != (scalar_default is None):
+            yield _node_finding(
+                self.id,
+                vec_entry,
+                vec_node,
+                f"default drift vs {pair.scalar}: parameter '{name}' has a "
+                "default on one twin only",
+            )
+            return
+        if vec_default is None or scalar_default is None:
+            return
+        vec_value = _const_value(vec_default)
+        scalar_value = _const_value(scalar_default)
+        if vec_value is None or scalar_value is None:
+            return  # non-literal defaults (numpy.inf, ...) are not compared
+        if vec_value != scalar_value:
+            yield _node_finding(
+                self.id,
+                vec_entry,
+                vec_node,
+                f"default drift vs {pair.scalar}: parameter '{name}' "
+                f"defaults to {vec_value!r} on the vec twin but "
+                f"{scalar_value!r} on the scalar source",
+            )
+
+
+def _params(fn: ast.AST) -> List[Tuple[str, Optional[ast.expr]]]:
+    """(name, default-or-None) for positional parameters, in order."""
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+    args = list(fn.args.posonlyargs) + list(fn.args.args)
+    defaults: List[Optional[ast.expr]] = [None] * (
+        len(args) - len(fn.args.defaults)
+    ) + list(fn.args.defaults)
+    pairs = [(arg.arg, default) for arg, default in zip(args, defaults)]
+    for arg, default in zip(fn.args.kwonlyargs, fn.args.kw_defaults):
+        pairs.append((arg.arg, default))
+    return pairs
+
+
+def _const_value(node: ast.expr) -> Optional[float]:
+    """Numeric literal value (handling unary minus), else ``None``."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = _const_value(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    ):
+        return float(node.value)
+    return None
+
+
+def _body_constants(fn: ast.AST) -> Tuple[Set[float], Set[float]]:
+    """(all numeric literals, numeric literals inside clamp calls)."""
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+    all_consts: Set[float] = set()
+    clamp_consts: Set[float] = set()
+    for stmt in fn.body:
+        for node in ast.walk(stmt):
+            value = _const_value(node) if isinstance(node, (ast.Constant, ast.UnaryOp)) else None
+            if value is not None:
+                all_consts.add(value)
+            if isinstance(node, ast.Call):
+                callee = dotted_name(node.func)
+                if callee is None or callee.split(".")[-1] not in _CLAMP_CALLEES:
+                    continue
+                operands = list(node.args) + [kw.value for kw in node.keywords]
+                for arg in operands:
+                    arg_value = _const_value(arg)
+                    if arg_value is not None:
+                        clamp_consts.add(arg_value)
+    return all_consts, clamp_consts
+
+
+def _fmt(values: Set[float]) -> str:
+    if not values:
+        return "{}"
+    return "{" + ", ".join(repr(v) for v in sorted(values)) + "}"
+
+
+def _node_finding(
+    rule_id: str, entry: ModuleEntry, node: ast.AST, message: str
+) -> Finding:
+    return entry.ctx.finding(rule_id, node, message)
+
+
+def _module_finding(rule_id: str, entry: ModuleEntry, message: str) -> Finding:
+    return Finding(
+        path=entry.path, line=1, col=0, rule=rule_id, message=message
+    )

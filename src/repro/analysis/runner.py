@@ -1,10 +1,21 @@
-"""simlint driver: file discovery, layer inference, rule dispatch, CLI.
+"""simlint driver: discovery, project graph, rule dispatch, fixes, CLI.
 
 Used three ways:
 
 * ``eona lint [paths]`` (wired in :mod:`repro.cli`),
 * ``python -m repro.analysis [paths]``,
-* programmatically via :func:`lint_paths` (the test suite does this).
+* programmatically via :func:`lint_paths` / :func:`run_lint` (the test
+  suite does this).
+
+A run parses every requested file once into a
+:class:`~repro.analysis.project.ProjectGraph`, dispatches the per-file
+rules over each module and the project rules over the graph, filters
+through per-rule scopes and per-line suppressions, then synthesizes the
+two meta diagnostics: ``parse-error`` for files that failed to parse
+(the run degrades instead of aborting) and ``stale-suppression`` for
+ignore-comments that no longer suppress anything (full runs only --
+under ``--select`` the unselected rules never get the chance to use
+their suppressions).
 
 Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
 """
@@ -12,16 +23,37 @@ Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
 from __future__ import annotations
 
 import argparse
-import ast
+import dataclasses
 import sys
 from pathlib import Path
-from typing import IO, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    IO,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
+from repro.analysis.baseline import (
+    BaselineError,
+    delta,
+    load_baseline,
+    render_baseline,
+)
 from repro.analysis.config import ConfigError, SimlintConfig
-from repro.analysis.core import Finding, ModuleContext
-from repro.analysis.reporters import render_json, render_text
-from repro.analysis.rules import RULES
-from repro.analysis.suppressions import collect_suppressions, is_suppressed
+from repro.analysis.core import Edit, Finding, Fix
+from repro.analysis.fixes import plan_fixes, write_fixes
+from repro.analysis.project import ModuleEntry, ProjectGraph, build_project
+from repro.analysis.reporters import render_json, render_sarif, render_text
+from repro.analysis.rules import PROJECT_RULES, RULES, all_rule_ids
+from repro.analysis.suppressions import (
+    SuppressionComment,
+    collect_suppression_comments,
+    is_suppressed,
+)
 
 
 def iter_python_files(paths: Sequence[Path], config: SimlintConfig) -> Iterator[Path]:
@@ -66,53 +98,182 @@ def module_info(path: Path) -> Tuple[Optional[str], Optional[str]]:
     return module, layer
 
 
-def lint_file(
-    path: Path,
+@dataclasses.dataclass
+class LintRun:
+    """Everything one lint pass produced."""
+
+    findings: List[Finding]
+    graph: ProjectGraph
+
+
+def run_lint(
+    paths: Sequence[Path],
     config: SimlintConfig,
     select: Optional[Sequence[str]] = None,
     display_root: Optional[Path] = None,
-) -> List[Finding]:
-    """Run every applicable rule over one file."""
-    source = path.read_text(encoding="utf-8")
-    display = str(path)
-    if display_root is not None:
-        try:
-            display = str(path.resolve().relative_to(display_root.resolve()))
-        except ValueError:
-            pass
-    try:
-        tree = ast.parse(source, filename=display)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                path=display,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                rule="syntax-error",
-                message=f"cannot parse file: {exc.msg}",
-            )
-        ]
-    module, layer = module_info(path)
-    ctx = ModuleContext(
-        path=display,
-        tree=tree,
-        source=source,
-        config=config,
-        module=module,
-        layer=layer,
-    )
-    suppressions = collect_suppressions(source)
+) -> LintRun:
+    """Parse once, run file + project rules, synthesize meta diagnostics."""
+    files = list(iter_python_files(paths, config))
+    graph = build_project(files, config, display_root)
+    selected: Optional[Set[str]] = None if select is None else set(select)
+
+    def want(rule_id: str) -> bool:
+        return selected is None or rule_id in selected
+
     findings: List[Finding] = []
-    for rule_id, rule in sorted(RULES.items()):
-        if select is not None and rule_id not in select:
+    #: (path, line) -> rule ids whose findings a suppression absorbed.
+    used: Dict[Tuple[str, int], Set[str]] = {}
+
+    def admit(entry: ModuleEntry, finding: Finding) -> None:
+        if is_suppressed(entry.suppressions, finding.line, finding.rule):
+            used.setdefault((finding.path, finding.line), set()).add(finding.rule)
+        else:
+            findings.append(finding)
+
+    if want("parse-error"):
+        for failure in graph.failures:
+            findings.append(
+                Finding(
+                    path=failure.path,
+                    line=failure.line,
+                    col=failure.col,
+                    rule="parse-error",
+                    message=failure.message,
+                )
+            )
+
+    for entry in graph.entries():
+        for rule_id, rule in sorted(RULES.items()):
+            if not want(rule_id):
+                continue
+            if not config.scope_for(rule_id).applies(entry.path, entry.layer):
+                continue
+            for finding in rule.check(entry.ctx):
+                admit(entry, finding)
+
+    for rule_id, project_rule in sorted(PROJECT_RULES.items()):
+        if not want(rule_id):
             continue
-        if not config.scope_for(rule_id).applies(display, layer):
-            continue
-        for finding in rule.check(ctx):
-            if not is_suppressed(suppressions, finding.line, finding.rule):
+        scope = config.scope_for(rule_id)
+        for finding in project_rule.check_project(graph):
+            entry = graph.entry_for_path(finding.path)
+            layer = entry.layer if entry is not None else None
+            if not scope.applies(finding.path, layer):
+                continue
+            if entry is not None:
+                admit(entry, finding)
+            else:
                 findings.append(finding)
+
+    if selected is None:
+        for entry in graph.entries():
+            for finding in _stale_suppressions(entry, used):
+                findings.append(finding)
+
     findings.sort()
-    return findings
+    return LintRun(findings=findings, graph=graph)
+
+
+def _stale_suppressions(
+    entry: ModuleEntry, used: Dict[Tuple[str, int], Set[str]]
+) -> Iterator[Finding]:
+    """``stale-suppression`` findings (with deletion fixes) for one module."""
+    lines = entry.ctx.source.splitlines()
+    for comment in collect_suppression_comments(entry.ctx.source):
+        used_here = used.get((entry.path, comment.line), set())
+        line_text = lines[comment.line - 1] if comment.line <= len(lines) else ""
+        if comment.is_blanket:
+            if used_here:
+                continue
+            yield Finding(
+                path=entry.path,
+                line=comment.line,
+                col=comment.col,
+                rule="stale-suppression",
+                message=(
+                    "blanket '# simlint: ignore' suppresses nothing on "
+                    "this line; delete it"
+                ),
+                fix=_delete_comment_fix(comment, line_text, len(lines)),
+            )
+            continue
+        stale = sorted(rid for rid in comment.rules if rid not in used_here)
+        if not stale:
+            continue
+        if set(stale) == set(comment.rules):
+            fix = _delete_comment_fix(comment, line_text, len(lines))
+            what = "suppresses nothing"
+        else:
+            fix = _delete_ids_fix(comment, line_text, stale)
+            what = f"lists rule(s) that never fire here: {', '.join(stale)}"
+        yield Finding(
+            path=entry.path,
+            line=comment.line,
+            col=comment.col,
+            rule="stale-suppression",
+            message=f"'# simlint: ignore[...]' {what}; delete the stale part",
+            fix=fix,
+        )
+
+
+def _delete_comment_fix(
+    comment: SuppressionComment, line_text: str, total_lines: int
+) -> Fix:
+    """Delete the whole directive comment (and the line, if it is alone)."""
+    directive_at_comment_start = comment.col == comment.comment_col
+    nothing_after = line_text[comment.end_col:].strip() == ""
+    before = line_text[: comment.comment_col]
+    if directive_at_comment_start and nothing_after:
+        if before.strip() == "":
+            if comment.line < total_lines:
+                return Fix(
+                    edits=(Edit(comment.line, 0, comment.line + 1, 0, ""),)
+                )
+            return Fix(
+                edits=(Edit(comment.line, 0, comment.line, len(line_text), ""),)
+            )
+        start_col = len(before.rstrip())
+        return Fix(
+            edits=(
+                Edit(comment.line, start_col, comment.line, len(line_text), ""),
+            )
+        )
+    # Directive embedded in a larger comment: excise just the directive.
+    return Fix(
+        edits=(Edit(comment.line, comment.col, comment.line, comment.end_col, ""),)
+    )
+
+
+def _delete_ids_fix(
+    comment: SuppressionComment, line_text: str, stale: Sequence[str]
+) -> Fix:
+    """Delete stale ids (with one adjacent comma each) from the bracket list."""
+    stale_set = set(stale)
+    edits: List[Edit] = []
+    claimed: List[Tuple[int, int]] = []
+    for rule_id, start, end in comment.rule_spans:
+        if rule_id not in stale_set:
+            continue
+        j = end
+        while j < len(line_text) and line_text[j] == " ":
+            j += 1
+        if j < len(line_text) and line_text[j] == ",":
+            j += 1
+            while j < len(line_text) and line_text[j] == " ":
+                j += 1
+            span = (start, j)
+        else:
+            i = start
+            while i > 0 and line_text[i - 1] == " ":
+                i -= 1
+            if i > 0 and line_text[i - 1] == ",":
+                i -= 1
+            span = (i, end)
+        if any(s < span[1] and span[0] < e for s, e in claimed):
+            span = (start, end)  # adjacent stale ids: fall back to bare span
+        claimed.append(span)
+        edits.append(Edit(comment.line, span[0], comment.line, span[1], ""))
+    return Fix(edits=tuple(edits))
 
 
 def lint_paths(
@@ -121,11 +282,17 @@ def lint_paths(
     select: Optional[Sequence[str]] = None,
     display_root: Optional[Path] = None,
 ) -> List[Finding]:
-    findings: List[Finding] = []
-    for path in iter_python_files(paths, config):
-        findings.extend(lint_file(path, config, select, display_root))
-    findings.sort()
-    return findings
+    return run_lint(paths, config, select, display_root).findings
+
+
+def lint_file(
+    path: Path,
+    config: SimlintConfig,
+    select: Optional[Sequence[str]] = None,
+    display_root: Optional[Path] = None,
+) -> List[Finding]:
+    """Run every applicable rule over one file (partial project view)."""
+    return run_lint([path], config, select, display_root).findings
 
 
 def default_paths() -> List[Path]:
@@ -151,7 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
@@ -163,6 +330,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="explicit pyproject.toml with a [tool.simlint] table",
     )
     parser.add_argument(
+        "--fix", action="store_true",
+        help="apply available auto-fixes, then re-lint and report the rest",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="with --fix: write nothing, exit 1 if any fix would change a file",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, metavar="FILE",
+        help="write the current findings to FILE as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--against-baseline", type=Path, metavar="FILE",
+        help="report only findings not covered by the committed baseline FILE",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"
     )
     return parser
@@ -172,11 +355,23 @@ def main(argv: Optional[Sequence[str]] = None, stream: Optional[IO[str]] = None)
     out = stream if stream is not None else sys.stdout
     args = build_parser().parse_args(argv)
 
+    known_rules = all_rule_ids()
     if args.list_rules:
-        width = max(len(rule_id) for rule_id in RULES)
-        for rule_id, rule in sorted(RULES.items()):
-            out.write(f"{rule_id.ljust(width)}  {rule.description}\n")
+        width = max(len(rule_id) for rule_id in known_rules)
+        for rule_id, description in sorted(known_rules.items()):
+            out.write(f"{rule_id.ljust(width)}  {description}\n")
         return 0
+
+    if args.check and not args.fix:
+        print("simlint: --check requires --fix", file=sys.stderr)
+        return 2
+    if args.baseline is not None and args.against_baseline is not None:
+        print(
+            "simlint: --baseline and --against-baseline are mutually "
+            "exclusive",
+            file=sys.stderr,
+        )
+        return 2
 
     try:
         if args.config is not None:
@@ -190,7 +385,7 @@ def main(argv: Optional[Sequence[str]] = None, stream: Optional[IO[str]] = None)
     select = None
     if args.select:
         select = [part.strip() for part in args.select.split(",") if part.strip()]
-        unknown = [rule_id for rule_id in select if rule_id not in RULES]
+        unknown = [rule_id for rule_id in select if rule_id not in known_rules]
         if unknown:
             print(
                 f"simlint: unknown rule id(s): {', '.join(unknown)}",
@@ -207,9 +402,50 @@ def main(argv: Optional[Sequence[str]] = None, stream: Optional[IO[str]] = None)
         )
         return 2
 
-    findings = lint_paths(paths, config, select, display_root=Path.cwd())
+    root = Path.cwd()
+    run = run_lint(paths, config, select, display_root=root)
+
+    if args.fix:
+        sources = {e.path: e.ctx.source for e in run.graph.entries()}
+        abs_paths = {e.path: e.abs_path for e in run.graph.entries()}
+        report = plan_fixes(run.findings, sources)
+        if args.check:
+            for path in report.changed_files:
+                out.write(f"would fix: {path}\n")
+            if report.changed_files:
+                out.write(
+                    f"simlint: --fix would modify "
+                    f"{len(report.changed_files)} file(s)\n"
+                )
+                return 1
+            out.write("simlint: no pending fixes\n")
+            return 0
+        written = write_fixes(report, abs_paths)
+        for path in written:
+            out.write(f"fixed: {path}\n")
+        if written:
+            run = run_lint(paths, config, select, display_root=root)
+
+    findings = run.findings
+    if args.baseline is not None:
+        args.baseline.write_text(render_baseline(findings), encoding="utf-8")
+        out.write(
+            f"simlint: wrote baseline with {len(findings)} finding(s) to "
+            f"{args.baseline}\n"
+        )
+        return 0
+    if args.against_baseline is not None:
+        try:
+            baseline = load_baseline(args.against_baseline)
+        except BaselineError as exc:
+            print(f"simlint: {exc}", file=sys.stderr)
+            return 2
+        findings = delta(findings, baseline)
+
     if args.format == "json":
         render_json(findings, out)
+    elif args.format == "sarif":
+        render_sarif(findings, out)
     else:
         render_text(findings, out)
     return 1 if findings else 0

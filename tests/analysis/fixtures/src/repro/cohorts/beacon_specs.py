@@ -1,0 +1,8 @@
+"""Fixture: cohort mirror that dropped a produced beacon attribute."""
+
+
+class FixtureSpec:
+    def beacon_attrs(self):
+        attrs = {"cdn": "cdnX", "isp": "isp1"}
+        attrs["tier"] = "hd"
+        return attrs

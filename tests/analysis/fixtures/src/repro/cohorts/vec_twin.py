@@ -1,0 +1,10 @@
+"""Fixture: vectorized twin that has drifted from its scalar source."""
+
+
+def step_vec(level_s, drain_rate, floor_s=0.25):
+    drained = level_s - drain_rate
+    return max(drained, 0.1)
+
+
+def orphan_vec(x):
+    return x

@@ -1,0 +1,7 @@
+"""Fixture: aggregation sites grouping on keys the schema disagrees on."""
+
+from repro.telemetry.beacons import Agg
+
+
+def build():
+    return Agg(group_keys=("cdn", "city", "app"))

@@ -1,0 +1,5 @@
+"""Fixture: draws the same named stream from a second layer."""
+
+
+def draw(streams):
+    return streams.get("shared-stream")

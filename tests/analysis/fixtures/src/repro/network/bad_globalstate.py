@@ -1,0 +1,30 @@
+"""Fixture: module-level mutable state (fork-safety hazard)."""
+
+from dataclasses import dataclass
+
+REGISTRY = {}
+ALLOWED_REGISTRY = {}
+CONSTANTS = {"capacity_mbps": 100}
+CACHE = []
+
+
+class Tracker:
+    def __init__(self) -> None:
+        self.events = []
+
+
+TRACKER = Tracker()
+
+
+@dataclass(frozen=True)
+class FrozenCfg:
+    value: int = 1
+
+
+DEFAULT_CFG = FrozenCfg()
+
+
+def remember(name: str) -> None:
+    REGISTRY[name] = name
+    ALLOWED_REGISTRY[name] = name
+    CACHE.append(name)

@@ -1,0 +1,5 @@
+"""Fixture: file that does not parse; the run must degrade, not abort."""
+
+
+def broken(:
+    return 1

@@ -1,0 +1,18 @@
+"""Fixture: RNG stream discipline violations, all four kinds."""
+
+import random
+
+
+class RngStreams:
+    def get(self, name):
+        return random.Random(0)
+
+
+STREAMS = RngStreams()
+
+
+def sample(rng, name):
+    unnamed = rng.get(name)
+    shared = rng.get("shared-stream")
+    direct = random.Random(7)
+    return unnamed, shared, direct

@@ -1,0 +1,12 @@
+"""Fixture: suppressions that no longer suppress anything."""
+
+import time  # simlint: ignore[obs-hotpath]
+
+
+def stamp() -> float:
+    return time.time()  # simlint: ignore[wall-clock, global-rng]
+
+
+def quiet() -> int:
+    value = 1  # simlint: ignore[no-print]
+    return value  # simlint: ignore

@@ -12,5 +12,5 @@ def report(value: float) -> None:
 
 
 def both(d: dict) -> None:
-    for k in d.keys():  # simlint: ignore[unordered-iter, no-print]
+    for k in d.keys():  # simlint: ignore[unordered-iter]
         pass

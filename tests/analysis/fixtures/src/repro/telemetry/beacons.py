@@ -1,0 +1,11 @@
+"""Fixture: beacon producer and aggregator anchors."""
+
+
+def make_record(cdn, isp):
+    attrs = {"cdn": cdn, "isp": isp, "app": "video"}
+    return attrs
+
+
+class Agg:
+    def __init__(self, group_keys=()):
+        self.group_keys = tuple(group_keys)

@@ -1,0 +1,6 @@
+"""Fixture: scalar reference implementation of a twin step."""
+
+
+def step_scalar(level_s, drain_rate, floor_s=0.5):
+    drained = level_s - drain_rate
+    return max(drained, 0.0)

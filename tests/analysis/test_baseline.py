@@ -1,0 +1,139 @@
+"""Baseline workflow: write, load, delta semantics, CLI gating."""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import runner
+from repro.analysis.baseline import (
+    BaselineError,
+    delta,
+    load_baseline,
+    render_baseline,
+)
+from repro.analysis.core import Finding
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def f(path: str, line: int, rule: str, message: str) -> Finding:
+    return Finding(path=path, line=line, col=0, rule=rule, message=message)
+
+
+def test_baseline_round_trip(tmp_path: Path) -> None:
+    findings = [
+        f("a.py", 3, "no-print", "print"),
+        f("a.py", 9, "no-print", "print"),
+        f("b.py", 1, "float-eq", "eq"),
+    ]
+    target = tmp_path / "base.json"
+    target.write_text(render_baseline(findings), encoding="utf-8")
+    loaded = load_baseline(target)
+    assert loaded == {
+        ("a.py", "no-print", "print"): 2,
+        ("b.py", "float-eq", "eq"): 1,
+    }
+
+
+def test_baseline_is_line_drift_tolerant() -> None:
+    baseline = {("a.py", "no-print", "print"): 1}
+    moved = [f("a.py", 99, "no-print", "print")]  # same finding, new line
+    assert delta(moved, baseline) == []
+
+
+def test_delta_reports_only_excess() -> None:
+    baseline = {("a.py", "no-print", "print"): 1}
+    findings = [
+        f("a.py", 3, "no-print", "print"),
+        f("a.py", 9, "no-print", "print"),
+        f("c.py", 2, "layering", "bad import"),
+    ]
+    excess = delta(findings, baseline)
+    assert [(x.path, x.line, x.rule) for x in excess] == [
+        ("a.py", 9, "no-print"),
+        ("c.py", 2, "layering"),
+    ]
+
+
+def test_baseline_rejects_garbage(tmp_path: Path) -> None:
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json at all")
+    with pytest.raises(BaselineError):
+        load_baseline(bad)
+    bad.write_text(json.dumps({"tool": "other"}))
+    with pytest.raises(BaselineError):
+        load_baseline(bad)
+    bad.write_text(json.dumps({"tool": "simlint", "version": 99, "entries": []}))
+    with pytest.raises(BaselineError):
+        load_baseline(bad)
+
+
+def test_baseline_output_is_stable() -> None:
+    findings = [
+        f("b.py", 1, "float-eq", "eq"),
+        f("a.py", 3, "no-print", "print"),
+    ]
+    assert render_baseline(findings) == render_baseline(list(reversed(findings)))
+    payload = json.loads(render_baseline(findings))
+    assert [e["path"] for e in payload["entries"]] == ["a.py", "b.py"]
+
+
+def test_cli_baseline_write_then_gate(tmp_path: Path, monkeypatch) -> None:
+    monkeypatch.chdir(FIXTURES)
+    base = tmp_path / "baseline.json"
+    out = io.StringIO()
+    code = runner.main(
+        ["src", "--config", "pyproject.toml", "--baseline", str(base)],
+        stream=out,
+    )
+    assert code == 0
+    assert base.exists()
+    # Same tree gated against the fresh baseline: no delta, exit 0.
+    out = io.StringIO()
+    code = runner.main(
+        ["src", "--config", "pyproject.toml", "--against-baseline", str(base)],
+        stream=out,
+    )
+    assert code == 0
+    assert "clean" in out.getvalue()
+
+
+def test_cli_against_baseline_flags_new_findings(tmp_path: Path, monkeypatch) -> None:
+    monkeypatch.chdir(FIXTURES)
+    base = tmp_path / "baseline.json"
+    runner.main(
+        ["src", "--config", "pyproject.toml", "--baseline", str(base)],
+        stream=io.StringIO(),
+    )
+    # Drop one entry from the baseline: that finding becomes "new".
+    payload = json.loads(base.read_text())
+    removed = payload["entries"].pop()
+    base.write_text(json.dumps(payload))
+    out = io.StringIO()
+    code = runner.main(
+        ["src", "--config", "pyproject.toml", "--against-baseline", str(base)],
+        stream=out,
+    )
+    assert code == 1
+    assert removed["rule"] in out.getvalue()
+
+
+def test_cli_baseline_flags_are_exclusive(tmp_path: Path) -> None:
+    base = tmp_path / "b.json"
+    code = runner.main(
+        [".", "--baseline", str(base), "--against-baseline", str(base)]
+    )
+    assert code == 2
+
+
+def test_cli_against_missing_baseline_is_usage_error(monkeypatch) -> None:
+    monkeypatch.chdir(FIXTURES)
+    code = runner.main(
+        ["src", "--config", "pyproject.toml",
+         "--against-baseline", "does-not-exist.json"],
+    )
+    assert code == 2

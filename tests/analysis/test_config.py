@@ -58,7 +58,10 @@ def test_rule_scope_exclusions_and_allow_files() -> None:
 def test_discover_walks_up_to_nearest_pyproject() -> None:
     config = SimlintConfig.discover(FIXTURES / "src" / "repro" / "network")
     # The fixture DAG is the small one, not the repo default.
-    assert set(config.layers) == {"simkernel", "network", "core", "experiments"}
+    assert set(config.layers) == {
+        "simkernel", "network", "video", "telemetry", "cohorts", "core",
+        "experiments",
+    }
 
 
 def test_allowed_imports_for_undeclared_layer_is_none() -> None:

@@ -1,0 +1,151 @@
+"""Auto-fix layer: edit application, --fix CLI, --fix --check idempotency."""
+
+from __future__ import annotations
+
+import io
+import shutil
+import textwrap
+from pathlib import Path
+
+from repro.analysis import runner
+from repro.analysis.config import SimlintConfig
+from repro.analysis.core import Edit, Finding, Fix
+from repro.analysis.fixes import fix_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def finding_with_edits(*edits: Edit) -> Finding:
+    return Finding(
+        path="x.py", line=edits[0].line, col=edits[0].col,
+        rule="unordered-iter", message="m", fix=Fix(edits=tuple(edits)),
+    )
+
+
+def test_fix_file_applies_insertions_in_order() -> None:
+    source = "for x in {1, 2}:\n    pass\n"
+    f = finding_with_edits(
+        Edit(1, 9, 1, 9, "sorted("),
+        Edit(1, 15, 1, 15, ")"),
+    )
+    fixed, applied, skipped = fix_file(source, [f])
+    assert fixed == "for x in sorted({1, 2}):\n    pass\n"
+    assert (applied, skipped) == (1, 0)
+
+
+def test_fix_file_whole_line_deletion() -> None:
+    source = "a = 1\n# simlint: ignore\nb = 2\n"
+    f = finding_with_edits(Edit(2, 0, 3, 0, ""))
+    fixed, applied, skipped = fix_file(source, [f])
+    assert fixed == "a = 1\nb = 2\n"
+    assert applied == 1
+
+
+def test_fix_file_skips_overlapping_fix_whole() -> None:
+    source = "value = compute(1, 2)\n"
+    keep = finding_with_edits(Edit(1, 8, 1, 21, "other()"))
+    clash = finding_with_edits(Edit(1, 8, 1, 15, ""), Edit(1, 16, 1, 17, "9"))
+    fixed, applied, skipped = fix_file(source, [keep, clash])
+    assert fixed == "value = other()\n"
+    assert (applied, skipped) == (1, 1)
+
+
+def test_fix_file_rejects_out_of_range_edits() -> None:
+    source = "a = 1\n"
+    f = finding_with_edits(Edit(9, 0, 9, 4, "x"))
+    fixed, applied, skipped = fix_file(source, [f])
+    assert fixed == source
+    assert (applied, skipped) == (0, 1)
+
+
+def copy_fixture_tree(tmp_path: Path) -> Path:
+    root = tmp_path / "fixtures"
+    shutil.copytree(FIXTURES, root)
+    return root
+
+
+def test_cli_fix_rewrites_and_rereports(tmp_path: Path, monkeypatch) -> None:
+    root = copy_fixture_tree(tmp_path)
+    monkeypatch.chdir(root)
+    out = io.StringIO()
+    code = runner.main(
+        ["src", "--config", "pyproject.toml", "--fix"], stream=out
+    )
+    text = out.getvalue()
+    # unordered-iter sites get wrapped; stale suppressions get deleted.
+    fixed_ordering = (root / "src/repro/network/bad_ordering.py").read_text()
+    assert "for key in sorted(pending.keys()):" in fixed_ordering
+    assert "for x in sorted(set(xs)):" in fixed_ordering
+    assert "[x for x in sorted({3, 1, 2})]" in fixed_ordering
+    fixed_stale = (root / "src/repro/network/bad_stale.py").read_text()
+    assert "ignore[wall-clock]" in fixed_stale
+    assert "global-rng" not in fixed_stale
+    assert "no-print" not in fixed_stale
+    assert fixed_stale.rstrip().endswith("return value")
+    assert "fixed: src/repro/network/bad_ordering.py" in text
+    # Plenty of unfixable findings remain.
+    assert code == 1
+    assert "unordered-iter" not in text.split("fixed:")[-1]
+
+
+def test_cli_fix_is_idempotent(tmp_path: Path, monkeypatch) -> None:
+    root = copy_fixture_tree(tmp_path)
+    monkeypatch.chdir(root)
+    runner.main(["src", "--config", "pyproject.toml", "--fix"],
+                stream=io.StringIO())
+    after_first = {
+        p: p.read_text() for p in sorted((root / "src").rglob("*.py"))
+    }
+    out = io.StringIO()
+    code = runner.main(
+        ["src", "--config", "pyproject.toml", "--fix", "--check"], stream=out
+    )
+    assert code == 0, out.getvalue()
+    assert "no pending fixes" in out.getvalue()
+    after_second = {
+        p: p.read_text() for p in sorted((root / "src").rglob("*.py"))
+    }
+    assert after_first == after_second
+
+
+def test_cli_fix_check_reports_without_writing(tmp_path: Path, monkeypatch) -> None:
+    root = copy_fixture_tree(tmp_path)
+    monkeypatch.chdir(root)
+    before = (root / "src/repro/network/bad_ordering.py").read_text()
+    out = io.StringIO()
+    code = runner.main(
+        ["src", "--config", "pyproject.toml", "--fix", "--check"], stream=out
+    )
+    assert code == 1
+    assert "would fix: src/repro/network/bad_ordering.py" in out.getvalue()
+    assert (root / "src/repro/network/bad_ordering.py").read_text() == before
+
+
+def test_cli_check_requires_fix() -> None:
+    assert runner.main(["--check", "."]) == 2
+
+
+def test_fix_preserves_used_suppressions(tmp_path: Path, monkeypatch) -> None:
+    src = tmp_path / "src" / "repro" / "network"
+    src.mkdir(parents=True)
+    (src / "mod.py").write_text(
+        textwrap.dedent(
+            """
+            import time  # simlint: ignore[obs-hotpath]
+
+
+            def stamp() -> float:
+                return time.time()  # simlint: ignore[wall-clock]
+            """
+        ).lstrip()
+    )
+    monkeypatch.chdir(tmp_path)
+    config = SimlintConfig.default()
+    out = io.StringIO()
+    code = runner.main(["src", "--fix"], stream=out)
+    assert code == 0
+    assert "simlint: ignore[obs-hotpath]" in (src / "mod.py").read_text()
+    assert "simlint: ignore[wall-clock]" in (src / "mod.py").read_text()
+    assert config.scope_for("wall-clock").applies(
+        "src/repro/network/mod.py", "network"
+    )

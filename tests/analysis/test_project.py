@@ -1,0 +1,75 @@
+"""Project graph: construction, resolution, call targets, parse failures."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.config import SimlintConfig
+from repro.analysis.project import build_project
+from repro.analysis.runner import iter_python_files
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    config = SimlintConfig.from_pyproject(FIXTURES / "pyproject.toml")
+    files = list(iter_python_files([FIXTURES / "src"], config))
+    return build_project(files, config, display_root=FIXTURES)
+
+
+def test_modules_indexed_by_dotted_name(graph) -> None:
+    entry = graph.modules["repro.network.bad_ordering"]
+    assert entry.layer == "network"
+    assert entry.path == "src/repro/network/bad_ordering.py"
+
+
+def test_resolve_function_class_and_method(graph) -> None:
+    import ast
+
+    entry, node = graph.resolve("repro.video.scalar_twin.step_scalar")
+    assert isinstance(node, ast.FunctionDef) and node.name == "step_scalar"
+    entry, node = graph.resolve("repro.telemetry.beacons.Agg")
+    assert isinstance(node, ast.ClassDef)
+    entry, node = graph.resolve(
+        "repro.cohorts.beacon_specs.FixtureSpec.beacon_attrs"
+    )
+    assert isinstance(node, ast.FunctionDef) and node.name == "beacon_attrs"
+
+
+def test_resolve_missing_symbol_and_module(graph) -> None:
+    assert graph.resolve("repro.video.scalar_twin.nope") is None
+    assert graph.resolve("repro.nowhere.at_all") is None
+    assert graph.module_prefix_of("repro.video.scalar_twin.nope") is not None
+    assert graph.module_prefix_of("repro.nowhere.at_all") is None
+
+
+def test_resolve_call_target_through_from_import(graph) -> None:
+    import ast
+
+    entry = graph.modules["repro.core.aggregator_use"]
+    call = next(
+        node
+        for node in ast.walk(entry.ctx.tree)
+        if isinstance(node, ast.Call)
+    )
+    assert (
+        graph.resolve_call_target(entry, call.func)
+        == "repro.telemetry.beacons.Agg"
+    )
+
+
+def test_parse_failures_are_collected_not_fatal(graph) -> None:
+    assert [f.path for f in graph.failures] == [
+        "src/repro/network/bad_parse.py"
+    ]
+    failure = graph.failures[0]
+    assert failure.line >= 1
+    assert "parse" in failure.message
+
+
+def test_entries_are_sorted_by_path(graph) -> None:
+    paths = [entry.path for entry in graph.entries()]
+    assert paths == sorted(paths)

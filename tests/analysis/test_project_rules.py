@@ -1,0 +1,350 @@
+"""The four cross-module rules, each against a live in-memory tree.
+
+The fixture-tree golden test covers the canned cases end to end; these
+tests build tiny trees in ``tmp_path`` so each rule's *negative* space
+(configurations that must stay quiet) is pinned too.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Dict, List
+
+from repro.analysis.config import SimlintConfig
+from repro.analysis.core import Finding
+from repro.analysis.runner import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def make_tree(tmp_path: Path, files: Dict[str, str]) -> Path:
+    root = tmp_path / "src" / "repro"
+    for rel, body in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(body), encoding="utf-8")
+    return tmp_path / "src"
+
+
+def run(tmp_path: Path, files: Dict[str, str], config_dict: dict) -> List[Finding]:
+    src = make_tree(tmp_path, files)
+    config = SimlintConfig.from_dict(config_dict)
+    return lint_paths([src], config)
+
+
+BASE_LAYERS = {"layers": {"network": [], "core": [], "video": [], "cohorts": []}}
+
+
+# ---------------------------------------------------------------------------
+# rng-stream-discipline
+# ---------------------------------------------------------------------------
+def test_rng_streams_single_layer_ownership_is_quiet(tmp_path: Path) -> None:
+    findings = run(
+        tmp_path,
+        {
+            "network/a.py": """
+                def f(rng):
+                    return rng.get("alpha"), rng.get("alpha")
+            """,
+            "core/b.py": """
+                def g(rng):
+                    return rng.generator("beta")
+            """,
+        },
+        BASE_LAYERS,
+    )
+    assert [f for f in findings if f.rule == "rng-stream-discipline"] == []
+
+
+def test_rng_stream_prefix_collision_across_layers(tmp_path: Path) -> None:
+    findings = run(
+        tmp_path,
+        {
+            "network/a.py": """
+                def f(rng, i):
+                    return rng.get(f"radio:{i}")
+            """,
+            "core/b.py": """
+                def g(rng):
+                    return rng.get("radio:7")
+            """,
+        },
+        BASE_LAYERS,
+    )
+    hits = [f for f in findings if f.rule == "rng-stream-discipline"]
+    assert len(hits) == 2  # both colliding sites are reported
+    assert all("owned by exactly one layer" in f.message for f in hits)
+
+
+def test_rng_dict_get_with_default_not_confused(tmp_path: Path) -> None:
+    findings = run(
+        tmp_path,
+        {
+            "network/a.py": """
+                def f(table, key):
+                    return table.get(key, None)
+            """,
+        },
+        BASE_LAYERS,
+    )
+    assert [f for f in findings if f.rule == "rng-stream-discipline"] == []
+
+
+# ---------------------------------------------------------------------------
+# vec-twin-drift
+# ---------------------------------------------------------------------------
+TWIN_CONFIG = {
+    **BASE_LAYERS,
+    "twins": [
+        {
+            "vec": "repro.cohorts.v.step_vec",
+            "scalar": "repro.video.s.step_scalar",
+        }
+    ],
+}
+
+
+def test_twins_in_lockstep_are_quiet(tmp_path: Path) -> None:
+    findings = run(
+        tmp_path,
+        {
+            "cohorts/v.py": """
+                def step_vec(x, rate, floor_s=0.5):
+                    return max(x - rate * 2.0, 0.0)
+            """,
+            "video/s.py": """
+                def step_scalar(x, rate, floor_s=0.5):
+                    return max(x - rate * 2.0, 0.0)
+            """,
+        },
+        TWIN_CONFIG,
+    )
+    assert [f for f in findings if f.rule == "vec-twin-drift"] == []
+
+
+def test_twin_signature_drift_fires(tmp_path: Path) -> None:
+    findings = run(
+        tmp_path,
+        {
+            "cohorts/v.py": """
+                def step_vec(x, pace):
+                    return x - pace
+            """,
+            "video/s.py": """
+                def step_scalar(x, rate):
+                    return x - rate
+            """,
+        },
+        TWIN_CONFIG,
+    )
+    hits = [f for f in findings if f.rule == "vec-twin-drift"]
+    assert len(hits) == 1
+    assert "signature drift" in hits[0].message
+
+
+def test_twin_method_receiver_is_skipped(tmp_path: Path) -> None:
+    config = {
+        **BASE_LAYERS,
+        "twins": [
+            {
+                "vec": "repro.cohorts.v.pick_vec",
+                "scalar": "repro.video.s.Ladder.pick",
+                "checks": ["signature", "defaults"],
+            }
+        ],
+    }
+    findings = run(
+        tmp_path,
+        {
+            "cohorts/v.py": """
+                def pick_vec(ladder, cap_mbps=8.0):
+                    return cap_mbps
+            """,
+            "video/s.py": """
+                class Ladder:
+                    def pick(self, cap_mbps=8.0):
+                        return cap_mbps
+            """,
+        },
+        config,
+    )
+    assert [f for f in findings if f.rule == "vec-twin-drift"] == []
+
+
+def test_twin_pair_skipped_when_module_absent(tmp_path: Path) -> None:
+    # Only the vec side's tree is linted: the rule must stay quiet.
+    findings = run(
+        tmp_path,
+        {
+            "cohorts/v.py": """
+                def step_vec(x):
+                    return x
+            """,
+        },
+        TWIN_CONFIG,
+    )
+    assert [f for f in findings if f.rule == "vec-twin-drift"] == []
+
+
+# ---------------------------------------------------------------------------
+# beacon-schema-sync
+# ---------------------------------------------------------------------------
+BEACON_CONFIG = {
+    **BASE_LAYERS,
+    "rules": {
+        "beacon-schema-sync": {
+            "producers": ["repro.video.prod.make"],
+            "cohort-attrs": "repro.cohorts.spec.Spec.beacon_attrs",
+            "aggregator": "repro.core.agg.Agg",
+        }
+    },
+}
+
+BEACON_FILES = {
+    "video/prod.py": """
+        def make(cdn, isp):
+            attrs = {"cdn": cdn, "isp": isp}
+            return attrs
+    """,
+    "cohorts/spec.py": """
+        class Spec:
+            def beacon_attrs(self):
+                return {}  # populated via stores below
+
+            def full_attrs(self):
+                attrs = {"cdn": "x", "isp": "y", "tier": "hd"}
+                return attrs
+    """,
+    "core/agg.py": """
+        class Agg:
+            def __init__(self, group_keys=()):
+                self.group_keys = tuple(group_keys)
+    """,
+}
+
+
+def test_beacon_schema_in_sync_is_quiet(tmp_path: Path) -> None:
+    files = dict(BEACON_FILES)
+    files["cohorts/spec.py"] = """
+        class Spec:
+            def beacon_attrs(self):
+                attrs = {"cdn": "x", "isp": "y", "tier": "hd"}
+                return attrs
+    """
+    files["core/use.py"] = """
+        from repro.core.agg import Agg
+
+        def build():
+            return Agg(group_keys=("cdn", "isp"))
+    """
+    findings = run(tmp_path, files, BEACON_CONFIG)
+    assert [f for f in findings if f.rule == "beacon-schema-sync"] == []
+
+
+def test_beacon_cohort_missing_produced_attr_fires(tmp_path: Path) -> None:
+    files = dict(BEACON_FILES)
+    files["cohorts/spec.py"] = """
+        class Spec:
+            def beacon_attrs(self):
+                attrs = {"cdn": "x"}
+                return attrs
+    """
+    findings = run(tmp_path, files, BEACON_CONFIG)
+    hits = [f for f in findings if f.rule == "beacon-schema-sync"]
+    assert len(hits) == 1
+    assert "'isp'" in hits[0].message
+
+
+def test_beacon_unknown_group_key_fires_at_call_site(tmp_path: Path) -> None:
+    files = dict(BEACON_FILES)
+    files["cohorts/spec.py"] = """
+        class Spec:
+            def beacon_attrs(self):
+                attrs = {"cdn": "x", "isp": "y"}
+                return attrs
+    """
+    files["core/use.py"] = """
+        from repro.core.agg import Agg
+
+        def build():
+            return Agg(group_keys=("cdn", "city"))
+    """
+    findings = run(tmp_path, files, BEACON_CONFIG)
+    hits = [f for f in findings if f.rule == "beacon-schema-sync"]
+    assert len(hits) == 1
+    assert hits[0].path.endswith("core/use.py")
+    assert "city" in hits[0].message
+
+
+# ---------------------------------------------------------------------------
+# process-global-state
+# ---------------------------------------------------------------------------
+def test_global_state_readonly_constants_are_quiet(tmp_path: Path) -> None:
+    findings = run(
+        tmp_path,
+        {
+            "network/consts.py": """
+                CAPACITY_MBPS = {"edge": 100, "core": 400}
+                NAMES = ["a", "b"]
+
+                def lookup(kind):
+                    return CAPACITY_MBPS[kind]
+            """,
+        },
+        BASE_LAYERS,
+    )
+    assert [f for f in findings if f.rule == "process-global-state"] == []
+
+
+def test_global_state_cross_module_mutation_detected(tmp_path: Path) -> None:
+    findings = run(
+        tmp_path,
+        {
+            "network/registry.py": """
+                TABLE = {}
+            """,
+            "core/writer.py": """
+                from repro.network.registry import TABLE
+
+                def put(name):
+                    TABLE[name] = name
+            """,
+        },
+        BASE_LAYERS,
+    )
+    hits = [f for f in findings if f.rule == "process-global-state"]
+    assert len(hits) == 1
+    assert hits[0].path.endswith("network/registry.py")
+
+
+def test_global_state_allowlist_and_frozen_instances(tmp_path: Path) -> None:
+    config = {
+        **BASE_LAYERS,
+        "rules": {
+            "process-global-state": {
+                "allow": ["repro.network.reg.SANCTIONED"],
+            }
+        },
+    }
+    findings = run(
+        tmp_path,
+        {
+            "network/reg.py": """
+                from dataclasses import dataclass
+
+                SANCTIONED = {}
+
+                @dataclass(frozen=True)
+                class Cfg:
+                    value: int = 1
+
+                DEFAULT = Cfg()
+
+                def put(name):
+                    SANCTIONED[name] = name
+            """,
+        },
+        config,
+    )
+    assert [f for f in findings if f.rule == "process-global-state"] == []

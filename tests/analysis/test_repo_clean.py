@@ -9,7 +9,9 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.analysis import SimlintConfig, lint_paths
+from repro.analysis import SimlintConfig, lint_paths, run_lint
+from repro.analysis.baseline import delta, load_baseline
+from repro.analysis.fixes import plan_fixes
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -21,6 +23,31 @@ def test_shipped_tree_is_simlint_clean() -> None:
     )
     report = "\n".join(finding.format() for finding in findings)
     assert not findings, f"simlint violations in shipped code:\n{report}"
+
+
+def test_shipped_tree_is_a_fixed_point_of_the_fixer() -> None:
+    """``eona lint --fix --check`` must be a no-op on the committed tree."""
+    config = SimlintConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
+    run = run_lint(
+        [REPO_ROOT / "src" / "repro"], config, display_root=REPO_ROOT
+    )
+    sources = {e.path: e.ctx.source for e in run.graph.entries()}
+    report = plan_fixes(run.findings, sources)
+    assert report.changed_files == [], (
+        f"--fix would modify committed files: {report.changed_files}"
+    )
+
+
+def test_committed_baseline_has_no_delta() -> None:
+    """CI gates on the delta vs simlint-baseline.json staying empty."""
+    config = SimlintConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
+    findings = lint_paths(
+        [REPO_ROOT / "src" / "repro"], config, display_root=REPO_ROOT
+    )
+    baseline = load_baseline(REPO_ROOT / "simlint-baseline.json")
+    excess = delta(findings, baseline)
+    report = "\n".join(finding.format() for finding in excess)
+    assert not excess, f"findings not covered by the baseline:\n{report}"
 
 
 def test_layer_dag_covers_every_shipped_package() -> None:

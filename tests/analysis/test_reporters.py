@@ -1,0 +1,123 @@
+"""Golden-output tests for the text, JSON, and SARIF reporters.
+
+The rendered bytes are part of simlint's contract: CI artifacts and
+committed baselines get diffed, so key order, indentation, and the
+trailing newline must never drift by accident.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.core import Finding
+from repro.analysis.reporters import render_json, render_sarif, render_text
+
+FINDINGS = [
+    Finding(
+        path="src/repro/network/a.py",
+        line=3,
+        col=4,
+        rule="no-print",
+        message="print() in library code",
+    ),
+    Finding(
+        path="src/repro/network/b.py",
+        line=1,
+        col=0,
+        rule="parse-error",
+        message="cannot parse file: invalid syntax",
+    ),
+]
+
+
+def render(renderer, findings) -> str:
+    buf = io.StringIO()
+    renderer(findings, buf)
+    return buf.getvalue()
+
+
+def test_text_golden() -> None:
+    assert render(render_text, FINDINGS) == (
+        "src/repro/network/a.py:3:4 no-print print() in library code\n"
+        "src/repro/network/b.py:1:0 parse-error "
+        "cannot parse file: invalid syntax\n"
+        "simlint: 2 finding(s) in 2 file(s)\n"
+    )
+
+
+def test_text_clean_golden() -> None:
+    assert render(render_text, []) == "simlint: clean\n"
+
+
+def test_json_golden() -> None:
+    assert render(render_json, FINDINGS) == (
+        '{\n'
+        '  "count": 2,\n'
+        '  "findings": [\n'
+        '    {\n'
+        '      "col": 4,\n'
+        '      "line": 3,\n'
+        '      "message": "print() in library code",\n'
+        '      "path": "src/repro/network/a.py",\n'
+        '      "rule": "no-print"\n'
+        '    },\n'
+        '    {\n'
+        '      "col": 0,\n'
+        '      "line": 1,\n'
+        '      "message": "cannot parse file: invalid syntax",\n'
+        '      "path": "src/repro/network/b.py",\n'
+        '      "rule": "parse-error"\n'
+        '    }\n'
+        '  ],\n'
+        '  "tool": "simlint"\n'
+        '}\n'
+    )
+
+
+def test_sarif_structure_and_stability() -> None:
+    first = render(render_sarif, FINDINGS)
+    assert first == render(render_sarif, FINDINGS)  # byte-stable
+    payload = json.loads(first)
+    assert payload["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in payload["$schema"]
+    (run,) = payload["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "simlint"
+    # rule metadata covers exactly the rules that fired, sorted.
+    assert [r["id"] for r in driver["rules"]] == ["no-print", "parse-error"]
+    assert all(r["shortDescription"]["text"] for r in driver["rules"])
+
+
+def test_sarif_result_locations_are_one_based() -> None:
+    payload = json.loads(render(render_sarif, FINDINGS))
+    results = payload["runs"][0]["results"]
+    assert len(results) == 2
+    first = results[0]
+    assert first["ruleId"] == "no-print"
+    assert first["level"] == "warning"
+    assert first["ruleIndex"] == 0
+    region = first["locations"][0]["physicalLocation"]["region"]
+    assert region == {"startLine": 3, "startColumn": 5}  # col 4 -> column 5
+    uri = first["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+    assert uri == "src/repro/network/a.py"
+
+
+def test_sarif_parse_errors_report_as_error_level() -> None:
+    payload = json.loads(render(render_sarif, FINDINGS))
+    levels = {r["ruleId"]: r["level"] for r in payload["runs"][0]["results"]}
+    assert levels["parse-error"] == "error"
+
+
+def test_sarif_empty_run_is_valid() -> None:
+    payload = json.loads(render(render_sarif, []))
+    assert payload["runs"][0]["results"] == []
+    assert payload["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+@pytest.mark.parametrize("renderer", [render_text, render_json, render_sarif])
+def test_reports_end_with_single_newline(renderer) -> None:
+    out = render(renderer, FINDINGS)
+    assert out.endswith("\n") and not out.endswith("\n\n")

@@ -13,7 +13,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import RULES, SimlintConfig, lint_paths
+from repro.analysis import PROJECT_RULES, RULES, SimlintConfig, lint_paths
+from repro.analysis.rules import META_RULES, all_rule_ids
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -42,7 +43,9 @@ def test_findings_match_golden_json(fixture_findings, golden) -> None:
     assert len(fixture_findings) == golden["count"]
 
 
-@pytest.mark.parametrize("rule_id", sorted(RULES))
+@pytest.mark.parametrize(
+    "rule_id", sorted(RULES) + sorted(PROJECT_RULES) + sorted(META_RULES)
+)
 def test_every_rule_has_fixture_coverage(rule_id, fixture_findings) -> None:
     hits = [f for f in fixture_findings if f.rule == rule_id]
     assert hits, f"no fixture triggers rule {rule_id!r}"
@@ -85,4 +88,4 @@ def test_finding_format_is_precise(fixture_findings) -> None:
     col, rule, _message = rest.split(" ", 2)
     assert path.endswith(".py")
     assert lineno.isdigit() and col.isdigit()
-    assert rule in RULES
+    assert rule in all_rule_ids()

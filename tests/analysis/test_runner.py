@@ -102,9 +102,21 @@ def test_eona_lint_subcommand_forwards(capsys) -> None:
     assert "layering" in capsys.readouterr().out
 
 
-def test_syntax_error_reported_as_finding(tmp_path: Path) -> None:
+def test_parse_error_reported_as_finding(tmp_path: Path) -> None:
     bad = tmp_path / "broken.py"
     bad.write_text("def oops(:\n")
     findings = lint_file(bad, SimlintConfig.default())
     assert len(findings) == 1
-    assert findings[0].rule == "syntax-error"
+    assert findings[0].rule == "parse-error"
+    assert findings[0].line == 1
+
+
+def test_parse_error_does_not_abort_sibling_files(tmp_path: Path) -> None:
+    (tmp_path / "broken.py").write_text("def oops(:\n")
+    (tmp_path / "fine.py").write_text("X = 1\n")
+    findings = runner.lint_paths([tmp_path], SimlintConfig.default())
+    assert [f.rule for f in findings] == ["parse-error"]
+    paths = {e.path for e in runner.run_lint(
+        [tmp_path], SimlintConfig.default()
+    ).graph.entries()}
+    assert any(p.endswith("fine.py") for p in paths)
