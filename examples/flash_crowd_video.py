@@ -13,12 +13,15 @@ from repro.baselines import Mode
 from repro.core import EonaAppP, EonaInfP, StatusQuoAppP, StatusQuoInfP
 from repro.experiments.common import launch_video_sessions, qoe_of
 from repro.video.qoe import summarize
-from repro.workloads import build_flash_crowd_scenario, flash_crowd_rate
+from repro.scenarios import build_scenario
+from repro.workloads import flash_crowd_rate
 
 
 def run_world(use_eona: bool) -> dict:
-    scenario = build_flash_crowd_scenario(
-        seed=3, n_clients=30, access_capacity_mbps=45.0
+    scenario = build_scenario(
+        "flash-crowd",
+        seed=3,
+        params={"n_clients": 30, "access_capacity_mbps": 45.0},
     )
     sim = scenario.sim
 

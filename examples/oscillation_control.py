@@ -12,11 +12,11 @@ Run:  python examples/oscillation_control.py
 from repro.core import EonaAppP, EonaInfP, StatusQuoAppP, StatusQuoInfP
 from repro.experiments.common import launch_video_sessions, qoe_of
 from repro.video.qoe import summarize
-from repro.workloads import build_oscillation_scenario
+from repro.scenarios import build_scenario
 
 
 def run_world(use_eona: bool):
-    scenario = build_oscillation_scenario(seed=1, n_clients=24)
+    scenario = build_scenario("oscillation", seed=1, params={"n_clients": 24})
     sim = scenario.sim
 
     if use_eona:

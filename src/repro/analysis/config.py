@@ -55,6 +55,7 @@ SIM_LAYERS: Tuple[str, ...] = (
     "baselines",
     "faults",
     "cohorts",
+    "scenarios",
 )
 
 #: Checks a ``[tool.simlint.twins]`` pair may enable (default: all).
@@ -97,11 +98,16 @@ DEFAULT_CONFIG_DICT: Dict[str, object] = {
         "workloads": ["cdn", "core", "network", "obs", "sdn", "simkernel", "web"],
         "baselines": ["cdn", "core", "network", "sdn", "video"],
         "faults": ["core", "network", "obs", "simkernel"],
+        "scenarios": [
+            "cdn", "core", "faults", "network", "obs", "sdn", "simkernel",
+            "web", "workloads",
+        ],
         "experiments": [
             "baselines", "cdn", "cohorts", "core", "faults", "network", "obs",
-            "sdn", "simkernel", "telemetry", "video", "web", "workloads",
+            "scenarios", "sdn", "simkernel", "telemetry", "video", "web",
+            "workloads",
         ],
-        "cli": ["analysis", "experiments", "faults", "obs"],
+        "cli": ["analysis", "experiments", "faults", "obs", "scenarios"],
         "analysis": [],
     },
     "rules": {
@@ -111,7 +117,9 @@ DEFAULT_CONFIG_DICT: Dict[str, object] = {
         "no-print": {"exclude-layers": ["cli", "analysis"]},
         "obs-hotpath": {"exclude-layers": ["obs"]},
         "rng-stream-discipline": {
-            "allow-files": ["simkernel/rngstreams.py"],
+            # scenarios/engine.py draws spec-named streams (the scenario
+            # compiler); attribution lives in the committed specs.
+            "allow-files": ["simkernel/rngstreams.py", "scenarios/engine.py"],
         },
         "process-global-state": {
             # The sanctioned process-globals: the tracer carries an

@@ -241,6 +241,78 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    """List, show, or validate the committed declarative scenario library."""
+    from repro.scenarios import (
+        ScenarioError,
+        dump_spec,
+        library_dir,
+        library_names,
+        load_file,
+        load_library_spec,
+        validate_spec,
+    )
+
+    if args.action == "list":
+        names = library_names()
+        if not names:
+            print("scenario library is empty", file=sys.stderr)
+            return 1
+        width = max(len(name) for name in names)
+        for name in names:
+            spec = load_library_spec(name)
+            facts = [f"{len(spec.params)} params"]
+            if spec.populations:
+                facts.append(f"{len(spec.populations)} populations")
+            if spec.phases:
+                facts.append(f"{len(spec.phases)} phases")
+            if spec.faults:
+                facts.append(f"{len(spec.faults)} fault plans")
+            print(f"  {name.ljust(width)}  {spec.description.strip()}")
+            print(f"  {''.ljust(width)}  {'; '.join(facts)}")
+        return 0
+
+    if args.action == "show":
+        if not args.names:
+            print("'show' needs a scenario name", file=sys.stderr)
+            return 2
+        try:
+            for name in args.names:
+                spec = load_library_spec(name)
+                print(f"# {library_dir() / (name + '.yaml')}")
+                sys.stdout.write(dump_spec(spec))
+        except ScenarioError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        return 0
+
+    # validate: committed library by default; names or .yaml paths when given.
+    registry.all_specs()  # importing the experiments registers named fault plans
+    targets = args.names or library_names()
+    problems = 0
+    for target in targets:
+        label = target
+        try:
+            if target.endswith((".yaml", ".yml")) or os.sep in target:
+                spec = load_file(target)
+            else:
+                spec = load_library_spec(target)
+            found = validate_spec(spec, strict_named_plans=True)
+        except ScenarioError as error:
+            found = [str(error)]
+        if found:
+            problems += len(found)
+            for problem in found:
+                print(f"  {label}: {problem}")
+        else:
+            print(f"  {label}: ok")
+    if problems:
+        print(f"\n{problems} problem(s) across {len(targets)} spec(s)")
+        return 1
+    print(f"\n{len(targets)} spec(s) valid")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run simlint (repro.analysis) with the arguments collected after 'lint'."""
     from repro.analysis import runner
@@ -339,6 +411,21 @@ def build_parser() -> argparse.ArgumentParser:
         "and print the resulting faults.* counters",
     )
     faults_parser.set_defaults(fn=_cmd_faults)
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios",
+        help="list, show, or validate the declarative scenario library (DESIGN.md §12)",
+    )
+    scenarios_parser.add_argument(
+        "action", choices=("list", "show", "validate"),
+        help="'list' the library, 'show' a spec as YAML, or 'validate' specs",
+    )
+    scenarios_parser.add_argument(
+        "names", nargs="*",
+        help="scenario names (or .yaml paths for 'validate'); "
+        "'validate' with no names checks every committed spec",
+    )
+    scenarios_parser.set_defaults(fn=_cmd_scenarios)
 
     lint_parser = subparsers.add_parser(
         "lint",

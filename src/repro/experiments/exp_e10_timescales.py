@@ -25,7 +25,7 @@ from repro.experiments.common import ExperimentResult, launch_video_sessions, qo
 from repro.experiments.registry import register
 from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.video.qoe import summarize
-from repro.workloads.scenarios import build_oscillation_scenario
+from repro.scenarios import build_scenario
 
 
 def run_partial_mode(
@@ -36,7 +36,9 @@ def run_partial_mode(
     horizon_s: float = 1200.0,
 ) -> Dict[str, object]:
     """Legacy greedy ISP + congestion-signal-only EONA AppP."""
-    scenario = build_oscillation_scenario(seed=seed, n_clients=n_clients)
+    scenario = build_scenario(
+        "oscillation", seed=seed, params={"n_clients": n_clients}
+    )
     sim = scenario.sim
     registry = scenario.registry
 
@@ -152,14 +154,15 @@ def run_te_damping(
     from repro.core.damping import ExponentialBackoff
     from repro.core.infp import StatusQuoInfP
     from repro.core.oscillation import AdaptiveDamper, OscillationDetector
-    from repro.workloads.scenarios import build_oscillation_scenario
 
     result = ExperimentResult(
         name="E10-te-damping",
         notes="greedy TE in the Figure 5 world; adaptive damper ablation",
     )
     for damper_kind in ("none", "adaptive"):
-        scenario = build_oscillation_scenario(seed=seed, n_clients=n_clients)
+        scenario = build_scenario(
+        "oscillation", seed=seed, params={"n_clients": n_clients}
+    )
         sim = scenario.sim
         infp = StatusQuoInfP(
             sim, scenario.network, scenario.groups,

@@ -27,7 +27,7 @@ from repro.experiments.common import ExperimentResult, launch_video_sessions, qo
 from repro.experiments.registry import register
 from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.video.qoe import summarize
-from repro.workloads.scenarios import build_oscillation_scenario
+from repro.scenarios import build_scenario
 
 
 class NoisedGlass:
@@ -75,7 +75,9 @@ def run_epsilon(
     sensitivity_mbps: float = 6.0,
 ) -> Dict[str, object]:
     """One Figure 5 run with demand noised at privacy budget ε."""
-    scenario = build_oscillation_scenario(seed=seed, n_clients=n_clients)
+    scenario = build_scenario(
+        "oscillation", seed=seed, params={"n_clients": n_clients}
+    )
     sim = scenario.sim
     registry = scenario.registry
 

@@ -28,7 +28,7 @@ from repro.experiments.registry import register
 from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.video.qoe import summarize
 from repro.workloads.arrivals import flash_crowd_rate
-from repro.workloads.scenarios import build_two_isp_scenario
+from repro.scenarios import build_scenario
 
 
 def run_config(
@@ -38,7 +38,9 @@ def run_config(
     horizon_s: float = 500.0,
 ) -> Dict[str, object]:
     """One run; ``config`` is 'status_quo', 'eona_unscoped', or 'eona_scoped'."""
-    scenario = build_two_isp_scenario(seed=seed, n_clients_per_isp=n_clients_per_isp)
+    scenario = build_scenario(
+        "two-isp", seed=seed, params={"n_clients_per_isp": n_clients_per_isp}
+    )
     sim = scenario.sim
     registry = scenario.registry
 

@@ -26,9 +26,10 @@ from repro.core.controlplane import CoordinatedAppP
 from repro.experiments.common import ExperimentResult, launch_video_sessions
 from repro.experiments.registry import register
 from repro.experiments.spec import ExperimentSpec, VariantSpec, check
+from repro.faults import register_plan
+from repro.scenarios import build_scenario, load_library_spec
 from repro.telemetry.timeline import TimelineProbe
 from repro.video.qoe import summarize
-from repro.workloads.scenarios import build_cdn_fault_scenario
 
 
 def run_config(
@@ -38,7 +39,13 @@ def run_config(
     horizon_s: float = 700.0,
     degraded_mbps: float = 10.0,
 ) -> Dict[str, object]:
-    scenario = build_cdn_fault_scenario(seed=seed, n_clients=n_clients)
+    # The uplink collapse/recovery is declared in the cdn-fault spec's
+    # fault plan and armed through the injector at build time.
+    scenario = build_scenario(
+        "cdn-fault",
+        seed=seed,
+        params={"n_clients": n_clients, "degraded_mbps": degraded_mbps},
+    )
     sim = scenario.sim
 
     if config == "reactive":
@@ -49,8 +56,6 @@ def run_config(
         )
     else:
         raise ValueError(f"unknown config {config!r}")
-
-    scenario.schedule_fault(degraded_mbps=degraded_mbps)
 
     players = launch_video_sessions(
         sim,
@@ -112,6 +117,21 @@ def run(seed: int = 0, **kwargs) -> ExperimentResult:
     for config in ("reactive", "coordinated"):
         result.add_row(**run_config(config, seed=seed, **kwargs))
     return result
+
+
+def _collapse_plan():
+    """The spec's cdn1-uplink-collapse plan at default parameters."""
+    spec = load_library_spec("cdn-fault")
+    (plan,) = spec.fault_plans(spec.resolved_params())
+    return plan
+
+
+register_plan(
+    "cdn1-uplink-collapse",
+    _collapse_plan,
+    experiment="e13",
+    description="CDN 1 uplink cut to degraded_mbps at 200s, restored at 500s",
+)
 
 
 register(

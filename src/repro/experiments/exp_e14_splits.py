@@ -22,7 +22,7 @@ from repro.experiments.common import ExperimentResult, launch_video_sessions, qo
 from repro.experiments.registry import register
 from repro.experiments.spec import ExperimentSpec, VariantSpec, any_of, check
 from repro.video.qoe import summarize
-from repro.workloads.scenarios import build_oscillation_scenario
+from repro.scenarios import build_scenario
 
 
 def run_config(
@@ -34,12 +34,15 @@ def run_config(
     horizon_s: float = 900.0,
 ) -> Dict[str, object]:
     """``config``: 'status_quo', 'eona_single', or 'eona_split'."""
-    scenario = build_oscillation_scenario(
+    scenario = build_scenario(
+        "oscillation",
         seed=seed,
-        n_clients=n_clients,
-        peering_b_mbps=peering_b_mbps,
-        peering_c_mbps=peering_c_mbps,
-        cdn_y_uplink_mbps=10.0,  # Y is a non-option; this is about X's split
+        params={
+            "n_clients": n_clients,
+            "peering_b_mbps": peering_b_mbps,
+            "peering_c_mbps": peering_c_mbps,
+            "cdn_y_uplink_mbps": 10.0,  # Y is a non-option; this is about X's split
+        },
     )
     sim = scenario.sim
     registry = scenario.registry

@@ -34,9 +34,8 @@ from repro.experiments.registry import register
 from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.faults import FaultInjector, FaultPlan, PlanBuilder, register_plan
 from repro.network.topology import NodeKind, Topology
+from repro.scenarios import build_scenario, trace_phases
 from repro.video.qoe import summarize
-from repro.workloads.arrivals import flash_crowd_rate
-from repro.workloads.scenarios import build_flash_crowd_scenario, trace_phases
 
 #: Staleness bound (seconds) the fallback-enabled controllers enforce in
 #: the stale-freeze variant.  The healthy glass refreshes every 10s, so
@@ -110,8 +109,14 @@ def _run_degraded_mode(
     clean ``eona`` row here reproduces E2's -- the only new variable is
     the plan.
     """
-    scenario = build_flash_crowd_scenario(
-        seed=seed, n_clients=n_clients, access_capacity_mbps=access_capacity_mbps
+    scenario = build_scenario(
+        "flash-crowd",
+        seed=seed,
+        params={
+            "n_clients": n_clients,
+            "access_capacity_mbps": access_capacity_mbps,
+            "peak_rate_per_s": peak_rate_per_s,
+        },
     )
     ctx = scenario.ctx
     sim = ctx.sim
@@ -147,17 +152,8 @@ def _run_degraded_mode(
         ctx,
         catalog=scenario.catalog,
         policy=policy,
-        client_nodes=scenario.client_nodes,
-        rate_fn=flash_crowd_rate(
-            base_per_s=0.05,
-            peak_per_s=peak_rate_per_s,
-            onset_s=30.0,
-            ramp_s=30.0,
-            duration_s=60.0,
-        ),
-        max_rate_per_s=peak_rate_per_s,
-        until=horizon_s * 0.6,
         content_picker=lambda index: scenario.catalog.by_rank(0),
+        **scenario.world.population("viewers").launch_kwargs(until=horizon_s * 0.6),
     )
     sim.run(until=horizon_s)
     infp.stop()

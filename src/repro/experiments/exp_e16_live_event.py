@@ -1,0 +1,120 @@
+"""E16 -- Live-event flash crowd with a regional failover (fleet workload).
+
+First of the declarative-scenario fleet: the whole world -- topology,
+audience arrival curve, phase timeline, and the east-site outage -- is
+the committed ``live-event`` spec under ``scenarios/library``; this
+module only attaches the control logic under test and reads the story
+back out.  A kickoff-shaped crowd ramps onto two regional CDN sites,
+then the east site's uplink collapses mid-peak (the spec's
+``east-uplink-outage`` plan, armed through the fault injector at build
+time) and recovers before the decay.
+
+Compared configs mirror E13: **reactive** per-session trial-and-error
+vs the **coordinated** fleet control plane.  Expected shape: the
+coordinated plane evacuates the east site during the outage window far
+more completely than per-session reaction does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.appp import StatusQuoAppP
+from repro.core.controlplane import CoordinatedAppP
+from repro.experiments.common import ExperimentResult, launch_video_sessions
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, VariantSpec, check
+from repro.scenarios import build_scenario
+from repro.telemetry.timeline import TimelineProbe
+from repro.video.qoe import summarize
+
+
+def run_config(
+    config: str,
+    seed: int = 0,
+    horizon_s: float = 450.0,
+) -> Dict[str, object]:
+    world = build_scenario("live-event", seed=seed)
+    sim = world.sim
+    cdns = world.cdn_list
+
+    if config == "reactive":
+        policy = StatusQuoAppP(sim, cdns, name="appp")
+    elif config == "coordinated":
+        policy = CoordinatedAppP(sim, cdns, control_period_s=10.0, name="appp")
+    else:
+        raise ValueError(f"unknown config {config!r}")
+
+    audience = world.population("audience")
+    players = launch_video_sessions(
+        world.ctx,
+        catalog=world.catalog,
+        policy=policy,
+        **audience.launch_kwargs(until=horizon_s - 100.0),
+    )
+    probe = TimelineProbe(
+        sim,
+        {
+            "east_sessions": lambda: float(world.cdns["cdn-east"].active_sessions),
+            "west_sessions": lambda: float(world.cdns["cdn-west"].active_sessions),
+        },
+        period_s=10.0,
+    )
+    sim.run(until=horizon_s)
+    probe.stop()
+    if hasattr(policy, "stop"):
+        policy.stop()
+
+    fault_at = world.params["fault_at_s"]
+    recover_at = world.params["recover_at_s"]
+    east_during = probe.window_mean("east_sessions", fault_at + 60.0, recover_at)
+    west_during = probe.window_mean("west_sessions", fault_at + 60.0, recover_at)
+    total_during = east_during + west_during
+    qoe = [player.qoe() for player in players if player.started_at is not None]
+    summary = summarize(qoe)
+    return {
+        "config": config,
+        "sessions": len(qoe),
+        "east_share_during_outage": (
+            east_during / total_during if total_during > 0 else 0.0
+        ),
+        "buffering_ratio": summary["mean_buffering_ratio"],
+        "mean_bitrate_mbps": summary["mean_bitrate_mbps"],
+        "engagement": summary["mean_engagement"],
+        "migrations": getattr(policy, "migrations", 0),
+        "_counters": world.ctx.allocation_counters(),
+    }
+
+
+def run(seed: int = 0, **kwargs) -> ExperimentResult:
+    result = ExperimentResult(
+        name="E16-live-event",
+        notes="declarative live-event spec: flash crowd + east-site outage",
+    )
+    for config in ("reactive", "coordinated"):
+        result.add_row(**run_config(config, seed=seed, **kwargs))
+    return result
+
+
+register(
+    ExperimentSpec(
+        exp_id="e16",
+        title="live-event flash crowd with regional failover (fleet workload)",
+        source="declarative scenario 'live-event'; control plane per §1 trend 3",
+        module=__name__,
+        variants=(
+            VariantSpec(
+                name="failover",
+                runner=run,
+                row_key="config",
+                checks=(
+                    # Fleet steering evacuates the failed east site.
+                    check("east_share_during_outage", "coordinated", "<", of="reactive"),
+                    check("east_share_during_outage", "coordinated", "<", 0.35),
+                    check("migrations", "coordinated", ">", 0),
+                    check("sessions", "reactive", ">", 10),
+                ),
+            ),
+        ),
+    )
+)

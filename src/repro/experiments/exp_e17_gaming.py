@@ -1,0 +1,117 @@
+"""E17 -- Low-latency gaming under bulk cross-traffic (fleet workload).
+
+The ``gaming`` spec declares a game server, a player group, and a bulk
+video population sharing one access aggregate.  Gaming QoE is *tail
+latency*: a p50 state-fetch is fine, a p95 stall ruins the match.  We
+drive the players' small-object fetches twice -- on an idle aggregate
+and with the spec's bulk population running -- and measure how the
+cross-traffic stretches the tail, the coexistence problem that makes
+low-latency traffic a first-class EONA tenant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.appp import StatusQuoAppP
+from repro.experiments.common import ExperimentResult, launch_video_sessions
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec, VariantSpec, check
+from repro.scenarios import build_scenario
+from repro.web.page import make_page
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def run_config(
+    config: str,
+    seed: int = 0,
+    horizon_s: float = 240.0,
+    fetches_per_player: int = 12,
+    think_time_s: float = 2.0,
+) -> Dict[str, object]:
+    world = build_scenario("gaming", seed=seed)
+    sim = world.sim
+
+    if config == "congested":
+        bulk = world.population("bulk-sessions")
+        launch_video_sessions(
+            world.ctx,
+            catalog=world.catalog,
+            policy=StatusQuoAppP(sim, world.cdn_list, name="appp"),
+            **bulk.launch_kwargs(until=horizon_s),
+        )
+    elif config != "idle":
+        raise ValueError(f"unknown config {config!r}")
+
+    page_rng = sim.rng.get("game-fetches")
+    latencies: List[float] = []
+
+    def fetch(browser, remaining: int, index: int) -> None:
+        if remaining <= 0:
+            return
+        page = make_page(page_rng, page_id=f"g{index}-{remaining}")
+
+        def done(record) -> None:
+            latencies.append(record.plt_s)
+            sim.schedule(
+                page_rng.expovariate(1.0 / think_time_s),
+                fetch, browser, remaining - 1, index,
+            )
+
+        browser.load_page(page, on_done=done)
+
+    for index, browser in enumerate(world.browsers):
+        sim.schedule(page_rng.uniform(0, 5), fetch, browser, fetches_per_player, index)
+    sim.run(until=horizon_s)
+
+    p50 = _percentile(latencies, 0.50)
+    p95 = _percentile(latencies, 0.95)
+    return {
+        "config": config,
+        "n_fetches": len(latencies),
+        "p50_latency_s": p50,
+        "p95_latency_s": p95,
+        "tail_ratio": p95 / p50 if p50 > 0 else 0.0,
+        "_counters": world.ctx.allocation_counters(),
+    }
+
+
+def run(seed: int = 0, **kwargs) -> ExperimentResult:
+    result = ExperimentResult(
+        name="E17-gaming",
+        notes="declarative gaming spec: tail latency of small fetches vs bulk load",
+    )
+    for config in ("idle", "congested"):
+        result.add_row(**run_config(config, seed=seed, **kwargs))
+    return result
+
+
+register(
+    ExperimentSpec(
+        exp_id="e17",
+        title="low-latency gaming tail latency under bulk cross-traffic (fleet workload)",
+        source="declarative scenario 'gaming'",
+        module=__name__,
+        variants=(
+            VariantSpec(
+                name="tail-latency",
+                runner=run,
+                row_key="config",
+                checks=(
+                    check("n_fetches", "idle", ">", 50),
+                    check("n_fetches", "congested", ">", 50),
+                    # Bulk cross-traffic stretches the tail.
+                    check("p95_latency_s", "congested", ">", of="idle"),
+                    check("tail_ratio", "congested", ">", 1.0),
+                ),
+            ),
+        ),
+    )
+)

@@ -22,7 +22,7 @@ from repro.experiments.common import ExperimentResult, launch_video_sessions, qo
 from repro.experiments.registry import register
 from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.video.qoe import summarize
-from repro.workloads.scenarios import build_coarse_control_scenario
+from repro.scenarios import build_scenario
 
 
 def run_mode(
@@ -33,7 +33,9 @@ def run_mode(
     horizon_s: float = 700.0,
 ) -> Dict[str, object]:
     """Run one world under ``mode`` and return its metric row."""
-    scenario = build_coarse_control_scenario(seed=seed, n_clients=n_clients)
+    scenario = build_scenario(
+        "coarse-control", seed=seed, params={"n_clients": n_clients}
+    )
     sim = scenario.sim
     registry = scenario.registry
 

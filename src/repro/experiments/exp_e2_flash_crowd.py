@@ -22,9 +22,8 @@ from repro.core.infp import EonaInfP, StatusQuoInfP
 from repro.experiments.common import ExperimentResult, launch_video_sessions, qoe_of
 from repro.experiments.registry import register
 from repro.experiments.spec import ExperimentSpec, VariantSpec, check
+from repro.scenarios import build_scenario
 from repro.video.qoe import summarize
-from repro.workloads.arrivals import flash_crowd_rate
-from repro.workloads.scenarios import build_flash_crowd_scenario, trace_phases
 
 
 def run_mode(
@@ -36,8 +35,14 @@ def run_mode(
     horizon_s: float = 600.0,
     i2a_refresh_s: float = 10.0,
 ) -> Dict[str, object]:
-    scenario = build_flash_crowd_scenario(
-        seed=seed, n_clients=n_clients, access_capacity_mbps=access_capacity_mbps
+    scenario = build_scenario(
+        "flash-crowd",
+        seed=seed,
+        params={
+            "n_clients": n_clients,
+            "access_capacity_mbps": access_capacity_mbps,
+            "peak_rate_per_s": peak_rate_per_s,
+        },
     )
     ctx = scenario.ctx
     sim = ctx.sim
@@ -78,25 +83,15 @@ def run_mode(
     else:
         raise ValueError(f"E2 does not support {mode}")
 
-    rate_fn = flash_crowd_rate(
-        base_per_s=0.05,
-        peak_per_s=peak_rate_per_s,
-        onset_s=30.0,
-        ramp_s=30.0,
-        duration_s=60.0,
-    )
-    # Mirrors the rate_fn parameters above: the crowd ramps at 30s,
-    # holds its peak from 60s, and decays after 120s.
-    trace_phases(sim, "flash-crowd", {"onset": 30.0, "peak": 60.0, "decay": 120.0})
+    # The crowd's onset/peak/decay arc -- and the matching phase
+    # timeline -- are declared in the flash-crowd spec; the viewers
+    # population compiles them into the arrival kwargs here.
     players = launch_video_sessions(
         ctx,
         catalog=scenario.catalog,
         policy=policy,
-        client_nodes=scenario.client_nodes,
-        rate_fn=rate_fn,
-        max_rate_per_s=peak_rate_per_s,
-        until=horizon_s * 0.6,
         content_picker=lambda index: scenario.catalog.by_rank(0),
+        **scenario.world.population("viewers").launch_kwargs(until=horizon_s * 0.6),
     )
     sim.run(until=horizon_s)
     if infp is not None:
@@ -150,10 +145,14 @@ def run_abr_ablation(
     for abr_name, abr_factory in abrs.items():
         per_mode = {}
         for mode in (Mode.STATUS_QUO, Mode.EONA):
-            scenario = build_flash_crowd_scenario(
+            scenario = build_scenario(
+                "flash-crowd",
                 seed=seed,
-                n_clients=n_clients,
-                access_capacity_mbps=access_capacity_mbps,
+                params={
+                    "n_clients": n_clients,
+                    "access_capacity_mbps": access_capacity_mbps,
+                    "peak_rate_per_s": peak_rate_per_s,
+                },
             )
             ctx = scenario.ctx
             sim = ctx.sim
@@ -173,15 +172,11 @@ def run_abr_ablation(
                 ctx,
                 catalog=scenario.catalog,
                 policy=policy,
-                client_nodes=scenario.client_nodes,
-                rate_fn=flash_crowd_rate(
-                    base_per_s=0.05, peak_per_s=peak_rate_per_s,
-                    onset_s=30.0, ramp_s=30.0, duration_s=60.0,
-                ),
-                max_rate_per_s=peak_rate_per_s,
-                until=horizon_s * 0.6,
                 abr_factory=abr_factory,
                 content_picker=lambda index: scenario.catalog.by_rank(0),
+                **scenario.world.population("viewers").launch_kwargs(
+                    until=horizon_s * 0.6
+                ),
             )
             sim.run(until=horizon_s)
             if infp is not None:

@@ -24,7 +24,7 @@ from repro.web.browser import PageLoadRecord
 from repro.web.page import make_page
 from repro.web.qoe import satisfaction_from_plt
 from repro.web.radio import DEFAULT_TRANSITIONS
-from repro.workloads.scenarios import build_cellular_web_scenario
+from repro.scenarios import build_scenario
 
 
 def generate_pageloads(
@@ -40,7 +40,9 @@ def generate_pageloads(
     radio Markov chain: 0 = frozen radio, 1 = the default dynamics,
     >1 = churnier (more handovers, faster fading).
     """
-    scenario = build_cellular_web_scenario(seed=seed, n_clients=n_clients)
+    scenario = build_scenario(
+        "cellular-web", seed=seed, params={"n_clients": n_clients}
+    )
     sim = scenario.sim
     if radio_volatility != 1.0:
         transitions = _scaled_transitions(radio_volatility)

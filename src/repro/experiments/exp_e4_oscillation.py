@@ -25,7 +25,7 @@ from repro.experiments.common import ExperimentResult, launch_video_sessions, qo
 from repro.experiments.registry import register
 from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.video.qoe import summarize
-from repro.workloads.scenarios import build_oscillation_scenario
+from repro.scenarios import build_scenario
 
 
 def run_mode(
@@ -37,7 +37,9 @@ def run_mode(
     with_damping: bool = True,
     i2a_refresh_s: float = 10.0,
 ) -> Dict[str, object]:
-    scenario = build_oscillation_scenario(seed=seed, n_clients=n_clients)
+    scenario = build_scenario(
+        "oscillation", seed=seed, params={"n_clients": n_clients}
+    )
     sim = scenario.sim
     registry = scenario.registry
     network = scenario.network

@@ -27,7 +27,7 @@ from repro.experiments.registry import register
 from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.video.qoe import summarize
 from repro.workloads.arrivals import diurnal_rate
-from repro.workloads.scenarios import build_energy_scenario
+from repro.scenarios import build_scenario
 
 
 def run_policy(
@@ -40,8 +40,10 @@ def run_policy(
     qoe_threshold: float = 0.01,
 ) -> Dict[str, object]:
     """One simulated (compressed) day under one energy policy."""
-    scenario = build_energy_scenario(
-        seed=seed, n_servers=n_servers, n_clients=n_clients
+    scenario = build_scenario(
+        "energy",
+        seed=seed,
+        params={"n_servers": n_servers, "n_clients": n_clients},
     )
     sim = scenario.sim
     appp = StatusQuoAppP(sim, [scenario.cdn], name="appp")

@@ -77,9 +77,9 @@ def run_width(
     from repro.core.infp import EonaInfP
     from repro.experiments.common import launch_video_sessions, qoe_of
     from repro.video.qoe import summarize
-    from repro.workloads.scenarios import build_oscillation_scenario
+    from repro.scenarios import build_scenario
 
-    scenario = build_oscillation_scenario(seed=seed)
+    scenario = build_scenario("oscillation", seed=seed)
     sim = scenario.sim
     registry = scenario.registry
 

@@ -1,0 +1,64 @@
+"""Declarative scenarios: schema, loader, engine, and typed bundles.
+
+DESIGN.md §12.  A scenario is data (``library/*.yaml``): topology build
+directives, CDN placement, populations with arrival processes, phase
+timelines, and fault plans.  The engine compiles a validated spec into
+a live :class:`~repro.core.context.SimContext` world; experiments build
+worlds through :func:`build_scenario`.
+"""
+
+from repro.scenarios.schema import (
+    ScenarioError,
+    ScenarioSpec,
+)
+from repro.scenarios.loader import (
+    dump_spec,
+    library_dir,
+    library_names,
+    load_file,
+    load_library_spec,
+    load_round_trip,
+    load_spec,
+    validate_spec,
+)
+from repro.scenarios.engine import (
+    Population,
+    ScenarioWorld,
+    compile_scenario,
+    trace_phases,
+)
+from repro.scenarios.bundles import (
+    CdnFaultScenario,
+    CellularWebScenario,
+    CoarseControlScenario,
+    EnergyScenario,
+    FlashCrowdScenario,
+    OscillationScenario,
+    TwoIspScenario,
+    build_scenario,
+)
+
+__all__ = [
+    "CdnFaultScenario",
+    "CellularWebScenario",
+    "CoarseControlScenario",
+    "EnergyScenario",
+    "FlashCrowdScenario",
+    "OscillationScenario",
+    "Population",
+    "ScenarioError",
+    "ScenarioSpec",
+    "ScenarioWorld",
+    "TwoIspScenario",
+    "build_scenario",
+    "compile_scenario",
+    "dump_spec",
+    "library_dir",
+    "library_names",
+    "load_file",
+    "load_library_spec",
+    "load_round_trip",
+    "load_spec",
+    "trace_phases",
+    "validate_spec",
+]

@@ -1,0 +1,364 @@
+"""Typed bundles: the migrated legacy scenarios, generated from specs.
+
+Each of the seven hand-coded builders that used to live in
+``workloads/scenarios.py`` is now a committed spec under
+``scenarios/library/`` plus a thin adapter here that reshapes the
+generic :class:`~repro.scenarios.engine.ScenarioWorld` into the typed
+dataclass the experiments consume.  The same-seed trace-equivalence
+tests in ``tests/scenarios`` pin each adapter's world byte-identical to
+the builder it replaced.
+
+:func:`build_scenario` is the single public constructor::
+
+    scenario = build_scenario("flash-crowd", seed=3,
+                              params={"n_clients": 50})
+
+Unknown names fall back to returning the raw :class:`ScenarioWorld`,
+which is how the fleet workloads (live-event, gaming, iot-beacons,
+diurnal-regions) are consumed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.cdn.content import ContentCatalog
+from repro.cdn.provider import Cdn
+from repro.core.context import SimContext
+from repro.core.registry import OptInRegistry
+from repro.network.fluidsim import FluidNetwork
+from repro.network.topology import Topology
+from repro.scenarios.engine import ScenarioWorld, compile_scenario
+from repro.scenarios.loader import load_library_spec
+from repro.sdn.te import EgressGroup
+from repro.simkernel.kernel import Simulator
+from repro.web.browser import Browser
+from repro.web.radio import RadioModel
+
+__all__ = [
+    "FlashCrowdScenario",
+    "OscillationScenario",
+    "CoarseControlScenario",
+    "EnergyScenario",
+    "CdnFaultScenario",
+    "TwoIspScenario",
+    "CellularWebScenario",
+    "build_scenario",
+]
+
+
+# ----------------------------------------------------------------------
+# Figure 3: flash crowd behind a congested access network
+# ----------------------------------------------------------------------
+@dataclass
+class FlashCrowdScenario:
+    """World for E2: two healthy CDNs, one narrow access segment."""
+
+    sim: Simulator
+    topology: Topology
+    network: FluidNetwork
+    cdns: List[Cdn]
+    catalog: ContentCatalog
+    client_nodes: List[str]
+    access_link: str
+    registry: OptInRegistry
+    ctx: SimContext
+    world: Optional[ScenarioWorld] = None
+
+
+# ----------------------------------------------------------------------
+# Figure 5: the CDN-switching / peering-selection oscillator
+# ----------------------------------------------------------------------
+@dataclass
+class OscillationScenario:
+    """World for E4: CDN X via peerings B or C; CDN Y via C only."""
+
+    sim: Simulator
+    topology: Topology
+    network: FluidNetwork
+    cdn_x: Cdn
+    cdn_y: Cdn
+    catalog: ContentCatalog
+    client_nodes: List[str]
+    groups: List[EgressGroup]
+    registry: OptInRegistry
+    peering_b_link: str
+    peering_c_link: str
+    ctx: SimContext
+    world: Optional[ScenarioWorld] = None
+
+    @property
+    def cdns(self) -> List[Cdn]:
+        return [self.cdn_x, self.cdn_y]
+
+
+# ----------------------------------------------------------------------
+# §2 "coarse control": one bad server inside a warm CDN
+# ----------------------------------------------------------------------
+@dataclass
+class CoarseControlScenario:
+    """World for E1: warm CDN X with one degraded server, cold CDN Y."""
+
+    sim: Simulator
+    topology: Topology
+    network: FluidNetwork
+    cdn_x: Cdn
+    cdn_y: Cdn
+    catalog: ContentCatalog
+    client_nodes: List[str]
+    registry: OptInRegistry
+    ctx: SimContext
+    world: Optional[ScenarioWorld] = None
+
+    @property
+    def cdns(self) -> List[Cdn]:
+        return [self.cdn_x, self.cdn_y]
+
+
+# ----------------------------------------------------------------------
+# §2 "configuration changes": server energy saving
+# ----------------------------------------------------------------------
+@dataclass
+class EnergyScenario:
+    """World for E5: one CDN with several clusters, diurnal demand."""
+
+    sim: Simulator
+    topology: Topology
+    network: FluidNetwork
+    cdn: Cdn
+    catalog: ContentCatalog
+    client_nodes: List[str]
+    registry: OptInRegistry
+    server_uplinks: Dict[str, str]
+    ctx: SimContext
+    world: Optional[ScenarioWorld] = None
+
+
+# ----------------------------------------------------------------------
+# Control-plane scenario: a CDN degrades mid-run (C3-style steering)
+# ----------------------------------------------------------------------
+@dataclass
+class CdnFaultScenario:
+    """World for E13: two CDNs, one suffers a mid-run capacity fault.
+
+    The fault itself is declared in the spec (``faults:`` section) and
+    armed through the PR 5 :class:`~repro.faults.injector.FaultInjector`
+    at build time -- the old imperative ``schedule_fault`` path is gone.
+    Build with ``install_faults=False`` for the never-faulted twin.
+    """
+
+    sim: Simulator
+    topology: Topology
+    network: FluidNetwork
+    cdns: List[Cdn]
+    catalog: ContentCatalog
+    client_nodes: List[str]
+    cdn1_uplink: str
+    registry: OptInRegistry
+    fault_at_s: float
+    recover_at_s: float
+    ctx: SimContext
+    world: Optional[ScenarioWorld] = None
+
+
+# ----------------------------------------------------------------------
+# §3 attributes: one AppP serving clients across two access ISPs
+# ----------------------------------------------------------------------
+@dataclass
+class TwoIspScenario:
+    """World for E12: identical CDNs, two ISPs, one congested."""
+
+    sim: Simulator
+    topology: Topology
+    network: FluidNetwork
+    cdns: List[Cdn]
+    catalog: ContentCatalog
+    clients_isp1: List[str]
+    clients_isp2: List[str]
+    access_link_isp1: str
+    access_link_isp2: str
+    registry: OptInRegistry
+    ctx: SimContext
+    world: Optional[ScenarioWorld] = None
+
+    def isp_of_client(self, client_node: str) -> str:
+        return "isp1" if client_node in set(self.clients_isp1) else "isp2"
+
+
+# ----------------------------------------------------------------------
+# Figure 4: web browsing over a cellular access network
+# ----------------------------------------------------------------------
+@dataclass
+class CellularWebScenario:
+    """World for E3: per-client radio-modulated access links."""
+
+    sim: Simulator
+    topology: Topology
+    network: FluidNetwork
+    client_nodes: List[str]
+    access_links: List[str]
+    radios: List[RadioModel]
+    browsers: List[Browser]
+    server_node: str
+    rng: random.Random
+    ctx: SimContext
+    world: Optional[ScenarioWorld] = None
+
+
+# ----------------------------------------------------------------------
+# adapters: ScenarioWorld -> typed bundle
+# ----------------------------------------------------------------------
+
+def _flash_crowd(world: ScenarioWorld) -> FlashCrowdScenario:
+    return FlashCrowdScenario(
+        sim=world.sim,
+        topology=world.topology,
+        network=world.network,
+        cdns=world.cdn_list,
+        catalog=world.catalog,
+        client_nodes=world.group_nodes("clients"),
+        access_link=world.link_id("access"),
+        registry=world.ctx.registry,
+        ctx=world.ctx,
+        world=world,
+    )
+
+
+def _oscillation(world: ScenarioWorld) -> OscillationScenario:
+    return OscillationScenario(
+        sim=world.sim,
+        topology=world.topology,
+        network=world.network,
+        cdn_x=world.cdns["cdnX"],
+        cdn_y=world.cdns["cdnY"],
+        catalog=world.catalog,
+        client_nodes=world.group_nodes("clients"),
+        groups=list(world.egress),
+        registry=world.ctx.registry,
+        peering_b_link=world.link_id("peering_b"),
+        peering_c_link=world.link_id("peering_c"),
+        ctx=world.ctx,
+        world=world,
+    )
+
+
+def _coarse_control(world: ScenarioWorld) -> CoarseControlScenario:
+    return CoarseControlScenario(
+        sim=world.sim,
+        topology=world.topology,
+        network=world.network,
+        cdn_x=world.cdns["cdnX"],
+        cdn_y=world.cdns["cdnY"],
+        catalog=world.catalog,
+        client_nodes=world.group_nodes("clients"),
+        registry=world.ctx.registry,
+        ctx=world.ctx,
+        world=world,
+    )
+
+
+def _energy(world: ScenarioWorld) -> EnergyScenario:
+    cdn = world.cdns["cdn"]
+    uplinks = {
+        f"cdn.{node}": link
+        for node, link in zip(world.group_nodes("edges"), world.group_links("edges"))
+    }
+    return EnergyScenario(
+        sim=world.sim,
+        topology=world.topology,
+        network=world.network,
+        cdn=cdn,
+        catalog=world.catalog,
+        client_nodes=world.group_nodes("clients"),
+        registry=world.ctx.registry,
+        server_uplinks=uplinks,
+        ctx=world.ctx,
+        world=world,
+    )
+
+
+def _cdn_fault(world: ScenarioWorld) -> CdnFaultScenario:
+    return CdnFaultScenario(
+        sim=world.sim,
+        topology=world.topology,
+        network=world.network,
+        cdns=world.cdn_list,
+        catalog=world.catalog,
+        client_nodes=world.group_nodes("clients"),
+        cdn1_uplink=world.link_id("uplink1"),
+        registry=world.ctx.registry,
+        fault_at_s=world.params["fault_at_s"],
+        recover_at_s=world.params["recover_at_s"],
+        ctx=world.ctx,
+        world=world,
+    )
+
+
+def _two_isp(world: ScenarioWorld) -> TwoIspScenario:
+    return TwoIspScenario(
+        sim=world.sim,
+        topology=world.topology,
+        network=world.network,
+        cdns=world.cdn_list,
+        catalog=world.catalog,
+        clients_isp1=world.group_nodes("isp1-clients"),
+        clients_isp2=world.group_nodes("isp2-clients"),
+        access_link_isp1=world.link_id("isp1-access"),
+        access_link_isp2=world.link_id("isp2-access"),
+        registry=world.ctx.registry,
+        ctx=world.ctx,
+        world=world,
+    )
+
+
+def _cellular_web(world: ScenarioWorld) -> CellularWebScenario:
+    return CellularWebScenario(
+        sim=world.sim,
+        topology=world.topology,
+        network=world.network,
+        client_nodes=world.group_nodes("ues"),
+        access_links=world.group_links("ues"),
+        radios=list(world.radios),
+        browsers=list(world.browsers),
+        server_node=world.web_server or "web",
+        rng=world.sim.rng.get("pages"),
+        ctx=world.ctx,
+        world=world,
+    )
+
+
+_ADAPTERS: Dict[str, Callable[[ScenarioWorld], Any]] = {
+    "flash-crowd": _flash_crowd,
+    "oscillation": _oscillation,
+    "coarse-control": _coarse_control,
+    "energy": _energy,
+    "cdn-fault": _cdn_fault,
+    "two-isp": _two_isp,
+    "cellular-web": _cellular_web,
+}
+
+
+def build_scenario(
+    name: str,
+    seed: int = 0,
+    params: Optional[Mapping[str, Any]] = None,
+    install_faults: bool = True,
+    with_phases: bool = True,
+) -> Any:
+    """Build a library scenario: load, compile, adapt.
+
+    Returns the scenario's typed bundle when one exists (the seven
+    migrated worlds), otherwise the generic :class:`ScenarioWorld`.
+    """
+    spec = load_library_spec(name)
+    world = compile_scenario(
+        spec,
+        seed=seed,
+        params=params,
+        install_faults=install_faults,
+        with_phases=with_phases,
+    )
+    adapter = _ADAPTERS.get(name)
+    return adapter(world) if adapter is not None else world

@@ -1,9 +1,10 @@
-"""Workload generation: session arrivals and prebuilt scenario worlds.
+"""Workload generation: session arrival processes.
 
 Arrival processes (Poisson, non-homogeneous via thinning, flash-crowd
-and diurnal rate profiles) drive session starts; the scenario builders
-assemble the per-figure topologies, CDNs, and client populations the
-experiments run on.
+and diurnal rate profiles) drive session starts.  The per-figure
+worlds the experiments run on are no longer built here -- they are
+committed specs under :mod:`repro.scenarios` (``scenarios/library``),
+compiled by :func:`repro.scenarios.build_scenario`.
 """
 
 from repro.workloads.arrivals import (
@@ -13,41 +14,11 @@ from repro.workloads.arrivals import (
     diurnal_rate,
     flash_crowd_rate,
 )
-from repro.workloads.scenarios import (
-    CdnFaultScenario,
-    CellularWebScenario,
-    CoarseControlScenario,
-    EnergyScenario,
-    FlashCrowdScenario,
-    OscillationScenario,
-    TwoIspScenario,
-    build_cdn_fault_scenario,
-    build_cellular_web_scenario,
-    build_coarse_control_scenario,
-    build_energy_scenario,
-    build_flash_crowd_scenario,
-    build_oscillation_scenario,
-    build_two_isp_scenario,
-)
 
 __all__ = [
     "BatchedPoissonArrivals",
-    "CdnFaultScenario",
-    "CellularWebScenario",
-    "CoarseControlScenario",
-    "EnergyScenario",
-    "FlashCrowdScenario",
     "NonHomogeneousArrivals",
-    "OscillationScenario",
     "PoissonArrivals",
-    "TwoIspScenario",
-    "build_cdn_fault_scenario",
-    "build_cellular_web_scenario",
-    "build_coarse_control_scenario",
-    "build_energy_scenario",
-    "build_flash_crowd_scenario",
-    "build_oscillation_scenario",
-    "build_two_isp_scenario",
     "diurnal_rate",
     "flash_crowd_rate",
 ]

@@ -95,10 +95,10 @@ class TestTeIntegration:
     def test_damped_te_flaps_less(self):
         """The Figure 5 greedy oscillator with/without adaptive damping."""
         from repro.core.infp import StatusQuoInfP
-        from repro.workloads.scenarios import build_oscillation_scenario
+        from repro.scenarios import build_scenario
 
         def run(with_damper):
-            scenario = build_oscillation_scenario(seed=2, n_clients=4)
+            scenario = build_scenario("oscillation", seed=2, params={"n_clients": 4})
             sim = scenario.sim
             infp = StatusQuoInfP(
                 sim, scenario.network, scenario.groups,

@@ -1,14 +1,9 @@
-"""Prebuilt scenario worlds, one per motivating figure of the paper.
+"""Verbatim copy of the pre-declarative ``workloads/scenarios.py``.
 
-Each builder assembles its world through
-:func:`~repro.core.context.build_context` -- the simulator, topology,
-fluid network (with its allocation engine), RNG streams, and opt-in
-registry all come from one :class:`~repro.core.context.SimContext` --
-then adds the providers and client population, and returns them in a
-typed bundle carrying the context.  Experiments then attach the control
-logic under test (status quo, EONA, oracle, ...) -- the *world* is
-identical across modes by construction, which is what makes the
-comparisons meaningful.
+Kept only as the reference implementation for the same-seed trace-
+equivalence tests: each declarative twin under ``scenarios/library/``
+must produce byte-identical JSONL traces to the hand-coded builder it
+replaced.  Nothing outside ``tests/scenarios`` may import this module.
 """
 
 from __future__ import annotations

@@ -1,0 +1,285 @@
+"""Same-seed trace equivalence: declarative twin == hand-coded builder.
+
+Every migrated scenario is built twice -- once by the verbatim legacy
+builder (``legacy_builders``) and once from its committed spec via
+:func:`repro.scenarios.build_scenario` -- then driven by an *identical*
+workload and compared as raw JSONL bytes.  Byte identity is the
+strongest statement the determinism contract can make: same topology
+construction order, same RNG draws, same event ordering, same floats.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.appp import StatusQuoAppP
+from repro.experiments.common import launch_video_sessions
+from repro.obs.trace import TRACER
+from repro.scenarios import build_scenario
+from repro.web.page import make_page
+from repro.workloads.arrivals import flash_crowd_rate
+
+from tests.scenarios import legacy_builders as legacy
+
+SEED = 3
+
+
+@pytest.fixture(autouse=True)
+def _fresh_tracer():
+    TRACER.close()
+    yield
+    TRACER.close()
+
+
+def _traced(tmp_path, tag, build_and_drive):
+    """Run one world under tracing; return the sink's raw bytes."""
+    path = tmp_path / f"{tag}.jsonl"
+    TRACER.enable(capacity=500_000, sink=str(path))
+    try:
+        build_and_drive()
+    finally:
+        TRACER.close()
+    data = path.read_bytes()
+    assert data, f"{tag}: empty trace (driver exercised nothing)"
+    return data
+
+
+def _drive_video(scenario, client_nodes, cdns, until=120.0, run_until=200.0,
+                 rate_per_s=0.4, rate_fn=None, max_rate_per_s=None):
+    """The shared workload: a status-quo AppP plus an arrival process."""
+    policy = StatusQuoAppP(scenario.sim, cdns, name="appp")
+    launch_video_sessions(
+        scenario.ctx,
+        catalog=scenario.catalog,
+        policy=policy,
+        client_nodes=client_nodes,
+        rate_per_s=rate_per_s,
+        rate_fn=rate_fn,
+        max_rate_per_s=max_rate_per_s,
+        until=until,
+    )
+    scenario.sim.run(until=run_until)
+
+
+def _assert_twin(tmp_path, name, build_legacy, build_twin, drive):
+    old = _traced(tmp_path, f"{name}-legacy",
+                  lambda: drive(build_legacy()))
+    new = _traced(tmp_path, f"{name}-twin",
+                  lambda: drive(build_twin()))
+    assert old == new, f"{name}: declarative twin diverged from legacy trace"
+
+
+# ----------------------------------------------------------------------
+# the seven migrated worlds
+# ----------------------------------------------------------------------
+
+def test_flash_crowd_twin_is_byte_identical(tmp_path):
+    rate_fn = flash_crowd_rate(0.05, 1.5, 30.0, 30.0, 60.0)
+
+    def build_legacy():
+        scenario = legacy.build_flash_crowd_scenario(seed=SEED)
+        # The spec carries the onset/peak/decay phases, compiled at
+        # build time; the legacy path schedules them here, in the same
+        # pre-run position.
+        legacy.trace_phases(
+            scenario.sim, "flash-crowd",
+            {"onset": 30.0, "peak": 60.0, "decay": 120.0},
+        )
+        return scenario
+
+    def drive(scenario):
+        _drive_video(
+            scenario, scenario.client_nodes, scenario.cdns,
+            rate_fn=rate_fn, max_rate_per_s=1.5,
+        )
+
+    _assert_twin(
+        tmp_path, "flash-crowd",
+        build_legacy,
+        lambda: build_scenario("flash-crowd", seed=SEED),
+        drive,
+    )
+
+
+def test_flash_crowd_population_matches_inline_rate(tmp_path):
+    """Driving via the spec's population gives the same bytes as the
+    hand-built flash_crowd_rate call -- the declared arrival process is
+    the real one."""
+
+    def drive_population():
+        scenario = build_scenario("flash-crowd", seed=SEED)
+        policy = StatusQuoAppP(scenario.sim, scenario.cdns, name="appp")
+        kwargs = scenario.world.population("viewers").launch_kwargs(until=120.0)
+        launch_video_sessions(
+            scenario.ctx, catalog=scenario.catalog, policy=policy, **kwargs
+        )
+        scenario.sim.run(until=200.0)
+
+    def drive_inline():
+        scenario = build_scenario("flash-crowd", seed=SEED)
+        _drive_video(
+            scenario, scenario.client_nodes, scenario.cdns,
+            rate_fn=flash_crowd_rate(0.05, 1.5, 30.0, 30.0, 60.0),
+            max_rate_per_s=1.5,
+        )
+
+    a = _traced(tmp_path, "fc-population", drive_population)
+    b = _traced(tmp_path, "fc-inline", drive_inline)
+    assert a == b
+
+
+def test_oscillation_twin_is_byte_identical(tmp_path):
+    def drive(scenario):
+        _drive_video(scenario, scenario.client_nodes, scenario.cdns,
+                     rate_per_s=0.5)
+
+    _assert_twin(
+        tmp_path, "oscillation",
+        lambda: legacy.build_oscillation_scenario(seed=SEED),
+        lambda: build_scenario("oscillation", seed=SEED),
+        drive,
+    )
+
+
+def test_oscillation_twin_egress_groups_match(tmp_path):
+    old = legacy.build_oscillation_scenario(seed=SEED)
+    new = build_scenario("oscillation", seed=SEED)
+    for a, b in zip(old.groups, new.groups):
+        assert (a.name, a.remote, list(a.candidates), a.preferred) == (
+            b.name, b.remote, list(b.candidates), b.preferred
+        )
+        assert a.egress_links == b.egress_links
+    assert new.peering_b_link == old.peering_b_link
+    assert new.peering_c_link == old.peering_c_link
+
+
+def test_coarse_control_twin_is_byte_identical(tmp_path):
+    def drive(scenario):
+        _drive_video(scenario, scenario.client_nodes, scenario.cdns,
+                     rate_per_s=0.5)
+
+    _assert_twin(
+        tmp_path, "coarse-control",
+        lambda: legacy.build_coarse_control_scenario(seed=SEED),
+        lambda: build_scenario("coarse-control", seed=SEED),
+        drive,
+    )
+
+
+def test_energy_twin_is_byte_identical(tmp_path):
+    def drive(scenario):
+        _drive_video(scenario, scenario.client_nodes, [scenario.cdn],
+                     rate_per_s=0.6)
+
+    _assert_twin(
+        tmp_path, "energy",
+        lambda: legacy.build_energy_scenario(seed=SEED),
+        lambda: build_scenario("energy", seed=SEED),
+        drive,
+    )
+
+
+def test_energy_twin_server_uplinks_match():
+    old = legacy.build_energy_scenario(seed=SEED)
+    new = build_scenario("energy", seed=SEED)
+    assert new.server_uplinks == old.server_uplinks
+
+
+def test_cdn_fault_twin_is_byte_identical(tmp_path):
+    """Compared with faults disarmed: the legacy builder never armed
+    them either (that was ``schedule_fault``'s job, now a FaultPlan)."""
+
+    def drive(scenario):
+        _drive_video(scenario, scenario.client_nodes, scenario.cdns,
+                     rate_per_s=0.25, until=150.0, run_until=250.0)
+
+    _assert_twin(
+        tmp_path, "cdn-fault",
+        lambda: legacy.build_cdn_fault_scenario(seed=SEED),
+        lambda: build_scenario("cdn-fault", seed=SEED, install_faults=False),
+        drive,
+    )
+
+
+def test_cdn_fault_plan_matches_legacy_capacity_timeline():
+    """The spec-declared plan reproduces ``schedule_fault``'s capacity
+    arc: healthy -> degraded at fault_at_s -> healthy at recover_at_s."""
+    old = legacy.build_cdn_fault_scenario(seed=SEED)
+    old.schedule_fault(degraded_mbps=10.0)
+    new = build_scenario("cdn-fault", seed=SEED)
+    assert new.fault_at_s == old.fault_at_s == 200.0
+    assert new.recover_at_s == old.recover_at_s == 500.0
+
+    def capacity(scenario):
+        return scenario.topology.link(scenario.cdn1_uplink).capacity_mbps
+
+    for scenario in (old, new):
+        scenario.sim.run(until=150.0)
+    assert capacity(new) == capacity(old) == 150.0
+    for scenario in (old, new):
+        scenario.sim.run(until=250.0)
+    assert capacity(new) == capacity(old) == 10.0
+    for scenario in (old, new):
+        scenario.sim.run(until=550.0)
+    assert capacity(new) == capacity(old) == 150.0
+
+
+def test_two_isp_twin_is_byte_identical(tmp_path):
+    def drive(scenario):
+        clients = scenario.clients_isp1 + scenario.clients_isp2
+        _drive_video(scenario, clients, scenario.cdns, rate_per_s=0.5)
+
+    _assert_twin(
+        tmp_path, "two-isp",
+        lambda: legacy.build_two_isp_scenario(seed=SEED),
+        lambda: build_scenario("two-isp", seed=SEED),
+        drive,
+    )
+
+
+def test_two_isp_twin_isp_attribution_matches():
+    old = legacy.build_two_isp_scenario(seed=SEED)
+    new = build_scenario("two-isp", seed=SEED)
+    assert new.clients_isp1 == old.clients_isp1
+    assert new.clients_isp2 == old.clients_isp2
+    assert new.access_link_isp1 == old.access_link_isp1
+    assert new.access_link_isp2 == old.access_link_isp2
+    for node in new.clients_isp1 + new.clients_isp2:
+        assert new.isp_of_client(node) == old.isp_of_client(node)
+
+
+def test_cellular_web_twin_is_byte_identical(tmp_path):
+    """Browsers load the same page sequence over the same radio draws."""
+
+    def drive(scenario):
+        sim = scenario.sim
+        page_rng = scenario.rng
+        loads = []
+
+        def browse(browser, remaining, index):
+            if remaining <= 0:
+                return
+            page = make_page(page_rng, page_id=f"p{index}-{remaining}")
+
+            def done(record):
+                loads.append((record.page_id, record.plt_s))
+                sim.schedule(
+                    page_rng.expovariate(1.0 / 3.0),
+                    browse, browser, remaining - 1, index,
+                )
+
+            browser.load_page(page, on_done=done)
+
+        for index, browser in enumerate(scenario.browsers):
+            sim.schedule(page_rng.uniform(0, 5), browse, browser, 4, index)
+        sim.run(until=120.0)
+        for radio in scenario.radios:
+            radio.stop()
+        assert loads, "no page loads completed"
+
+    _assert_twin(
+        tmp_path, "cellular-web",
+        lambda: legacy.build_cellular_web_scenario(seed=SEED),
+        lambda: build_scenario("cellular-web", seed=SEED),
+        drive,
+    )

@@ -1,39 +1,42 @@
-"""Scenario builders: the worlds match their figure's constraints."""
+"""Compiled library worlds match their figure's constraints.
 
-import pytest
+These are the world-shape assertions that used to test the hand-coded
+builders in ``workloads/scenarios.py``, re-pointed at the declarative
+twins that replaced them.
+"""
 
-from repro.network.topology import NodeKind
-from repro.workloads.scenarios import (
-    build_cellular_web_scenario,
-    build_coarse_control_scenario,
-    build_energy_scenario,
-    build_flash_crowd_scenario,
-    build_oscillation_scenario,
-)
+from repro.scenarios import build_scenario
 
 
 class TestFlashCrowd:
     def test_access_is_the_bottleneck(self):
-        scenario = build_flash_crowd_scenario(access_capacity_mbps=45.0)
+        scenario = build_scenario(
+            "flash-crowd", params={"access_capacity_mbps": 45.0}
+        )
         access = scenario.topology.link(scenario.access_link)
         assert access.capacity_mbps == 45.0
         peering = scenario.topology.links(tag="peering")
         assert all(link.capacity_mbps > access.capacity_mbps for link in peering)
 
     def test_both_cdns_have_headroom(self):
-        scenario = build_flash_crowd_scenario()
+        scenario = build_scenario("flash-crowd")
         assert all(cdn.has_capacity() for cdn in scenario.cdns)
 
     def test_client_count(self):
-        scenario = build_flash_crowd_scenario(n_clients=7)
+        scenario = build_scenario("flash-crowd", params={"n_clients": 7})
         assert len(scenario.client_nodes) == 7
 
 
 class TestOscillation:
     def test_figure5_capacity_ordering(self):
-        scenario = build_oscillation_scenario(
-            n_clients=24, peering_b_mbps=60.0, peering_c_mbps=300.0,
-            cdn_y_uplink_mbps=45.0,
+        scenario = build_scenario(
+            "oscillation",
+            params={
+                "n_clients": 24,
+                "peering_b_mbps": 60.0,
+                "peering_c_mbps": 300.0,
+                "cdn_y_uplink_mbps": 45.0,
+            },
         )
         b = scenario.topology.link(scenario.peering_b_link)
         c = scenario.topology.link(scenario.peering_c_link)
@@ -43,27 +46,27 @@ class TestOscillation:
         assert y_uplink.capacity_mbps < demand
 
     def test_group_prefers_b(self):
-        scenario = build_oscillation_scenario()
+        scenario = build_scenario("oscillation")
         group = next(g for g in scenario.groups if g.name == "cdnX")
         assert group.preferred == "peerB"
         assert set(group.candidates) == {"peerB", "peerC"}
 
     def test_cdn_y_has_single_candidate(self):
-        scenario = build_oscillation_scenario()
+        scenario = build_scenario("oscillation")
         group = next(g for g in scenario.groups if g.name == "cdnY")
         assert group.candidates == ["peerC"]
 
 
 class TestCoarseControl:
     def test_one_degraded_one_healthy_server(self):
-        scenario = build_coarse_control_scenario()
+        scenario = build_scenario("coarse-control")
         degraded = [s for s in scenario.cdn_x.servers.values() if s.degraded]
         healthy = [s for s in scenario.cdn_x.servers.values() if not s.degraded]
         assert len(degraded) == 1
         assert len(healthy) == 1
 
     def test_cdn_x_warm_cdn_y_cold(self):
-        scenario = build_coarse_control_scenario()
+        scenario = build_scenario("coarse-control")
         item = scenario.catalog.by_rank(0)
         for server in scenario.cdn_x.servers.values():
             assert item.content_id in server.cache
@@ -71,39 +74,59 @@ class TestCoarseControl:
             assert item.content_id not in server.cache
 
     def test_degraded_rate_below_lowest_rung(self):
-        scenario = build_coarse_control_scenario()
+        scenario = build_scenario("coarse-control")
         degraded = next(s for s in scenario.cdn_x.servers.values() if s.degraded)
         assert degraded.degraded_rate_mbps < 0.4
 
 
 class TestEnergy:
     def test_servers_and_uplinks_aligned(self):
-        scenario = build_energy_scenario(n_servers=4)
+        scenario = build_scenario("energy", params={"n_servers": 4})
         assert len(scenario.cdn.servers) == 4
         assert set(scenario.server_uplinks) == set(scenario.cdn.servers)
 
     def test_finite_uplinks(self):
-        scenario = build_energy_scenario(server_uplink_mbps=50.0)
+        scenario = build_scenario("energy", params={"server_uplink_mbps": 50.0})
         for link_id in scenario.server_uplinks.values():
             assert scenario.topology.link(link_id).capacity_mbps == 50.0
 
 
+class TestCdnFault:
+    def test_fault_plan_armed_at_build(self):
+        scenario = build_scenario("cdn-fault")
+        uplink = scenario.topology.link(scenario.cdn1_uplink)
+        healthy = uplink.capacity_mbps
+        scenario.sim.run(until=scenario.fault_at_s + 1.0)
+        assert uplink.capacity_mbps < healthy
+        scenario.sim.run(until=scenario.recover_at_s + 1.0)
+        assert uplink.capacity_mbps == healthy
+
+    def test_install_faults_false_never_degrades(self):
+        scenario = build_scenario("cdn-fault", install_faults=False)
+        uplink = scenario.topology.link(scenario.cdn1_uplink)
+        healthy = uplink.capacity_mbps
+        scenario.sim.run(until=scenario.recover_at_s + 1.0)
+        assert uplink.capacity_mbps == healthy
+
+
 class TestCellularWeb:
     def test_one_radio_and_browser_per_client(self):
-        scenario = build_cellular_web_scenario(n_clients=5)
+        scenario = build_scenario("cellular-web", params={"n_clients": 5})
         assert len(scenario.radios) == 5
         assert len(scenario.browsers) == 5
         assert len(scenario.access_links) == 5
 
     def test_radios_have_independent_streams(self):
-        scenario = build_cellular_web_scenario(n_clients=3)
+        scenario = build_scenario("cellular-web", params={"n_clients": 3})
         scenario.sim.run(until=200.0)
         states = {radio.stats.transitions for radio in scenario.radios}
         assert len(states) > 1  # not all identical trajectories
 
     def test_deterministic_per_seed(self):
         def run_once():
-            scenario = build_cellular_web_scenario(seed=7, n_clients=2)
+            scenario = build_scenario(
+                "cellular-web", seed=7, params={"n_clients": 2}
+            )
             scenario.sim.run(until=100.0)
             return tuple(radio.stats.transitions for radio in scenario.radios)
 
