@@ -92,7 +92,7 @@ DEFAULT_CONFIG_DICT: Dict[str, object] = {
         "sdn": ["network", "obs", "simkernel"],
         "video": ["cdn", "network", "simkernel"],
         "web": ["cdn", "network", "simkernel"],
-        "telemetry": ["simkernel", "video", "web"],
+        "telemetry": ["obs", "simkernel", "video", "web"],
         "cohorts": ["network", "telemetry", "video", "web", "workloads"],
         "core": ["cdn", "network", "obs", "sdn", "simkernel", "telemetry", "video"],
         "workloads": ["cdn", "core", "network", "obs", "sdn", "simkernel", "web"],
@@ -109,6 +109,9 @@ DEFAULT_CONFIG_DICT: Dict[str, object] = {
         ],
         "cli": ["analysis", "experiments", "faults", "obs", "scenarios"],
         "analysis": [],
+        # Forward declaration: a future top-level span toolkit may depend
+        # only on obs + the kernel (today it lives inside repro.obs).
+        "spans": ["obs", "simkernel"],
     },
     "rules": {
         "global-rng": {"allow-files": ["simkernel/rngstreams.py"]},
@@ -116,6 +119,9 @@ DEFAULT_CONFIG_DICT: Dict[str, object] = {
         "float-eq": {"layers": ["network", "core"]},
         "no-print": {"exclude-layers": ["cli", "analysis"]},
         "obs-hotpath": {"exclude-layers": ["obs"]},
+        # Cause IDs come from Tracer.new_cause (DESIGN.md §13): only obs
+        # may build tracers/span machinery or run its own cause counters.
+        "span-discipline": {"exclude-layers": ["obs"]},
         "rng-stream-discipline": {
             # scenarios/engine.py draws spec-named streams (the scenario
             # compiler); attribution lives in the committed specs.

@@ -72,6 +72,7 @@ from repro.analysis.rules import (  # noqa: E402  (registry must exist first)
     purity,
     rng,
     rngflow,
+    spanrule,
     twins,
     wallclock,
 )
@@ -93,6 +94,7 @@ __all__ = [
     "purity",
     "rng",
     "rngflow",
+    "spanrule",
     "twins",
     "wallclock",
 ]

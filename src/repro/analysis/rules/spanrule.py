@@ -1,0 +1,65 @@
+"""span-discipline: causal span machinery stays inside ``repro.obs``.
+
+Cause IDs must come from ``Tracer.new_cause`` -- the one seam whose
+per-enable monotone counter makes same-seed runs assign identical IDs
+(the byte-identical span-forest gate, DESIGN.md §13).  A layer that
+builds its own tracer or span graph, or runs an ad-hoc cause counter,
+forks the ID space and silently corrupts span reconstruction.  Flagged
+outside the obs layer:
+
+* calls to names ending in ``Tracer``, ``SpanNode``, ``SpanForest``, or
+  ``SpanGraph`` (constructing span machinery locally);
+* augmented increments of identifiers containing ``cause`` (the ad-hoc
+  counter signature, e.g. ``self._next_cause += 1``).
+
+Instrumentation sites keep using ``TRACER.emit(...)`` and
+``TRACER.new_cause()`` freely -- those are attribute calls on the
+process-global tracer, not local machinery.  Scoped via
+``[tool.simlint.rules.span-discipline]`` with
+``exclude-layers = ["obs"]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, ModuleContext, Rule, dotted_name
+from repro.analysis.rules import register
+
+#: Type-name suffixes that mark span machinery being constructed.
+_SPAN_TYPE_SUFFIXES = ("Tracer", "SpanNode", "SpanForest", "SpanGraph")
+
+
+@register
+class SpanDisciplineRule(Rule):
+    id = "span-discipline"
+    description = (
+        "span machinery (Tracer/SpanForest construction, ad-hoc cause-ID "
+        "counters) is confined to repro.obs; mint cause IDs with "
+        "TRACER.new_cause()"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func) or ""
+                leaf = name.rsplit(".", 1)[-1]
+                if leaf and leaf.endswith(_SPAN_TYPE_SUFFIXES):
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"{name}(...) constructs span machinery outside the "
+                        "obs layer; use the process-global TRACER and "
+                        "repro.obs.spans",
+                    )
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+                target = dotted_name(node.target) or ""
+                leaf = target.rsplit(".", 1)[-1]
+                if "cause" in leaf.lower():
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"'{target} += ...' looks like an ad-hoc cause-ID "
+                        "counter; cause IDs must come from TRACER.new_cause()",
+                    )

@@ -128,10 +128,48 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _trace_diff(args: argparse.Namespace) -> int:
+    """``eona trace diff A.jsonl B.jsonl``: structural + latency diff."""
+    from repro.obs import analyze, spans
+
+    paths = list(args.extra)
+    if len(paths) != 2:
+        print("usage: eona trace diff <a.jsonl> <b.jsonl>", file=sys.stderr)
+        return 2
+    sides = []
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                sides.append(spans.load_jsonl(handle.read()))
+        except (OSError, ValueError) as error:
+            print(f"cannot read trace {path!r}: {error}", file=sys.stderr)
+            return 2
+    labels = [os.path.basename(path) for path in paths]
+    if labels[0] == labels[1]:
+        labels = ["a", "b"]
+    print(
+        analyze.render_diff(
+            analyze.trace_diff(
+                sides[0], sides[1], label_a=labels[0], label_b=labels[1]
+            )
+        )
+    )
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run an experiment with the tracer enabled and report/emit the trace."""
     from repro.obs.trace import TRACER
 
+    if args.experiment == "diff":
+        return _trace_diff(args)
+    if args.extra:
+        print(
+            f"unexpected trace arguments {args.extra!r} "
+            "(extra paths are only for 'eona trace diff')",
+            file=sys.stderr,
+        )
+        return 2
     specs = _resolve_specs(args.experiment)
     if specs is None:
         return 2
@@ -146,6 +184,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             # Serial on purpose: the tracer is per-process, and forked
             # workers deliberately deactivate inherited tracers.
             registry.run_experiment(spec, seeds, parallel=False, evaluate=False)
+        except Exception as error:  # noqa: BLE001 -- the trace must survive
+            # A failed run is exactly when the trace matters: flush what
+            # was captured before re-raising would lose it.
+            TRACER.disable()
+            print(
+                f"{spec.exp_id}: run failed after {TRACER.emitted} events: "
+                f"{type(error).__name__}: {error}",
+                file=sys.stderr,
+            )
+            if sink is None:
+                sys.stdout.write(TRACER.to_jsonl())
+            else:
+                print(f"(partial trace: {sink})", file=sys.stderr)
+            TRACER.close()
+            return 1
         finally:
             TRACER.disable()
         counts = TRACER.kind_counts()
@@ -165,6 +218,142 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             status = 1
         TRACER.close()
     return status
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Causal control-loop analytics over a traced run (DESIGN.md §13).
+
+    The target is an experiment id (the experiment runs serially under
+    the tracer) or an existing ``.jsonl`` trace file.  Prints the
+    per-phase and per-CDN/group loop-latency tables plus the slowest
+    spans; ``--chrome`` additionally exports a ``chrome://tracing``
+    JSON, and ``--out`` saves the run artifact with the ``loop.*``
+    metrics absorbed into its ``metrics`` block.
+    """
+    from repro.obs import analyze, spans
+    from repro.obs.trace import TRACER
+
+    target = args.target
+    artifact = None
+    if target.endswith(".jsonl") or os.path.isfile(target):
+        try:
+            with open(target, encoding="utf-8") as handle:
+                events = spans.load_jsonl(handle.read())
+        except (OSError, ValueError) as error:
+            print(f"cannot read trace {target!r}: {error}", file=sys.stderr)
+            return 2
+        label = os.path.basename(target)
+    else:
+        specs = _resolve_specs(target)
+        if specs is None or len(specs) != 1:
+            if specs is not None:
+                print("'analyze' takes one experiment, not 'all'", file=sys.stderr)
+            return 2
+        spec = specs[0]
+        label = spec.exp_id
+        seeds = _resolve_seeds(args)
+        TRACER.enable(capacity=args.capacity)
+        try:
+            # Serial: the tracer is per-process (workers deactivate it).
+            _tables, artifact = registry.run_experiment(
+                spec, seeds, parallel=False, evaluate=True
+            )
+        finally:
+            TRACER.disable()
+        events = TRACER.events()
+        TRACER.close()
+    if not events:
+        print(f"{label}: trace is empty, nothing to analyze", file=sys.stderr)
+        return 1
+
+    print(f"== {label}: loop latency by phase ==")
+    print(analyze.render_latency_table(analyze.loop_latency_rows(events, by="phase")))
+    print(f"\n== {label}: loop latency by CDN/group ==")
+    print(
+        analyze.render_latency_table(
+            analyze.loop_latency_rows(events, by="group"), by="group"
+        )
+    )
+    print(f"\n== {label}: slowest spans (top {args.top} per stage) ==")
+    print(analyze.render_slowest(analyze.slowest_spans(events, top=args.top)))
+    if args.chrome:
+        analyze.dump_chrome_trace(events, args.chrome)
+        print(f"(chrome trace: {args.chrome})", file=sys.stderr)
+    if artifact is not None:
+        loop = analyze.loop_metrics_snapshot(events)
+        artifact.metrics.setdefault("counters", {}).update(loop["counters"])  # type: ignore[union-attr]
+        artifact.metrics.setdefault("histograms", {}).update(loop["histograms"])  # type: ignore[union-attr]
+        if args.out:
+            path = artifact.save(args.out)
+            print(f"(run artifact with loop metrics: {path})", file=sys.stderr)
+    elif args.out:
+        print("--out needs an experiment target, not a trace file", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """``eona bench compare``: regression-gate runs against artifacts.
+
+    Re-runs each committed ``BENCH_<exp>.json``'s experiment with the
+    baseline's seeds and diffs the artifacts: checks that passed must
+    still pass, deterministic table numbers must stay within tolerance
+    (environment-dependent columns are ignored).  Nonzero exit on any
+    regression -- the CI gate.
+    """
+    from repro.experiments.spec import RunArtifact
+    from repro.obs import analyze
+
+    paths: List[str] = []
+    for target in args.paths or ["benchmarks/results"]:
+        if os.path.isdir(target):
+            entries = sorted(
+                os.path.join(target, name)
+                for name in os.listdir(target)
+                if name.startswith("BENCH_") and name.endswith(".json")
+            )
+            if not entries:
+                print(f"no BENCH_*.json under {target!r}", file=sys.stderr)
+                return 2
+            paths.extend(entries)
+        elif os.path.isfile(target):
+            paths.append(target)
+        else:
+            print(f"no such artifact or directory: {target!r}", file=sys.stderr)
+            return 2
+    regressions = 0
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                baseline = RunArtifact.from_json(handle.read())
+        except (OSError, ValueError) as error:
+            print(f"cannot load artifact {path!r}: {error}", file=sys.stderr)
+            return 2
+        try:
+            spec = registry.get(baseline.experiment)
+        except KeyError:
+            print(
+                f"{path}: baseline names unknown experiment "
+                f"{baseline.experiment!r}",
+                file=sys.stderr,
+            )
+            regressions += 1
+            continue
+        seeds = seeds_arg(args.seeds) if args.seeds else baseline.seeds
+        print(
+            f"{baseline.experiment}: re-running seeds {seeds} "
+            f"against {path}",
+            file=sys.stderr,
+        )
+        _tables, current = registry.run_experiment(
+            spec, seeds, parallel=args.parallel, evaluate=True
+        )
+        found = analyze.compare_artifacts(
+            baseline.to_dict(), current.to_dict(), rtol=args.rtol
+        )
+        print(analyze.render_regressions(found, baseline.experiment))
+        regressions += len(found)
+    return 1 if regressions else 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -365,9 +554,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace_parser = subparsers.add_parser(
         "trace",
-        help="run an experiment with tracing on; JSONL to --out or stdout",
+        help="run an experiment with tracing on; JSONL to --out or stdout; "
+        "'trace diff A B' diffs two traces",
     )
-    trace_parser.add_argument("experiment", help=f"{known}, or 'all'")
+    trace_parser.add_argument(
+        "experiment", help=f"{known}, 'all', or 'diff' (then two .jsonl paths)"
+    )
+    trace_parser.add_argument(
+        "extra", nargs="*",
+        help="for 'diff': the two trace files to compare",
+    )
     trace_parser.add_argument("--seed", type=int, default=0, help="single seed")
     trace_parser.add_argument(
         "--seeds", help="seed list, e.g. '0..4' or '0,3' (runs serially)"
@@ -381,6 +577,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="in-memory ring-buffer size (the sink gets every event)",
     )
     trace_parser.set_defaults(fn=_cmd_trace, parallel=False)
+
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help="loop-latency tables, slowest spans, and Chrome-trace export "
+        "from a traced run (DESIGN.md §13)",
+    )
+    analyze_parser.add_argument(
+        "target", help=f"experiment to run under the tracer ({known}) "
+        "or an existing TRACE_*.jsonl",
+    )
+    analyze_parser.add_argument("--seed", type=int, default=0, help="single seed")
+    analyze_parser.add_argument(
+        "--seeds", help="seed list, e.g. '0..4' or '0,3' (runs serially)"
+    )
+    analyze_parser.add_argument(
+        "--top", type=int, default=3,
+        help="slowest spans listed per loop stage (default: 3)",
+    )
+    analyze_parser.add_argument(
+        "--chrome", metavar="PATH",
+        help="write a chrome://tracing / Perfetto JSON export here",
+    )
+    analyze_parser.add_argument(
+        "--out",
+        help="directory to save the BENCH_<id>.json artifact (loop.* "
+        "metrics absorbed) into",
+    )
+    analyze_parser.add_argument(
+        "--capacity", type=int, default=65536,
+        help="in-memory ring-buffer size for the traced run",
+    )
+    analyze_parser.set_defaults(fn=_cmd_analyze, parallel=False)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="compare committed BENCH_*.json artifacts against fresh runs; "
+        "nonzero exit on regression",
+    )
+    bench_parser.add_argument(
+        "action", choices=("compare",),
+        help="'compare' re-runs each baseline's experiment and diffs artifacts",
+    )
+    bench_parser.add_argument(
+        "paths", nargs="*",
+        help="BENCH_*.json files or directories holding them "
+        "(default: benchmarks/results)",
+    )
+    bench_parser.add_argument(
+        "--seeds", help="override the baseline's seeds, e.g. '0..4'"
+    )
+    bench_parser.add_argument(
+        "--rtol", type=float, default=0.05,
+        help="relative tolerance for deterministic numeric columns "
+        "(default: 0.05)",
+    )
+    bench_parser.add_argument(
+        "--parallel", action="store_true",
+        help="run the seed sweep in worker processes",
+    )
+    bench_parser.set_defaults(fn=_cmd_bench)
 
     profile_parser = subparsers.add_parser(
         "profile",

@@ -48,6 +48,11 @@ class _SessionState:
     consecutive_bad: int = 0
     rate_cap_mbps: float = math.inf
     last_rebuffer_s: float = 0.0
+    #: Cause ID of the last traced control action on this session; the
+    #: next good chunk emits ``qoe-recovery`` pointing back at it
+    #: (DESIGN.md §13).  Only ever set while tracing is enabled and
+    #: never read by control logic, so untraced behavior is identical.
+    pending_recovery_cause: Optional[int] = None
 
 
 class AppPController(PlayerPolicy):
@@ -121,6 +126,16 @@ class AppPController(PlayerPolicy):
             state.consecutive_bad += 1
         else:
             state.consecutive_bad = 0
+            if state.pending_recovery_cause is not None:
+                if TRACER.enabled:
+                    TRACER.emit(
+                        "qoe-recovery",
+                        cause=TRACER.new_cause(),
+                        parent=state.pending_recovery_cause,
+                        session=player.session_id,
+                        policy=self.name,
+                    )
+                state.pending_recovery_cause = None
         state.last_rebuffer_s = record.rebuffer_time_s
         if state.consecutive_bad >= self.bad_chunk_threshold:
             reacted = self._react(player, record, state)
@@ -137,6 +152,22 @@ class AppPController(PlayerPolicy):
         qoe = player.qoe()
         self.finished_qoe.append(qoe)
         server = player.cdn.server_of(player.session_id) if player.cdn else None
+        cause: Optional[int] = None
+        if TRACER.enabled:
+            # Session-end beacons are the A2I pipeline's input, so they
+            # count as a2i-report even in worlds with no A2I glass built.
+            # Emitted before ingestion so the flush this beacon may
+            # trigger appears after it in the trace.
+            cause = TRACER.new_cause()
+            TRACER.emit(
+                "a2i-report",
+                via="beacon",
+                cause=cause,
+                owner=self.name,
+                session=player.session_id,
+                cdn=player.cdn.name if player.cdn else "",
+                isp=self.isp,
+            )
         self.collector.ingest(
             record_from_qoe(
                 time=self.sim.now,
@@ -146,17 +177,8 @@ class AppPController(PlayerPolicy):
                 server=server.server_id if server else "",
             )
         )
-        if TRACER.enabled:
-            # Session-end beacons are the A2I pipeline's input, so they
-            # count as a2i-report even in worlds with no A2I glass built.
-            TRACER.emit(
-                "a2i-report",
-                via="beacon",
-                owner=self.name,
-                session=player.session_id,
-                cdn=player.cdn.name if player.cdn else "",
-                isp=self.isp,
-            )
+        if cause is not None:
+            self.aggregator.note_cause(cause)
 
     # ------------------------------------------------------------------
     # cohort beacons
@@ -175,16 +197,21 @@ class AppPController(PlayerPolicy):
         """
         for record, sessions in beacons:
             self.cohort_sessions_reported += sessions
-            self.aggregator.add(record, weight=sessions)
+            cause: Optional[int] = None
             if TRACER.enabled:
+                cause = TRACER.new_cause()
                 TRACER.emit(
                     "a2i-report",
                     via="cohort-beacon",
+                    cause=cause,
                     owner=self.name,
                     cdn=record.attr("cdn"),
                     isp=record.attr("isp"),
                     sessions=sessions,
                 )
+            self.aggregator.add(record, weight=sessions)
+            if cause is not None:
+                self.aggregator.note_cause(cause)
 
     # ------------------------------------------------------------------
     # A2I export
@@ -207,6 +234,10 @@ class AppPController(PlayerPolicy):
             self.demand_estimate,
             refresh_period_s=refresh_period_s,
         )
+        # Served A2I answers derive from the latest aggregation flush;
+        # the glass stamps that flush's cause as the query event's
+        # parent, closing the beacon -> flush -> report chain.
+        glass.provenance = lambda: self.aggregator.last_flush_cause
         self.a2i = glass
         return glass
 
@@ -277,25 +308,41 @@ class AppPController(PlayerPolicy):
         """React to sustained badness; returns whether an action was taken."""
         raise NotImplementedError
 
-    def _switch_cdn(self, player: AdaptivePlayer, target: Cdn, reason: str) -> bool:
+    def _switch_cdn(
+        self,
+        player: AdaptivePlayer,
+        target: Cdn,
+        reason: str,
+        parent: Optional[int] = None,
+    ) -> bool:
         """Switch ``player`` to ``target``, tracing successful switches.
 
         All controller CDN-switch paths route through here so the
         ``cdn-switch`` trace events carry a uniform shape (and the
         policy's *reason* for the switch, which the raw player mechanics
-        cannot know).
+        cannot know).  ``parent`` is the cause ID of the I2A hint that
+        motivated the switch, when one did -- the status-quo controller
+        never passes it, which is exactly what ``eona trace diff`` keys
+        on.
         """
         previous = player.cdn.name if player.cdn else ""
         switched = player.switch_cdn(target)
         if switched and TRACER.enabled:
+            cause = TRACER.new_cause()
+            extra: Dict[str, object] = {} if parent is None else {"parent": parent}
             TRACER.emit(
                 "cdn-switch",
+                cause=cause,
                 session=player.session_id,
                 from_cdn=previous,
                 to_cdn=target.name,
                 reason=reason,
                 policy=self.name,
+                **extra,
             )
+            state = self._sessions.get(player.session_id)
+            if state is not None:
+                state.pending_recovery_cause = cause
         return switched
 
     def _next_cdn(self, current: Cdn) -> Optional[Cdn]:
@@ -390,6 +437,9 @@ class EonaAppP(AppPController):
         self.fallback_active = False
         self._glass_fail_streak = 0
         self._glass_ok_streak = 0
+        # Cause ID of the most recent successfully served I2A answer;
+        # traced control actions point back at it as their parent.
+        self._last_hint_cause: Optional[int] = None
         # Fleet-wide bitrate governor (the Figure 3 fix): while the ISP
         # reports access congestion, every session is capped, stepping
         # one rung down per control period; the cap relaxes one rung per
@@ -432,6 +482,7 @@ class EonaAppP(AppPController):
             else:
                 self.global_cap_mbps = self.ladder.step_down(self.global_cap_mbps)
             self.bitrate_downshifts += 1
+            self._trace_bitrate_cap("governor", self.global_cap_mbps)
         elif math.isfinite(self.global_cap_mbps):
             self._clear_ticks += 1
             if self._clear_ticks >= self.clear_ticks_to_raise:
@@ -440,6 +491,29 @@ class EonaAppP(AppPController):
                     self.global_cap_mbps = math.inf
                 else:
                     self.global_cap_mbps = self.ladder.step_up(self.global_cap_mbps)
+
+    def _trace_bitrate_cap(
+        self, via: str, cap_mbps: float, **fields: object
+    ) -> Optional[int]:
+        """Trace one cap-lowering action; returns its cause ID (or None).
+
+        The parent is the I2A hint that reported the congestion -- the
+        hint→action hop of the causal chain.
+        """
+        if not TRACER.enabled:
+            return None
+        cause = TRACER.new_cause()
+        if self._last_hint_cause is not None:
+            fields["parent"] = self._last_hint_cause
+        TRACER.emit(
+            "bitrate-cap",
+            cause=cause,
+            via=via,
+            policy=self.name,
+            cap_mbps=cap_mbps,
+            **fields,
+        )
+        return cause
 
     def _fleet_mean_bitrate(self) -> float:
         rates = [
@@ -480,6 +554,8 @@ class EonaAppP(AppPController):
             self._note_glass_failure()
             return None
         self._note_glass_ok()
+        if result.cause is not None:
+            self._last_hint_cause = result.cause
         return result
 
     def _note_glass_failure(self) -> None:
@@ -609,6 +685,11 @@ class EonaAppP(AppPController):
             if lowered < state.rate_cap_mbps:
                 state.rate_cap_mbps = lowered
                 self.bitrate_downshifts += 1
+                cause = self._trace_bitrate_cap(
+                    "session", lowered, session=player.session_id
+                )
+                if cause is not None:
+                    state.pending_recovery_cause = cause
             return True
         # 2. A bad server within the CDN => fine-grained server switch.
         hints = self._server_hints(player.cdn.name)
@@ -618,7 +699,26 @@ class EonaAppP(AppPController):
             best = healthy[0].get("server_id") if healthy else None
             if best and best != current_server.server_id:
                 if player.switch_server(best):
+                    if TRACER.enabled:
+                        cause = TRACER.new_cause()
+                        extra: Dict[str, object] = (
+                            {}
+                            if self._last_hint_cause is None
+                            else {"parent": self._last_hint_cause}
+                        )
+                        TRACER.emit(
+                            "server-switch",
+                            cause=cause,
+                            session=player.session_id,
+                            cdn=player.cdn.name,
+                            from_server=current_server.server_id,
+                            to_server=best,
+                            policy=self.name,
+                            **extra,
+                        )
+                        state.pending_recovery_cause = cause
                     return True
+        # (fall through: no healthy alternative server)
         # 3. Peering problem the ISP is fixing => hold position.
         if self._peering_being_fixed(player.cdn.name):
             return True
@@ -636,7 +736,12 @@ class EonaAppP(AppPController):
             if not self.damper.allow(knob, current_score, current_score + 1.0):
                 return False
             self.damper.record_change(knob)
-        return self._switch_cdn(player, target, reason="damped-last-resort")
+        return self._switch_cdn(
+            player,
+            target,
+            reason="damped-last-resort",
+            parent=self._last_hint_cause,
+        )
 
     def on_chunk(self, player: AdaptivePlayer, record: ChunkRecord) -> None:
         super().on_chunk(player, record)
@@ -751,6 +856,7 @@ class MultiIspEonaAppP(EonaAppP):
                 else:
                     self._scope_caps[isp] = self.ladder.step_down(cap)
                 self.bitrate_downshifts += 1
+                self._trace_bitrate_cap("governor", self._scope_caps[isp], isp=isp)
             elif math.isfinite(self._scope_caps[isp]):
                 self._scope_clear_ticks[isp] += 1
                 if self._scope_clear_ticks[isp] >= self.clear_ticks_to_raise:

@@ -169,6 +169,10 @@ class EonaInfP(StatusQuoInfP):
         self.fallback_active = False
         self._glass_fail_streak = 0
         self._glass_ok_streak = 0
+        # Cause ID of the last successfully served A2I demand query;
+        # the TE rounds it informs stamp it onto the controller so the
+        # resulting ``infp-reroute`` events carry it as ``parent``.
+        self._last_demand_cause: Optional[int] = None
         super().__init__(sim, network, groups, **kwargs)
         self.i2a = self._make_i2a(i2a_refresh_s)
 
@@ -192,6 +196,12 @@ class EonaInfP(StatusQuoInfP):
         if self._plan_time != self.sim.now:
             self._plan = self._compute_plan(app)
             self._plan_time = self.sim.now
+            if TRACER.enabled:
+                # Reroutes installed from this plan descend from the A2I
+                # demand answer that shaped it (None under fallback or
+                # when no A2I glass is coupled -- exactly the status-quo
+                # information base, so no parent is honest).
+                self.controller.pending_parent = self._last_demand_cause
         return self._plan.get(group.name, group.selection or group.candidates[0])
 
     def _compute_plan(self, app: TrafficEngineeringApp) -> Dict[str, str]:
@@ -299,6 +309,8 @@ class EonaInfP(StatusQuoInfP):
         if result.age_s > self.stale_tolerance_s:
             self.glass_errors += 1
             return None
+        if result.cause is not None:
+            self._last_demand_cause = result.cause
         return result
 
     def _note_round_failed(self) -> None:
@@ -358,6 +370,10 @@ class EonaInfP(StatusQuoInfP):
             self.peering_decisions,
             refresh_period_s=refresh_period_s,
         )
+        # In fully coupled worlds the I2A answers reflect a control loop
+        # informed by A2I demand; the glass stamps that demand query's
+        # cause as the hint's parent (None when no A2I is consumed).
+        glass.provenance = lambda: self._last_demand_cause
         return glass
 
     def congestion_signals(self) -> List[CongestionSignal]:

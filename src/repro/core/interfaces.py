@@ -38,11 +38,16 @@ class QueryResult:
         query: The query name.
         payload: A dict, or list of dicts, with narrowing applied.
         age_s: Staleness of the underlying snapshot.
+        cause: Causal span ID of the served-query trace event (None
+            when tracing is off or the glass is outside the A2I/I2A
+            taxonomy).  Consumers thread it into the trace events of
+            the actions the answer triggers (DESIGN.md §13).
     """
 
     query: str
     payload: Any
     age_s: float
+    cause: Optional[int] = None
 
 
 class UnknownQueryError(Exception):
@@ -84,6 +89,11 @@ class LookingGlass:
         self.available = True
         self._fault_mode: Optional[str] = None
         self._fault_delay_s = 0.0
+        #: Optional provenance hook set by the owner: returns the cause
+        #: ID of the upstream event the glass's current answers derive
+        #: from (e.g. the AppP's last aggregation flush), or None.
+        #: Served-query trace events carry it as ``parent``.
+        self.provenance: Optional[Callable[[], Optional[int]]] = None
 
     def register(
         self,
@@ -187,9 +197,16 @@ class LookingGlass:
             raise
         age += self._fault_delay_s
         self.queries_served += 1
+        cause: Optional[int] = None
         if TRACER.enabled:
             event_kind = _QUERY_EVENT_KIND.get(self.kind)
             if event_kind is not None:
+                cause = TRACER.new_cause()
+                extra: Dict[str, object] = {}
+                if self.provenance is not None:
+                    parent = self.provenance()
+                    if parent is not None:
+                        extra["parent"] = parent
                 TRACER.emit(
                     event_kind,
                     via="query",
@@ -197,8 +214,12 @@ class LookingGlass:
                     requester=requester,
                     query=query,
                     age_s=age,
+                    cause=cause,
+                    **extra,
                 )
-        return QueryResult(query=query, payload=self._narrow(raw, grant), age_s=age)
+        return QueryResult(
+            query=query, payload=self._narrow(raw, grant), age_s=age, cause=cause
+        )
 
     # ------------------------------------------------------------------
     def _narrow(self, raw: Any, grant: Grant) -> Any:

@@ -153,6 +153,49 @@ class ExperimentResult:
         return path
 
 
+def loop_latency_row(
+    events: Sequence[Mapping[str, object]], **labels: object
+) -> Dict[str, object]:
+    """Summarize a captured trace's causal loop into one table row.
+
+    The loop-latency variants (E2/E13/E15/E16) wrap their world in
+    :func:`repro.obs.spans.capture` and feed the events here: per loop
+    stage (DESIGN.md §13) the row carries the sample count and the
+    exact p50/p95 (nearest-rank over the sim-second latencies), plus
+    the raw ``a2i-report``/``i2a-hint`` event counts -- everything a
+    declarative check needs to pin the causal chain's presence, absence,
+    and reaction speed.
+    """
+    from repro.obs import spans
+
+    samples = spans.loop_latencies(events)
+    kinds: Dict[str, int] = {}
+    for event in events:
+        kind = str(event["kind"])
+        kinds[kind] = kinds.get(kind, 0) + 1
+
+    row: Dict[str, object] = dict(labels)
+    row["a2i_reports"] = kinds.get("a2i-report", 0)
+    row["i2a_hints"] = kinds.get("i2a-hint", 0)
+    for stage in spans.LOOP_STAGES:
+        values = sorted(
+            float(sample["latency_s"]) for sample in samples[stage]  # type: ignore[arg-type]
+        )
+        row[f"{stage}_n"] = len(values)
+        if values:
+            # Nearest-rank quantiles: exact, deterministic, no buckets.
+            row[f"{stage}_p50_s"] = values[
+                max(0, -(-50 * len(values) // 100) - 1)
+            ]
+            row[f"{stage}_p95_s"] = values[
+                max(0, -(-95 * len(values) // 100) - 1)
+            ]
+        else:
+            row[f"{stage}_p50_s"] = 0.0
+            row[f"{stage}_p95_s"] = 0.0
+    return row
+
+
 def launch_video_sessions(
     sim: Simulator,
     network: Optional[FluidNetwork] = None,

@@ -23,7 +23,11 @@ from typing import Dict
 
 from repro.core.appp import StatusQuoAppP
 from repro.core.controlplane import CoordinatedAppP
-from repro.experiments.common import ExperimentResult, launch_video_sessions
+from repro.experiments.common import (
+    ExperimentResult,
+    launch_video_sessions,
+    loop_latency_row,
+)
 from repro.experiments.registry import register
 from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.faults import register_plan
@@ -119,6 +123,27 @@ def run(seed: int = 0, **kwargs) -> ExperimentResult:
     return result
 
 
+def run_loop_latency(seed: int = 0, **kwargs) -> ExperimentResult:
+    """Action→recovery spans of the CDN-fault worlds (DESIGN.md §13).
+
+    The control plane here is app-internal (no I2A glass), so the
+    causal chain is beacons → flushes and actions → recoveries; the
+    hint stages must be structurally absent in both configs.
+    """
+    from repro.obs import spans
+
+    result = ExperimentResult(
+        name="E13-loop-latency",
+        notes="causal loop stages (sim s) from captured spans; DESIGN.md §13",
+    )
+    for config in ("reactive", "coordinated"):
+        with spans.capture() as events:
+            row = run_config(config, seed=seed, **kwargs)
+        result.merge_counters(row["_counters"])  # type: ignore[arg-type]
+        result.add_row(**loop_latency_row(events, config=config))
+    return result
+
+
 def _collapse_plan():
     """The spec's cdn1-uplink-collapse plan at default parameters."""
     spec = load_library_spec("cdn-fault")
@@ -155,6 +180,20 @@ register(
                     check("mean_bitrate_mbps", "coordinated", ">", of="reactive"),
                     check("engagement", "coordinated", ">", of="reactive"),
                     check("migrations", "coordinated", ">", 0),
+                ),
+            ),
+            VariantSpec(
+                name="loop-latency",
+                runner=run_loop_latency,
+                row_key="config",
+                checks=(
+                    # App-internal control plane: beacons aggregate, but
+                    # no I2A glass means no hint stages in either config.
+                    check("a2i_reports", "*", ">", 0),
+                    check("beacon_to_flush_n", "*", ">", 0),
+                    check("i2a_hints", "*", "==", 0),
+                    check("hint_to_action_n", "*", "==", 0),
+                    check("action_to_recovery_n", "coordinated", ">", 0),
                 ),
             ),
         ),

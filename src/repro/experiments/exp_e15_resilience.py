@@ -29,7 +29,12 @@ from typing import Dict, List, Mapping, Optional
 from repro.core.appp import EonaAppP, StatusQuoAppP
 from repro.core.context import build_context
 from repro.core.infp import EonaInfP, StatusQuoInfP
-from repro.experiments.common import ExperimentResult, launch_video_sessions, qoe_of
+from repro.experiments.common import (
+    ExperimentResult,
+    launch_video_sessions,
+    loop_latency_row,
+    qoe_of,
+)
 from repro.experiments.registry import register
 from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.faults import FaultInjector, FaultPlan, PlanBuilder, register_plan
@@ -197,6 +202,28 @@ def run_glass_outage(seed: int = 0, **kwargs) -> ExperimentResult:
         )
     )
     result.add_row(**_run_degraded_mode("eona_fallback", seed, plan, **kwargs))
+    return result
+
+
+def run_loop_latency(seed: int = 0, **kwargs) -> ExperimentResult:
+    """Causal loop spans of clean EONA vs the glass-outage fallback.
+
+    The resilience angle on DESIGN.md §13: the hint→action chain must
+    exist in both rows (fallback re-engages once the glass recovers at
+    300s), and the clean world must produce at least as many
+    hint-caused actions as the one that spent the peak dark.
+    """
+    from repro.obs import spans
+
+    result = ExperimentResult(
+        name="E15-loop-latency",
+        notes="causal loop stages (sim s): clean EONA vs glass-outage fallback",
+    )
+    for row_name, plan in (("eona", None), ("eona_fallback", glass_outage_plan())):
+        with spans.capture() as events:
+            row = _run_degraded_mode(row_name, seed, plan, **kwargs)
+        result.merge_counters(row["_counters"])  # type: ignore[arg-type]
+        result.add_row(**loop_latency_row(events, mode=row_name))
     return result
 
 
@@ -411,6 +438,20 @@ register(
                     # Without a staleness bound the freeze goes unnoticed.
                     check("glass_errors", "eona_rigid", "==", 0),
                     check("fallback_activations", "eona_rigid", "==", 0),
+                ),
+            ),
+            VariantSpec(
+                name="loop-latency",
+                runner=run_loop_latency,
+                checks=(
+                    check("beacon_to_flush_n", "*", ">", 0),
+                    # The chain survives the outage (glass back at 300s)...
+                    check("i2a_hints", "*", ">", 0),
+                    check("hint_to_action_n", "eona", ">", 0),
+                    # ...but the dark window visibly thins it out.
+                    check("i2a_hints", "eona", ">", of="eona_fallback"),
+                    check("hint_to_action_n", "eona", ">=",
+                          of="eona_fallback"),
                 ),
             ),
             VariantSpec(

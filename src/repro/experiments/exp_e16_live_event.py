@@ -21,7 +21,11 @@ from typing import Dict
 
 from repro.core.appp import StatusQuoAppP
 from repro.core.controlplane import CoordinatedAppP
-from repro.experiments.common import ExperimentResult, launch_video_sessions
+from repro.experiments.common import (
+    ExperimentResult,
+    launch_video_sessions,
+    loop_latency_row,
+)
 from repro.experiments.registry import register
 from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.scenarios import build_scenario
@@ -96,6 +100,26 @@ def run(seed: int = 0, **kwargs) -> ExperimentResult:
     return result
 
 
+def run_loop_latency(seed: int = 0, **kwargs) -> ExperimentResult:
+    """Action→recovery spans of the live-event failover (DESIGN.md §13).
+
+    Like E13, the coordinated plane is app-internal: no I2A hints, so
+    the trace must show beacon→flush and action→recovery chains only.
+    """
+    from repro.obs import spans
+
+    result = ExperimentResult(
+        name="E16-loop-latency",
+        notes="causal loop stages (sim s) from captured spans; DESIGN.md §13",
+    )
+    for config in ("reactive", "coordinated"):
+        with spans.capture() as events:
+            row = run_config(config, seed=seed, **kwargs)
+        result.merge_counters(row["_counters"])  # type: ignore[arg-type]
+        result.add_row(**loop_latency_row(events, config=config))
+    return result
+
+
 register(
     ExperimentSpec(
         exp_id="e16",
@@ -113,6 +137,19 @@ register(
                     check("east_share_during_outage", "coordinated", "<", 0.35),
                     check("migrations", "coordinated", ">", 0),
                     check("sessions", "reactive", ">", 10),
+                ),
+            ),
+            VariantSpec(
+                name="loop-latency",
+                runner=run_loop_latency,
+                row_key="config",
+                checks=(
+                    check("beacon_to_flush_n", "*", ">", 0),
+                    check("i2a_hints", "*", "==", 0),
+                    check("hint_to_action_n", "*", "==", 0),
+                    # The coordinated plane's migrations are traced
+                    # actions whose sessions then recover.
+                    check("action_to_recovery_n", "coordinated", ">", 0),
                 ),
             ),
         ),

@@ -19,7 +19,12 @@ from repro.baselines.modes import Mode
 from repro.baselines.oracle import OracleAppP
 from repro.core.appp import EonaAppP, StatusQuoAppP
 from repro.core.infp import EonaInfP, StatusQuoInfP
-from repro.experiments.common import ExperimentResult, launch_video_sessions, qoe_of
+from repro.experiments.common import (
+    ExperimentResult,
+    launch_video_sessions,
+    loop_latency_row,
+    qoe_of,
+)
 from repro.experiments.registry import register
 from repro.experiments.spec import ExperimentSpec, VariantSpec, check
 from repro.scenarios import build_scenario
@@ -202,6 +207,33 @@ def run_abr_ablation(
     return result
 
 
+def run_loop_latency(seed: int = 0, **kwargs) -> ExperimentResult:
+    """Causal loop-reaction latency of the flash-crowd worlds (§13).
+
+    Re-runs the status-quo and EONA worlds under a captured trace and
+    reduces the beacon→flush→hint→action→recovery chain to per-stage
+    counts and latencies.  The structural claim: the hint→action hop
+    exists *only* in the EONA world (the status quo has no I2A glass to
+    cause anything), and when it exists it is same-control-tick fast.
+    """
+    from repro.obs import spans
+
+    kwargs.setdefault("n_clients", 20)
+    kwargs.setdefault("access_capacity_mbps", 30.0)
+    kwargs.setdefault("peak_rate_per_s", 1.0)
+    kwargs.setdefault("horizon_s", 500.0)
+    result = ExperimentResult(
+        name="E2-loop-latency",
+        notes="causal loop stages (sim s) from captured spans; DESIGN.md §13",
+    )
+    for mode in (Mode.STATUS_QUO, Mode.EONA):
+        with spans.capture() as events:
+            row = run_mode(mode, seed=seed, **kwargs)
+        result.merge_counters(row["_counters"])  # type: ignore[arg-type]
+        result.add_row(**loop_latency_row(events, mode=mode.value))
+    return result
+
+
 def run(
     seed: int = 0,
     include_oracle: bool = True,
@@ -256,6 +288,23 @@ register(
                 checks=(
                     check("eona_benefit", "*", ">", 0),
                     check("eona_engagement_gain", "*", ">", 0),
+                ),
+            ),
+            VariantSpec(
+                name="loop-latency",
+                runner=run_loop_latency,
+                checks=(
+                    # The hint→action causal hop exists only with EONA's
+                    # I2A glass; beacons aggregate in both worlds.
+                    check("i2a_hints", "eona", ">", 0),
+                    check("i2a_hints", "status_quo", "==", 0),
+                    check("hint_to_action_n", "eona", ">", 0),
+                    check("hint_to_action_n", "status_quo", "==", 0),
+                    check("beacon_to_hint_n", "eona", ">", 0),
+                    check("beacon_to_flush_n", "*", ">", 0),
+                    check("action_to_recovery_n", "*", ">", 0),
+                    # Hint-caused actions land in the same control tick.
+                    check("hint_to_action_p95_s", "eona", "<", 0.5),
                 ),
             ),
         ),

@@ -19,12 +19,17 @@ views (DESIGN.md §9):
   execution via the kernel's dispatch hook.  This is the only layer
   allowed to read host timers; simlint's ``obs-hotpath`` rule enforces
   that everything else routes timing through :func:`wall_clock`.
+* :mod:`repro.obs.spans` / :mod:`repro.obs.analyze` -- the causal-span
+  layer (DESIGN.md §13): span forests rebuilt from ``cause``/``parent``
+  IDs threaded through the control loop, loop-latency distributions,
+  trace diffs, Chrome-trace export, and the bench-regression gate.
 """
 
 from __future__ import annotations
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profile import HandlerProfiler, wall_clock
+from repro.obs.spans import SpanForest, build_span_forest, loop_latencies
 from repro.obs.trace import TRACER, Tracer
 
 __all__ = [
@@ -33,7 +38,10 @@ __all__ = [
     "HandlerProfiler",
     "Histogram",
     "MetricsRegistry",
+    "SpanForest",
     "TRACER",
     "Tracer",
+    "build_span_forest",
+    "loop_latencies",
     "wall_clock",
 ]

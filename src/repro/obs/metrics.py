@@ -86,6 +86,32 @@ class Histogram:
         self.total += 1
         self.sum += value
 
+    def percentile(self, q: float) -> float:
+        """The q-quantile (``0 <= q <= 1``) interpolated within buckets.
+
+        Observations are assumed uniform inside their bucket, the
+        standard fixed-bucket estimate (Prometheus ``histogram_quantile``
+        semantics).  The first bucket interpolates from 0 (or its edge,
+        if negative); the overflow bucket is clamped to the last edge --
+        the histogram does not know how far past it observations fell.
+        An empty histogram returns 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        cumulative = 0
+        lower = min(0.0, self.edges[0])
+        for index, edge in enumerate(self.edges):
+            count = self.counts[index]
+            if count and cumulative + count >= rank:
+                fraction = (rank - cumulative) / count
+                return lower + (edge - lower) * fraction
+            cumulative += count
+            lower = edge
+        return self.edges[-1]
+
 
 class MetricsRegistry:
     """Get-or-create registry with one deterministic snapshot API."""
@@ -160,6 +186,9 @@ class MetricsRegistry:
                     "counts": list(histogram.counts),
                     "total": histogram.total,
                     "sum": histogram.sum,
+                    "p50": histogram.percentile(0.50),
+                    "p95": histogram.percentile(0.95),
+                    "p99": histogram.percentile(0.99),
                 }
                 for name, histogram in sorted(self._histograms.items())
             },

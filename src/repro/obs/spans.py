@@ -1,0 +1,363 @@
+"""Causal span graphs over deterministic traces (DESIGN.md §13).
+
+PR 4's tracer records *events*; this module recovers the *loop*.  Every
+control-loop event carries a ``cause`` ID minted by
+:meth:`~repro.obs.trace.Tracer.new_cause`, and downstream events point
+back with ``parent`` (single cause) or ``parents`` (fan-in, e.g. an
+aggregation flush absorbing many beacons).  From a trace alone --
+in-memory events or a JSONL file -- :class:`SpanForest` rebuilds the
+causal DAG:
+
+    a2i-report ──▶ agg-flush ──▶ a2i-report(query) ──▶ i2a-hint
+        ──▶ bitrate-cap / server-switch / cdn-switch / infp-reroute
+        ──▶ qoe-recovery
+
+and :func:`loop_latencies` turns it into the paper's reaction-time
+distributions.  Everything here is a pure function of the event list,
+so same-seed runs produce byte-identical forests (the correctness gate
+``tests/obs/test_spans.py`` enforces serially vs in a worker process).
+
+Stage definitions (:data:`LOOP_STAGES`):
+
+* ``beacon_to_flush`` -- causal: a flush's ``parents`` are the beacons
+  it absorbed.
+* ``beacon_to_hint`` -- causal when the hint's ancestor chain reaches a
+  beacon/flush (fully coupled worlds); otherwise the latest beacon
+  before the hint (temporal attribution -- in E2's EONA world the
+  ISP detects congestion from its own link stats, so no causal edge
+  exists, yet "how stale is the newest experience evidence when the
+  hint arrives" is still the loop-reaction question).
+* ``hint_to_action`` -- causal only: actions whose ``parent`` is an
+  ``i2a-hint``.
+* ``action_to_recovery`` -- causal only: ``qoe-recovery`` pointing at
+  the action that preceded the session's next good chunk.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.obs.trace import DEFAULT_CAPACITY, TRACER
+
+#: One trace event, as emitted (``t``/``kind`` plus free-form fields).
+Event = Dict[str, object]
+
+#: Event kinds that are control *actions* (the hint→action hop's end).
+ACTION_KINDS = frozenset(
+    {"cdn-switch", "bitrate-cap", "server-switch", "infp-reroute"}
+)
+
+#: The loop stages :func:`loop_latencies` measures, in loop order.
+LOOP_STAGES: Tuple[str, ...] = (
+    "beacon_to_flush",
+    "beacon_to_hint",
+    "hint_to_action",
+    "action_to_recovery",
+)
+
+
+def load_jsonl(text: str) -> List[Event]:
+    """Parse a JSONL trace (as written by a sink or ``to_jsonl``)."""
+    events: List[Event] = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"trace line {line_no} is not JSON: {error}") from None
+        if not isinstance(event, dict) or "kind" not in event or "t" not in event:
+            raise ValueError(f"trace line {line_no} is not an event: {line[:80]}")
+        events.append(event)
+    return events
+
+
+def parent_ids(event: Event) -> List[int]:
+    """An event's causal parents (``parent`` and/or ``parents``)."""
+    parents: List[int] = []
+    single = event.get("parent")
+    if isinstance(single, int):
+        parents.append(single)
+    many = event.get("parents")
+    if isinstance(many, list):
+        parents.extend(p for p in many if isinstance(p, int))
+    return parents
+
+
+@dataclass
+class SpanNode:
+    """One causal span: an event plus the spans it caused."""
+
+    event: Event
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def cause(self) -> int:
+        return int(self.event["cause"])  # only cause-bearing events get nodes
+
+    @property
+    def kind(self) -> str:
+        return str(self.event["kind"])
+
+    @property
+    def t(self) -> float:
+        return float(self.event["t"])  # type: ignore[arg-type]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Nested tree form (children in emission order)."""
+        return {
+            "event": self.event,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class SpanForest:
+    """The causal DAG of one trace, rendered as a forest.
+
+    Only cause-bearing events become nodes.  A node with at least one
+    resolvable parent is nested under its *first* parent (emission
+    order); fan-in beyond the first parent stays visible through the
+    event's own ``parents`` field.  Nodes whose parents all fall
+    outside the trace (ring-buffer eviction, cross-world IDs) are
+    roots, as are genuinely parentless spans.
+    """
+
+    def __init__(self, events: Iterable[Event]):
+        self.events: List[Event] = list(events)
+        self.nodes: Dict[int, SpanNode] = {}
+        self.roots: List[SpanNode] = []
+        for event in self.events:
+            cause = event.get("cause")
+            if isinstance(cause, int):
+                self.nodes[cause] = SpanNode(event)
+        for event in self.events:
+            cause = event.get("cause")
+            if not isinstance(cause, int):
+                continue
+            node = self.nodes[cause]
+            attached = False
+            for parent in parent_ids(event):
+                owner = self.nodes.get(parent)
+                if owner is not None and owner is not node:
+                    owner.children.append(node)
+                    attached = True
+                    break
+            if not attached:
+                self.roots.append(node)
+
+    def node(self, cause: int) -> Optional[SpanNode]:
+        return self.nodes.get(cause)
+
+    def ancestry(self, cause: int) -> List[Event]:
+        """The first-parent chain from ``cause`` up to its root."""
+        chain: List[Event] = []
+        seen: set = set()
+        current = self.nodes.get(cause)
+        while current is not None and current.cause not in seen:
+            seen.add(current.cause)
+            chain.append(current.event)
+            parents = parent_ids(current.event)
+            current = self.nodes.get(parents[0]) if parents else None
+        return chain
+
+    def chain_counts(self) -> Dict[str, int]:
+        """``"parent-kind->child-kind"`` edge counts (sorted keys)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            cause = event.get("cause")
+            if not isinstance(cause, int):
+                continue
+            for parent in parent_ids(event):
+                owner = self.nodes.get(parent)
+                if owner is None:
+                    continue
+                key = f"{owner.kind}->{event['kind']}"
+                counts[key] = counts.get(key, 0) + 1
+        return {key: counts[key] for key in sorted(counts)}
+
+    def to_jsonl(self) -> str:
+        """One JSON tree per root, sorted keys -- byte-stable."""
+        return "".join(
+            json.dumps(root.to_dict(), sort_keys=True, default=str) + "\n"
+            for root in self.roots
+        )
+
+
+def build_span_forest(events: Iterable[Event]) -> SpanForest:
+    """Convenience constructor mirroring the other obs factories."""
+    return SpanForest(events)
+
+
+# ----------------------------------------------------------------------
+# loop latencies
+# ----------------------------------------------------------------------
+def phase_timeline(events: Iterable[Event]) -> List[Tuple[float, str]]:
+    """``(t, phase)`` transitions from the trace, in order."""
+    return [
+        (float(event["t"]), str(event.get("phase", "")))  # type: ignore[arg-type]
+        for event in events
+        if event.get("kind") == "phase-transition"
+    ]
+
+
+def _phase_at(timeline: List[Tuple[float, str]], t: float) -> str:
+    current = "-"
+    for start, name in timeline:
+        if start <= t:
+            current = name
+        else:
+            break
+    return current
+
+
+def _group_of(event: Event) -> str:
+    for key in ("to_cdn", "cdn", "group", "isp", "owner"):
+        value = event.get(key)
+        if value:
+            return str(value)
+    return "-"
+
+
+def split_worlds(events: Iterable[Event]) -> List[List[Event]]:
+    """Split a trace at sim-time resets (one sublist per world).
+
+    One tracer enable may span several sequentially built worlds (an
+    experiment comparing modes); each world's clock restarts at 0, so a
+    backwards ``t`` step marks the boundary.  Within a world time is
+    monotone -- the tracer's :class:`~repro.obs.trace.TraceOrderError`
+    watermark enforces it at emission.
+    """
+    worlds: List[List[Event]] = []
+    current: List[Event] = []
+    last_t: Optional[float] = None
+    for event in events:
+        t = float(event["t"])  # type: ignore[arg-type]
+        if last_t is not None and t < last_t:
+            worlds.append(current)
+            current = []
+        current.append(event)
+        last_t = t
+    if current:
+        worlds.append(current)
+    return worlds
+
+
+def loop_latencies(events: Iterable[Event]) -> Dict[str, List[Dict[str, object]]]:
+    """Per-stage latency samples from one trace.
+
+    Returns ``{stage: [sample, ...]}`` over :data:`LOOP_STAGES`; each
+    sample carries ``latency_s``, the end event's ``t``/``kind``/
+    ``cause`` (when present), the scenario ``phase`` active at the end,
+    and a ``group`` attribution key (CDN / TE group / ISP / owner).
+    Multi-world traces are split at sim-time resets so temporal
+    attribution never crosses a world boundary.  Pure and
+    deterministic: same trace, same samples.
+    """
+    samples: Dict[str, List[Dict[str, object]]] = {
+        stage: [] for stage in LOOP_STAGES
+    }
+    for world in split_worlds(events):
+        _world_latencies(world, samples)
+    return samples
+
+
+def _world_latencies(
+    ordered: List[Event], samples: Dict[str, List[Dict[str, object]]]
+) -> None:
+    timeline = phase_timeline(ordered)
+    by_cause: Dict[int, Event] = {
+        int(e["cause"]): e  # type: ignore[arg-type]
+        for e in ordered
+        if isinstance(e.get("cause"), int)
+    }
+
+    def add(stage: str, start_t: float, end_event: Event) -> None:
+        end_t = float(end_event["t"])  # type: ignore[arg-type]
+        sample: Dict[str, object] = {
+            "latency_s": end_t - start_t,
+            "t": end_t,
+            "kind": end_event["kind"],
+            "phase": _phase_at(timeline, end_t),
+            "group": _group_of(end_event),
+        }
+        if isinstance(end_event.get("cause"), int):
+            sample["cause"] = end_event["cause"]
+        samples[stage].append(sample)
+
+    def root_ancestor(event: Event) -> Optional[Event]:
+        seen: set = set()
+        current = event
+        while True:
+            parents = parent_ids(current)
+            nxt = by_cause.get(parents[0]) if parents else None
+            if nxt is None or id(nxt) in seen:
+                return None if current is event else current
+            seen.add(id(nxt))
+            current = nxt
+
+    last_beacon_t: Optional[float] = None
+    for event in ordered:
+        kind = event.get("kind")
+        t = float(event["t"])  # type: ignore[arg-type]
+        if kind == "a2i-report" and event.get("via") in ("beacon", "cohort-beacon"):
+            last_beacon_t = t
+        elif kind == "agg-flush":
+            for parent in parent_ids(event):
+                beacon = by_cause.get(parent)
+                if beacon is not None:
+                    add("beacon_to_flush", float(beacon["t"]), event)  # type: ignore[arg-type]
+        elif kind == "i2a-hint":
+            origin = root_ancestor(event)
+            if origin is not None:
+                add("beacon_to_hint", float(origin["t"]), event)  # type: ignore[arg-type]
+            elif last_beacon_t is not None:
+                add("beacon_to_hint", last_beacon_t, event)
+        elif kind in ACTION_KINDS:
+            for parent in parent_ids(event):
+                hint = by_cause.get(parent)
+                if hint is not None and hint.get("kind") == "i2a-hint":
+                    add("hint_to_action", float(hint["t"]), event)  # type: ignore[arg-type]
+                    break
+        elif kind == "qoe-recovery":
+            for parent in parent_ids(event):
+                action = by_cause.get(parent)
+                if action is not None and action.get("kind") in ACTION_KINDS:
+                    add("action_to_recovery", float(action["t"]), event)  # type: ignore[arg-type]
+                    break
+
+
+# ----------------------------------------------------------------------
+# capture helper
+# ----------------------------------------------------------------------
+@contextmanager
+def capture(capacity: int = DEFAULT_CAPACITY) -> Iterator[List[Event]]:
+    """Collect the trace events emitted inside the ``with`` block.
+
+    Composes with an outer trace: if the tracer is already enabled
+    (``eona trace``/``eona analyze`` driving the run), its buffer and
+    sink are left untouched and only events emitted after entry are
+    returned.  Otherwise a private in-memory trace is enabled for the
+    block and fully closed afterwards, so untraced callers see the
+    tracer exactly as they left it.  The yielded list is filled at
+    exit.
+    """
+    owned = not TRACER.enabled
+    if owned:
+        TRACER.enable(capacity=capacity)
+        start = 0
+    else:
+        start = TRACER.emitted
+    events: List[Event] = []
+    try:
+        yield events
+    finally:
+        buffered = TRACER.events()
+        # Events that fell off the ring's front shift our start index.
+        dropped = TRACER.emitted - len(buffered)
+        events.extend(buffered[max(0, start - dropped):])
+        if owned:
+            TRACER.close()

@@ -15,7 +15,14 @@ seed therefore produce byte-identical JSONL.
 Event taxonomy (DESIGN.md §9): ``a2i-report``, ``i2a-hint``,
 ``cdn-switch``, ``infp-reroute``, ``allocator-solve``,
 ``phase-transition``, ``scenario-built``, plus ``span`` records from
-:meth:`Tracer.span`.
+:meth:`Tracer.span`.  The causal-span layer (DESIGN.md §13) adds
+``agg-flush``, ``bitrate-cap``, ``server-switch``, and
+``qoe-recovery``, and threads ``cause``/``parent``/``parents`` fields
+through the loop events so :mod:`repro.obs.spans` can rebuild the
+beacon → flush → hint → action → recovery chain from a trace alone.
+Cause IDs are minted *only* by :meth:`Tracer.new_cause` -- a per-enable
+monotonic counter, so same-seed runs assign identical IDs (the
+span-discipline simlint rule enforces the seam).
 
 Forked ``multiseed`` workers inherit an enabled tracer; an interleaved
 multi-process trace would be nondeterministic, so the worker entry point
@@ -49,6 +56,17 @@ def _zero_clock() -> float:
     return 0.0
 
 
+class TraceOrderError(RuntimeError):
+    """An event was emitted at an earlier sim time than its predecessor.
+
+    Sim time within one world is monotone, so this always means a stale
+    clock: a new world was built without :func:`~repro.core.context.
+    build_context` rebinding the tracer's clock, or two worlds are
+    interleaving into one trace.  Either would silently corrupt span
+    reconstruction, so it is rejected loudly at the emission site.
+    """
+
+
 class Tracer:
     """Bounded ring buffer of structured events with an optional sink.
 
@@ -65,6 +83,8 @@ class Tracer:
         self._sink_path: Optional[str] = None
         self._owner_pid: Optional[int] = None
         self.emitted = 0
+        self._next_cause = 0
+        self._watermark_t: Optional[float] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -86,6 +106,8 @@ class Tracer:
         self.close()
         self._events = deque(maxlen=capacity)
         self.emitted = 0
+        self._next_cause = 0
+        self._watermark_t = None
         if sink is not None:
             directory = os.path.dirname(sink)
             if directory:
@@ -113,6 +135,8 @@ class Tracer:
         self._sink_path = None
         self._owner_pid = None
         self.emitted = 0
+        self._next_cause = 0
+        self._watermark_t = None
         self._clock = _zero_clock
 
     def deactivate_inherited(self) -> None:
@@ -136,15 +160,46 @@ class Tracer:
         :func:`repro.core.context.build_context` binds every new world's
         simulator here, so sequentially built worlds (the usual
         experiment pattern) each stamp their own events correctly.
+        Rebinding resets the monotonicity watermark: the new world's sim
+        time legitimately restarts at 0.
         """
         self._clock = clock
+        self._watermark_t = None
 
     # ------------------------------------------------------------------
     # emission
     # ------------------------------------------------------------------
+    def new_cause(self) -> int:
+        """Mint the next causal span ID (monotone within one enable).
+
+        Every loop event that can *cause* a downstream event carries a
+        ``cause`` field minted here; downstream events point back with
+        ``parent`` (or ``parents`` for fan-in like an aggregation
+        flush).  The counter restarts at 1 on :meth:`enable`/:meth:`close`,
+        so same-seed runs mint identical IDs -- the byte-identical span
+        gate depends on it.  This is the only sanctioned minting site
+        (simlint's span-discipline rule).
+        """
+        self._next_cause += 1
+        return self._next_cause
+
     def emit(self, kind: str, **fields: object) -> None:
-        """Record one event at the current simulated time."""
-        event: Dict[str, object] = {"t": self._clock(), "kind": kind}
+        """Record one event at the current simulated time.
+
+        Raises:
+            TraceOrderError: If the bound clock went backwards since the
+                last emission (stale clock from an unbound world).
+        """
+        now = self._clock()
+        if self._watermark_t is not None and now < self._watermark_t:
+            raise TraceOrderError(
+                f"out-of-order trace event {kind!r}: t={now:g} is earlier "
+                f"than the last emission at t={self._watermark_t:g}; a new "
+                "world must rebind the tracer clock (build_context does "
+                "this) before emitting"
+            )
+        self._watermark_t = now
+        event: Dict[str, object] = {"t": now, "kind": kind}
         event.update(fields)
         self._events.append(event)
         self.emitted += 1

@@ -10,7 +10,7 @@ program traffic groups through it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.network.fluidsim import FluidNetwork
 from repro.network.routing import NoRouteError
@@ -42,6 +42,11 @@ class SdnController:
                 switch_id=f"sw.{node.node_id}", node_id=node.node_id, network=network
             )
         self.flow_mods_sent = 0
+        #: Cause ID of the control decision driving the next installs
+        #: (set by the owning control logic, e.g. the EONA InfP's
+        #: demand-informed TE round); traced ``infp-reroute`` events
+        #: carry it as ``parent``.  Purely observational.
+        self.pending_parent: Optional[int] = None
 
     def has_switch(self, node_id: str) -> bool:
         return node_id in self.switches
@@ -79,14 +84,19 @@ class SdnController:
             sent += 1
         self.flow_mods_sent += sent
         if TRACER.enabled:
+            extra: Dict[str, object] = (
+                {} if self.pending_parent is None else {"parent": self.pending_parent}
+            )
             TRACER.emit(
                 "infp-reroute",
+                cause=TRACER.new_cause(),
                 owner=self.owner,
                 path=list(node_path),
                 group=match.group,
                 cookie=cookie,
                 priority=priority,
                 rules_sent=sent,
+                **extra,
             )
         return sent
 

@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.trace import TRACER
 from repro.telemetry.records import SessionRecord
 
 
@@ -119,11 +120,24 @@ class GroupByAggregator:
         self._counts: Dict[Tuple[str, ...], float] = {}
         self.rows_emitted = 0
         self.records_processed = 0
+        self._pending_causes: List[int] = []
+        self.last_flush_cause: Optional[int] = None
 
     @property
     def open_groups(self) -> int:
         """Cardinality of the currently open window (memory proxy)."""
         return len(self._cells)
+
+    def note_cause(self, cause: int) -> None:
+        """Record a beacon's causal span ID for flush provenance.
+
+        Beacon producers (the AppP's ``a2i-report`` emission sites) call
+        this right after ingesting the record, so the next ``agg-flush``
+        trace event can list the beacons it absorbed as ``parents`` --
+        the beacon→flush hop of the causal chain (DESIGN.md §13).
+        Purely observational: never called when tracing is off.
+        """
+        self._pending_causes.append(cause)
 
     def add(self, record: SessionRecord, weight: float = 1.0) -> None:
         """Ingest one record, closing the window first if it has passed.
@@ -172,9 +186,22 @@ class GroupByAggregator:
             )
             for group, cell in self._cells.items()
         ]
+        window_start = self._window_start
         self._cells.clear()
         self._counts.clear()
         self.rows_emitted += len(rows)
+        if TRACER.enabled and rows:
+            cause = TRACER.new_cause()
+            TRACER.emit(
+                "agg-flush",
+                cause=cause,
+                parents=list(self._pending_causes),
+                rows=len(rows),
+                window_start=window_start,
+                window_s=self.window_s,
+            )
+            self.last_flush_cause = cause
+        self._pending_causes.clear()
         if up_to is not None:
             self._window_start = self._align(up_to)
         else:

@@ -1,0 +1,22 @@
+"""Fixture: builds span machinery and mints cause IDs by hand.
+
+Four span-discipline findings: two constructions (a local tracer, a
+local span forest) and two ad-hoc cause counters (a bare name and an
+attribute).  The bare references never resolve at runtime -- simlint
+only reads the AST.
+"""
+
+
+class _LoopState:
+    def __init__(self):
+        self.next_cause = 0
+
+
+def rebuild(events):
+    tracer = LocalTracer()  # noqa: F821
+    forest = SpanForest(events)  # noqa: F821
+    next_cause = 0
+    next_cause += 1
+    state = _LoopState()
+    state.next_cause += 1
+    return tracer, forest, next_cause, state

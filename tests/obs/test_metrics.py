@@ -51,6 +51,37 @@ class TestPrimitives:
         assert hist.total == 5
         assert hist.sum == pytest.approx(27.5)
 
+    def test_percentile_interpolates_within_bucket(self):
+        hist = Histogram("h", (1.0, 10.0))
+        for _ in range(10):
+            hist.observe(0.5)
+        # All mass in the first bucket: quantiles interpolate [0, 1].
+        assert hist.percentile(0.5) == pytest.approx(0.5)
+        assert hist.percentile(1.0) == pytest.approx(1.0)
+
+    def test_percentile_spans_buckets(self):
+        hist = Histogram("h", (1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 3.5):
+            hist.observe(value)
+        # rank 2.0 lands at the first bucket boundary exactly.
+        assert hist.percentile(0.25) == pytest.approx(1.0)
+        assert hist.percentile(0.5) == pytest.approx(2.0)
+        # rank 3.0 is halfway through the (2, 4] bucket's two samples.
+        assert hist.percentile(0.75) == pytest.approx(3.0)
+
+    def test_percentile_overflow_clamps_to_last_edge(self):
+        hist = Histogram("h", (1.0, 10.0))
+        hist.observe(50.0)
+        assert hist.percentile(0.99) == pytest.approx(10.0)
+
+    def test_percentile_empty_and_bounds(self):
+        hist = Histogram("h", (1.0,))
+        assert hist.percentile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            hist.percentile(-0.1)
+        with pytest.raises(ValueError):
+            hist.percentile(1.1)
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_object(self):
@@ -108,6 +139,9 @@ class TestSnapshot:
                 "counts": [1, 0],
                 "total": 1,
                 "sum": 0.5,
+                "p50": pytest.approx(0.5),
+                "p95": pytest.approx(0.95),
+                "p99": pytest.approx(0.99),
             }
         }
 

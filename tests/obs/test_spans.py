@@ -1,0 +1,287 @@
+"""Span forests, loop latencies, and trace diff (DESIGN.md §13).
+
+The synthetic tests pin the causal algebra on a hand-built loop trace;
+the world tests are the PR's correctness gates: same-seed span trees
+are byte-identical whether the traced world runs serially or inside a
+multiseed worker process, and the hint→action chain appears in an EONA
+trace but not in a status-quo one.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.multiseed import run_seeds
+from repro.obs import spans
+from repro.obs.analyze import trace_diff
+from repro.obs.trace import TRACER
+
+
+def _ev(t, kind, cause=None, parent=None, parents=None, **fields):
+    event = {"t": float(t), "kind": kind}
+    if cause is not None:
+        event["cause"] = cause
+    if parent is not None:
+        event["parent"] = parent
+    if parents is not None:
+        event["parents"] = parents
+    event.update(fields)
+    return event
+
+
+def _loop_trace():
+    """One fully coupled loop: 2 beacons -> flush -> hint -> switch -> recovery."""
+    return [
+        _ev(10.0, "a2i-report", cause=1, via="beacon"),
+        _ev(12.0, "a2i-report", cause=2, via="beacon"),
+        _ev(15.0, "agg-flush", cause=3, parents=[1, 2]),
+        _ev(20.0, "i2a-hint", cause=4, parent=3),
+        _ev(21.0, "cdn-switch", cause=5, parent=4, to_cdn="cdn-b"),
+        _ev(30.0, "qoe-recovery", cause=6, parent=5),
+    ]
+
+
+class TestLoadJsonl:
+    def test_round_trip(self):
+        text = "".join(
+            json.dumps(e, sort_keys=True) + "\n" for e in _loop_trace()
+        )
+        assert spans.load_jsonl(text) == _loop_trace()
+
+    def test_rejects_non_json_line(self):
+        try:
+            spans.load_jsonl('{"t": 0, "kind": "x"}\nnot json\n')
+        except ValueError as error:
+            assert "line 2" in str(error)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_rejects_non_event_line(self):
+        try:
+            spans.load_jsonl('{"t": 0}\n')
+        except ValueError as error:
+            assert "line 1" in str(error)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+
+class TestSpanForest:
+    def test_nesting_follows_first_parent(self):
+        forest = spans.build_span_forest(_loop_trace())
+        # Beacon 2 contributes to the flush's fan-in but the flush nests
+        # under its first parent (beacon 1); beacon 2 is a root.
+        assert [root.cause for root in forest.roots] == [1, 2]
+        chain = forest.roots[0]
+        kinds = []
+        while True:
+            kinds.append(chain.kind)
+            if not chain.children:
+                break
+            chain = chain.children[0]
+        assert kinds == [
+            "a2i-report",
+            "agg-flush",
+            "i2a-hint",
+            "cdn-switch",
+            "qoe-recovery",
+        ]
+
+    def test_ancestry_walks_to_root(self):
+        forest = spans.build_span_forest(_loop_trace())
+        kinds = [str(e["kind"]) for e in forest.ancestry(6)]
+        assert kinds == [
+            "qoe-recovery",
+            "cdn-switch",
+            "i2a-hint",
+            "agg-flush",
+            "a2i-report",
+        ]
+
+    def test_chain_counts(self):
+        forest = spans.build_span_forest(_loop_trace())
+        assert forest.chain_counts() == {
+            "a2i-report->agg-flush": 2,
+            "agg-flush->i2a-hint": 1,
+            "cdn-switch->qoe-recovery": 1,
+            "i2a-hint->cdn-switch": 1,
+        }
+
+    def test_missing_parent_makes_root(self):
+        # Ring-buffer eviction: the parent fell off the front.
+        forest = spans.build_span_forest(
+            [_ev(5.0, "i2a-hint", cause=9, parent=1)]
+        )
+        assert [root.cause for root in forest.roots] == [9]
+
+    def test_to_jsonl_is_byte_stable(self):
+        a = spans.build_span_forest(_loop_trace()).to_jsonl()
+        b = spans.build_span_forest(_loop_trace()).to_jsonl()
+        assert a == b
+        assert a.count("\n") == 2  # one line per root
+
+
+class TestSplitWorlds:
+    def test_single_world_is_one_chunk(self):
+        assert spans.split_worlds(_loop_trace()) == [_loop_trace()]
+
+    def test_splits_at_time_reset(self):
+        first, second = _loop_trace(), _loop_trace()
+        worlds = spans.split_worlds(first + second)
+        assert worlds == [first, second]
+
+    def test_empty_trace(self):
+        assert spans.split_worlds([]) == []
+
+
+class TestLoopLatencies:
+    def test_stage_samples(self):
+        latencies = spans.loop_latencies(_loop_trace())
+        assert [s["latency_s"] for s in latencies["beacon_to_flush"]] == [
+            5.0,
+            3.0,
+        ]
+        # Causal attribution: the hint's ancestry reaches beacon 1.
+        assert [s["latency_s"] for s in latencies["beacon_to_hint"]] == [10.0]
+        assert [s["latency_s"] for s in latencies["hint_to_action"]] == [1.0]
+        assert [s["latency_s"] for s in latencies["action_to_recovery"]] == [
+            9.0
+        ]
+        assert latencies["hint_to_action"][0]["group"] == "cdn-b"
+
+    def test_temporal_fallback_uses_latest_beacon(self):
+        # An uncoupled hint (no causal chain): attribute to the newest
+        # beacon before it.
+        events = [
+            _ev(10.0, "a2i-report", cause=1, via="beacon"),
+            _ev(40.0, "a2i-report", cause=2, via="beacon"),
+            _ev(45.0, "i2a-hint", cause=3),
+        ]
+        latencies = spans.loop_latencies(events)
+        assert [s["latency_s"] for s in latencies["beacon_to_hint"]] == [5.0]
+
+    def test_temporal_fallback_never_crosses_worlds(self):
+        # World 1 ends with a beacon at t=50; world 2 opens with an
+        # uncoupled hint at t=5.  Crossing the boundary would produce a
+        # negative latency -- the bug split_worlds exists to prevent.
+        events = [
+            _ev(50.0, "a2i-report", cause=1, via="beacon"),
+            _ev(5.0, "i2a-hint", cause=1),
+        ]
+        latencies = spans.loop_latencies(events)
+        assert latencies["beacon_to_hint"] == []
+
+    def test_pull_reports_are_not_beacons(self):
+        events = [
+            _ev(10.0, "a2i-report", cause=1, via="query"),
+            _ev(45.0, "i2a-hint", cause=2),
+        ]
+        assert spans.loop_latencies(events)["beacon_to_hint"] == []
+
+    def test_phase_attribution(self):
+        events = [
+            _ev(0.0, "phase-transition", phase="ramp"),
+            _ev(10.0, "a2i-report", cause=1, via="beacon"),
+            _ev(12.0, "agg-flush", cause=2, parents=[1]),
+            _ev(20.0, "phase-transition", phase="peak"),
+            _ev(25.0, "agg-flush", cause=3, parents=[1]),
+        ]
+        latencies = spans.loop_latencies(events)
+        assert [s["phase"] for s in latencies["beacon_to_flush"]] == [
+            "ramp",
+            "peak",
+        ]
+
+
+class TestCapture:
+    def test_owned_capture_leaves_tracer_closed(self):
+        with spans.capture() as events:
+            assert TRACER.enabled
+            TRACER.emit("inside")
+        assert not TRACER.enabled
+        assert TRACER.events() == []
+        assert [e["kind"] for e in events] == ["inside"]
+
+    def test_nested_capture_reuses_outer_trace(self):
+        TRACER.enable()
+        TRACER.emit("before")
+        with spans.capture() as events:
+            TRACER.emit("inside")
+        assert [e["kind"] for e in events] == ["inside"]
+        # The outer trace is untouched.
+        assert TRACER.enabled
+        assert [e["kind"] for e in TRACER.events()] == ["before", "inside"]
+
+    def test_capture_corrects_for_ring_drop(self):
+        TRACER.enable(capacity=4)
+        for index in range(3):
+            TRACER.emit(f"old-{index}")
+        with spans.capture() as events:
+            for index in range(4):
+                TRACER.emit(f"new-{index}")
+        # The ring evicted the old events; only in-block ones return.
+        assert [e["kind"] for e in events] == [f"new-{i}" for i in range(4)]
+
+
+# ----------------------------------------------------------------------
+# world gates
+# ----------------------------------------------------------------------
+_SMALL_WORLD = dict(
+    n_clients=8,
+    access_capacity_mbps=15.0,
+    peak_rate_per_s=1.0,
+    horizon_s=240.0,
+)
+
+
+def _span_forest_row(seed: int) -> dict:
+    """Module-level (picklable) row_fn: trace a small EONA world."""
+    from repro.baselines.modes import Mode
+    from repro.experiments.exp_e2_flash_crowd import run_mode
+
+    with spans.capture() as events:
+        run_mode(Mode.EONA, seed=seed, **_SMALL_WORLD)
+    return {"seed": seed, "forest": spans.build_span_forest(events).to_jsonl()}
+
+
+class TestByteIdenticalGate:
+    def test_span_forest_identical_serial_vs_parallel(self):
+        seeds = [0, 1]
+        serial = run_seeds(_span_forest_row, seeds)
+        parallel = run_seeds(_span_forest_row, seeds, parallel=True, max_workers=2)
+        for serial_row, parallel_row in zip(serial, parallel):
+            assert serial_row["seed"] == parallel_row["seed"]
+            assert serial_row["forest"]  # the EONA world does emit spans
+            assert serial_row["forest"] == parallel_row["forest"]
+        assert serial[0]["forest"] != serial[1]["forest"]
+
+
+class TestTraceDiffWorlds:
+    def test_hint_chain_only_in_eona(self):
+        from repro.baselines.modes import Mode
+        from repro.experiments.exp_e2_flash_crowd import run_mode
+
+        captured = {}
+        for mode in (Mode.STATUS_QUO, Mode.EONA):
+            with spans.capture() as events:
+                run_mode(mode, seed=0, **_SMALL_WORLD)
+            captured[mode] = events
+        diff = trace_diff(
+            captured[Mode.STATUS_QUO],
+            captured[Mode.EONA],
+            "status_quo",
+            "eona",
+        )
+        hint_chains = {
+            key: counts
+            for key, counts in diff["chains"].items()
+            if key.startswith("i2a-hint->")
+        }
+        assert hint_chains  # EONA acts on hints...
+        for counts in hint_chains.values():
+            assert counts[0] == 0  # ...and status-quo never does.
+            assert counts[1] > 0
+        assert diff["kinds"]["i2a-hint"][0] == 0
+        assert diff["kinds"]["i2a-hint"][1] > 0
+        assert "hint_to_action" in diff["latency"]
+        assert diff["latency"]["hint_to_action"]["status_quo"] is None
+        assert diff["latency"]["hint_to_action"]["eona"]["count"] > 0

@@ -169,3 +169,46 @@ class TestDeterminism:
         ctx.run(until=30.0)
         assert TRACER.emitted == 0
         assert TRACER.events() == []
+
+
+class TestEdgeCases:
+    def test_empty_run_serializes_to_nothing(self, tmp_path):
+        sink = tmp_path / "empty.jsonl"
+        TRACER.enable(sink=str(sink))
+        TRACER.disable()
+        assert TRACER.to_jsonl() == ""
+        assert TRACER.events() == []
+        assert TRACER.emitted == 0
+        assert sink.read_text() == ""
+
+    def test_ring_wraparound_keeps_sink_complete(self, tmp_path):
+        sink = tmp_path / "wrap.jsonl"
+        TRACER.enable(capacity=4, sink=str(sink))
+        for index in range(10):
+            TRACER.emit("tick", index=index)
+        TRACER.disable()
+        # The ring kept the newest 4 events; the sink got all 10.
+        buffered = TRACER.events()
+        assert [e["index"] for e in buffered] == [6, 7, 8, 9]
+        assert TRACER.emitted == 10
+        lines = sink.read_text().splitlines()
+        assert [json.loads(line)["index"] for line in lines] == list(range(10))
+
+    def test_out_of_order_emission_is_rejected(self):
+        from repro.obs.trace import TraceOrderError
+
+        now = {"t": 5.0}
+        TRACER.enable()
+        TRACER.bind_clock(lambda: now["t"])
+        TRACER.emit("first")
+        now["t"] = 3.0
+        with pytest.raises(TraceOrderError, match="out-of-order"):
+            TRACER.emit("second")
+        # The offending event was never recorded anywhere.
+        assert TRACER.emitted == 1
+        # Rebinding the clock resets the watermark: a new world's sim
+        # time legitimately restarts at 0.
+        now["t"] = 0.0
+        TRACER.bind_clock(lambda: now["t"])
+        TRACER.emit("new-world")
+        assert [e["kind"] for e in TRACER.events()] == ["first", "new-world"]
