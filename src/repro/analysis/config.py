@@ -56,6 +56,7 @@ SIM_LAYERS: Tuple[str, ...] = (
     "faults",
     "cohorts",
     "scenarios",
+    "transport",
 )
 
 #: Checks a ``[tool.simlint.twins]`` pair may enable (default: all).
@@ -104,10 +105,14 @@ DEFAULT_CONFIG_DICT: Dict[str, object] = {
         ],
         "experiments": [
             "baselines", "cdn", "cohorts", "core", "faults", "network", "obs",
-            "scenarios", "sdn", "simkernel", "telemetry", "video", "web",
-            "workloads",
+            "scenarios", "sdn", "simkernel", "telemetry", "transport", "video",
+            "web", "workloads",
         ],
-        "cli": ["analysis", "experiments", "faults", "obs", "scenarios"],
+        "transport": ["core", "obs", "simkernel"],
+        "cli": [
+            "analysis", "experiments", "faults", "obs", "scenarios",
+            "transport",
+        ],
         "analysis": [],
         # Forward declaration: a future top-level span toolkit may depend
         # only on obs + the kernel (today it lives inside repro.obs).
@@ -119,6 +124,10 @@ DEFAULT_CONFIG_DICT: Dict[str, object] = {
         "float-eq": {"layers": ["network", "core"]},
         "no-print": {"exclude-layers": ["cli", "analysis"]},
         "obs-hotpath": {"exclude-layers": ["obs"]},
+        # Socket/event-loop machinery stays behind the Transport
+        # protocol: only repro.transport.tcp may import asyncio/socket
+        # (DESIGN.md §14).
+        "transport-io": {"allow-files": ["transport/tcp.py"]},
         # Cause IDs come from Tracer.new_cause (DESIGN.md §13): only obs
         # may build tracers/span machinery or run its own cause counters.
         "span-discipline": {"exclude-layers": ["obs"]},
@@ -138,6 +147,8 @@ DEFAULT_CONFIG_DICT: Dict[str, object] = {
                 "repro.experiments.registry._SPECS",
                 "repro.faults.plan._PLANS",
                 "repro.obs.trace.TRACER",
+                "repro.transport.base._TRANSPORTS",
+                "repro.transport.codec._REGISTRY",
             ],
         },
         "beacon-schema-sync": {

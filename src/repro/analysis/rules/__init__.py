@@ -73,6 +73,7 @@ from repro.analysis.rules import (  # noqa: E402  (registry must exist first)
     rng,
     rngflow,
     spanrule,
+    transportio,
     twins,
     wallclock,
 )
@@ -95,6 +96,7 @@ __all__ = [
     "rng",
     "rngflow",
     "spanrule",
+    "transportio",
     "twins",
     "wallclock",
 ]

@@ -1,0 +1,55 @@
+"""transport-io: socket/event-loop machinery stays in the tcp adapter.
+
+Everything above the wire sees the
+:class:`~repro.transport.base.Transport` protocol; the one place real
+I/O primitives may appear is the TCP adapter module
+(``repro/transport/tcp.py``).  This rule bans importing
+:mod:`asyncio`, :mod:`socket`, :mod:`selectors`, or
+:mod:`socketserver` anywhere else, so a simulated world can never grow
+an accidental dependency on live networking (and the deterministic
+loopback/replay adapters provably cannot block on a real socket).
+Scoped via ``[tool.simlint.rules.transport-io]`` with
+``allow-files = ["transport/tcp.py"]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+from repro.analysis.rules import register
+
+#: Modules whose import marks live-networking machinery.
+_BANNED_MODULES = ("asyncio", "socket", "selectors", "socketserver")
+
+
+@register
+class TransportIoRule(Rule):
+    id = "transport-io"
+    description = (
+        "asyncio/socket imports are confined to the TCP transport "
+        "adapter; everything else uses the Transport protocol"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".", 1)[0]
+                    if root in _BANNED_MODULES:
+                        yield ctx.finding(
+                            self.id,
+                            node,
+                            f"'import {alias.name}' outside the TCP "
+                            "adapter; speak the Transport protocol instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".", 1)[0]
+                if root in _BANNED_MODULES and node.level == 0:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"'from {node.module} import ...' outside the TCP "
+                        "adapter; speak the Transport protocol instead",
+                    )

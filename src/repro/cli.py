@@ -502,6 +502,142 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_infp(args: argparse.Namespace) -> int:
+    """Run the InfP plane as a TCP service (the server half of §14)."""
+    from repro.experiments.service_worlds import build_infp_service
+    from repro.obs.trace import TRACER
+    from repro.transport import FrameRecorder, SimPacer, TcpGlassServer
+
+    world = build_infp_service(seed=args.seed, horizon_s=args.horizon)
+    # Ring-buffer tracing (no sink): the __trace__ control query streams
+    # the server's control-loop events to clients over the same wire.
+    TRACER.enable()
+    handler = world.service.handle_frame
+    recorder = None
+    if args.record:
+        recorder = FrameRecorder(
+            handler, args.record, clock=lambda: world.sim.now
+        )
+        handler = recorder
+    pacer = SimPacer(world.sim, time_scale=args.time_scale)
+    server = TcpGlassServer(
+        handler,
+        host=args.host,
+        port=args.port,
+        pacer=pacer,
+        horizon_s=args.horizon,
+        run_for_s=args.run_for,
+    )
+
+    def on_bound(port: int) -> None:
+        # The parent process synchronizes on this exact line (see
+        # service_worlds.spawn_infp_server): keep it first and flushed.
+        print(
+            f"SERVING port={port} host={args.host} seed={args.seed} "
+            f"time_scale={args.time_scale:g} horizon={args.horizon:g}",
+            flush=True,
+        )
+        if args.ready_file:
+            with open(args.ready_file, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {
+                        "port": port,
+                        "host": args.host,
+                        "seed": args.seed,
+                        "time_scale": args.time_scale,
+                        "horizon_s": args.horizon,
+                        "owners": world.service.owners(),
+                    },
+                    handle,
+                )
+
+    server.on_bound = on_bound
+    try:
+        server.serve()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if recorder is not None:
+            recorder.close()
+        world.infp.stop()
+        TRACER.close()
+    print(
+        f"served connections={server.connections} "
+        f"frames={server.frames_served} sim_t={world.sim.now:g}",
+        flush=True,
+    )
+    return 0
+
+
+def _serve_appp(args: argparse.Namespace, connect: str) -> int:
+    """Run the AppP plane against a remote InfP (the client half)."""
+    from repro.experiments.service_worlds import run_appp_client
+    from repro.transport import RemoteLookingGlass, TcpTransport
+
+    host, _, port_text = connect.rpartition(":")
+    transport = TcpTransport(
+        host=host or "127.0.0.1", port=int(port_text)
+    )
+    proxy = RemoteLookingGlass(
+        transport,
+        owner="isp",
+        kind="i2a",
+        timeout_s=args.timeout,
+        retries=2,
+    )
+    try:
+        row = run_appp_client(proxy, seed=args.seed, horizon_s=args.horizon)
+    finally:
+        transport.close()
+    for key in sorted(row):
+        if not key.startswith("_"):
+            print(f"{key}: {row[key]}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Launch a plane (or the two-process demo) in live service mode."""
+    if args.plane == "infp":
+        return _serve_infp(args)
+    if args.plane == "appp":
+        if not args.connect:
+            print("serve appp needs --connect HOST:PORT", file=sys.stderr)
+            return 2
+        return _serve_appp(args, args.connect)
+
+    # demo: the InfP as a real second OS process, the AppP against it.
+    from repro.experiments.service_worlds import spawn_infp_server, stop_server
+    from repro.transport import (
+        CONTROL_OWNER,
+        RemoteLookingGlass,
+        TcpTransport,
+        drain_trace,
+    )
+
+    process, port = spawn_infp_server(
+        seed=args.seed,
+        time_scale=args.time_scale,
+        horizon_s=args.horizon,
+        run_for_s=args.run_for or 120.0,
+    )
+    print(f"infp serving on 127.0.0.1:{port} (pid {process.pid})")
+    try:
+        exit_code = _serve_appp(args, f"127.0.0.1:{port}")
+        transport = TcpTransport(port=port)
+        try:
+            control = RemoteLookingGlass(
+                transport, owner=CONTROL_OWNER, timeout_s=args.timeout
+            )
+            events, _ = drain_trace(control, requester="appp")
+            print(f"server trace events streamed: {len(events)}")
+        finally:
+            transport.close()
+        return exit_code
+    finally:
+        code = stop_server(process)
+        print(f"infp stopped (exit {code})")
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run simlint (repro.analysis) with the arguments collected after 'lint'."""
     from repro.analysis import runner
@@ -682,6 +818,57 @@ def build_parser() -> argparse.ArgumentParser:
         "'validate' with no names checks every committed spec",
     )
     scenarios_parser.set_defaults(fn=_cmd_scenarios)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run a plane as a live service over TCP (DESIGN.md §14)",
+    )
+    serve_parser.add_argument(
+        "plane",
+        choices=("appp", "infp", "demo"),
+        help=(
+            "infp: serve the ISP's I2A glass on a TCP port; appp: run the "
+            "application plane against --connect; demo: both, as two "
+            "processes"
+        ),
+    )
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (infp)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="bind port; 0 picks a free one (infp)",
+    )
+    serve_parser.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="remote InfP service to query (appp)",
+    )
+    serve_parser.add_argument(
+        "--time-scale", type=float, default=60.0,
+        help="sim seconds per wall second for the serving world (infp/demo)",
+    )
+    serve_parser.add_argument(
+        "--horizon", type=float, default=600.0,
+        help="sim-time horizon of the world on either side",
+    )
+    serve_parser.add_argument(
+        "--run-for", type=float, default=None,
+        help="wall-clock lifetime of the server (default: until killed)",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=5.0,
+        help="per-query TCP timeout before retry (appp/demo)",
+    )
+    serve_parser.add_argument(
+        "--ready-file", default=None,
+        help="write a JSON readiness blob (port, owners) here once bound",
+    )
+    serve_parser.add_argument(
+        "--record", default=None,
+        help="tee every served frame into this JSONL feed (infp)",
+    )
+    serve_parser.set_defaults(fn=_cmd_serve)
 
     lint_parser = subparsers.add_parser(
         "lint",

@@ -18,18 +18,143 @@ I2A (infrastructure → application):
   * :class:`ServerHintInfo` -- a CDN's alternative-server hints.
 
 Every schema serializes with :meth:`to_dict` so the looking glass can
-apply field-level narrowing (§4's "narrow interface") uniformly.
+apply field-level narrowing (§4's "narrow interface") uniformly, and
+deserializes with :meth:`from_dict` so the wire transport
+(:mod:`repro.transport.codec`) can restore typed payloads from the
+canonical JSON it ships between processes.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import typing
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Mapping, Tuple
+
+#: Version tag for the schema vocabulary itself; the wire envelope
+#: (``eona-msg/1``, DESIGN.md §14) carries it so a peer can reject
+#: payloads minted under an incompatible field set.
+SCHEMA_VERSION = "eona-schemas/1"
+
+
+class SchemaError(ValueError):
+    """A payload dict cannot be restored into its schema dataclass."""
+
+
+def coerce_value(value: object, annotation: object) -> object:
+    """Restore ``value`` (fresh from JSON) to the annotated field type.
+
+    JSON collapses the type lattice -- tuples arrive as lists, int-valued
+    floats may arrive as ints -- so deserialization re-widens scalars and
+    rebuilds containers recursively (``Dict``/``Tuple``/``List``/
+    ``Optional``).  Anything not covered (``Any``, untyped ``object``)
+    passes through untouched; genuinely wrong shapes raise
+    :class:`SchemaError`.
+    """
+    if annotation in (object, typing.Any):
+        return value
+    origin = typing.get_origin(annotation)
+    if origin is typing.Union:
+        args = [a for a in typing.get_args(annotation) if a is not type(None)]
+        if value is None:
+            if len(args) < len(typing.get_args(annotation)):
+                return None
+            raise SchemaError(f"None is not valid for {annotation!r}")
+        if len(args) == 1:
+            return coerce_value(value, args[0])
+        return value
+    if annotation is bool:
+        if not isinstance(value, bool):
+            raise SchemaError(f"expected bool, got {value!r}")
+        return value
+    if annotation is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SchemaError(f"expected float, got {value!r}")
+        return float(value)
+    if annotation is int:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SchemaError(f"expected int, got {value!r}")
+        if isinstance(value, float):
+            if not value.is_integer():
+                raise SchemaError(f"expected int, got non-integral {value!r}")
+            return int(value)
+        return value
+    if annotation is str:
+        if not isinstance(value, str):
+            raise SchemaError(f"expected str, got {value!r}")
+        return value
+    if origin is dict:
+        if not isinstance(value, Mapping):
+            raise SchemaError(f"expected mapping, got {value!r}")
+        args = typing.get_args(annotation) or (object, object)
+        return {
+            coerce_value(k, args[0]): coerce_value(v, args[1])
+            for k, v in value.items()
+        }
+    if origin is tuple:
+        if not isinstance(value, (list, tuple)):
+            raise SchemaError(f"expected sequence, got {value!r}")
+        args = typing.get_args(annotation)
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(coerce_value(item, args[0]) for item in value)
+        if args and len(args) != len(value):
+            raise SchemaError(
+                f"expected {len(args)}-tuple, got {len(value)} items"
+            )
+        if not args:
+            return tuple(value)
+        return tuple(
+            coerce_value(item, arg) for item, arg in zip(value, args)
+        )
+    if origin is list:
+        if not isinstance(value, (list, tuple)):
+            raise SchemaError(f"expected sequence, got {value!r}")
+        args = typing.get_args(annotation) or (object,)
+        return [coerce_value(item, args[0]) for item in value]
+    if dataclasses.is_dataclass(annotation) and isinstance(value, Mapping):
+        if hasattr(annotation, "from_dict"):
+            return annotation.from_dict(value)  # type: ignore[union-attr]
+    return value
+
+
+def dataclass_from_dict(cls: type, payload: Mapping[str, object]) -> object:
+    """Rebuild any dataclass from a ``to_dict`` dict (or its JSON echo).
+
+    Field values are coerced back to the declared types (nested
+    ``Dict``/``Tuple`` fields included); unknown keys are ignored so a
+    newer peer's extra fields do not break an older reader; missing keys
+    fall back to the field default or raise :class:`SchemaError`.  The
+    wire codec uses this directly for payloads (``QueryResult``) that
+    are dataclasses without the :class:`_Schema` mixin.
+    """
+    if not isinstance(payload, Mapping):
+        raise SchemaError(
+            f"{cls.__name__}.from_dict needs a mapping, got {payload!r}"
+        )
+    hints = typing.get_type_hints(cls)
+    kwargs: Dict[str, object] = {}
+    for spec in dataclasses.fields(cls):
+        if spec.name in payload:
+            try:
+                kwargs[spec.name] = coerce_value(
+                    payload[spec.name], hints.get(spec.name, object)
+                )
+            except SchemaError as error:
+                raise SchemaError(
+                    f"{cls.__name__}.{spec.name}: {error}"
+                ) from None
+        elif (
+            spec.default is dataclasses.MISSING
+            and spec.default_factory is dataclasses.MISSING
+        ):
+            raise SchemaError(
+                f"{cls.__name__}.from_dict: missing field {spec.name!r}"
+            )
+    return cls(**kwargs)
 
 
 class _Schema:
-    """Mixin: dict serialization used by the looking-glass field filter."""
+    """Mixin: dict (de)serialization used by the glass filter and the wire."""
 
     def to_dict(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
@@ -37,6 +162,12 @@ class _Schema:
     @classmethod
     def field_names(cls) -> Tuple[str, ...]:
         return tuple(f.name for f in dataclasses.fields(cls))
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "_Schema":
+        """Rebuild an instance from a ``to_dict`` dict (see
+        :func:`dataclass_from_dict` for the coercion contract)."""
+        return dataclass_from_dict(cls, payload)  # type: ignore[return-value]
 
 
 # ----------------------------------------------------------------------

@@ -13,7 +13,7 @@ stays fully utilized either way.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from repro.baselines.modes import Mode
 from repro.baselines.oracle import OracleAppP
@@ -39,7 +39,15 @@ def run_mode(
     peak_rate_per_s: float = 1.5,
     horizon_s: float = 600.0,
     i2a_refresh_s: float = 10.0,
+    wrap_i2a: Optional[Callable[[object], object]] = None,
 ) -> Dict[str, object]:
+    """Run one mode's flash-crowd world and summarize it as a table row.
+
+    ``wrap_i2a`` interposes on the EONA AppP's view of the ISP's I2A
+    glass (anything with the ``query`` surface may come back) -- the
+    seam E20 uses to put the control loop on a wire transport without
+    this world changing in any other way.
+    """
     scenario = build_scenario(
         "flash-crowd",
         seed=seed,
@@ -62,7 +70,8 @@ def run_mode(
             stats_period_s=2.0,
         )
         registry.grant("isp", "appp")
-        policy = EonaAppP(ctx, isp_i2a=infp.i2a, name="appp")
+        isp_i2a = infp.i2a if wrap_i2a is None else wrap_i2a(infp.i2a)
+        policy = EonaAppP(ctx, isp_i2a=isp_i2a, name="appp")
     elif mode is Mode.A2I_ONLY:
         # Measurements flow to the ISP -- but the Figure 3 fix needs the
         # *application's* bitrate knob, which A2I-only cannot reach.

@@ -1,0 +1,266 @@
+"""Worlds for live service mode: one plane per process (DESIGN.md §14).
+
+``eona serve`` and E20 share these builders:
+
+* :func:`build_infp_service` -- the InfP serving process: a flash-crowd
+  world with local traffic, an :class:`~repro.core.infp.EonaInfP`
+  watching the access link, and a
+  :class:`~repro.transport.service.GlassService` exporting its I2A
+  glass (plus the ``__control__`` vocabulary) to the wire.
+* :func:`run_appp_client` -- the AppP plane: its own session world whose
+  :class:`~repro.core.appp.EonaAppP` reaches the ISP through a
+  :class:`~repro.transport.glass.RemoteLookingGlass` over any
+  transport.  Returns one table row of QoE + proxy/fallback counters.
+* :func:`spawn_infp_server` -- launch the InfP plane as a *real* second
+  process (``python -m repro.cli serve infp``) and hand back the bound
+  port; the E20 tcp variant and the CI service smoke both go through
+  it.
+
+The two processes each simulate their own copy of the world (an ISP
+observes its own network; the AppP observes its sessions) -- what
+crosses the boundary is exactly what the paper says should: I2A
+answers, over the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.modes import Mode
+from repro.core.appp import EonaAppP, StatusQuoAppP
+from repro.core.infp import EonaInfP
+from repro.experiments.common import launch_video_sessions, qoe_of
+from repro.scenarios import build_scenario
+from repro.transport.glass import RemoteLookingGlass
+from repro.transport.service import GlassService
+from repro.video.qoe import summarize
+
+
+@dataclass
+class InfPService:
+    """The serving side, assembled: world + controller + frame handler."""
+
+    scenario: object
+    infp: EonaInfP
+    service: GlassService
+    players: List[object]
+
+    @property
+    def sim(self):
+        return self.scenario.ctx.sim
+
+
+def build_infp_service(
+    seed: int = 0,
+    n_clients: int = 30,
+    access_capacity_mbps: float = 45.0,
+    peak_rate_per_s: float = 1.5,
+    horizon_s: float = 600.0,
+    i2a_refresh_s: float = 10.0,
+    with_local_traffic: bool = True,
+) -> InfPService:
+    """Assemble the InfP plane: E2's ISP side with its glass on a wire.
+
+    The local flash-crowd traffic is what congests the access link and
+    gives the I2A congestion signal something to attribute; disable it
+    for a quiet server (transport-level tests).
+    """
+    scenario = build_scenario(
+        "flash-crowd",
+        seed=seed,
+        params={
+            "n_clients": n_clients,
+            "access_capacity_mbps": access_capacity_mbps,
+            "peak_rate_per_s": peak_rate_per_s,
+        },
+    )
+    ctx = scenario.ctx
+    infp = EonaInfP(
+        ctx,
+        access_links=[scenario.access_link],
+        i2a_refresh_s=i2a_refresh_s,
+        stats_period_s=2.0,
+    )
+    ctx.registry.grant("isp", "appp")
+    players: List[object] = []
+    if with_local_traffic:
+        policy = StatusQuoAppP(ctx, name="local")
+        players = launch_video_sessions(
+            ctx,
+            catalog=scenario.catalog,
+            policy=policy,
+            content_picker=lambda index: scenario.catalog.by_rank(0),
+            **scenario.world.population("viewers").launch_kwargs(
+                until=horizon_s * 0.6
+            ),
+        )
+    service = GlassService(clock=lambda: ctx.sim.now)
+    service.add_glass(infp.i2a)
+    return InfPService(
+        scenario=scenario, infp=infp, service=service, players=players
+    )
+
+
+def run_appp_client(
+    proxy: RemoteLookingGlass,
+    seed: int = 0,
+    n_clients: int = 30,
+    access_capacity_mbps: float = 45.0,
+    peak_rate_per_s: float = 1.5,
+    horizon_s: float = 600.0,
+    stale_tolerance_s: float = float("inf"),
+    glass_error_threshold: int = 3,
+) -> Dict[str, object]:
+    """Run the AppP plane against a remote I2A; one table row out.
+
+    The proxy must be constructed *before* this call; its transport
+    decides the regime (sync loopback, pipelined sim latency, live
+    TCP).  Pipelined proxies need their ``clock`` rebound to this
+    world's sim -- pass a fresh proxy per run.
+    """
+    scenario = build_scenario(
+        "flash-crowd",
+        seed=seed,
+        params={
+            "n_clients": n_clients,
+            "access_capacity_mbps": access_capacity_mbps,
+            "peak_rate_per_s": peak_rate_per_s,
+        },
+    )
+    ctx = scenario.ctx
+    policy = EonaAppP(
+        ctx,
+        isp_i2a=proxy,
+        name="appp",
+        stale_tolerance_s=stale_tolerance_s,
+        glass_error_threshold=glass_error_threshold,
+    )
+    players = launch_video_sessions(
+        ctx,
+        catalog=scenario.catalog,
+        policy=policy,
+        content_picker=lambda index: scenario.catalog.by_rank(0),
+        **scenario.world.population("viewers").launch_kwargs(until=horizon_s * 0.6),
+    )
+    ctx.sim.run(until=horizon_s)
+    policy.stop()
+    summary = summarize(qoe_of(players))
+    row: Dict[str, object] = {
+        "mode": Mode.EONA.value,
+        "sessions": len(players),
+        "buffering_ratio": summary["mean_buffering_ratio"],
+        "mean_bitrate_mbps": summary["mean_bitrate_mbps"],
+        "i2a_queries": policy.i2a_queries,
+        "glass_errors": policy.glass_errors,
+        "fallback_activations": policy.fallback_activations,
+        "fallback_reengagements": policy.fallback_reengagements,
+        "_counters": ctx.allocation_counters(),
+    }
+    row.update(proxy.stats())
+    return row
+
+
+def serve_command(
+    seed: int,
+    port: int,
+    time_scale: float,
+    horizon_s: float,
+    run_for_s: Optional[float],
+    ready_file: Optional[str] = None,
+    record: Optional[str] = None,
+) -> List[str]:
+    """The argv for an InfP serving subprocess (module-run form)."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "infp",
+        "--seed",
+        str(seed),
+        "--port",
+        str(port),
+        "--time-scale",
+        str(time_scale),
+        "--horizon",
+        str(horizon_s),
+    ]
+    if run_for_s is not None:
+        argv += ["--run-for", str(run_for_s)]
+    if ready_file is not None:
+        argv += ["--ready-file", ready_file]
+    if record is not None:
+        argv += ["--record", record]
+    return argv
+
+
+def spawn_infp_server(
+    seed: int = 0,
+    time_scale: float = 120.0,
+    horizon_s: float = 600.0,
+    run_for_s: Optional[float] = 60.0,
+    startup_timeout_s: float = 30.0,
+) -> Tuple[subprocess.Popen, int]:
+    """Launch ``eona serve infp`` and wait for its bound port.
+
+    The child announces readiness by printing ``SERVING port=<n>`` on
+    stdout; reading that line is the synchronization point (no polling).
+    Callers own the process: ``terminate()`` it when done.
+    """
+    env = dict(os.environ)
+    src_dir = os.path.join(os.path.dirname(__file__), "..", "..")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.abspath(src_dir), env.get("PYTHONPATH", "")) if p
+    )
+    process = subprocess.Popen(
+        serve_command(
+            seed=seed,
+            port=0,
+            time_scale=time_scale,
+            horizon_s=horizon_s,
+            run_for_s=run_for_s,
+        ),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        text=True,
+    )
+    try:
+        line = process.stdout.readline()
+    except Exception:
+        process.kill()
+        raise
+    prefix = "SERVING "
+    if not line.startswith(prefix):
+        process.kill()
+        out = line + (process.stdout.read() or "")
+        raise RuntimeError(f"serve infp did not come up; output: {out[:400]!r}")
+    fields = dict(
+        pair.split("=", 1) for pair in line[len(prefix):].split() if "=" in pair
+    )
+    return process, int(fields["port"])
+
+
+def stop_server(process: subprocess.Popen, timeout_s: float = 15.0) -> int:
+    """Terminate a serving subprocess and reap it; returns the exit code."""
+    if process.poll() is None:
+        process.terminate()
+        try:
+            process.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=timeout_s)
+    if process.stdout is not None:
+        process.stdout.close()
+    return process.returncode
+
+
+def ready_info(path: str) -> Dict[str, object]:
+    """Parse a ``--ready-file`` JSON blob written by the serving process."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,71 @@
+"""Wire transport: EONA's interfaces between processes (DESIGN.md §14).
+
+The subsystem that turns the in-process looking-glass calls into a
+service: a versioned codec (``eona-msg/1``), pluggable transport
+adapters (``loopback``/``tcp``/``record``/``replay``) behind one
+:class:`~repro.transport.base.Transport` protocol, the
+:class:`~repro.transport.glass.RemoteLookingGlass` client proxy that
+keeps :class:`~repro.core.appp.EonaAppP`/:class:`~repro.core.infp.EonaInfP`
+unmodified, and the server-side
+:class:`~repro.transport.service.GlassService`/pacing machinery behind
+``eona serve``.
+"""
+
+from repro.transport.base import (
+    FaultKnobs,
+    FaultyTransport,
+    Transport,
+    TransportClosed,
+    TransportError,
+    TransportTimeout,
+    create_transport,
+    register_transport,
+    transport_names,
+)
+from repro.transport.codec import (
+    WIRE_VERSION,
+    CodecError,
+    ErrorReply,
+    QueryReply,
+    QueryRequest,
+    decode,
+    encode,
+    wire_types,
+)
+from repro.transport.feed import FrameRecorder, RecordingTransport, ReplayTransport
+from repro.transport.glass import RemoteGlassError, RemoteLookingGlass
+from repro.transport.loopback import LoopbackTransport
+from repro.transport.service import CONTROL_OWNER, GlassService, SimPacer, drain_trace
+from repro.transport.tcp import TcpGlassServer, TcpTransport
+
+__all__ = [
+    "CONTROL_OWNER",
+    "CodecError",
+    "ErrorReply",
+    "FaultKnobs",
+    "FaultyTransport",
+    "FrameRecorder",
+    "GlassService",
+    "LoopbackTransport",
+    "QueryReply",
+    "QueryRequest",
+    "RecordingTransport",
+    "RemoteGlassError",
+    "RemoteLookingGlass",
+    "ReplayTransport",
+    "SimPacer",
+    "TcpGlassServer",
+    "TcpTransport",
+    "Transport",
+    "TransportClosed",
+    "TransportError",
+    "TransportTimeout",
+    "WIRE_VERSION",
+    "create_transport",
+    "decode",
+    "drain_trace",
+    "encode",
+    "register_transport",
+    "transport_names",
+    "wire_types",
+]

@@ -1,0 +1,217 @@
+"""The ``Transport`` protocol and the pluggable adapter registry.
+
+A transport moves codec frames (one JSON line each, DESIGN.md §14)
+between a client proxy and a glass service.  Two calling conventions,
+because the repo spans two time domains:
+
+* :meth:`Transport.request` -- the synchronous RPC path: send one frame,
+  return the reply frame.  Used when an answer can be produced without
+  advancing time (zero-latency loopback; wall-clock TCP, where blocking
+  the caller *is* the latency).
+* :meth:`Transport.send_request` -- the pipelined path: enqueue a frame,
+  have the reply delivered to a callback later.  Sim-clock adapters use
+  it so injected wire latency occupies *simulated* time; the client
+  proxy then answers queries from its last delivered reply, which is
+  how latency becomes visible to the control loop (E20).
+
+``in_process`` declares whether both endpoints share this process's
+tracer: a remote peer's ``cause`` IDs are meaningless here and the
+client proxy must remap them (DESIGN.md §14).  Fault injection
+(latency / drop / reorder) lives in :class:`FaultKnobs`, deterministic
+by construction -- counters, not random draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.obs.trace import TRACER
+
+
+class TransportError(Exception):
+    """The transport failed to move a frame (connection loss, close)."""
+
+
+class TransportTimeout(TransportError):
+    """No reply arrived within the caller's timeout."""
+
+
+class TransportClosed(TransportError):
+    """The transport was closed (or a replay feed ran dry)."""
+
+
+@dataclass(frozen=True)
+class FaultKnobs:
+    """Deterministic per-message fault injection, driven by the sim clock.
+
+    Attributes:
+        latency_s: One-way frame delay; a request/reply round trip takes
+            ``2 * latency_s`` of simulated time.  Zero keeps the adapter
+            synchronous (the equivalence-gate configuration).
+        drop_every: Drop every Nth request (1-based count; 0 disables).
+            ``drop_every=1`` drops everything -- the outage case.
+        reorder_every: Hold every Nth reply back one extra round trip so
+            it arrives after its successor (0 disables); exercises
+            ``msg_id`` correlation.
+    """
+
+    latency_s: float = 0.0
+    drop_every: int = 0
+    reorder_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {self.latency_s!r}")
+        if self.drop_every < 0 or self.reorder_every < 0:
+            raise ValueError("drop_every/reorder_every must be >= 0")
+
+    def drops(self, seq: int) -> bool:
+        """Whether the ``seq``-th message (1-based) is dropped."""
+        return self.drop_every > 0 and seq % self.drop_every == 0
+
+    def reorders(self, seq: int) -> bool:
+        """Whether the ``seq``-th reply (1-based) is held back."""
+        return self.reorder_every > 0 and seq % self.reorder_every == 0
+
+
+class Transport:
+    """Base adapter: frame-level send/receive with stats and tracing.
+
+    Subclasses implement :meth:`request` (sync) and/or
+    :meth:`send_request` (pipelined) and declare :attr:`in_process`.
+    """
+
+    #: True when both endpoints share this process's tracer/cause space.
+    in_process = False
+    #: True when replies arrive via callbacks (sim-time pipelining).
+    pipelined = False
+    #: Adapter name as registered (set by create_transport).
+    name = ""
+
+    def __init__(self) -> None:
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.frames_dropped = 0
+
+    def request(self, frame: str, timeout_s: float) -> str:
+        """Send one frame, return the reply frame (synchronous RPC)."""
+        raise TransportError(
+            f"{type(self).__name__} has no synchronous request path"
+        )
+
+    def send_request(
+        self, frame: str, on_reply: Callable[[str], None]
+    ) -> None:
+        """Enqueue one frame; ``on_reply`` fires when the reply lands."""
+        raise TransportError(
+            f"{type(self).__name__} has no pipelined request path"
+        )
+
+    def close(self) -> None:
+        """Release sockets/files; further use raises TransportClosed."""
+
+    # -- shared trace helpers (transport.* events carry no cause IDs:
+    # minting one would shift every downstream span ID and break the
+    # byte-identical equivalence gate) --------------------------------
+    def _trace(self, what: str, **fields: object) -> None:
+        if TRACER.enabled:
+            TRACER.emit(f"transport.{what}", adapter=self.name, **fields)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "frames_dropped": self.frames_dropped,
+        }
+
+
+#: Adapter name -> factory (populated at import time by the adapter
+#: modules; identical in every process, like the experiment registry).
+_TRANSPORTS: Dict[str, Callable[..., Transport]] = {}
+
+
+def register_transport(
+    name: str,
+) -> Callable[[Callable[..., Transport]], Callable[..., Transport]]:
+    """Decorator: register a transport factory under ``name``."""
+
+    def wrap(factory: Callable[..., Transport]) -> Callable[..., Transport]:
+        if name in _TRANSPORTS:
+            raise ValueError(f"duplicate transport adapter {name!r}")
+        _TRANSPORTS[name] = factory
+        return factory
+
+    return wrap
+
+
+def create_transport(name: str, **kwargs: object) -> Transport:
+    """Instantiate a registered adapter (``loopback``/``tcp``/...)."""
+    factory = _TRANSPORTS.get(name)
+    if factory is None:
+        known = ", ".join(sorted(_TRANSPORTS)) or "(none)"
+        raise KeyError(f"unknown transport {name!r} (known: {known})")
+    transport = factory(**kwargs)
+    transport.name = name
+    return transport
+
+
+def transport_names() -> tuple:
+    """Registered adapter names, sorted."""
+    return tuple(sorted(_TRANSPORTS))
+
+
+class FaultyTransport(Transport):
+    """Client-side fault decorator: apply :class:`FaultKnobs` to any adapter.
+
+    Wraps an inner transport and drops every Nth *request* before it
+    reaches the wire -- the deterministic way to force the retry/
+    timeout/backoff path over adapters (like TCP) whose own latency is
+    wall-clock.  Dropped requests raise :class:`TransportTimeout`
+    immediately: in simulated time there is nothing to wait for, and on
+    the wall-clock path the caller's timeout budget is charged by the
+    proxy's retry accounting, not by sleeping.
+    """
+
+    def __init__(self, inner: Transport, knobs: Optional[FaultKnobs] = None):
+        super().__init__()
+        self.inner = inner
+        self.knobs = knobs or FaultKnobs()
+        self._seq = 0
+        self.name = f"faulty+{inner.name or type(inner).__name__}"
+
+    @property
+    def in_process(self) -> bool:  # type: ignore[override]
+        return self.inner.in_process
+
+    @property
+    def pipelined(self) -> bool:  # type: ignore[override]
+        return self.inner.pipelined
+
+    def request(self, frame: str, timeout_s: float) -> str:
+        self._seq += 1
+        self.frames_sent += 1
+        if self.knobs.drops(self._seq):
+            self.frames_dropped += 1
+            self._trace("drop", seq=self._seq)
+            raise TransportTimeout(
+                f"frame {self._seq} dropped by fault knobs "
+                f"(drop_every={self.knobs.drop_every})"
+            )
+        reply = self.inner.request(frame, timeout_s)
+        self.frames_received += 1
+        return reply
+
+    def send_request(
+        self, frame: str, on_reply: Callable[[str], None]
+    ) -> None:
+        self._seq += 1
+        self.frames_sent += 1
+        if self.knobs.drops(self._seq):
+            self.frames_dropped += 1
+            self._trace("drop", seq=self._seq)
+            return
+        self.inner.send_request(frame, on_reply)
+
+    def close(self) -> None:
+        self.inner.close()

@@ -1,0 +1,299 @@
+"""RemoteLookingGlass: the client-side proxy for a wire-reached glass.
+
+Implements the exact :meth:`repro.core.interfaces.LookingGlass.query`
+surface -- ``query(requester, query, **params) -> QueryResult`` -- so an
+:class:`~repro.core.appp.EonaAppP` or :class:`~repro.core.infp.EonaInfP`
+plugs a remote peer in wherever it held a local glass, unmodified.
+
+Three contracts live here (DESIGN.md §14):
+
+* **Failure mapping.**  Transport failures (timeout, connection loss,
+  dropped frames, exhausted replay feeds) surface as
+  :class:`~repro.core.interfaces.GlassUnavailableError` after
+  ``retries`` attempts with multiplicative timeout backoff -- the same
+  exception the in-process fault modes raise, so PR 5's graceful-
+  degradation machinery (failure streaks, fallback, damped
+  re-engagement) works identically over the wire.  Server-side errors
+  re-raise as their original type: an ``AccessDeniedError`` stays a
+  denial (configuration, exempt from the streaks), never a fault.
+
+* **Cause remapping.**  A remote peer's ``QueryResult.cause`` is a span
+  ID from *its* tracer; threading it into local trace events would
+  corrupt the local span forest.  For cross-process transports the
+  proxy mints a local ``TRACER.new_cause()``, emits the served-query
+  event (``a2i-report``/``i2a-hint``) locally with the remote ID kept
+  as ``remote_cause`` provenance, and hands the controller the local
+  ID.  In-process transports (loopback) share the tracer, so causes
+  pass through untouched -- the equivalence gate depends on that.
+
+* **Pipelined answers.**  Over a sim-clock transport with injected
+  latency, ``query()`` cannot block for the round trip.  The proxy
+  issues a request every call and answers from the *last delivered*
+  reply -- the control loop acts on answers one delivery behind, which
+  is precisely how wire latency becomes loop latency (E20).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.interfaces import (
+    GlassUnavailableError,
+    QueryResult,
+    UnknownQueryError,
+    _QUERY_EVENT_KIND,
+)
+from repro.core.registry import AccessDeniedError
+from repro.obs.trace import TRACER
+from repro.transport.base import Transport, TransportError
+from repro.transport.codec import (
+    CodecError,
+    ErrorReply,
+    QueryReply,
+    QueryRequest,
+    decode,
+    encode,
+)
+
+
+class RemoteGlassError(Exception):
+    """A server-side handler failure of a type the proxy cannot re-raise.
+
+    Counted by the consumer's generic failure handling exactly like the
+    unexpected exceptions a local handler can raise.
+    """
+
+
+#: Server error type name -> local exception class to re-raise.
+_ERROR_TYPES: Dict[str, type] = {
+    "AccessDeniedError": AccessDeniedError,
+    "UnknownQueryError": UnknownQueryError,
+    "GlassUnavailableError": GlassUnavailableError,
+}
+
+
+class RemoteLookingGlass:
+    """Query a remote provider's looking glass over a transport.
+
+    Args:
+        transport: Any :class:`~repro.transport.base.Transport`.
+        owner: The remote provider whose glass is addressed (routing
+            key on the service side).
+        kind: ``"a2i"``/``"i2a"``/empty, mirroring the remote glass --
+            governs which trace event remapped causes are emitted under.
+        clock: Local clock for transit-dwell aging of pipelined answers
+            (the shared-clock contract); defaults to no aging.
+        timeout_s: Per-attempt reply timeout on the synchronous path.
+        retries: Extra attempts after the first failure.
+        backoff_factor: Timeout multiplier per retry (1.0 = constant).
+        max_result_age_s: Pipelined mode only -- delivered answers older
+            than this (by delivery time) count as unavailable, so a
+            stalled feed trips the consumer's failure streak rather
+            than serving arbitrarily old data forever.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        owner: str,
+        kind: str = "",
+        clock: Optional[Callable[[], float]] = None,
+        timeout_s: float = 1.0,
+        retries: int = 2,
+        backoff_factor: float = 2.0,
+        max_result_age_s: Optional[float] = None,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries!r}")
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s!r}")
+        if backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1.0, got {backoff_factor!r}"
+            )
+        self.transport = transport
+        self.owner = owner
+        self.kind = kind
+        self.clock = clock
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_factor = backoff_factor
+        self.max_result_age_s = max_result_age_s
+        self.queries_sent = 0
+        self.queries_answered = 0
+        self.queries_failed = 0
+        self.retries_used = 0
+        self.remap_count = 0
+        self._next_msg_id = 0
+        #: Pipelined mode: query name -> (result, served_at, delivered_at).
+        self._delivered: Dict[str, Tuple[QueryResult, float, float]] = {}
+
+    # ------------------------------------------------------------------
+    # the LookingGlass surface
+    # ------------------------------------------------------------------
+    def query(self, requester: str, query: str, **params: Any) -> QueryResult:
+        """Run a query as ``requester`` against the remote glass."""
+        self.queries_sent += 1
+        self._next_msg_id += 1
+        request = QueryRequest(
+            owner=self.owner,
+            requester=requester,
+            query=query,
+            msg_id=self._next_msg_id,
+            params=dict(params),
+        )
+        frame = encode(request)
+        if self.transport.pipelined:
+            return self._query_pipelined(frame, query)
+        return self._query_sync(frame, query)
+
+    def exported_queries(self) -> list:
+        """Best-effort: the service's control query, else empty."""
+        try:
+            result = self.query("__control__", "__queries__")
+        except Exception:
+            return []
+        payload = result.payload
+        return sorted(payload) if isinstance(payload, list) else []
+
+    # ------------------------------------------------------------------
+    # synchronous RPC with retry -> backoff -> GlassUnavailableError
+    # ------------------------------------------------------------------
+    def _query_sync(self, frame: str, query: str) -> QueryResult:
+        timeout = self.timeout_s
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if attempt > 0:
+                self.retries_used += 1
+                if TRACER.enabled:
+                    TRACER.emit(
+                        "transport.retry",
+                        owner=self.owner,
+                        query=query,
+                        attempt=attempt,
+                        timeout_s=timeout,
+                    )
+            try:
+                reply_frame = self.transport.request(frame, timeout)
+            except TransportError as error:
+                last_error = error
+                timeout *= self.backoff_factor
+                continue
+            try:
+                reply = decode(reply_frame)
+            except CodecError as error:
+                last_error = error
+                timeout *= self.backoff_factor
+                continue
+            return self._accept(reply, query)
+        self.queries_failed += 1
+        raise GlassUnavailableError(
+            f"remote glass {self.owner!r} unreachable after "
+            f"{self.retries + 1} attempt(s): {last_error}"
+        )
+
+    # ------------------------------------------------------------------
+    # pipelined: fire the request, answer from the last delivery
+    # ------------------------------------------------------------------
+    def _query_pipelined(self, frame: str, query: str) -> QueryResult:
+        try:
+            self.transport.send_request(
+                frame, lambda reply_frame: self._on_delivery(reply_frame)
+            )
+        except TransportError:
+            pass  # delivery loss is the cache-staleness path below
+        entry = self._delivered.get(query)
+        if entry is None:
+            self.queries_failed += 1
+            raise GlassUnavailableError(
+                f"remote glass {self.owner!r}: no answer for {query!r} "
+                "delivered yet"
+            )
+        result, served_at, delivered_at = entry
+        now = self.clock() if self.clock is not None else delivered_at
+        if (
+            self.max_result_age_s is not None
+            and now - delivered_at > self.max_result_age_s
+        ):
+            self.queries_failed += 1
+            raise GlassUnavailableError(
+                f"remote glass {self.owner!r}: last {query!r} answer is "
+                f"{now - delivered_at:g}s old (max {self.max_result_age_s:g}s)"
+            )
+        # Transit + cache dwell since the server stamped the snapshot age.
+        dwell = max(0.0, now - served_at)
+        return QueryResult(
+            query=result.query,
+            payload=result.payload,
+            age_s=result.age_s + dwell,
+            cause=result.cause,
+        )
+
+    def _on_delivery(self, reply_frame: str) -> None:
+        try:
+            reply = decode(reply_frame)
+        except CodecError:
+            return
+        if not isinstance(reply, QueryReply):
+            return  # errors only matter on the synchronous path
+        result = self._localize(reply)
+        now = self.clock() if self.clock is not None else reply.served_at
+        self._delivered[reply.query] = (result, reply.served_at, now)
+        self.queries_answered += 1
+
+    # ------------------------------------------------------------------
+    # shared acceptance: error re-raise + cause remap
+    # ------------------------------------------------------------------
+    def _accept(self, reply: object, query: str) -> QueryResult:
+        if isinstance(reply, ErrorReply):
+            error_type = _ERROR_TYPES.get(reply.error)
+            if error_type is not None:
+                raise error_type(reply.message)
+            raise RemoteGlassError(
+                f"{self.owner!r} glass failed {query!r}: "
+                f"{reply.error}: {reply.message}"
+            )
+        if not isinstance(reply, QueryReply):
+            raise RemoteGlassError(
+                f"unexpected reply type {type(reply).__name__} for {query!r}"
+            )
+        self.queries_answered += 1
+        return self._localize(reply)
+
+    def _localize(self, reply: QueryReply) -> QueryResult:
+        """Map the reply's cause ID into this process's span space."""
+        if self.transport.in_process:
+            # Same tracer on both ends: the ID is already local.
+            return reply.to_result()
+        if reply.cause is None:
+            return reply.to_result()
+        local_cause: Optional[int] = None
+        if TRACER.enabled:
+            event_kind = _QUERY_EVENT_KIND.get(self.kind)
+            if event_kind is not None:
+                local_cause = TRACER.new_cause()
+                self.remap_count += 1
+                TRACER.emit(
+                    event_kind,
+                    via="remote-query",
+                    owner=self.owner,
+                    query=reply.query,
+                    age_s=reply.age_s,
+                    cause=local_cause,
+                    remote_cause=reply.cause,
+                )
+        return QueryResult(
+            query=reply.query,
+            payload=reply.payload,
+            age_s=reply.age_s,
+            cause=local_cause,
+        )
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "queries_sent": self.queries_sent,
+            "queries_answered": self.queries_answered,
+            "queries_failed": self.queries_failed,
+            "retries_used": self.retries_used,
+            "causes_remapped": self.remap_count,
+        }

@@ -1,0 +1,142 @@
+"""In-process loopback transport: deterministic, sim-clock driven.
+
+The reference adapter and the equivalence-gate configuration.  With the
+default zero-latency knobs a request is dispatched *synchronously*
+through the service's frame handler -- the server glass runs inside the
+caller's event, emits its trace events at the same sim time, and mints
+the same cause IDs as a direct in-process call would.  The only
+difference from calling the glass directly is that every payload takes
+a full encode -> decode round trip through the ``eona-msg/1`` codec,
+which is exactly the contract the byte-identical gate hardens
+(DESIGN.md §14).
+
+With ``latency_s > 0`` the adapter switches to the pipelined path:
+requests and replies travel as scheduled sim events (half the latency
+each way), replies land in the client proxy's cache, and the control
+loop acts on answers one delivery behind -- wire latency becomes
+causal-loop latency, measurably (E20).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simkernel.kernel import Simulator
+from repro.transport.base import (
+    FaultKnobs,
+    Transport,
+    TransportClosed,
+    TransportTimeout,
+    register_transport,
+)
+
+FrameHandler = Callable[[str], str]
+
+
+@register_transport("loopback")
+class LoopbackTransport(Transport):
+    """Queue-free in-process transport over a frame handler.
+
+    Args:
+        handler: The service side: one request frame -> one reply frame
+            (:meth:`repro.transport.service.GlassService.handle_frame`).
+        sim: Required for pipelined mode; schedules deliveries.
+        knobs: Deterministic latency/drop/reorder injection.
+    """
+
+    in_process = True
+
+    def __init__(
+        self,
+        handler: FrameHandler,
+        sim: Optional[Simulator] = None,
+        knobs: Optional[FaultKnobs] = None,
+    ):
+        super().__init__()
+        self.handler = handler
+        self.sim = sim
+        self.knobs = knobs or FaultKnobs()
+        if self.knobs.latency_s > 0 and sim is None:
+            raise ValueError("pipelined loopback (latency_s > 0) needs a sim")
+        self._seq = 0
+        self._closed = False
+        self._held: Optional[tuple] = None
+
+    @property
+    def pipelined(self) -> bool:  # type: ignore[override]
+        return self.knobs.latency_s > 0
+
+    # ------------------------------------------------------------------
+    # synchronous path (zero latency)
+    # ------------------------------------------------------------------
+    def request(self, frame: str, timeout_s: float) -> str:
+        if self._closed:
+            raise TransportClosed("loopback transport is closed")
+        if self.pipelined:
+            raise TransportTimeout(
+                f"loopback latency {self.knobs.latency_s:g}s exceeds a "
+                "synchronous call; use the pipelined path"
+            )
+        self._seq += 1
+        self.frames_sent += 1
+        self._trace("send", seq=self._seq)
+        if self.knobs.drops(self._seq):
+            self.frames_dropped += 1
+            self._trace("drop", seq=self._seq)
+            raise TransportTimeout(
+                f"frame {self._seq} dropped (drop_every={self.knobs.drop_every})"
+            )
+        reply = self.handler(frame)
+        self.frames_received += 1
+        self._trace("recv", seq=self._seq)
+        return reply
+
+    # ------------------------------------------------------------------
+    # pipelined path (latency occupies sim time)
+    # ------------------------------------------------------------------
+    def send_request(
+        self, frame: str, on_reply: Callable[[str], None]
+    ) -> None:
+        if self._closed:
+            raise TransportClosed("loopback transport is closed")
+        self._seq += 1
+        seq = self._seq
+        self.frames_sent += 1
+        self._trace("send", seq=seq)
+        if self.knobs.drops(seq):
+            self.frames_dropped += 1
+            self._trace("drop", seq=seq)
+            return
+        if not self.pipelined:
+            # Zero latency: serve and deliver inline (still this event).
+            on_reply(self.handler(frame))
+            self.frames_received += 1
+            return
+        one_way = self.knobs.latency_s / 2.0
+        self.sim.schedule(one_way, self._serve, frame, on_reply, seq)
+
+    def _serve(
+        self, frame: str, on_reply: Callable[[str], None], seq: int
+    ) -> None:
+        if self._closed:
+            return
+        reply = self.handler(frame)
+        one_way = self.knobs.latency_s / 2.0
+        delay = one_way
+        if self.knobs.reorders(seq):
+            # Held back a full extra round trip: the next reply overtakes.
+            delay += self.knobs.latency_s
+            self._trace("reorder", seq=seq)
+        self.sim.schedule(delay, self._deliver, reply, on_reply, seq)
+
+    def _deliver(
+        self, reply: str, on_reply: Callable[[str], None], seq: int
+    ) -> None:
+        if self._closed:
+            return
+        self.frames_received += 1
+        self._trace("recv", seq=seq)
+        on_reply(reply)
+
+    def close(self) -> None:
+        self._closed = True

@@ -1,0 +1,225 @@
+"""Server-side glass service: frame dispatch, control plane, sim pacing.
+
+:class:`GlassService` is the one frame handler every adapter serves:
+decode a :class:`~repro.transport.codec.QueryRequest`, route it to the
+registered glass by owner name, answer with a
+:class:`~repro.transport.codec.QueryReply` or map the glass exception
+onto an :class:`~repro.transport.codec.ErrorReply` (type name
+preserved, so the client re-raises exactly).
+
+Besides the provider glasses it answers a small control vocabulary
+under the reserved ``__control__`` owner:
+
+* ``__ping__`` -- liveness; payload echoes the server clock;
+* ``__queries__`` -- every routable (owner, query) pair;
+* ``__trace__`` -- trace streaming over the same wire: returns the
+  server tracer's buffered events from a client-held cursor, so a
+  client can pull the PR 4/9 event stream incrementally.
+
+:class:`SimPacer` advances a simulator against the host wall clock
+(scaled), which is the "shared sim-or-wall clock" leg of the service
+runner: both processes pace their own simulation at the same scale, so
+``served_at`` stamps and ``age_s`` values are comparable across the
+wire (the clock contract, DESIGN.md §14).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.interfaces import LookingGlass, QueryResult
+from repro.obs.profile import wall_clock
+from repro.obs.trace import TRACER
+from repro.simkernel.kernel import Simulator
+from repro.transport.codec import (
+    CodecError,
+    ErrorReply,
+    QueryReply,
+    QueryRequest,
+    decode,
+    encode,
+)
+
+#: Reserved owner name for the service's own control queries.
+CONTROL_OWNER = "__control__"
+
+
+class GlassService:
+    """Route wire queries to the glasses of one serving process.
+
+    Args:
+        clock: The server's time base for ``served_at`` stamps --
+            usually the paced simulator's ``now``.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._glasses: Dict[str, LookingGlass] = {}
+        self.clock = clock or (lambda: 0.0)
+        self.requests_handled = 0
+        self.requests_failed = 0
+
+    def add_glass(self, glass: LookingGlass) -> None:
+        """Export ``glass`` under its owner name."""
+        if glass.owner == CONTROL_OWNER:
+            raise ValueError(f"{CONTROL_OWNER!r} is reserved for the service")
+        if glass.owner in self._glasses:
+            raise ValueError(f"duplicate glass owner {glass.owner!r}")
+        self._glasses[glass.owner] = glass
+
+    def owners(self) -> List[str]:
+        return sorted(self._glasses)
+
+    # ------------------------------------------------------------------
+    def handle_frame(self, frame: str) -> str:
+        """One request frame in, one reply frame out.  Never raises."""
+        try:
+            request = decode(frame)
+        except CodecError as error:
+            self.requests_failed += 1
+            return encode(ErrorReply(msg_id=0, error="CodecError", message=str(error)))
+        if not isinstance(request, QueryRequest):
+            self.requests_failed += 1
+            return encode(
+                ErrorReply(
+                    msg_id=0,
+                    error="CodecError",
+                    message=f"expected QueryRequest, got {type(request).__name__}",
+                )
+            )
+        try:
+            result = self._dispatch(request)
+        except Exception as error:  # noqa: BLE001 -- type name crosses the wire
+            self.requests_failed += 1
+            return encode(
+                ErrorReply(
+                    msg_id=request.msg_id,
+                    error=type(error).__name__,
+                    message=str(error),
+                )
+            )
+        self.requests_handled += 1
+        return encode(
+            QueryReply.from_result(
+                msg_id=request.msg_id, served_at=self.clock(), result=result
+            )
+        )
+
+    def _dispatch(self, request: QueryRequest) -> QueryResult:
+        if request.owner == CONTROL_OWNER:
+            return self._control(request)
+        glass = self._glasses.get(request.owner)
+        if glass is None:
+            raise KeyError(
+                f"no glass for owner {request.owner!r} "
+                f"(serving: {', '.join(self.owners()) or 'none'})"
+            )
+        return glass.query(request.requester, request.query, **request.params)
+
+    # ------------------------------------------------------------------
+    def _control(self, request: QueryRequest) -> QueryResult:
+        if request.query == "__ping__":
+            return QueryResult(
+                query="__ping__", payload={"t": self.clock()}, age_s=0.0
+            )
+        if request.query == "__queries__":
+            exported = []
+            for owner in sorted(self._glasses):
+                for name in self._glasses[owner].exported_queries():
+                    exported.append({"owner": owner, "query": name})
+            return QueryResult(query="__queries__", payload=exported, age_s=0.0)
+        if request.query == "__trace__":
+            return self._trace_since(request)
+        raise KeyError(f"unknown control query {request.query!r}")
+
+    def _trace_since(self, request: QueryRequest) -> QueryResult:
+        """Stream buffered trace events from a client-held cursor.
+
+        The cursor is the total ``TRACER.emitted`` count at the end of
+        the previous pull; events that have already fallen off the ring
+        are gone (the payload reports the gap so the client can tell).
+        """
+        since = int(request.params.get("since", 0))  # type: ignore[arg-type]
+        limit = int(request.params.get("limit", 1000))  # type: ignore[arg-type]
+        buffered = TRACER.events() if TRACER.enabled else []
+        emitted = TRACER.emitted
+        first_buffered = emitted - len(buffered)
+        start = max(0, since - first_buffered)
+        window = buffered[start:start + max(0, limit)]
+        return QueryResult(
+            query="__trace__",
+            payload={
+                "events": window,
+                "next": first_buffered + start + len(window),
+                "emitted": emitted,
+                "dropped": max(0, first_buffered - since),
+            },
+            age_s=0.0,
+        )
+
+
+class SimPacer:
+    """Advance a simulator in step with the host wall clock.
+
+    ``tick()`` runs the simulator up to ``elapsed_wall * time_scale``
+    and reports the sim time reached; a serving loop calls it between
+    socket polls.  ``time_scale`` > 1 runs the world faster than real
+    time (the CI smoke compresses a 600 s world into seconds);
+    ``float("inf")`` is rejected -- eager draining belongs to plain
+    ``sim.run``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        time_scale: float = 1.0,
+        clock: Callable[[], float] = wall_clock,
+    ):
+        if not (time_scale > 0) or time_scale != time_scale:
+            raise ValueError(f"time_scale must be finite > 0, got {time_scale!r}")
+        if time_scale == float("inf"):
+            raise ValueError("time_scale must be finite; use sim.run to drain")
+        self.sim = sim
+        self.time_scale = time_scale
+        self.clock = clock
+        self._started_wall: Optional[float] = None
+
+    def start(self) -> None:
+        self._started_wall = self.clock()
+
+    def target(self) -> float:
+        """Sim time the wall clock has earned so far."""
+        if self._started_wall is None:
+            self.start()
+        return (self.clock() - self._started_wall) * self.time_scale
+
+    def tick(self, horizon_s: Optional[float] = None) -> float:
+        """Advance the sim to the earned target (capped at ``horizon_s``)."""
+        goal = self.target()
+        if horizon_s is not None:
+            goal = min(goal, horizon_s)
+        if goal > self.sim.now:
+            self.sim.run(until=goal)
+        return self.sim.now
+
+
+def drain_trace(
+    glass: "object", requester: str = CONTROL_OWNER, limit: int = 1000
+) -> Tuple[List[dict], int]:
+    """Pull every currently buffered server trace event over the wire.
+
+    ``glass`` is a client proxy addressed at ``__control__`` (any object
+    with the ``query`` surface).  Returns ``(events, emitted_total)``.
+    """
+    events: List[dict] = []
+    cursor = 0
+    while True:
+        result = glass.query(
+            requester, "__trace__", since=cursor, limit=limit
+        )
+        payload = result.payload
+        batch = payload.get("events", [])
+        events.extend(batch)
+        cursor = int(payload.get("next", cursor))
+        if not batch or cursor >= int(payload.get("emitted", cursor)):
+            break
+    return events, cursor

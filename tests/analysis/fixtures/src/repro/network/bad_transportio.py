@@ -1,0 +1,16 @@
+"""Fixture: live-networking imports outside the TCP transport adapter.
+
+Three findings: the plain import, the submodule import, and the
+from-import.  A sim layer must never touch real sockets or event
+loops -- that machinery lives behind the Transport protocol.
+"""
+
+import asyncio
+import socketserver
+from socket import create_connection
+
+
+def dial(host: str, port: int) -> None:
+    asyncio.run(asyncio.sleep(0))
+    socketserver.TCPServer.allow_reuse_address = True
+    create_connection((host, port))

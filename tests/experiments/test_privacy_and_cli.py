@@ -68,7 +68,7 @@ class TestE11Shape:
 
 class TestCli:
     def test_all_experiments_registered(self):
-        expected = {f"e{i}" for i in range(1, 20)} | {"e7-cohort"}
+        expected = {f"e{i}" for i in range(1, 21)} | {"e7-cohort"}
         assert set(registry.experiment_ids()) == expected
 
     def test_list_command(self, capsys):

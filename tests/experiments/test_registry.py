@@ -27,10 +27,10 @@ def _result(*rows, name="T", notes=""):
 
 
 class TestRegistryCompleteness:
-    def test_ids_are_e1_to_e19_plus_variants(self):
+    def test_ids_are_e1_to_e20_plus_variants(self):
         expected = [f"e{i}" for i in range(1, 8)]
         expected.append("e7-cohort")
-        expected.extend(f"e{i}" for i in range(8, 20))
+        expected.extend(f"e{i}" for i in range(8, 21))
         assert registry.experiment_ids() == expected
 
     def test_every_exp_module_registers(self):

@@ -1,0 +1,48 @@
+"""Shared fixtures for the transport suite: worlds and tracer hygiene."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interfaces import LookingGlass
+from repro.core.registry import OptInRegistry
+from repro.core.schemas import CongestionSignal
+from repro.obs.trace import TRACER
+from repro.simkernel.kernel import Simulator
+from repro.transport import GlassService
+
+
+@pytest.fixture(autouse=True)
+def _fresh_tracer():
+    """Every test starts and ends with the process tracer closed."""
+    TRACER.close()
+    yield
+    TRACER.close()
+
+
+class MiniWorld:
+    """A one-glass serving world: sim + I2A glass + GlassService."""
+
+    def __init__(self, seed: int = 7):
+        self.sim = Simulator(seed=seed)
+        self.registry = OptInRegistry()
+        self.registry.grant("isp", "appp")
+        self.glass = LookingGlass(self.sim, "isp", self.registry, kind="i2a")
+        self.glass.register("congestion", self._congestion)
+        self.service = GlassService(clock=lambda: self.sim.now)
+        self.service.add_glass(self.glass)
+        self.served = 0
+
+    def _congestion(self):
+        self.served += 1
+        return [
+            CongestionSignal(
+                time=self.sim.now, scope="access", congested=True,
+                severity=0.8,
+            )
+        ]
+
+
+@pytest.fixture
+def world() -> MiniWorld:
+    return MiniWorld()

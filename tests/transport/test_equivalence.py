@@ -1,0 +1,77 @@
+"""The keystone gate, test-sized: loopback wire == in-process, by bytes.
+
+Mirrors ``tests/scenarios/test_equivalence.py``: both runs write raw
+JSONL sinks and the comparison is on bytes, with exactly one allowed
+difference -- the wire's own ``transport.*`` bookkeeping lines.  The
+full-size gate (E2's complete world) runs as ``eona run e20``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.baselines.modes import Mode
+from repro.experiments.exp_e2_flash_crowd import run_mode
+from repro.obs.trace import TRACER
+from repro.transport import GlassService, LoopbackTransport, RemoteLookingGlass
+
+WORLD = dict(
+    seed=3, n_clients=8, access_capacity_mbps=12.0,
+    peak_rate_per_s=1.0, horizon_s=200.0,
+)
+
+
+def _wire_wrap(glass):
+    service = GlassService(clock=lambda: glass.sim.now)
+    service.add_glass(glass)
+    return RemoteLookingGlass(
+        LoopbackTransport(service.handle_frame),
+        owner=glass.owner,
+        kind=glass.kind,
+        clock=lambda: glass.sim.now,
+    )
+
+
+def _traced(tmp_path, tag, wrap_i2a=None):
+    path = tmp_path / f"{tag}.jsonl"
+    TRACER.enable(capacity=500_000, sink=str(path))
+    try:
+        row = run_mode(Mode.EONA, wrap_i2a=wrap_i2a, **WORLD)
+    finally:
+        TRACER.close()
+    lines = path.read_bytes().splitlines(keepends=True)
+    assert lines, f"{tag}: empty trace"
+    return lines, row
+
+
+def test_loopback_run_is_byte_identical_minus_transport_lines(tmp_path):
+    local_lines, local_row = _traced(tmp_path, "in-process")
+    wired_lines, wired_row = _traced(tmp_path, "loopback", wrap_i2a=_wire_wrap)
+
+    transport_lines = [
+        line for line in wired_lines
+        if json.loads(line)["kind"].startswith("transport.")
+    ]
+    kept = [
+        line for line in wired_lines
+        if not json.loads(line)["kind"].startswith("transport.")
+    ]
+    # The wire leaves its own markers...
+    assert transport_lines, "loopback run emitted no transport.* events"
+    assert not any(
+        json.loads(line)["kind"].startswith("transport.")
+        for line in local_lines
+    )
+    # ...and changes nothing else: same bytes, line for line.
+    assert kept == local_lines
+    # The worlds agree on the outcome too.
+    assert wired_row["buffering_ratio"] == local_row["buffering_ratio"]
+    assert wired_row["mean_bitrate_mbps"] == local_row["mean_bitrate_mbps"]
+
+
+def test_transport_lines_carry_no_cause_ids(tmp_path):
+    wired_lines, _ = _traced(tmp_path, "loopback-causes", wrap_i2a=_wire_wrap)
+    for line in wired_lines:
+        event = json.loads(line)
+        if event["kind"].startswith("transport."):
+            assert "cause" not in event and "parent" not in event

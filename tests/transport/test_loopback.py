@@ -1,0 +1,178 @@
+"""LoopbackTransport: sync parity, fault knobs, pipelined sim timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interfaces import GlassUnavailableError
+from repro.obs import spans
+from repro.transport import (
+    FaultKnobs,
+    LoopbackTransport,
+    RemoteLookingGlass,
+    TransportClosed,
+    TransportTimeout,
+    create_transport,
+    transport_names,
+)
+
+
+def proxy_for(world, transport, **kwargs):
+    return RemoteLookingGlass(
+        transport, owner="isp", kind="i2a",
+        clock=lambda: world.sim.now, **kwargs,
+    )
+
+
+class TestRegistry:
+    def test_builtin_adapters_are_registered(self):
+        assert {"loopback", "tcp", "record", "replay"} <= set(transport_names())
+
+    def test_create_transport_names_the_instance(self, world):
+        transport = create_transport(
+            "loopback", handler=world.service.handle_frame
+        )
+        assert transport.name == "loopback"
+        assert transport.in_process is True
+
+    def test_unknown_adapter_is_a_key_error(self):
+        with pytest.raises(KeyError, match="unknown transport"):
+            create_transport("carrier-pigeon")
+
+
+class TestSynchronous:
+    def test_zero_latency_matches_a_direct_glass_call(self, world):
+        transport = LoopbackTransport(world.service.handle_frame)
+        remote = proxy_for(world, transport).query("appp", "congestion")
+        local = world.glass.query("appp", "congestion")
+        assert remote.payload == local.payload
+        assert remote.age_s == local.age_s
+        assert remote.query == local.query == "congestion"
+        assert world.served == 2
+
+    def test_frame_stats_count_the_round_trip(self, world):
+        transport = LoopbackTransport(world.service.handle_frame)
+        proxy_for(world, transport).query("appp", "congestion")
+        assert transport.stats() == {
+            "frames_sent": 1, "frames_received": 1, "frames_dropped": 0,
+        }
+
+    def test_drop_knob_drops_every_nth_request(self, world):
+        transport = LoopbackTransport(
+            world.service.handle_frame, knobs=FaultKnobs(drop_every=3)
+        )
+        transport.request("x", 1.0)
+        transport.request("x", 1.0)
+        with pytest.raises(TransportTimeout, match="dropped"):
+            transport.request("x", 1.0)
+        assert transport.frames_dropped == 1
+
+    def test_proxy_retry_rides_over_a_single_drop(self, world):
+        # Every 3rd request is dropped; one retry re-sends, so the
+        # caller never sees an error and the retry counter records it.
+        transport = LoopbackTransport(
+            world.service.handle_frame, knobs=FaultKnobs(drop_every=3)
+        )
+        proxy = proxy_for(world, transport, retries=1)
+        for _ in range(6):
+            proxy.query("appp", "congestion")
+        assert proxy.queries_failed == 0
+        assert proxy.retries_used == 2
+        assert transport.frames_dropped == 2
+
+    def test_closed_transport_surfaces_as_glass_unavailable(self, world):
+        transport = LoopbackTransport(world.service.handle_frame)
+        transport.close()
+        with pytest.raises(TransportClosed):
+            transport.request("x", 1.0)
+        with pytest.raises(GlassUnavailableError):
+            proxy_for(world, transport, retries=0).query("appp", "congestion")
+
+    def test_transport_events_carry_no_cause_ids(self, world):
+        transport = LoopbackTransport(world.service.handle_frame)
+        proxy = proxy_for(world, transport)
+        with spans.capture() as events:
+            proxy.query("appp", "congestion")
+        wire = [e for e in events if e["kind"].startswith("transport.")]
+        assert {e["kind"] for e in wire} == {"transport.send", "transport.recv"}
+        assert all("cause" not in e for e in wire)
+        # The glass's own served-query event keeps its cause as usual.
+        hints = [e for e in events if e["kind"] == "i2a-hint"]
+        assert len(hints) == 1 and hints[0]["cause"] is not None
+
+
+class TestPipelined:
+    def test_latency_without_a_sim_is_rejected(self, world):
+        with pytest.raises(ValueError, match="needs a sim"):
+            LoopbackTransport(
+                world.service.handle_frame, knobs=FaultKnobs(latency_s=2.0)
+            )
+
+    def test_sync_request_refuses_the_pipelined_path(self, world):
+        transport = LoopbackTransport(
+            world.service.handle_frame, sim=world.sim,
+            knobs=FaultKnobs(latency_s=2.0),
+        )
+        assert transport.pipelined
+        with pytest.raises(TransportTimeout, match="pipelined"):
+            transport.request("x", 1.0)
+
+    def test_replies_arrive_one_delivery_behind(self, world):
+        transport = LoopbackTransport(
+            world.service.handle_frame, sim=world.sim,
+            knobs=FaultKnobs(latency_s=4.0),
+        )
+        proxy = proxy_for(world, transport)
+        # Nothing delivered yet: the first call is a (countable) miss.
+        with pytest.raises(GlassUnavailableError, match="no answer"):
+            proxy.query("appp", "congestion")
+        world.sim.run(until=4.0)
+        result = proxy.query("appp", "congestion")
+        # The glass served at +latency/2, on the server's sim clock.
+        assert result.payload[0]["time"] == pytest.approx(2.0)
+        assert proxy.queries_failed == 1
+        assert proxy.queries_answered == 1
+
+    def test_delivered_answers_age_by_transit_dwell(self, world):
+        transport = LoopbackTransport(
+            world.service.handle_frame, sim=world.sim,
+            knobs=FaultKnobs(latency_s=4.0),
+        )
+        proxy = proxy_for(world, transport)
+        with pytest.raises(GlassUnavailableError):
+            proxy.query("appp", "congestion")
+        world.sim.run(until=10.0)
+        # Served at t=2, read at t=10: eight seconds of dwell.
+        result = proxy.query("appp", "congestion")
+        assert result.age_s == pytest.approx(8.0)
+
+    def test_stale_answers_count_as_unavailable(self, world):
+        transport = LoopbackTransport(
+            world.service.handle_frame, sim=world.sim,
+            knobs=FaultKnobs(latency_s=4.0),
+        )
+        proxy = proxy_for(world, transport, max_result_age_s=5.0)
+        with pytest.raises(GlassUnavailableError):
+            proxy.query("appp", "congestion")
+        world.sim.run(until=4.0)
+        proxy.query("appp", "congestion")  # fresh: delivered at t=4
+        # Stop serving new replies; the cached answer decays past the cap.
+        transport.close()
+        world.sim.run(until=20.0)
+        with pytest.raises(GlassUnavailableError, match="old"):
+            proxy.query("appp", "congestion")
+
+    def test_reorder_knob_holds_a_reply_back_one_round_trip(self, world):
+        transport = LoopbackTransport(
+            world.service.handle_frame, sim=world.sim,
+            knobs=FaultKnobs(latency_s=4.0, reorder_every=2),
+        )
+        deliveries = []
+        transport.send_request("a", lambda frame: deliveries.append(("a", world.sim.now)))
+        transport.send_request("b", lambda frame: deliveries.append(("b", world.sim.now)))
+        world.sim.run(until=20.0)
+        # b (seq 2) is held a full extra round trip and lands after a.
+        assert [tag for tag, _ in deliveries] == ["a", "b"]
+        times = dict(deliveries)
+        assert times["a"] == pytest.approx(4.0)
+        assert times["b"] == pytest.approx(8.0)

@@ -1,0 +1,60 @@
+"""Satellite (c): wire faults walk the PR 5 degradation path exactly.
+
+A transport dropping every request must be indistinguishable -- to the
+AppP's failure streaks, fallback machinery, and trace -- from an
+in-process glass in ``drop`` fault mode.  Counter for counter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.exp_e20_service import _wired_world_row
+
+HORIZON_S = 150.0
+
+
+@pytest.fixture(scope="module")
+def rows():
+    # One world each way, same seed, same horizon; the wire row drops
+    # every frame at the transport and burns its single retry, the
+    # local row faults the glass itself (the PR 5 baseline).
+    wire = _wired_world_row(
+        "wire-drop", seed=0, drop_every=1, retries=1, horizon_s=HORIZON_S
+    )
+    local = _wired_world_row(
+        "local-drop", seed=0, glass_fault="drop", horizon_s=HORIZON_S
+    )
+    return wire, local
+
+
+class TestFaultParity:
+    def test_same_query_and_error_counters(self, rows):
+        wire, local = rows
+        assert wire["i2a_queries"] == local["i2a_queries"]
+        assert wire["glass_errors"] == local["glass_errors"]
+        # Every query failed, both ways.
+        assert wire["glass_errors"] == wire["i2a_queries"] > 0
+
+    def test_same_fallback_trajectory(self, rows):
+        wire, local = rows
+        for key in (
+            "fallback_activations",
+            "fallback_reengagements",
+            "fallback_engage_events",
+            "fallback_reengage_events",
+        ):
+            assert wire[key] == local[key], key
+        assert wire["fallback_activations"] == 1
+        assert wire["fallback_engage_events"] == 1
+
+    def test_wire_row_accounts_its_retries(self, rows):
+        wire, local = rows
+        # retries=1 and every attempt dropped: one retry per query.
+        assert wire["retries_used"] == wire["i2a_queries"]
+        assert wire["queries_answered"] == 0
+        assert "retries_used" not in local  # no proxy in the local row
+
+    def test_no_hints_flow_under_total_drop(self, rows):
+        wire, local = rows
+        assert wire["i2a_hints"] == local["i2a_hints"] == 0

@@ -1,0 +1,184 @@
+"""RemoteLookingGlass: error mapping, retries, and cause remapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interfaces import GlassUnavailableError, UnknownQueryError
+from repro.core.registry import AccessDeniedError
+from repro.obs import spans
+from repro.transport import (
+    CONTROL_OWNER,
+    FaultKnobs,
+    FaultyTransport,
+    LoopbackTransport,
+    RemoteGlassError,
+    RemoteLookingGlass,
+)
+
+
+def proxy_for(world, transport=None, **kwargs):
+    transport = transport or LoopbackTransport(world.service.handle_frame)
+    kwargs.setdefault("owner", "isp")
+    kwargs.setdefault("kind", "i2a")
+    return RemoteLookingGlass(transport, **kwargs)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("kwargs", [
+        {"retries": -1},
+        {"timeout_s": 0.0},
+        {"backoff_factor": 0.5},
+    ])
+    def test_bad_knobs_are_rejected(self, world, kwargs):
+        with pytest.raises(ValueError):
+            proxy_for(world, **kwargs)
+
+
+class TestErrorMapping:
+    """Server-side glass errors re-raise as their original type --
+    denials stay configuration, never transport faults."""
+
+    def test_access_denied_stays_a_denial(self, world):
+        proxy = proxy_for(world)
+        with pytest.raises(AccessDeniedError):
+            proxy.query("stranger", "congestion")
+        assert world.glass.queries_denied == 1
+
+    def test_unknown_query_stays_unknown(self, world):
+        with pytest.raises(UnknownQueryError):
+            proxy_for(world).query("appp", "nope")
+
+    def test_server_fault_mode_passes_through_without_retries(self, world):
+        # The server glass dropping queries is a *served* error reply,
+        # not a transport failure: it must not burn retry attempts.
+        world.glass.set_fault_mode("drop")
+        proxy = proxy_for(world, retries=2)
+        with pytest.raises(GlassUnavailableError, match="dropping"):
+            proxy.query("appp", "congestion")
+        assert proxy.retries_used == 0
+
+    def test_unknown_owner_is_a_remote_glass_error(self, world):
+        proxy = proxy_for(world, owner="ghost-isp")
+        with pytest.raises(RemoteGlassError, match="ghost-isp"):
+            proxy.query("appp", "congestion")
+
+    def test_unmapped_server_exception_is_a_remote_glass_error(self, world):
+        def explode():
+            raise RuntimeError("handler broke")
+
+        world.glass.register("explode", explode)
+        with pytest.raises(RemoteGlassError, match="handler broke"):
+            proxy_for(world).query("appp", "explode")
+
+
+class TestRetries:
+    def test_exhausted_retries_map_to_glass_unavailable(self, world):
+        transport = FaultyTransport(
+            LoopbackTransport(world.service.handle_frame),
+            knobs=FaultKnobs(drop_every=1),
+        )
+        proxy = proxy_for(world, transport, retries=2)
+        with spans.capture() as events:
+            with pytest.raises(GlassUnavailableError, match="3 attempt"):
+                proxy.query("appp", "congestion")
+        assert proxy.retries_used == 2
+        assert proxy.queries_failed == 1
+        assert transport.frames_dropped == 3
+        retry_events = [e for e in events if e["kind"] == "transport.retry"]
+        assert [e["attempt"] for e in retry_events] == [1, 2]
+
+    def test_backoff_multiplies_the_per_attempt_timeout(self, world):
+        transport = FaultyTransport(
+            LoopbackTransport(world.service.handle_frame),
+            knobs=FaultKnobs(drop_every=1),
+        )
+        proxy = proxy_for(
+            world, transport, timeout_s=1.0, retries=2, backoff_factor=2.0
+        )
+        with spans.capture() as events:
+            with pytest.raises(GlassUnavailableError):
+                proxy.query("appp", "congestion")
+        timeouts = [
+            e["timeout_s"] for e in events if e["kind"] == "transport.retry"
+        ]
+        assert timeouts == [2.0, 4.0]
+
+    def test_zero_retries_fails_on_the_first_drop(self, world):
+        transport = FaultyTransport(
+            LoopbackTransport(world.service.handle_frame),
+            knobs=FaultKnobs(drop_every=1),
+        )
+        proxy = proxy_for(world, transport, retries=0)
+        with pytest.raises(GlassUnavailableError, match="1 attempt"):
+            proxy.query("appp", "congestion")
+        assert proxy.retries_used == 0
+
+
+class FakeRemote(LoopbackTransport):
+    """A loopback that *claims* to be cross-process, to exercise the
+    cause-remap path without spawning a second interpreter."""
+
+    in_process = False
+
+
+class TestCauseRemap:
+    """Satellite (b): a remote peer's span IDs never leak into the
+    local trace -- the proxy mints a local cause and keeps the remote
+    one as provenance."""
+
+    def test_in_process_transport_passes_causes_through(self, world):
+        proxy = proxy_for(world)
+        with spans.capture() as events:
+            result = proxy.query("appp", "congestion")
+        hints = [e for e in events if e["kind"] == "i2a-hint"]
+        assert len(hints) == 1  # the server glass's own event, unremapped
+        assert result.cause == hints[0]["cause"]
+        assert proxy.stats()["causes_remapped"] == 0
+
+    def test_cross_process_causes_are_remapped_locally(self, world):
+        proxy = proxy_for(world, FakeRemote(world.service.handle_frame))
+        with spans.capture() as events:
+            result = proxy.query("appp", "congestion")
+        served = [
+            e for e in events
+            if e["kind"] == "i2a-hint" and e.get("via") == "query"
+        ]
+        remapped = [
+            e for e in events
+            if e["kind"] == "i2a-hint" and e.get("via") == "remote-query"
+        ]
+        assert len(served) == 1 and len(remapped) == 1
+        # The handed-back cause is the locally minted one...
+        assert result.cause == remapped[0]["cause"]
+        # ...distinct from the server's, which survives as provenance.
+        assert result.cause != served[0]["cause"]
+        assert remapped[0]["remote_cause"] == served[0]["cause"]
+        assert proxy.stats()["causes_remapped"] == 1
+
+    def test_remap_without_tracing_hands_back_no_cause(self, world):
+        proxy = proxy_for(world, FakeRemote(world.service.handle_frame))
+        result = proxy.query("appp", "congestion")
+        assert result.cause is None
+        assert proxy.stats()["causes_remapped"] == 0
+
+
+class TestControlPlane:
+    def test_ping_echoes_the_server_clock(self, world):
+        world.sim.schedule(5.0, lambda: None)
+        world.sim.run(until=5.0)
+        control = proxy_for(world, owner=CONTROL_OWNER, kind="")
+        result = control.query(CONTROL_OWNER, "__ping__")
+        assert result.payload["t"] == pytest.approx(5.0)
+
+    def test_exported_queries_lists_routable_pairs(self, world):
+        control = proxy_for(world, owner=CONTROL_OWNER, kind="")
+        result = control.query(CONTROL_OWNER, "__queries__")
+        assert result.payload == [{"owner": "isp", "query": "congestion"}]
+
+    def test_msg_ids_are_monotonic(self, world):
+        proxy = proxy_for(world)
+        proxy.query("appp", "congestion")
+        proxy.query("appp", "congestion")
+        assert proxy._next_msg_id == 2
+        assert proxy.queries_sent == 2
